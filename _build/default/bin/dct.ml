@@ -1,0 +1,398 @@
+(* dct — command-line front end.
+
+   Subcommands:
+     simulate     run a synthetic workload through a scheduler
+     check        evaluate C1/C2/C4 on a schedule file
+     dot          print the conflict graph of a schedule file as DOT
+     experiments  print the EX1-EX11 experiment tables
+     reduce-cover emit the Theorem 5 schedule for a Set Cover instance
+     reduce-sat   evaluate the Theorem 6 gadget for a 3-CNF formula
+     demo         narrate the paper's Examples 1 and 2 *)
+
+open Cmdliner
+
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module Policy = Dct_deletion.Policy
+module Si = Dct_sched.Scheduler_intf
+module Gen = Dct_workload.Generator
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- shared argument converters --- *)
+
+let policy_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Policy.of_string s) in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Policy.name p))
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Policy.Greedy_c1
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Deletion policy: none | commit | noncurrent | greedy | exact | \
+           budget:<n>:<inner>.")
+
+let schedule_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "schedule" ] ~docv:"FILE" ~doc:"Schedule file (see docs/format).")
+
+(* --- simulate --- *)
+
+let simulate model policy txns entities mpl skew seed long_readers =
+  let profile =
+    {
+      Gen.default with
+      Gen.n_txns = txns;
+      n_entities = entities;
+      mpl;
+      skew;
+      seed;
+      long_readers;
+    }
+  in
+  let handle, schedule =
+    match model with
+    | "basic" -> (Dct_sched.Conflict_scheduler.handle ~policy (), Gen.basic profile)
+    | "certify" -> (Dct_sched.Certifier.handle (), Gen.basic profile)
+    | "multiwrite" ->
+        ( Dct_sched.Multiwrite_scheduler.handle
+            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) (),
+          Gen.multiwrite profile )
+    | "predeclared" ->
+        ( Dct_sched.Predeclared_scheduler.handle ~use_c4_deletion:true (),
+          Gen.predeclared profile )
+    | "mvto" -> (Dct_sched.Mv_scheduler.handle ~vacuum:true (), Gen.basic profile)
+    | "2pl" -> (Dct_sched.Lock_2pl.handle (), Gen.basic profile)
+    | "timestamp" -> (Dct_sched.Timestamp_order.handle (), Gen.basic profile)
+    | other -> Printf.ksprintf failwith "unknown model %S" other
+  in
+  let r = Dct_sim.Driver.run handle schedule in
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Gen.pp_profile profile);
+  Dct_sim.Report.print_table
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "scheduler"; r.Dct_sim.Driver.name ];
+      [ "steps"; string_of_int r.Dct_sim.Driver.steps ];
+      [ "accepted"; string_of_int r.Dct_sim.Driver.accepted ];
+      [ "rejected"; string_of_int r.Dct_sim.Driver.rejected ];
+      [ "delayed"; string_of_int r.Dct_sim.Driver.delayed ];
+      [ "committed"; string_of_int r.Dct_sim.Driver.final.Si.committed_total ];
+      [ "aborted"; string_of_int r.Dct_sim.Driver.final.Si.aborted_total ];
+      [ "deleted"; string_of_int r.Dct_sim.Driver.final.Si.deleted_total ];
+      [ "peak resident"; string_of_int r.Dct_sim.Driver.peak_resident ];
+      [ "mean resident"; Dct_sim.Report.fmt_float r.Dct_sim.Driver.mean_resident ];
+      [ "final resident"; string_of_int r.Dct_sim.Driver.final.Si.resident_txns ];
+      [ "wall (ms)";
+        Dct_sim.Report.fmt_float (r.Dct_sim.Driver.wall_seconds *. 1000.0) ];
+    ];
+  0
+
+let simulate_cmd =
+  let model =
+    Arg.(
+      value
+      & opt string "basic"
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:
+            "Scheduler: basic | certify | multiwrite | predeclared | mvto | \
+             2pl | timestamp.")
+  in
+  let txns =
+    Arg.(value & opt int 200 & info [ "n"; "txns" ] ~doc:"Transactions to run.")
+  in
+  let entities =
+    Arg.(value & opt int 64 & info [ "e"; "entities" ] ~doc:"Database size.")
+  in
+  let mpl =
+    Arg.(value & opt int 8 & info [ "j"; "mpl" ] ~doc:"Concurrent transactions.")
+  in
+  let skew =
+    Arg.(
+      value
+      & opt string "zipf:0.9"
+      & info [ "skew" ] ~doc:"uniform | zipf:<theta> | hotspot:<frac>:<prob>.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let long_readers =
+    Arg.(value & opt int 0 & info [ "long-readers" ] ~doc:"Pinning readers.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a synthetic workload through a scheduler")
+    Term.(
+      const simulate $ model $ policy_arg $ txns $ entities $ mpl $ skew $ seed
+      $ long_readers)
+
+(* --- check --- *)
+
+let load_basic_state path =
+  let env = Dct_txn.Parse.create_env () in
+  let schedule = Dct_txn.Parse.parse_exn env (read_file path) in
+  let gs = Gs.create () in
+  let outcomes = Dct_deletion.Rules.apply_all gs schedule in
+  List.iter2
+    (fun o s ->
+      match o with
+      | Dct_deletion.Rules.Rejected ->
+          Printf.printf "note: %s was rejected (transaction aborted)\n"
+            (Dct_txn.Parse.unparse_step env s)
+      | _ -> ())
+    outcomes schedule;
+  (env, gs)
+
+let load_predeclared_state path =
+  let env = Dct_txn.Parse.create_env () in
+  let schedule = Dct_txn.Parse.parse_exn env (read_file path) in
+  let t = Dct_sched.Predeclared_scheduler.create () in
+  List.iter (fun s -> ignore (Dct_sched.Predeclared_scheduler.step t s)) schedule;
+  ignore (Dct_sched.Predeclared_scheduler.drain t);
+  (env, Dct_sched.Predeclared_scheduler.graph_state t)
+
+let txn_id env name =
+  match Dct_txn.Symtab.find env.Dct_txn.Parse.txns name with
+  | Some id -> id
+  | None -> Printf.ksprintf failwith "unknown transaction %S" name
+
+let txn_name env id =
+  Option.value ~default:(string_of_int id)
+    (Dct_txn.Symtab.name env.Dct_txn.Parse.txns id)
+
+let check condition path names =
+  let lazy_basic = lazy (load_basic_state path) in
+  let env_gs () = Lazy.force lazy_basic in
+  (match (condition, names) with
+  | "c1", [] ->
+      let env, gs = env_gs () in
+      let eligible = Dct_deletion.Condition_c1.eligible gs in
+      Printf.printf "C1-eligible: %s\n"
+        (String.concat ", "
+           (List.map (txn_name env) (Intset.elements eligible)))
+  | "c1", names ->
+      let env, gs = env_gs () in
+      List.iter
+        (fun name ->
+          let id = txn_id env name in
+          let ok = Dct_deletion.Condition_c1.holds gs id in
+          Printf.printf "%s: %s\n" name (if ok then "deletable (C1 holds)" else "not deletable");
+          if not ok && Gs.is_completed gs id then
+            List.iter
+              (fun (tj, x) ->
+                let path =
+                  Dct_graph.Traversal.find_path
+                    ~through:(fun v -> Gs.is_completed gs v)
+                    (Gs.graph gs) ~src:tj ~dst:id
+                in
+                Printf.printf
+                  "  witness: active tight predecessor %s, entity %s%s\n"
+                  (txn_name env tj)
+                  (Option.value ~default:(string_of_int x)
+                     (Dct_txn.Symtab.name env.Dct_txn.Parse.entities x))
+                  (match path with
+                  | Some p ->
+                      Printf.sprintf "  (tight path: %s)"
+                        (String.concat " -> " (List.map (txn_name env) p))
+                  | None -> ""))
+              (Dct_deletion.Condition_c1.witnesses gs id))
+        names
+  | "c2", names when names <> [] ->
+      let env, gs = env_gs () in
+      let set = Intset.of_list (List.map (txn_id env) names) in
+      let ok = Dct_deletion.Condition_c2.holds gs set in
+      Printf.printf "{%s}: %s\n" (String.concat ", " names)
+        (if ok then "jointly deletable (C2 holds)" else "not jointly deletable")
+  | "c4", [] ->
+      let env, gs = load_predeclared_state path in
+      let eligible = Dct_deletion.Condition_c4.eligible gs in
+      Printf.printf "C4-eligible: %s\n"
+        (String.concat ", "
+           (List.map (txn_name env) (Intset.elements eligible)))
+  | "c4", names ->
+      let env, gs = load_predeclared_state path in
+      List.iter
+        (fun name ->
+          let id = txn_id env name in
+          let ok = Dct_deletion.Condition_c4.holds gs id in
+          Printf.printf "%s: %s\n" name
+            (if ok then "deletable (C4 holds)" else "not deletable");
+          if (not ok) && Gs.is_completed gs id then
+            List.iter
+              (fun (tj, x) ->
+                Printf.printf "  witness: active predecessor %s, entity %s\n"
+                  (txn_name env tj)
+                  (Option.value ~default:(string_of_int x)
+                     (Dct_txn.Symtab.name env.Dct_txn.Parse.entities x)))
+              (Dct_deletion.Condition_c4.violations gs id))
+        names
+  | "max", [] ->
+      let env, gs = env_gs () in
+      let exact = Dct_deletion.Max_deletion.exact gs in
+      let greedy = Dct_deletion.Max_deletion.greedy gs in
+      Printf.printf "maximum safe subset (%d): %s\n" (Intset.cardinal exact)
+        (String.concat ", " (List.map (txn_name env) (Intset.elements exact)));
+      Printf.printf "greedy maximal subset (%d): %s\n" (Intset.cardinal greedy)
+        (String.concat ", " (List.map (txn_name env) (Intset.elements greedy)))
+  | c, _ -> Printf.ksprintf failwith "bad combination: condition %S" c);
+  0
+
+let check_cmd =
+  let condition =
+    Arg.(
+      value
+      & opt string "c1"
+      & info [ "c"; "condition" ] ~docv:"COND"
+          ~doc:
+            "c1 (one txn or all), c2 (a set), max (best subset), or c4 \
+             (predeclared schedules with bd steps).")
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"TXN" ~doc:"Transaction names.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Evaluate deletion conditions on a schedule file")
+    Term.(const check $ condition $ schedule_file $ names)
+
+(* --- dot --- *)
+
+let dot path =
+  let env, gs = load_basic_state path in
+  print_string
+    (Dct_graph.Dot.to_string
+       ~node_label:(txn_name env)
+       ~node_attrs:(fun v ->
+         if Gs.is_active gs v then [ ("style", "dashed") ] else [])
+       (Gs.graph gs));
+  0
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the conflict graph of a schedule as DOT")
+    Term.(const dot $ schedule_file)
+
+(* --- experiments --- *)
+
+let experiments which =
+  let module E = Dct_sim.Experiments in
+  (match which with
+  | "all" -> E.run_all ()
+  | "ex1" -> E.ex1_example1 ()
+  | "ex2" -> E.ex2_lemma1 ()
+  | "ex3" -> E.ex3_theorem1 ()
+  | "ex4" -> E.ex4_corollary1 ()
+  | "ex5" -> E.ex5_set_cover ()
+  | "ex6" -> E.ex6_residency_bound ()
+  | "ex7" -> E.ex7_three_sat ()
+  | "ex8" -> E.ex8_example2 ()
+  | "ex9" -> E.ex9_policy_series ()
+  | "ex10" -> E.ex10_scheduler_comparison ()
+  | "ex11" -> E.ex11_complexity_table ()
+  | "ex12" -> E.ex12_log_truncation ()
+  | "ex13" -> E.ex13_version_residency ()
+  | "ex14" -> E.ex14_goodput_with_restarts ()
+  | "ex15" -> E.ex15_sensitivity ()
+  | other -> Printf.ksprintf failwith "unknown experiment %S" other);
+  0
+
+let experiments_cmd =
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"ex1..ex15 or all.")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Print the paper-reproduction experiment tables")
+    Term.(const experiments $ which)
+
+(* --- reduce-cover --- *)
+
+let parse_int_list s =
+  String.split_on_char ',' s |> List.filter (( <> ) "") |> List.map int_of_string
+
+let reduce_cover universe sets =
+  let inst = Dct_npc.Set_cover.make ~universe (List.map parse_int_list sets) in
+  (match Dct_npc.Set_cover.validate inst with
+  | Error e -> Printf.ksprintf failwith "invalid instance: %s" e
+  | Ok () -> ());
+  let schedule, _ids = Dct_npc.Reduction_cover.schedule inst in
+  let env = Dct_txn.Parse.create_env () in
+  (* Re-render through the parser env for stable names. *)
+  print_endline "# Theorem 5 reduction schedule:";
+  print_string (Dct_txn.Parse.unparse env schedule);
+  let k = List.length (Dct_npc.Set_cover.exact_min inst) in
+  let m = List.length sets in
+  Printf.printf "# minimum cover: %d of %d sets\n" k m;
+  Printf.printf "# maximum safely deletable transactions: %d (= m - k)\n" (m - k);
+  0
+
+let reduce_cover_cmd =
+  let universe =
+    Arg.(required & opt (some int) None & info [ "u"; "universe" ] ~doc:"Universe size.")
+  in
+  let sets =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "set" ] ~docv:"ELEMS" ~doc:"A set, e.g. --set 0,1,2 (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "reduce-cover" ~doc:"Emit the Theorem 5 schedule for a Set Cover instance")
+    Term.(const reduce_cover $ universe $ sets)
+
+(* --- reduce-sat --- *)
+
+let reduce_sat nvars clauses =
+  let f = Dct_npc.Sat.three_sat ~nvars (List.map parse_int_list clauses) in
+  Printf.printf "formula: %s\n" (Format.asprintf "%a" Dct_npc.Sat.pp f);
+  let sat = Dct_npc.Sat.is_satisfiable f in
+  Printf.printf "satisfiable (DPLL): %b\n" sat;
+  let deletable = Dct_npc.Reduction_sat.c_deletable f in
+  Printf.printf "transaction C deletable in the gadget (C3): %b\n" deletable;
+  Printf.printf "Theorem 6 agreement (deletable = unsat): %b\n"
+    (deletable = not sat);
+  if deletable = not sat then 0 else 1
+
+let reduce_sat_cmd =
+  let nvars =
+    Arg.(required & opt (some int) None & info [ "n"; "vars" ] ~doc:"Variables.")
+  in
+  let clauses =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "clause" ] ~docv:"LITS"
+          ~doc:"3 literals, e.g. --clause 1,-2,3 (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "reduce-sat" ~doc:"Evaluate the Theorem 6 gadget for a 3-CNF formula")
+    Term.(const reduce_sat $ nvars $ clauses)
+
+(* --- demo --- *)
+
+let demo which =
+  let module E = Dct_sim.Experiments in
+  (match which with
+  | "example1" -> E.ex1_example1 ()
+  | "example2" -> E.ex8_example2 ()
+  | other -> Printf.ksprintf failwith "unknown demo %S (example1|example2)" other);
+  0
+
+let demo_cmd =
+  let which =
+    Arg.(value & pos 0 string "example1" & info [] ~docv:"NAME" ~doc:"example1 | example2.")
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Narrate the paper's worked examples")
+    Term.(const demo $ which)
+
+let main_cmd =
+  let doc = "deleting completed transactions — conflict-graph scheduler GC" in
+  Cmd.group
+    (Cmd.info "dct" ~version:"1.0.0" ~doc)
+    [
+      simulate_cmd; check_cmd; dot_cmd; experiments_cmd; reduce_cover_cmd;
+      reduce_sat_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/banking.ml: Array Dct_deletion Dct_graph Dct_kv Dct_sched Dct_txn Dct_workload Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+examples/embedded_db.ml: Dct_db Dct_deletion Dct_workload Printf

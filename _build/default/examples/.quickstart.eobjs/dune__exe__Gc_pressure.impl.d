@@ -1,0 +1,1 @@
+examples/gc_pressure.ml: Dct_deletion Dct_graph Dct_sched Dct_workload List Printf String

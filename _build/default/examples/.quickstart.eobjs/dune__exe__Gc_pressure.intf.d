@@ -1,0 +1,1 @@
+examples/gc_pressure.mli:

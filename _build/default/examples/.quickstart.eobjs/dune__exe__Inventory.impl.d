@@ -1,0 +1,1 @@
+examples/inventory.ml: Dct_sched Dct_txn Dct_workload List Printf Queue

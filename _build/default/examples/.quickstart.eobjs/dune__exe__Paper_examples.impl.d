@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Dct_deletion Dct_graph Dct_npc Dct_txn Format List Printf String

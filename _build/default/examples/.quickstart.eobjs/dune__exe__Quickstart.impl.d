@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dct_deletion Dct_graph Dct_sched Dct_txn Format List Option Printf

@@ -1,0 +1,1 @@
+examples/recovery.ml: Dct_deletion Dct_graph Dct_kv Dct_sched Dct_workload List Printf String

@@ -1,0 +1,102 @@
+(* Predeclared transactions in a warehouse: every order declares up
+   front which stock items it will read and update, so the scheduler
+   (Rules 1'-3') never aborts — conflicting steps are delayed instead —
+   and condition C4 keeps the conflict graph small.
+
+     dune exec examples/inventory.exe *)
+
+module Step = Dct_txn.Step
+module A = Dct_txn.Access
+module Pre = Dct_sched.Predeclared_scheduler
+module Si = Dct_sched.Scheduler_intf
+module Prng = Dct_workload.Prng
+
+let n_items = 12
+let n_orders = 60
+
+type order = { txn : int; check : int list; update : int list }
+
+let make_orders rng =
+  List.init n_orders (fun i ->
+      let n_check = 1 + Prng.int rng 3 in
+      let check = Prng.sample_distinct rng ~n:n_check ~bound:n_items in
+      (* Update a subset of the checked items. *)
+      let update = List.filteri (fun j _ -> j = 0 || Prng.bool rng ~p:0.4) check in
+      { txn = i + 1; check; update })
+
+let declaration o =
+  let d =
+    List.fold_left
+      (fun acc x -> A.add acc ~entity:x ~mode:A.Read)
+      A.empty o.check
+  in
+  List.fold_left (fun acc x -> A.add acc ~entity:x ~mode:A.Write) d o.update
+
+let steps_of o =
+  Step.Begin_declared (o.txn, declaration o)
+  :: (List.map (fun x -> Step.Read (o.txn, x)) o.check
+     @ List.map (fun x -> Step.Write_one (o.txn, x)) o.update)
+
+let interleave rng orders =
+  let slots = Queue.create () in
+  let rest = ref orders in
+  let out = ref [] in
+  let refill () =
+    match !rest with
+    | [] -> ()
+    | o :: tl ->
+        rest := tl;
+        Queue.push (ref (steps_of o)) slots
+  in
+  for _ = 1 to 5 do
+    refill ()
+  done;
+  while not (Queue.is_empty slots) do
+    let n = Queue.length slots in
+    for _ = 1 to Prng.int rng n do
+      Queue.push (Queue.pop slots) slots
+    done;
+    let steps = Queue.pop slots in
+    match !steps with
+    | [] -> refill ()
+    | s :: tl ->
+        out := s :: !out;
+        steps := tl;
+        if tl = [] then refill () else Queue.push steps slots
+  done;
+  List.rev !out
+
+let run ~use_c4_deletion schedule =
+  let t = Pre.create ~use_c4_deletion () in
+  let delayed = ref 0 in
+  let peak = ref 0 in
+  List.iter
+    (fun s ->
+      (match Pre.step t s with Si.Delayed -> incr delayed | _ -> ());
+      peak := max !peak (Pre.stats t).Si.resident_txns)
+    schedule;
+  ignore (Pre.drain t);
+  (t, !delayed, !peak)
+
+let () =
+  let rng = Prng.create ~seed:77 in
+  let orders = make_orders rng in
+  let schedule = interleave rng orders in
+  Printf.printf "inventory: %d predeclared orders over %d items (%d steps)\n\n"
+    n_orders n_items (List.length schedule);
+  List.iter
+    (fun use_c4_deletion ->
+      let t, delayed, peak = run ~use_c4_deletion schedule in
+      let s = Pre.stats t in
+      Printf.printf
+        "%-14s committed=%d aborted=%d delayed-steps=%d resident=%d peak=%d deleted=%d\n"
+        (if use_c4_deletion then "with C4 gc:" else "no deletion:")
+        s.Si.committed_total s.Si.aborted_total delayed s.Si.resident_txns peak
+        s.Si.deleted_total;
+      assert (s.Si.aborted_total = 0);
+      assert (Pre.pending t = 0))
+    [ false; true ];
+  print_newline ();
+  print_endline
+    "Predeclaration means zero aborts (conflicting steps wait instead);\n\
+     C4 is polynomial and prunes the graph as orders complete."

@@ -1,0 +1,62 @@
+(* Quickstart: run the conflict-graph scheduler with a deletion policy
+   on a hand-written schedule and watch transactions being forgotten.
+
+     dune exec examples/quickstart.exe *)
+
+let schedule_text =
+  {|# Three writers update the same entity while a reporting
+# transaction R holds the graph open by reading other entities.
+b  R
+r  R  account_7
+b  W1
+r  W1 account_1
+w  W1 account_1
+b  W2
+r  W2 account_1
+w  W2 account_1
+b  W3
+r  W3 account_1
+w  W3 account_1
+|}
+
+let () =
+  let env = Dct_txn.Parse.create_env () in
+  let schedule = Dct_txn.Parse.parse_exn env schedule_text in
+  (* A scheduler with greedy C1 deletion... *)
+  let sched =
+    Dct_sched.Conflict_scheduler.create
+      ~policy:Dct_deletion.Policy.Greedy_c1 ()
+  in
+  (* ...and one that never forgets, for comparison. *)
+  let baseline = Dct_sched.Conflict_scheduler.create () in
+  List.iter
+    (fun step ->
+      let o = Dct_sched.Conflict_scheduler.step sched step in
+      ignore (Dct_sched.Conflict_scheduler.step baseline step);
+      Printf.printf "%-22s %s\n"
+        (Dct_txn.Parse.unparse_step env step)
+        (Format.asprintf "%a" Dct_sched.Scheduler_intf.pp_outcome o))
+    schedule;
+  let stats which t =
+    let s = Dct_sched.Conflict_scheduler.stats t in
+    Printf.printf
+      "%-12s resident=%d arcs=%d committed=%d deleted=%d\n" which
+      s.Dct_sched.Scheduler_intf.resident_txns
+      s.Dct_sched.Scheduler_intf.resident_arcs
+      s.Dct_sched.Scheduler_intf.committed_total
+      s.Dct_sched.Scheduler_intf.deleted_total
+  in
+  print_newline ();
+  stats "greedy-c1:" sched;
+  stats "no-deletion:" baseline;
+  (* W1 and W2 were overwritten (noncurrent) and forgettable; W3 wrote
+     the current value of account_1 and R pins it, so it stays. *)
+  print_newline ();
+  print_endline "Remaining conflict graph (greedy-c1), as DOT:";
+  let gs = Dct_sched.Conflict_scheduler.graph_state sched in
+  print_string
+    (Dct_graph.Dot.to_string
+       ~node_label:(fun v ->
+         Option.value ~default:(string_of_int v)
+           (Dct_txn.Symtab.name env.Dct_txn.Parse.txns v))
+       (Dct_deletion.Graph_state.graph gs))

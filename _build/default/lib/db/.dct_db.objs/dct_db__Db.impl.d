@@ -1,0 +1,1 @@
+lib/db/db.ml: Dct_deletion Dct_kv Dct_sched Dct_txn Format List

@@ -1,0 +1,1 @@
+lib/db/db.mli: Dct_deletion Dct_kv Format

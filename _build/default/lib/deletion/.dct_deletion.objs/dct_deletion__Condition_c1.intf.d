@@ -1,0 +1,1 @@
+lib/deletion/condition_c1.mli: Dct_graph Dct_txn Graph_state

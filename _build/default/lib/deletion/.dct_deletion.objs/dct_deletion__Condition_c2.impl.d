@@ -1,0 +1,1 @@
+lib/deletion/condition_c2.ml: Condition_c1 Dct_graph Dct_txn Graph_state Hashtbl List Option Tightness

@@ -1,0 +1,1 @@
+lib/deletion/condition_c2.mli: Dct_graph Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/condition_c3.ml: Array Condition_c1 Dct_graph Dct_txn Graph_state List Printf Sys Tightness

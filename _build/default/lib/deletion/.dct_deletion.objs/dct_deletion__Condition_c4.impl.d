@@ -1,0 +1,1 @@
+lib/deletion/condition_c4.ml: Condition_c1 Dct_graph Dct_txn Graph_state List Printf Tightness

@@ -1,0 +1,1 @@
+lib/deletion/condition_c4.mli: Dct_graph Graph_state

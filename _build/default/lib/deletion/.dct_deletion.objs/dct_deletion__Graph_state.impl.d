@@ -1,0 +1,1 @@
+lib/deletion/graph_state.ml: Dct_graph Dct_txn Format Hashtbl List Option Printf

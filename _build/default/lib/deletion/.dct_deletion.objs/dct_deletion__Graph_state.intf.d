@@ -1,0 +1,1 @@
+lib/deletion/graph_state.mli: Dct_graph Dct_txn Format

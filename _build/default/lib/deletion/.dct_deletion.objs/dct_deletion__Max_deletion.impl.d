@@ -1,0 +1,1 @@
+lib/deletion/max_deletion.ml: Array Condition_c1 Condition_c2 Dct_graph Graph_state List Option Reduced_graph

@@ -1,0 +1,1 @@
+lib/deletion/max_deletion.mli: Dct_graph Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/online_reduction.ml: List

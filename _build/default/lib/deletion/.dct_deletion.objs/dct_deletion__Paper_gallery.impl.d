@@ -1,0 +1,1 @@
+lib/deletion/paper_gallery.ml: Dct_txn Graph_state List Rules

@@ -1,0 +1,1 @@
+lib/deletion/paper_gallery.mli: Dct_txn Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/policy.ml: Condition_c1 Dct_graph Dct_txn Graph_state Max_deletion Printf Reduced_graph String

@@ -1,0 +1,1 @@
+lib/deletion/policy.mli: Dct_graph Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/reduced_graph.mli: Dct_graph Dct_txn Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/rules.ml: Dct_graph Dct_txn Format Graph_state List Printf

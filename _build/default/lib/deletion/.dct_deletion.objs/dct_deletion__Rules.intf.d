@@ -1,0 +1,1 @@
+lib/deletion/rules.mli: Dct_txn Format Graph_state

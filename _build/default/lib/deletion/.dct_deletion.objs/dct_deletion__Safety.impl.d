@@ -1,0 +1,1 @@
+lib/deletion/safety.ml: Dct_graph Dct_txn Graph_state List Reduced_graph Rules

@@ -1,0 +1,1 @@
+lib/deletion/safety.mli: Dct_graph Dct_txn Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/tightness.ml: Dct_graph Graph_state

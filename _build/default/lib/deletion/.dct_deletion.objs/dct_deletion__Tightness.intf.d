@@ -1,0 +1,1 @@
+lib/deletion/tightness.mli: Dct_graph Graph_state

@@ -1,0 +1,1 @@
+lib/deletion/witness.ml: Condition_c1 Dct_graph Graph_state Hashtbl List

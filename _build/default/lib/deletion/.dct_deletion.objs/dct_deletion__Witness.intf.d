@@ -1,0 +1,1 @@
+lib/deletion/witness.mli: Graph_state

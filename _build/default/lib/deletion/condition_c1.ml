@@ -1,0 +1,79 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+module Step = Dct_txn.Step
+
+(* Strongest access per entity over a set of transactions. *)
+let coverage gs txns =
+  Intset.fold
+    (fun tk acc -> Access.union acc (Graph_state.accesses gs tk))
+    txns Access.empty
+
+let witnesses gs ti =
+  if not (Graph_state.mem_txn gs ti) then
+    invalid_arg (Printf.sprintf "Condition_c1.witnesses: T%d absent" ti);
+  if not (Graph_state.is_completed gs ti) then
+    invalid_arg (Printf.sprintf "Condition_c1.witnesses: T%d not completed" ti);
+  let acc_i = Graph_state.accesses gs ti in
+  let atp = Tightness.active_tight_predecessors gs ti in
+  Intset.fold
+    (fun tj ws ->
+      let cts =
+        Intset.remove ti (Tightness.completed_tight_successors gs tj)
+      in
+      let cover = coverage gs cts in
+      Access.fold
+        (fun ~entity ~mode ws ->
+          let covered =
+            match Access.find cover ~entity with
+            | Some m -> Access.at_least_as_strong m mode
+            | None -> false
+          in
+          if covered then ws else (tj, entity) :: ws)
+        acc_i ws)
+    atp []
+  |> List.rev
+
+let holds gs ti =
+  Graph_state.mem_txn gs ti
+  && Graph_state.is_completed gs ti
+  && witnesses gs ti = []
+
+let eligible gs = Intset.filter (holds gs) (Graph_state.completed_txns gs)
+
+let noncurrent gs ti =
+  let entities = Access.entities (Graph_state.accesses gs ti) in
+  not
+    (Intset.exists
+       (fun x -> Intset.mem ti (Graph_state.current_accessors gs ~entity:x))
+       entities)
+
+let adversarial_continuation gs ti ~fresh_txn ~fresh_entity =
+  match witnesses gs ti with
+  | [] -> None
+  | (tj, x) :: _ ->
+      let mode_i =
+        match Access.find (Graph_state.accesses gs ti) ~entity:x with
+        | Some m -> m
+        | None -> assert false (* witnesses only mention accessed entities *)
+      in
+      let others =
+        Intset.to_sorted_list (Intset.remove tj (Graph_state.active_txns gs))
+      in
+      let y = fresh_entity in
+      (* Phase s: abort every active transaction except Tj by funnelling
+         them through a conflict on the fresh entity y. *)
+      let s_phase =
+        if others = [] then []
+        else
+          List.map (fun a -> Step.Read (a, y)) others
+          @ [ Step.Begin fresh_txn; Step.Write (fresh_txn, [ y ]) ]
+          @ List.map (fun a -> Step.Write (a, [ y ])) others
+      in
+      (* Final step t: touch x in the weakest mode conflicting with Ti's
+         access, closing the cycle Tj ⇝ Ti -> Tj in the full graph. *)
+      let t_phase =
+        match mode_i with
+        | Access.Write -> [ Step.Read (tj, x) ]
+        | Access.Read -> [ Step.Write (tj, [ x ]) ]
+      in
+      Some (s_phase @ t_phase)

@@ -1,0 +1,45 @@
+(** Condition C1 — Theorem 1 (and Theorem 3 for reduced graphs).
+
+    A completed transaction [Ti] may be safely removed iff
+
+    {e (C1) for every active tight predecessor [Tj] of [Ti] and every
+    entity [x] accessed by [Ti], some completed tight successor
+    [Tk ≠ Ti] of [Tj] accesses [x] at least as strongly as [Ti].}
+
+    By Theorem 3 the very same test applies to any reduced graph, which
+    is what makes repeated deletion possible. *)
+
+val coverage : Graph_state.t -> Dct_graph.Intset.t -> Dct_txn.Access.t
+(** Strongest access per entity over a set of transactions — the
+    combined covering power of a discharger set. *)
+
+val holds : Graph_state.t -> int -> bool
+(** [holds gs ti] — C1 for [ti].  [false] when [ti] is absent or not
+    completed (only completed transactions are ever deletable). *)
+
+val witnesses : Graph_state.t -> int -> (int * int) list
+(** The violating pairs [(tj, x)]: [tj] is an active tight predecessor
+    with no completed tight successor covering entity [x] at [ti]'s
+    strength.  Empty iff {!holds}.  These are the "witnesses" of the
+    paper's a·e irreducibility argument. *)
+
+val eligible : Graph_state.t -> Dct_graph.Intset.t
+(** All completed transactions satisfying C1 — the paper's set [M]. *)
+
+val noncurrent : Graph_state.t -> int -> bool
+(** Corollary 1's sufficient condition: no access of the transaction
+    touched a still-current value.  [noncurrent gs ti] implies
+    [holds gs ti] on conflict graphs (property-tested). *)
+
+val adversarial_continuation :
+  Graph_state.t ->
+  int ->
+  fresh_txn:int ->
+  fresh_entity:int ->
+  Dct_txn.Schedule.t option
+(** The necessity construction of Theorem 1: when C1 fails for [ti],
+    build a continuation [r = s·t] such that after deleting [ti] the
+    reduced scheduler accepts every step of [r] while the last step
+    closes a cycle in the unreduced graph.  [fresh_txn] must be an
+    unused transaction id and [fresh_entity] an entity never accessed.
+    [None] when C1 holds. *)

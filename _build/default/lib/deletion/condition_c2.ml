@@ -1,0 +1,92 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+
+let violations gs n =
+  let ok =
+    Intset.for_all
+      (fun ti -> Graph_state.mem_txn gs ti && Graph_state.is_completed gs ti)
+      n
+  in
+  if not ok then
+    invalid_arg "Condition_c2: set contains absent or uncompleted transactions";
+  Intset.fold
+    (fun ti acc ->
+      let acc_i = Graph_state.accesses gs ti in
+      let atp = Tightness.active_tight_predecessors gs ti in
+      Intset.fold
+        (fun tj acc ->
+          let dischargers =
+            Intset.diff (Tightness.completed_tight_successors gs tj) n
+          in
+          let cover = Condition_c1.coverage gs dischargers in
+          Access.fold
+            (fun ~entity ~mode acc ->
+              let covered =
+                match Access.find cover ~entity with
+                | Some m -> Access.at_least_as_strong m mode
+                | None -> false
+              in
+              if covered then acc else (ti, tj, entity) :: acc)
+            acc_i acc)
+        atp acc)
+    n []
+  |> List.rev
+
+let holds gs n =
+  Intset.for_all
+    (fun ti -> Graph_state.mem_txn gs ti && Graph_state.is_completed gs ti)
+    n
+  && violations gs n = []
+
+type requirements = {
+  candidates : Intset.t;
+  by_candidate : (int, Intset.t list) Hashtbl.t;
+      (* Ti -> for each (Tj, x) obligation, the completed tight
+         successors of Tj accessing x at least as strongly as Ti.
+         An obligation with an empty discharger set can never be met,
+         but then Ti fails C1 and is not a candidate. *)
+}
+
+let prepare gs ~candidates =
+  let by_candidate = Hashtbl.create (Intset.cardinal candidates) in
+  Intset.iter
+    (fun ti ->
+      let acc_i = Graph_state.accesses gs ti in
+      let reqs =
+        Intset.fold
+          (fun tj reqs ->
+            let cts = Tightness.completed_tight_successors gs tj in
+            Access.fold
+              (fun ~entity ~mode reqs ->
+                let dischargers =
+                  Intset.filter
+                    (fun tk ->
+                      tk <> ti
+                      &&
+                      match
+                        Access.find (Graph_state.accesses gs tk) ~entity
+                      with
+                      | Some m -> Access.at_least_as_strong m mode
+                      | None -> false)
+                    cts
+                in
+                dischargers :: reqs)
+              acc_i reqs)
+          (Tightness.active_tight_predecessors gs ti)
+          []
+      in
+      Hashtbl.replace by_candidate ti reqs)
+    candidates;
+  { candidates; by_candidate }
+
+let requirement_sets r ti =
+  Option.value ~default:[] (Hashtbl.find_opt r.by_candidate ti)
+
+let feasible r n =
+  Intset.subset n r.candidates
+  && Intset.for_all
+       (fun ti ->
+         List.for_all
+           (fun dischargers -> not (Intset.subset dischargers n))
+           (requirement_sets r ti))
+       n

@@ -1,0 +1,40 @@
+(** Condition C2 — Theorem 4: safe deletion of a {e set} of completed
+    transactions.
+
+    {e (C2) for every [Ti ∈ N], every active tight predecessor [Tj] of
+    [Ti] and every entity [x] accessed by [Ti], some completed tight
+    successor of [Tj] {b not in N} accesses [x] at least as strongly as
+    [Ti].}
+
+    All tightness is with respect to the current graph [G]; Theorem 4
+    shows this is equivalent to deleting the members one by one, in any
+    order.  Note the paper's counterintuitive phenomenon: two
+    transactions can each satisfy C1 while their pair violates C2
+    (Example 1: [{T2, T3}]). *)
+
+val holds : Graph_state.t -> Dct_graph.Intset.t -> bool
+(** [holds gs n] — C2 for the set [n].  [false] if some member is
+    absent or not completed. *)
+
+val violations : Graph_state.t -> Dct_graph.Intset.t -> (int * int * int) list
+(** The violating triples [(ti, tj, x)]. *)
+
+(** {1 Precomputed form}
+
+    For search (branch and bound in {!Max_deletion}) the quantification
+    is flattened once into {e requirements}: for each candidate [Ti], for
+    each (active tight predecessor, entity) obligation, the set of
+    completed transactions able to discharge it.  [N] is then safe iff
+    every requirement of every chosen [Ti] retains a discharger outside
+    [N] — and requirement sets do not depend on [N]. *)
+
+type requirements
+
+val prepare : Graph_state.t -> candidates:Dct_graph.Intset.t -> requirements
+
+val feasible : requirements -> Dct_graph.Intset.t -> bool
+(** Same answer as {!holds} for any [N ⊆ candidates] (property-tested
+    against it). *)
+
+val requirement_sets : requirements -> int -> Dct_graph.Intset.t list
+(** The discharger sets of one candidate (for heuristics/inspection). *)

@@ -1,0 +1,85 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+module Transaction = Dct_txn.Transaction
+
+(* Does [G − M⁺] satisfy C3's consequent for [ti]: for every surviving
+   active [tj] with an FC-path to [ti], every entity of [ti] must be
+   covered by some other transaction reachable from [tj]. *)
+let m_ok gs ti m_plus =
+  let alive v = not (Intset.mem v m_plus) in
+  let acc_i = Graph_state.accesses gs ti in
+  let actives =
+    Intset.filter alive (Graph_state.active_txns gs)
+  in
+  Intset.for_all
+    (fun tj ->
+      let fc_reach =
+        Tightness.reachable_through gs
+          ~through:(fun v -> alive v && Graph_state.is_completed gs v)
+          `Fwd tj
+        |> Intset.filter alive
+      in
+      if not (Intset.mem ti fc_reach) then true
+      else begin
+        let any_reach =
+          Tightness.reachable_through gs ~through:alive `Fwd tj
+          |> Intset.filter alive
+        in
+        let candidates = Intset.remove ti any_reach in
+        let cover = Condition_c1.coverage gs candidates in
+        Access.fold
+          (fun ~entity ~mode ok ->
+            ok
+            &&
+            match Access.find cover ~entity with
+            | Some m -> Access.at_least_as_strong m mode
+            | None -> false)
+          acc_i true
+      end)
+    actives
+
+let subsets_iter elems f =
+  let n = Array.length elems in
+  if n > Sys.int_size - 2 then invalid_arg "Condition_c3: too many actives";
+  let rec go mask =
+    if mask < 1 lsl n then begin
+      let s = ref Intset.empty in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then s := Intset.add elems.(i) !s
+      done;
+      match f !s with
+      | Some _ as r -> r
+      | None -> go (mask + 1)
+    end
+    else None
+  in
+  go 0
+
+let committed gs ti =
+  Graph_state.mem_txn gs ti && Graph_state.state gs ti = Transaction.Committed
+
+let violating_m gs ti =
+  if not (committed gs ti) then
+    invalid_arg (Printf.sprintf "Condition_c3: T%d is not committed" ti);
+  let actives = Array.of_list (Intset.to_sorted_list (Graph_state.active_txns gs)) in
+  subsets_iter actives (fun m ->
+      let m_plus = Graph_state.dependents_closure gs m in
+      if m_ok gs ti m_plus then None else Some m)
+
+let holds gs ti = committed gs ti && violating_m gs ti = None
+
+let quick_reject gs ti =
+  if not (committed gs ti) then true
+  else
+    let singletons =
+      Intset.fold (fun a acc -> Intset.singleton a :: acc)
+        (Graph_state.active_txns gs)
+        [ Intset.empty ]
+    in
+    List.exists
+      (fun m -> not (m_ok gs ti (Graph_state.dependents_closure gs m)))
+      singletons
+
+let eligible gs =
+  Intset.filter (holds gs)
+    (Intset.filter (committed gs) (Graph_state.completed_txns gs))

@@ -1,0 +1,31 @@
+(** Condition C3 — the multi-write model (§5).
+
+    With interleaved writes a transaction may read from an {e active}
+    one, creating abort dependencies: aborting a set [M] of actives drags
+    down [M⁺], every transaction depending on it.  The safe-deletion
+    condition for a committed [Ti] quantifies over these hypothetical
+    abort sets:
+
+    {e (C3) for each set [M] of active transactions and each entity [x]
+    accessed by [Ti]: if [G − M⁺] has an FC-path from an active [Tj] to
+    [Ti], then [G − M⁺] also has a path from [Tj] to some [Tk ≠ Ti] that
+    accesses [x] at least as strongly as [Ti].}
+
+    Theorem 6: deciding C3 is NP-complete (we must "guess the right
+    [M]"), by reduction from 3-SAT — see [Dct_npc.Reduction_sat].  The
+    decision procedure here enumerates subsets of the active set and is
+    exponential in their number, as it must be unless P = NP. *)
+
+val quick_reject : Graph_state.t -> int -> bool
+(** Polynomial necessary test: checks [M = ∅] and every singleton [M].
+    [true] means C3 certainly fails; [false] is inconclusive. *)
+
+val holds : Graph_state.t -> int -> bool
+(** Exact decision by enumeration over all [2^a] subsets of actives.
+    [false] when [ti] is absent or not committed. *)
+
+val violating_m : Graph_state.t -> int -> Dct_graph.Intset.t option
+(** A witness abort set [M] violating C3, or [None] when C3 holds. *)
+
+val eligible : Graph_state.t -> Dct_graph.Intset.t
+(** Committed transactions satisfying C3 (exponential per member). *)

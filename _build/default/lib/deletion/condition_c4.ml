@@ -1,0 +1,60 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+module Transaction = Dct_txn.Transaction
+
+let successors gs v =
+  Tightness.reachable_through gs ~through:(fun _ -> true) `Fwd v
+
+let behaves_as_completed gs tj ~exclude =
+  let txn = Graph_state.txn gs tj in
+  if txn.Transaction.declared = None then
+    invalid_arg
+      (Printf.sprintf "Condition_c4: active T%d has no declaration" tj);
+  let future = Transaction.future_accesses txn in
+  let succ = Intset.remove exclude (successors gs tj) in
+  let cover = Condition_c1.coverage gs succ in
+  Access.fold
+    (fun ~entity ~mode ok ->
+      ok
+      &&
+      match Access.find cover ~entity with
+      | Some m -> Access.at_least_as_strong m mode
+      | None -> false)
+    future true
+
+let violations gs ti =
+  if not (Graph_state.mem_txn gs ti) then
+    invalid_arg (Printf.sprintf "Condition_c4.violations: T%d absent" ti);
+  if not (Graph_state.is_completed gs ti) then
+    invalid_arg (Printf.sprintf "Condition_c4.violations: T%d not completed" ti);
+  let acc_i = Graph_state.accesses gs ti in
+  let active_preds =
+    Intset.filter (Graph_state.is_active gs)
+      (Tightness.reachable_through gs ~through:(fun _ -> true) `Bwd ti)
+  in
+  Intset.fold
+    (fun tj ws ->
+      if behaves_as_completed gs tj ~exclude:ti then ws
+      else begin
+        (* Clause (2) failed; every entity must pass clause (1). *)
+        let succ = Intset.remove ti (Intset.remove tj (successors gs tj)) in
+        let cover = Condition_c1.coverage gs succ in
+        Access.fold
+          (fun ~entity ~mode ws ->
+            let covered =
+              match Access.find cover ~entity with
+              | Some m -> Access.at_least_as_strong m mode
+              | None -> false
+            in
+            if covered then ws else (tj, entity) :: ws)
+          acc_i ws
+      end)
+    active_preds []
+  |> List.rev
+
+let holds gs ti =
+  Graph_state.mem_txn gs ti
+  && Graph_state.is_completed gs ti
+  && violations gs ti = []
+
+let eligible gs = Intset.filter (holds gs) (Graph_state.completed_txns gs)

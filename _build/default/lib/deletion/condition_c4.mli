@@ -1,0 +1,32 @@
+(** Condition C4 — predeclared transactions (§5).
+
+    When transactions predeclare their read and write sets, the
+    scheduler (Rules 1'–3') adds arcs at the {e first} of two conflicting
+    steps and {e delays} steps instead of aborting.  The safe-deletion
+    condition for a completed [Ti] is then:
+
+    {e (C4) for all active predecessors [Tj] of [Ti] and all entities
+    [x] accessed by [Ti], either (1) [Tj] has another successor
+    [Tk ≠ Ti, Tj] which has accessed [x] at least as strongly as [Ti],
+    or (2) every entity [y] that [Tj] will access in the future has
+    already been accessed at least as strongly by some successor
+    [Tl ≠ Ti] of [Tj].}
+
+    Clause (2) — absent from the PODS'86 version — says such a [Tj]
+    behaves as completed: it can acquire no new immediate predecessors.
+    Plain (not tight) predecessors/successors are used, and the test is
+    polynomial (Theorem 7). *)
+
+val holds : Graph_state.t -> int -> bool
+(** [false] when absent or not completed.  Requires every active
+    predecessor to carry a declaration ([Transaction.declared]);
+    @raise Invalid_argument if one does not. *)
+
+val violations : Graph_state.t -> int -> (int * int) list
+(** Violating pairs [(tj, x)] — both clauses failed. *)
+
+val behaves_as_completed : Graph_state.t -> int -> exclude:int -> bool
+(** Clause (2) alone for an active [tj]: every declared-future access is
+    already dominated by a successor other than [exclude]. *)
+
+val eligible : Graph_state.t -> Dct_graph.Intset.t

@@ -1,0 +1,348 @@
+module Intset = Dct_graph.Intset
+module Digraph = Dct_graph.Digraph
+module Traversal = Dct_graph.Traversal
+module Access = Dct_txn.Access
+module Transaction = Dct_txn.Transaction
+
+(* Per-entity access bookkeeping.
+
+   [history] records every access of a *present* transaction (entries of
+   aborted and deleted transactions are dropped when the transaction
+   leaves).  [last_write_seq] marks where the current value begins; it
+   survives the deletion of the writer thanks to [tombstone_write_seq]
+   (a committed-and-deleted write can never be undone, whereas an
+   aborted write is). *)
+type einfo = {
+  mutable history : (int * Access.mode * int) list; (* txn, mode, seq; newest first *)
+  mutable last_write_seq : int;
+  mutable tombstone_write_seq : int;
+}
+
+type t = {
+  g : Digraph.t;
+  closure : Dct_graph.Closure.t option;
+      (* optional maintained transitive closure (the §3 remark): cycle
+         checks become bitset probes, arc inserts update rows, safe
+         deletions erase the node, aborts force a rebuild *)
+  txns : (int, Transaction.t) Hashtbl.t;
+  einfos : (int, einfo) Hashtbl.t;
+  deps : (int, Intset.t) Hashtbl.t; (* dependent -> providers it read from *)
+  rev_deps : (int, Intset.t) Hashtbl.t; (* provider -> dependents *)
+  aborted : (int, unit) Hashtbl.t;
+  mutable seq : int;
+}
+
+let create ?(with_closure = false) () =
+  {
+    g = Digraph.create ();
+    closure = (if with_closure then Some (Dct_graph.Closure.create ()) else None);
+    txns = Hashtbl.create 64;
+    einfos = Hashtbl.create 64;
+    deps = Hashtbl.create 16;
+    rev_deps = Hashtbl.create 16;
+    aborted = Hashtbl.create 16;
+    seq = 0;
+  }
+
+let copy t =
+  let txns = Hashtbl.create (Hashtbl.length t.txns) in
+  Hashtbl.iter
+    (fun id (txn : Transaction.t) ->
+      Hashtbl.replace txns id
+        {
+          Transaction.id = txn.Transaction.id;
+          state = txn.Transaction.state;
+          accesses = txn.Transaction.accesses;
+          declared = txn.Transaction.declared;
+        })
+    t.txns;
+  let einfos = Hashtbl.create (Hashtbl.length t.einfos) in
+  Hashtbl.iter
+    (fun e info ->
+      Hashtbl.replace einfos e
+        {
+          history = info.history;
+          last_write_seq = info.last_write_seq;
+          tombstone_write_seq = info.tombstone_write_seq;
+        })
+    t.einfos;
+  {
+    g = Digraph.copy t.g;
+    closure = Option.map Dct_graph.Closure.copy t.closure;
+    txns;
+    einfos;
+    deps = Hashtbl.copy t.deps;
+    rev_deps = Hashtbl.copy t.rev_deps;
+    aborted = Hashtbl.copy t.aborted;
+    seq = t.seq;
+  }
+
+(* Transactions *)
+
+let mem_txn t id = Hashtbl.mem t.txns id
+
+let begin_txn ?declared t id =
+  if mem_txn t id then
+    invalid_arg (Printf.sprintf "Graph_state.begin_txn: T%d already present" id);
+  Hashtbl.replace t.txns id (Transaction.create ?declared id);
+  Digraph.add_node t.g id;
+  Option.iter (fun c -> Dct_graph.Closure.add_node c id) t.closure
+
+let txn t id = Hashtbl.find t.txns id
+
+let state t id = (txn t id).Transaction.state
+
+let set_state t id s = (txn t id).Transaction.state <- s
+
+let accesses t id = (txn t id).Transaction.accesses
+
+let is_active t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some txn -> Transaction.is_active txn.Transaction.state
+  | None -> false
+
+let is_completed t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some txn -> Transaction.is_completed txn.Transaction.state
+  | None -> false
+
+let filter_txns t p =
+  Hashtbl.fold
+    (fun id (txn : Transaction.t) acc ->
+      if p txn.Transaction.state then Intset.add id acc else acc)
+    t.txns Intset.empty
+
+let active_txns t = filter_txns t Transaction.is_active
+let completed_txns t = filter_txns t Transaction.is_completed
+let all_txns t = filter_txns t (fun _ -> true)
+let txn_count t = Hashtbl.length t.txns
+
+(* Entity index *)
+
+let einfo t entity =
+  match Hashtbl.find_opt t.einfos entity with
+  | Some info -> info
+  | None ->
+      let info = { history = []; last_write_seq = 0; tombstone_write_seq = 0 } in
+      Hashtbl.replace t.einfos entity info;
+      info
+
+let record_access t ~txn:id ~entity ~mode =
+  Transaction.perform (txn t id) ~entity ~mode;
+  t.seq <- t.seq + 1;
+  let info = einfo t entity in
+  info.history <- (id, mode, t.seq) :: info.history;
+  if mode = Access.Write then info.last_write_seq <- t.seq
+
+let collect_history t entity p =
+  match Hashtbl.find_opt t.einfos entity with
+  | None -> Intset.empty
+  | Some info ->
+      List.fold_left
+        (fun acc (id, mode, seq) ->
+          if p id mode seq then Intset.add id acc else acc)
+        Intset.empty info.history
+
+let present_writers t ~entity =
+  collect_history t entity (fun id mode _ -> mode = Access.Write && mem_txn t id)
+
+let present_accessors t ~entity =
+  collect_history t entity (fun id _ _ -> mem_txn t id)
+
+let current_accessors t ~entity =
+  match Hashtbl.find_opt t.einfos entity with
+  | None -> Intset.empty
+  | Some info ->
+      collect_history t entity (fun _ _ seq -> seq >= info.last_write_seq)
+
+let entities t =
+  Hashtbl.fold (fun e _ acc -> Intset.add e acc) t.einfos Intset.empty
+
+let access_history t ~entity =
+  match Hashtbl.find_opt t.einfos entity with
+  | None -> []
+  | Some info -> List.filter (fun (id, _, _) -> mem_txn t id) info.history
+
+(* Dependencies *)
+
+let add_to_set tbl key v =
+  let s = Option.value ~default:Intset.empty (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (Intset.add v s)
+
+let add_dependency t ~dependent ~on_ =
+  if dependent <> on_ then begin
+    add_to_set t.deps dependent on_;
+    add_to_set t.rev_deps on_ dependent
+  end
+
+let direct_deps t id =
+  Option.value ~default:Intset.empty (Hashtbl.find_opt t.deps id)
+
+let dependents_closure t seed =
+  let rec go frontier acc =
+    if Intset.is_empty frontier then acc
+    else
+      let next =
+        Intset.fold
+          (fun id acc' ->
+            let deps =
+              Option.value ~default:Intset.empty (Hashtbl.find_opt t.rev_deps id)
+            in
+            Intset.union acc' (Intset.diff deps acc))
+          frontier Intset.empty
+      in
+      go next (Intset.union acc next)
+  in
+  go seed seed
+
+(* Graph *)
+
+let graph t = t.g
+
+let add_arc t ~src ~dst =
+  Digraph.add_arc t.g ~src ~dst;
+  Option.iter (fun c -> Dct_graph.Closure.add_arc c ~src ~dst) t.closure
+
+let would_cycle t ~into ~sources =
+  (not (Intset.is_empty sources))
+  && (Intset.mem into sources
+     ||
+     match t.closure with
+     | Some c ->
+         Intset.exists (fun s -> Dct_graph.Closure.reaches c ~src:into ~dst:s) sources
+     | None ->
+         let desc = Traversal.reachable t.g `Fwd into in
+         not (Intset.is_empty (Intset.inter desc sources)))
+
+let is_acyclic t = Traversal.is_acyclic t.g
+
+(* Removal *)
+
+let drop_entity_entries t id ~tombstone =
+  Hashtbl.iter
+    (fun _ info ->
+      let mine, others =
+        List.partition (fun (id', _, _) -> id' = id) info.history
+      in
+      if mine <> [] then begin
+        info.history <- others;
+        if tombstone then
+          List.iter
+            (fun (_, mode, seq) ->
+              if mode = Access.Write then
+                info.tombstone_write_seq <- max info.tombstone_write_seq seq)
+            mine
+        else begin
+          (* Aborted writes are undone: the current value reverts. *)
+          let max_write =
+            List.fold_left
+              (fun acc (_, mode, seq) ->
+                if mode = Access.Write then max acc seq else acc)
+              info.tombstone_write_seq others
+          in
+          info.last_write_seq <- max_write
+        end
+      end)
+    t.einfos
+
+let drop_deps t id =
+  Intset.iter
+    (fun p ->
+      match Hashtbl.find_opt t.rev_deps p with
+      | Some s -> Hashtbl.replace t.rev_deps p (Intset.remove id s)
+      | None -> ())
+    (direct_deps t id);
+  Hashtbl.remove t.deps id;
+  (match Hashtbl.find_opt t.rev_deps id with
+  | Some dependents ->
+      Intset.iter
+        (fun d ->
+          match Hashtbl.find_opt t.deps d with
+          | Some s -> Hashtbl.replace t.deps d (Intset.remove id s)
+          | None -> ())
+        dependents
+  | None -> ());
+  Hashtbl.remove t.rev_deps id
+
+let abort_txn t id =
+  if mem_txn t id then begin
+    Digraph.remove_node t.g id;
+    Option.iter (fun c -> Dct_graph.Closure.remove_node c `Exact id) t.closure;
+    Hashtbl.remove t.txns id;
+    drop_entity_entries t id ~tombstone:false;
+    drop_deps t id;
+    Hashtbl.replace t.aborted id ()
+  end
+
+let was_aborted t id = Hashtbl.mem t.aborted id
+
+let forget_txn_record t id =
+  if mem_txn t id then begin
+    Hashtbl.remove t.txns id;
+    drop_entity_entries t id ~tombstone:true;
+    drop_deps t id
+  end
+
+(* The reduction D(G, T): remove the node while preserving every path
+   through it with bypass arcs, in both the graph and (cheaply) the
+   closure.  Exposed through Reduced_graph.delete. *)
+let delete_with_bypass t ti =
+  let ps = Digraph.preds t.g ti and ss = Digraph.succs t.g ti in
+  Digraph.remove_node t.g ti;
+  Intset.iter
+    (fun p ->
+      Intset.iter
+        (fun s -> if p <> s then Digraph.add_arc t.g ~src:p ~dst:s)
+        ss)
+    ps;
+  Option.iter (fun c -> Dct_graph.Closure.remove_node c `Bypass ti) t.closure;
+  forget_txn_record t ti
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let nodes = Digraph.nodes t.g in
+  let records = all_txns t in
+  if not (Intset.equal nodes records) then
+    err "graph nodes %s <> transaction records %s"
+      (Format.asprintf "%a" Intset.pp nodes)
+      (Format.asprintf "%a" Intset.pp records)
+  else if not (Traversal.is_acyclic t.g) then err "graph is cyclic"
+  else begin
+    let bad_history = ref None in
+    Hashtbl.iter
+      (fun e info ->
+        List.iter
+          (fun (id, _, _) ->
+            if not (mem_txn t id) then bad_history := Some (e, id))
+          info.history)
+      t.einfos;
+    match !bad_history with
+    | Some (e, id) -> err "entity %d history mentions absent T%d" e id
+    | None -> (
+        let bad_dep = ref None in
+        Hashtbl.iter
+          (fun d providers ->
+            Intset.iter
+              (fun p ->
+                if not (mem_txn t d) then bad_dep := Some (d, p, "dependent")
+                else if not (mem_txn t p) then bad_dep := Some (d, p, "provider")
+                else
+                  let back =
+                    Option.value ~default:Intset.empty
+                      (Hashtbl.find_opt t.rev_deps p)
+                  in
+                  if not (Intset.mem d back) then
+                    bad_dep := Some (d, p, "missing reverse edge"))
+              providers)
+          t.deps;
+        match !bad_dep with
+        | Some (d, p, what) -> err "dependency T%d -> T%d: %s" d p what
+        | None -> Ok ())
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph: %a@,txns:@," Digraph.pp t.g;
+  Intset.iter
+    (fun id -> Format.fprintf ppf "  %a@," Transaction.pp (txn t id))
+    (all_txns t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,134 @@
+(** The scheduler's data structure: a {e reduced graph} of a schedule.
+
+    §4 of the paper defines a reduced graph of a schedule [p] as any
+    acyclic graph whose nodes are (non-deleted) transactions of [p]
+    including all active ones, carrying an arc for every pair of present
+    transactions that executed conflicting steps (plus possibly extra
+    arcs inherited from earlier removals).  This module bundles that
+    graph with the per-transaction payloads the deletion conditions
+    need — lifecycle state, access set, declared future accesses,
+    read-from dependencies — and with per-entity indexes that make the
+    scheduler rules and condition checks fast.
+
+    All conditions (C1–C4) and all schedulers operate on this type. *)
+
+type t
+
+val create : ?with_closure:bool -> unit -> t
+(** With [with_closure] (default false) a transitive closure is
+    maintained alongside the graph — the paper's §3 remark: cycle checks
+    become reachability-row probes, and safe deletion is just erasing
+    the node from the closure.  Aborts force a closure rebuild, so the
+    engine choice is a genuine trade-off (benchmarked in the ablation
+    suite). *)
+
+val copy : t -> t
+(** Deep copy — used by the test oracles that replay continuations on
+    both the reduced and the unreduced state. *)
+
+(** {1 Transactions} *)
+
+val begin_txn : ?declared:Dct_txn.Access.t -> t -> int -> unit
+(** Rule 1: add a fresh [Active] node.  @raise Invalid_argument if the
+    id is already present. *)
+
+val mem_txn : t -> int -> bool
+val txn : t -> int -> Dct_txn.Transaction.t
+(** @raise Not_found when absent. *)
+
+val state : t -> int -> Dct_txn.Transaction.state
+val set_state : t -> int -> Dct_txn.Transaction.state -> unit
+val accesses : t -> int -> Dct_txn.Access.t
+
+val is_active : t -> int -> bool
+(** [false] for absent nodes. *)
+
+val is_completed : t -> int -> bool
+(** Finished or committed; [false] for absent nodes. *)
+
+val active_txns : t -> Dct_graph.Intset.t
+val completed_txns : t -> Dct_graph.Intset.t
+val all_txns : t -> Dct_graph.Intset.t
+val txn_count : t -> int
+
+(** {1 Accesses and the entity index} *)
+
+val record_access : t -> txn:int -> entity:int -> mode:Dct_txn.Access.mode -> unit
+(** Updates the transaction's access set, the per-entity reader/writer
+    index, and current-value accessor tracking (a write supersedes all
+    previous accessors of the entity). *)
+
+val present_writers : t -> entity:int -> Dct_graph.Intset.t
+(** Present transactions that have written the entity (Rule 2 sources). *)
+
+val present_accessors : t -> entity:int -> Dct_graph.Intset.t
+(** Present transactions that have read or written it (Rule 3 sources). *)
+
+val current_accessors : t -> entity:int -> Dct_graph.Intset.t
+(** Transactions (present or not) that read or wrote the entity's
+    {e current} value — i.e. accessed it and it was not overwritten
+    since.  Powers Corollary 1's noncurrent test. *)
+
+val entities : t -> Dct_graph.Intset.t
+(** Entities touched so far. *)
+
+val access_history : t -> entity:int -> (int * Dct_txn.Access.mode * int) list
+(** Raw per-entity access log of {e present} transactions, newest first:
+    (transaction, mode, global sequence number).  The certifier uses the
+    sequence numbers to orient arcs at certification time. *)
+
+(** {1 Dependencies (multi-write model)} *)
+
+val add_dependency : t -> dependent:int -> on_:int -> unit
+(** [dependent] read a value written by the still-uncommitted [on_]. *)
+
+val direct_deps : t -> int -> Dct_graph.Intset.t
+
+val dependents_closure : t -> Dct_graph.Intset.t -> Dct_graph.Intset.t
+(** [M⁺]: all transactions that (transitively) depend on a member of the
+    given set, including the set itself. *)
+
+(** {1 The graph} *)
+
+val graph : t -> Dct_graph.Digraph.t
+(** The underlying conflict graph.  Callers must treat it as read-only;
+    mutation goes through {!add_arc}, {!abort_txn} and
+    {!Reduced_graph.delete}. *)
+
+val add_arc : t -> src:int -> dst:int -> unit
+
+val would_cycle : t -> into:int -> sources:Dct_graph.Intset.t -> bool
+(** Would adding the arcs [s -> into] for every [s] in [sources] close a
+    cycle?  (True iff some source is reachable from [into], or [into]
+    itself is a source.) *)
+
+val abort_txn : t -> int -> unit
+(** Plain removal: node and incident arcs disappear (no bypass), the
+    transaction is dropped from indexes, state bookkeeping forgets it.
+    This is what happens to a transaction whose step is rejected. *)
+
+val was_aborted : t -> int -> bool
+(** Has this id been {!abort_txn}-ed before?  Later steps of an aborted
+    transaction are ignored by the rules, not treated as errors. *)
+
+val is_acyclic : t -> bool
+
+(** {1 Internal — used by {!Reduced_graph}} *)
+
+val forget_txn_record : t -> int -> unit
+(** Remove the payload and index entries of a node already detached from
+    the graph.  Does not touch current-accessor history (deletion must
+    not rewrite database facts). *)
+
+val delete_with_bypass : t -> int -> unit
+(** The reduction [D(G, T)] on the graph, the maintained closure (when
+    present) and the bookkeeping, in one step.  Use
+    {!Reduced_graph.delete}, which adds the eligibility checks. *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural self-check, used by the fuzzing tests: graph nodes =
+    transaction records; the graph is acyclic; per-entity histories
+    mention only present transactions; the dependency maps are mutually
+    consistent and mention only present transactions. *)
+
+val pp : Format.formatter -> t -> unit

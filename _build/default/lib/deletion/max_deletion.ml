@@ -1,0 +1,103 @@
+module Intset = Dct_graph.Intset
+
+let greedy ?(order = `Ascending) gs =
+  let gs = Graph_state.copy gs in
+  let pick s =
+    match order with
+    | `Ascending -> Intset.min_elt s
+    | `Descending -> Intset.max_elt s
+  in
+  let rec loop deleted =
+    let m = Condition_c1.eligible gs in
+    if Intset.is_empty m then deleted
+    else begin
+      let ti = pick m in
+      Reduced_graph.delete gs ti;
+      loop (Intset.add ti deleted)
+    end
+  in
+  loop Intset.empty
+
+let exact gs =
+  let candidates = Condition_c1.eligible gs in
+  let reqs = Condition_c2.prepare gs ~candidates in
+  let elems = Array.of_list (Intset.to_sorted_list candidates) in
+  let k = Array.length elems in
+  let best = ref Intset.empty in
+  (* Feasibility is antitone (shrinking N can only help), so we can
+     prune a branch as soon as the chosen set is infeasible. *)
+  let rec go i chosen size =
+    if size > Intset.cardinal !best then best := chosen;
+    if i < k && size + (k - i) > Intset.cardinal !best then begin
+      (* Include elems.(i) first: favours larger sets early, and the
+         ascending enumeration breaks ties towards smaller ids. *)
+      let with_i = Intset.add elems.(i) chosen in
+      if Condition_c2.feasible reqs with_i then go (i + 1) with_i (size + 1);
+      go (i + 1) chosen size
+    end
+  in
+  go 0 Intset.empty 0;
+  !best
+
+let exact_size gs = Intset.cardinal (exact gs)
+
+let exact_weighted ~weight gs =
+  let candidates = Condition_c1.eligible gs in
+  Intset.iter
+    (fun ti ->
+      if weight ti <= 0 then
+        invalid_arg "Max_deletion.exact_weighted: weights must be positive")
+    candidates;
+  let reqs = Condition_c2.prepare gs ~candidates in
+  (* Heaviest first so good bounds appear early. *)
+  let elems =
+    List.sort
+      (fun a b -> compare (weight b, a) (weight a, b))
+      (Intset.to_sorted_list candidates)
+    |> Array.of_list
+  in
+  let k = Array.length elems in
+  let suffix_weight = Array.make (k + 1) 0 in
+  for i = k - 1 downto 0 do
+    suffix_weight.(i) <- suffix_weight.(i + 1) + weight elems.(i)
+  done;
+  let best = ref Intset.empty and best_w = ref 0 in
+  let rec go i chosen w =
+    if w > !best_w then begin
+      best := chosen;
+      best_w := w
+    end;
+    if i < k && w + suffix_weight.(i) > !best_w then begin
+      let with_i = Intset.add elems.(i) chosen in
+      if Condition_c2.feasible reqs with_i then
+        go (i + 1) with_i (w + weight elems.(i));
+      go (i + 1) chosen w
+    end
+  in
+  go 0 Intset.empty 0;
+  !best
+
+let greedy_weighted ~weight gs =
+  let gs = Graph_state.copy gs in
+  let rec loop deleted =
+    let m = Condition_c1.eligible gs in
+    if Intset.is_empty m then deleted
+    else begin
+      (* Heaviest eligible transaction first; ties towards smaller id. *)
+      let ti =
+        Intset.fold
+          (fun v best ->
+            match best with
+            | None -> Some v
+            | Some b ->
+                if (weight v, -v) > (weight b, -b) then Some v else best)
+          m None
+        |> Option.get
+      in
+      Reduced_graph.delete gs ti;
+      loop (Intset.add ti deleted)
+    end
+  in
+  loop Intset.empty
+
+let apply gs n = Reduced_graph.delete_set gs n

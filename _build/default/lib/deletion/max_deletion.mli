@@ -1,0 +1,40 @@
+(** Choosing {e which} eligible transactions to delete.
+
+    Every safely deletable set is a subset of [M], the transactions
+    satisfying C1 (§4) — but not every subset of [M] is safe, and
+    Theorem 5 shows that finding a {e maximum} safe subset is
+    NP-complete.  This module provides:
+
+    - {!greedy}: a maximal (not maximum) safe set by repeated single
+      deletions — each step is safe by Theorem 3, hence so is the whole
+      sequence (Theorem 2); polynomial time;
+    - {!exact}: the maximum safe subset by branch-and-bound over the
+      precomputed requirements of {!Condition_c2} — exponential in
+      [|M|] in the worst case, as it must be unless P = NP. *)
+
+val greedy : ?order:[ `Ascending | `Descending ] -> Graph_state.t -> Dct_graph.Intset.t
+(** Simulates iterated C1-deletion on a copy and returns the deleted
+    set; the input state is not modified.  [order] picks which eligible
+    id goes first ([`Ascending] by default — deterministic). *)
+
+val exact : Graph_state.t -> Dct_graph.Intset.t
+(** A maximum-cardinality safe subset (ties broken towards smaller
+    ids).  Exponential worst case; intended for analysis and for the
+    Theorem 5 experiments, not for the hot path. *)
+
+val exact_size : Graph_state.t -> int
+(** [Intset.cardinal (exact gs)] without materialising the set twice. *)
+
+val exact_weighted : weight:(int -> int) -> Graph_state.t -> Dct_graph.Intset.t
+(** A maximum-{e weight} safe subset, for non-uniform reclamation value
+    (e.g. [weight ti = cardinality of ti's access set] approximates
+    freed memory).  Weights must be positive.  Same branch-and-bound,
+    bounding by the sum of remaining weights; {!exact} is the special
+    case [weight = fun _ -> 1]. *)
+
+val greedy_weighted : weight:(int -> int) -> Graph_state.t -> Dct_graph.Intset.t
+(** Maximal safe set preferring heavier transactions first (repeated
+    single C1 deletions in descending-weight order). *)
+
+val apply : Graph_state.t -> Dct_graph.Intset.t -> unit
+(** Delete the chosen set ({!Reduced_graph.delete_set}). *)

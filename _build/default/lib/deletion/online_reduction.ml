@@ -1,0 +1,52 @@
+module type SYSTEM = sig
+  type state
+  type input
+
+  val copy : state -> state
+  val apply : state -> input -> bool
+  val candidate_inputs : state -> input list
+end
+
+module Make (S : SYSTEM) = struct
+  type divergence = { inputs : S.input list; index : int }
+
+  let replay ~original ~reduced inputs =
+    let original = S.copy original and reduced = S.copy reduced in
+    let rec go i = function
+      | [] -> None
+      | input :: rest ->
+          let a = S.apply original input in
+          let b = S.apply reduced input in
+          if a <> b then Some { inputs; index = i } else go (i + 1) rest
+    in
+    go 0 inputs
+
+  let search ~depth ~original ~reduced =
+    let exception Found of divergence in
+    let rec go original reduced ~prefix ~remaining =
+      if remaining > 0 then
+        List.iter
+          (fun input ->
+            let original' = S.copy original and reduced' = S.copy reduced in
+            let a = S.apply original' input in
+            let b = S.apply reduced' input in
+            let prefix' = input :: prefix in
+            if a <> b then
+              raise
+                (Found
+                   { inputs = List.rev prefix'; index = List.length prefix })
+            else
+              go original' reduced' ~prefix:prefix' ~remaining:(remaining - 1))
+          (S.candidate_inputs original)
+    in
+    match
+      go (S.copy original) (S.copy reduced) ~prefix:[] ~remaining:depth
+    with
+    | () -> None
+    | exception Found d -> Some d
+
+  let reduction_safe ~depth state ~reduce =
+    let reduced = S.copy state in
+    reduce reduced;
+    search ~depth ~original:state ~reduced = None
+end

@@ -1,0 +1,53 @@
+(** The paper's closing generalisation (§6), executable: "the same
+    techniques may be applicable in other similar situations, where we
+    have an algorithm which operates continuously taking decisions
+    depending on the past history, and we want to remove information as
+    it becomes redundant."
+
+    Theorem 2's proof "does not depend on the particular rules (1–3) for
+    adding edges" — only on the shape of the problem: a deterministic
+    online algorithm, a reduction of its state, and the definition of a
+    safe reduction ("the reduced run never disagrees with the original
+    on any continuation").  This functor packages that shape for {e any}
+    system: instantiate it with a state type and a step function and you
+    get the divergence oracle — the same machinery {!Safety} hard-codes
+    for the basic conflict scheduler.
+
+    Instantiations in this repository: the basic Rules (recovering
+    {!Safety.replay} — property-tested equal), and the certification
+    scheduler (mechanising the finding that C1-deletion is unsound
+    there). *)
+
+module type SYSTEM = sig
+  type state
+  type input
+
+  val copy : state -> state
+
+  val apply : state -> input -> bool
+  (** One online decision; [true] = accepted.  Must be deterministic. *)
+
+  val candidate_inputs : state -> input list
+  (** The inputs worth trying next from a state (for bounded search).
+      Completeness of the oracle is relative to this enumeration. *)
+end
+
+module Make (S : SYSTEM) : sig
+  type divergence = {
+    inputs : S.input list;  (** the continuation that separates the runs *)
+    index : int;            (** first position where decisions differ *)
+  }
+
+  val replay : original:S.state -> reduced:S.state -> S.input list -> divergence option
+  (** Feed the same inputs to both copies; report the first
+      disagreement.  Neither argument state is mutated. *)
+
+  val search : depth:int -> original:S.state -> reduced:S.state -> divergence option
+  (** Exhaustive DFS over {!S.candidate_inputs} sequences up to [depth]:
+      the bounded version of the paper's "for all continuations".
+      [None] certifies safety relative to the enumeration and depth. *)
+
+  val reduction_safe : depth:int -> S.state -> reduce:(S.state -> unit) -> bool
+  (** Convenience: copy the state, apply the reduction to the copy, and
+      search.  [true] = no divergence found. *)
+end

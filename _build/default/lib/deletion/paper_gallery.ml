@@ -1,0 +1,70 @@
+module Access = Dct_txn.Access
+module Step = Dct_txn.Step
+module Transaction = Dct_txn.Transaction
+
+type example1 = {
+  gs1 : Graph_state.t;
+  t1 : int;
+  t2 : int;
+  t3 : int;
+  x : int;
+}
+
+let example1_schedule () =
+  let t1 = 1 and t2 = 2 and t3 = 3 and x = 0 in
+  [
+    Step.Begin t1;
+    Step.Read (t1, x);
+    Step.Begin t2;
+    Step.Read (t2, x);
+    Step.Write (t2, [ x ]);
+    Step.Begin t3;
+    Step.Read (t3, x);
+    Step.Write (t3, [ x ]);
+  ]
+
+let example1 () =
+  let gs = Graph_state.create () in
+  List.iter
+    (fun step ->
+      match Rules.apply gs step with
+      | Rules.Accepted -> ()
+      | Rules.Rejected | Rules.Ignored -> assert false)
+    (example1_schedule ());
+  { gs1 = gs; t1 = 1; t2 = 2; t3 = 3; x = 0 }
+
+type example2 = {
+  gs2 : Graph_state.t;
+  a : int;
+  b : int;
+  c : int;
+  u : int;
+  z : int;
+  y : int;
+  x2 : int;
+}
+
+let example2 () =
+  let a = 1 and b = 2 and c = 3 in
+  let u = 0 and z = 1 and y = 2 and x2 = 3 in
+  let gs = Graph_state.create () in
+  let declared_a =
+    Access.of_list [ (u, Access.Read); (z, Access.Read); (y, Access.Read) ]
+  in
+  let declared_b = Access.of_list [ (y, Access.Read); (u, Access.Write) ] in
+  let declared_c = Access.of_list [ (x2, Access.Write); (z, Access.Write) ] in
+  Graph_state.begin_txn gs a ~declared:declared_a;
+  Graph_state.record_access gs ~txn:a ~entity:u ~mode:Access.Read;
+  Graph_state.record_access gs ~txn:a ~entity:z ~mode:Access.Read;
+  Graph_state.begin_txn gs b ~declared:declared_b;
+  Graph_state.record_access gs ~txn:b ~entity:y ~mode:Access.Read;
+  Graph_state.record_access gs ~txn:b ~entity:u ~mode:Access.Write;
+  (* Predeclared Rule 1/2: A's read of u precedes B's declared write. *)
+  Graph_state.add_arc gs ~src:a ~dst:b;
+  Graph_state.set_state gs b Transaction.Committed;
+  Graph_state.begin_txn gs c ~declared:declared_c;
+  Graph_state.record_access gs ~txn:c ~entity:x2 ~mode:Access.Write;
+  Graph_state.record_access gs ~txn:c ~entity:z ~mode:Access.Write;
+  Graph_state.add_arc gs ~src:a ~dst:c;
+  Graph_state.set_state gs c Transaction.Committed;
+  { gs2 = gs; a; b; c; u; z; y; x2 }

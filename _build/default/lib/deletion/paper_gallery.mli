@@ -1,0 +1,40 @@
+(** The paper's worked examples, executable.
+
+    {!example1} (§3, Figure 1) is the canonical schedule showing that a
+    transaction with an active predecessor can still be deletable, and
+    (§4) that two individually-deletable transactions need not be
+    jointly deletable.
+
+    {!example2} (§5, Figure 4) is the predeclared-model schedule showing
+    clause (2) of C4 at work: transaction [C] is deletable even though
+    clause (1) fails for it, because its active predecessor [A] can
+    acquire no new immediate predecessors. *)
+
+type example1 = {
+  gs1 : Graph_state.t;
+  t1 : int;  (** active; read [x] first *)
+  t2 : int;  (** completed; read and wrote [x] — noncurrent, deletable *)
+  t3 : int;  (** completed; read and wrote [x] last — current, deletable *)
+  x : int;
+}
+
+val example1 : unit -> example1
+(** Built by replaying the schedule through {!Rules}, so the conflict
+    graph is the genuine [CG(p)]: arcs T1→T2→T3 and T1→T3. *)
+
+val example1_schedule : unit -> Dct_txn.Schedule.t
+
+type example2 = {
+  gs2 : Graph_state.t;
+  a : int;  (** active, declared [r:{u,z,y}]; has read [u,z], will read [y] *)
+  b : int;  (** completed, declared [r:{y} w:{u}] — not deletable *)
+  c : int;  (** completed, declared [w:{x,z}] — deletable by clause (2) *)
+  u : int;
+  z : int;
+  y : int;
+  x2 : int;
+}
+
+val example2 : unit -> example2
+(** Built directly (predeclared rules add arcs at the first conflicting
+    step): arcs A→B and A→C, declarations attached. *)

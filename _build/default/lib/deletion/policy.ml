@@ -1,0 +1,80 @@
+module Intset = Dct_graph.Intset
+
+type t =
+  | No_deletion
+  | Unsafe_commit_time
+  | Noncurrent
+  | Greedy_c1
+  | Exact_max
+  | Exact_max_weighted
+  | Budget of int * t
+
+let rec name = function
+  | No_deletion -> "none"
+  | Unsafe_commit_time -> "commit-time(unsafe)"
+  | Noncurrent -> "noncurrent"
+  | Greedy_c1 -> "greedy-c1"
+  | Exact_max -> "exact-max"
+  | Exact_max_weighted -> "exact-max-weighted"
+  | Budget (n, inner) -> Printf.sprintf "budget(%d,%s)" n (name inner)
+
+let delete_all gs set =
+  Reduced_graph.delete_set gs set;
+  set
+
+let rec run policy gs =
+  match policy with
+  | No_deletion -> Intset.empty
+  | Unsafe_commit_time -> delete_all gs (Graph_state.completed_txns gs)
+  | Noncurrent ->
+      delete_all gs
+        (Intset.filter (Condition_c1.noncurrent gs) (Graph_state.completed_txns gs))
+  | Greedy_c1 ->
+      (* Delete in place, re-evaluating eligibility after each removal
+         (deleting one transaction can disable another's C1). *)
+      let rec loop deleted =
+        let m = Condition_c1.eligible gs in
+        if Intset.is_empty m then deleted
+        else begin
+          let ti = Intset.min_elt m in
+          Reduced_graph.delete gs ti;
+          loop (Intset.add ti deleted)
+        end
+      in
+      loop Intset.empty
+  | Exact_max -> delete_all gs (Max_deletion.exact gs)
+  | Exact_max_weighted ->
+      let weight ti =
+        max 1 (Dct_txn.Access.cardinal (Graph_state.accesses gs ti))
+      in
+      delete_all gs (Max_deletion.exact_weighted ~weight gs)
+  | Budget (limit, inner) ->
+      if Graph_state.txn_count gs > limit then run inner gs else Intset.empty
+
+let all_correct =
+  [ No_deletion; Noncurrent; Greedy_c1; Exact_max; Budget (32, Greedy_c1) ]
+
+let rec of_string s =
+  match String.lowercase_ascii s with
+  | "none" -> Ok No_deletion
+  | "commit" -> Ok Unsafe_commit_time
+  | "noncurrent" -> Ok Noncurrent
+  | "greedy" -> Ok Greedy_c1
+  | "exact" -> Ok Exact_max
+  | "exact-weighted" -> Ok Exact_max_weighted
+  | s when String.length s > 7 && String.sub s 0 7 = "budget:" -> (
+      let rest = String.sub s 7 (String.length s - 7) in
+      match String.index_opt rest ':' with
+      | None -> Error "budget policy needs budget:<n>:<inner>"
+      | Some i -> (
+          let n = String.sub rest 0 i in
+          let inner = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match (int_of_string_opt n, of_string inner) with
+          | Some n, Ok inner -> Ok (Budget (n, inner))
+          | None, _ -> Error (Printf.sprintf "bad budget size %S" n)
+          | _, (Error _ as e) -> e))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown policy %S (expected none|commit|noncurrent|greedy|exact|exact-weighted|budget:<n>:<inner>)"
+           s)

@@ -1,0 +1,46 @@
+(** Deletion policies — §4's "algorithm which given the current (reduced)
+    graph outputs a set of completed nodes to be deleted".
+
+    Theorem 2: a policy is correct iff it performs only safe deletions.
+    The catalogue below contains correct policies of increasing
+    aggressiveness, plus the classic {e incorrect} one (commit-time
+    deletion) used to demonstrate why conflict-graph schedulers cannot
+    close transactions at commit. *)
+
+type t =
+  | No_deletion
+      (** keep everything — the memory-unbounded strawman *)
+  | Unsafe_commit_time
+      (** delete every transaction the moment it completes.  Correct for
+          locking schedulers, {b incorrect} here: the scheduler may
+          accept non-CSR schedules (shown in tests and EX9). *)
+  | Noncurrent
+      (** Corollary 1: delete completed transactions none of whose
+          accesses is still current.  Safe even repeatedly, because the
+          discharging current writer is itself never noncurrent. *)
+  | Greedy_c1
+      (** iterate single C1 deletions until the graph is irreducible —
+          maximal, polynomial. *)
+  | Exact_max
+      (** delete a maximum safe subset (C2 branch-and-bound) —
+          exponential worst case; for experiments. *)
+  | Exact_max_weighted
+      (** like [Exact_max] but maximise the total access-set size of the
+          deleted transactions — a freed-memory proxy — instead of their
+          count. *)
+  | Budget of int * t
+      (** [Budget (n, inner)]: run [inner] only when more than [n]
+          transactions are resident — amortises deletion work. *)
+
+val name : t -> string
+
+val run : t -> Graph_state.t -> Dct_graph.Intset.t
+(** Apply the policy once (after a step), mutating the state; returns
+    the set of deleted transactions. *)
+
+val all_correct : t list
+(** The correct policies, for sweeps. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["none" | "commit" | "noncurrent" | "greedy" | "exact" |
+    "budget:<n>:<inner>"] — CLI support. *)

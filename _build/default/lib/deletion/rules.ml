@@ -1,0 +1,99 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+module Step = Dct_txn.Step
+module Transaction = Dct_txn.Transaction
+
+type outcome = Accepted | Rejected | Ignored
+
+let pp_outcome ppf o =
+  Format.pp_print_string ppf
+    (match o with
+    | Accepted -> "accepted"
+    | Rejected -> "rejected"
+    | Ignored -> "ignored")
+
+let malformed fmt = Printf.ksprintf invalid_arg fmt
+
+(* Arc sources for a read: present writers of the entity (Rule 2). *)
+let read_sources gs t x = Intset.remove t (Graph_state.present_writers gs ~entity:x)
+
+(* Arc sources for the final write: present transactions that previously
+   read or wrote any written entity (Rule 3). *)
+let write_sources gs t xs =
+  List.fold_left
+    (fun acc x -> Intset.union acc (Graph_state.present_accessors gs ~entity:x))
+    Intset.empty xs
+  |> Intset.remove t
+
+let check_known gs t =
+  if not (Graph_state.mem_txn gs t) then
+    malformed "Rules.apply: step of unknown transaction T%d" t
+
+let check_active gs t =
+  check_known gs t;
+  if not (Graph_state.is_active gs t) then
+    malformed "Rules.apply: step of completed transaction T%d" t
+
+let apply gs step =
+  let t = Step.txn step in
+  if Graph_state.was_aborted gs t then Ignored
+  else
+    match step with
+    | Step.Begin _ ->
+        Graph_state.begin_txn gs t;
+        Accepted
+    | Step.Begin_declared _ ->
+        malformed "Rules.apply: predeclared step in the basic model"
+    | Step.Write_one _ | Step.Finish _ ->
+        malformed "Rules.apply: multi-write step in the basic model"
+    | Step.Read (_, x) ->
+        check_active gs t;
+        let sources = read_sources gs t x in
+        if Graph_state.would_cycle gs ~into:t ~sources then begin
+          Graph_state.abort_txn gs t;
+          Rejected
+        end
+        else begin
+          Intset.iter (fun s -> Graph_state.add_arc gs ~src:s ~dst:t) sources;
+          Graph_state.record_access gs ~txn:t ~entity:x ~mode:Access.Read;
+          Accepted
+        end
+    | Step.Write (_, xs) ->
+        check_active gs t;
+        let sources = write_sources gs t xs in
+        if Graph_state.would_cycle gs ~into:t ~sources then begin
+          Graph_state.abort_txn gs t;
+          Rejected
+        end
+        else begin
+          Intset.iter (fun s -> Graph_state.add_arc gs ~src:s ~dst:t) sources;
+          List.iter
+            (fun x -> Graph_state.record_access gs ~txn:t ~entity:x ~mode:Access.Write)
+            xs;
+          (* Atomic final write: reads were clean, so completion is
+             commit (§2, assumption 1). *)
+          Graph_state.set_state gs t Transaction.Committed;
+          Accepted
+        end
+
+let would_accept gs step =
+  let t = Step.txn step in
+  if Graph_state.was_aborted gs t then true
+  else
+    match step with
+    | Step.Begin _ -> true
+    | Step.Begin_declared _ | Step.Write_one _ | Step.Finish _ -> false
+    | Step.Read (_, x) ->
+        check_active gs t;
+        not (Graph_state.would_cycle gs ~into:t ~sources:(read_sources gs t x))
+    | Step.Write (_, xs) ->
+        check_active gs t;
+        not (Graph_state.would_cycle gs ~into:t ~sources:(write_sources gs t xs))
+
+let apply_all gs schedule = List.map (apply gs) schedule
+
+let accepted_subschedule gs schedule =
+  let gs' = Graph_state.copy gs in
+  ignore (apply_all gs' schedule);
+  Dct_txn.Schedule.project schedule ~keep:(fun t ->
+      not (Graph_state.was_aborted gs' t))

@@ -1,0 +1,36 @@
+(** Rules 1–3 of the basic conflict-graph scheduler (§2), as a pure state
+    transformer on {!Graph_state}.
+
+    This is the function [F] of §4: it maps a (reduced) graph and a step
+    to the next graph, aborting the stepping transaction when the step
+    would close a cycle.  Both the production scheduler and the safety
+    oracles of the test-suite replay continuations through this module,
+    which is exactly how the paper reduces the dynamic problem to the
+    static one.
+
+    Basic-model steps only: [Begin], [Read], final [Write].  The
+    multi-write and predeclared rule sets live with their schedulers. *)
+
+type outcome =
+  | Accepted
+  | Rejected  (** the step would close a cycle; its transaction aborted *)
+  | Ignored   (** step of a previously aborted transaction *)
+
+val apply : Graph_state.t -> Dct_txn.Step.t -> outcome
+(** Mutates the state.
+    @raise Invalid_argument on malformed input: duplicate [Begin], step
+    of a never-begun transaction, step after completion, or a
+    multi-write/predeclared step. *)
+
+val would_accept : Graph_state.t -> Dct_txn.Step.t -> bool
+(** Pure acceptance test ([Ignored] counts as accepted: the step does
+    not change the graph). *)
+
+val apply_all : Graph_state.t -> Dct_txn.Schedule.t -> outcome list
+(** Fold {!apply} over a schedule; outcomes in step order. *)
+
+val accepted_subschedule : Graph_state.t -> Dct_txn.Schedule.t -> Dct_txn.Schedule.t
+(** Replay on a copy of the state and keep the steps of transactions
+    that were never rejected ("the accepted subschedule of s"). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

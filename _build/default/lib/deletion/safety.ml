@@ -1,0 +1,85 @@
+module Intset = Dct_graph.Intset
+module Step = Dct_txn.Step
+
+type divergence = { continuation : Dct_txn.Schedule.t; step_index : int }
+
+let replay gs ~deleted continuation =
+  let full = Graph_state.copy gs in
+  let reduced = Graph_state.copy gs in
+  Reduced_graph.delete_set reduced deleted;
+  let rec go i prefix = function
+    | [] -> None
+    | step :: rest ->
+        let of_full = Rules.apply full step in
+        let of_reduced = Rules.apply reduced step in
+        if of_full = of_reduced then go (i + 1) (step :: prefix) rest
+        else Some { continuation; step_index = i }
+  in
+  go 0 [] continuation
+
+let search ?(max_new_txns = 1) ?entities ~depth gs ~deleted =
+  let universe =
+    match entities with
+    | Some es -> es
+    | None ->
+        let touched = Graph_state.entities gs in
+        let fresh =
+          if Intset.is_empty touched then 0 else Intset.max_elt touched + 1
+        in
+        Intset.to_sorted_list touched @ [ fresh ]
+  in
+  let fresh_txn_base =
+    let all = Graph_state.all_txns gs in
+    if Intset.is_empty all then 1000 else Intset.max_elt all + 1000
+  in
+  (* DFS over continuations.  State per branch: the two graph copies and
+     how many fresh transactions have begun.  Copy-on-descend keeps the
+     code simple; instances are tiny by construction. *)
+  let exception Found of divergence in
+  let rec go full reduced ~new_txns ~prefix ~remaining =
+    if remaining > 0 then begin
+      let candidates =
+        (* Steps of currently active transactions... *)
+        Intset.fold
+          (fun t acc ->
+            List.map (fun x -> Step.Read (t, x)) universe
+            @ List.map (fun x -> Step.Write (t, [ x ])) universe
+            @ [ Step.Write (t, []) ]
+            @ acc)
+          (Graph_state.active_txns full)
+          []
+        (* ... plus the BEGIN of one more fresh transaction. *)
+        @
+        if new_txns < max_new_txns then
+          [ Step.Begin (fresh_txn_base + new_txns) ]
+        else []
+      in
+      List.iter
+        (fun step ->
+          let full' = Graph_state.copy full in
+          let reduced' = Graph_state.copy reduced in
+          let of_full = Rules.apply full' step in
+          let of_reduced = Rules.apply reduced' step in
+          let prefix' = step :: prefix in
+          if of_full <> of_reduced then
+            raise
+              (Found
+                 {
+                   continuation = List.rev prefix';
+                   step_index = List.length prefix;
+                 })
+          else
+            let new_txns' =
+              match step with Step.Begin _ -> new_txns + 1 | _ -> new_txns
+            in
+            go full' reduced' ~new_txns:new_txns' ~prefix:prefix'
+              ~remaining:(remaining - 1))
+        candidates
+    end
+  in
+  let full = Graph_state.copy gs in
+  let reduced = Graph_state.copy gs in
+  Reduced_graph.delete_set reduced deleted;
+  match go full reduced ~new_txns:0 ~prefix:[] ~remaining:depth with
+  | () -> None
+  | exception Found d -> Some d

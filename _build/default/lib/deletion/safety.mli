@@ -1,0 +1,39 @@
+(** The definition of safety, executable.
+
+    §4: the deletion of [N] from [G] is {e safe} if for every
+    continuation [r], [F(D(G,N), r)] acyclic implies [F(G, r)] acyclic —
+    equivalently (Lemma 3) the reduced and unreduced schedulers behave
+    identically on every continuation.
+
+    Universally quantifying over continuations is impossible online, but
+    for small instances we can enumerate them; this module is the
+    ground-truth oracle the C1/C2 implementations are property-tested
+    against, and the referee for the adversarial continuations of the
+    Theorem 1 necessity construction. *)
+
+type divergence = {
+  continuation : Dct_txn.Schedule.t;
+  step_index : int;  (** first step where the two schedulers disagree *)
+}
+
+val replay :
+  Graph_state.t -> deleted:Dct_graph.Intset.t -> Dct_txn.Schedule.t -> divergence option
+(** Replay one continuation through {!Rules.apply} on two copies of the
+    state — one with [deleted] removed by {!Reduced_graph.delete_set},
+    one untouched — and report the first disagreement, if any. *)
+
+val search :
+  ?max_new_txns:int ->
+  ?entities:int list ->
+  depth:int ->
+  Graph_state.t ->
+  deleted:Dct_graph.Intset.t ->
+  divergence option
+(** Exhaustive bounded search for a diverging continuation: all step
+    sequences up to [depth] built from reads and single-entity or empty
+    final writes of the currently active transactions plus up to
+    [max_new_txns] (default 1) fresh transactions, over the given entity
+    universe (default: every entity touched so far plus one fresh).
+    [None] means no divergence within the bound — evidence of safety,
+    proof only in the limit.  Exponential: keep [depth ≤ 4] and the
+    universe small. *)

@@ -1,0 +1,20 @@
+module Intset = Dct_graph.Intset
+module Traversal = Dct_graph.Traversal
+
+let reachable_through gs ~through dir v =
+  Traversal.reachable ~through (Graph_state.graph gs) dir v
+
+let completed gs id = Graph_state.is_completed gs id
+
+let tight_predecessors gs v = reachable_through gs ~through:(completed gs) `Bwd v
+
+let active_tight_predecessors gs v =
+  Intset.filter (Graph_state.is_active gs) (tight_predecessors gs v)
+
+let tight_successors gs v = reachable_through gs ~through:(completed gs) `Fwd v
+
+let completed_tight_successors gs v =
+  Intset.filter (completed gs) (tight_successors gs v)
+
+let is_tight_predecessor gs ~pred ~of_ =
+  Intset.mem pred (tight_predecessors gs of_)

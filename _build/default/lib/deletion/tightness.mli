@@ -1,0 +1,31 @@
+(** Tight predecessors and successors.
+
+    §3: "Transaction [Ti] is a {e tight predecessor} of [Tj] if there is
+    a path from [Ti] to [Tj] that uses only completed transactions as
+    intermediate nodes."  The endpoints themselves are unconstrained.
+
+    For the multi-write model (§5) the same notion is parameterised by
+    which states may appear as intermediates (the paper's FC-paths). *)
+
+val tight_predecessors : Graph_state.t -> int -> Dct_graph.Intset.t
+(** All tight predecessors (any state) of a node. *)
+
+val active_tight_predecessors : Graph_state.t -> int -> Dct_graph.Intset.t
+(** The quantification domain of C1/C2. *)
+
+val tight_successors : Graph_state.t -> int -> Dct_graph.Intset.t
+
+val completed_tight_successors : Graph_state.t -> int -> Dct_graph.Intset.t
+(** The candidate cover set of C1/C2 ("completed tight successor"). *)
+
+val is_tight_predecessor : Graph_state.t -> pred:int -> of_:int -> bool
+
+val reachable_through :
+  Graph_state.t ->
+  through:(int -> bool) ->
+  [ `Fwd | `Bwd ] ->
+  int ->
+  Dct_graph.Intset.t
+(** Generic filtered reachability on the conflict graph: intermediate
+    nodes must satisfy [through] (used for FC-paths, where [through] is
+    "finished or committed", and for paths avoiding an aborted set). *)

@@ -1,0 +1,38 @@
+module Intset = Dct_graph.Intset
+
+let irreducible gs = Intset.is_empty (Condition_c1.eligible gs)
+
+let witness_map gs =
+  Intset.fold
+    (fun ti acc ->
+      match Condition_c1.witnesses gs ti with
+      | [] -> acc
+      | ws -> (ti, ws) :: acc)
+    (Graph_state.completed_txns gs)
+    []
+  |> List.rev
+
+let no_common_witness gs =
+  let tbl = Hashtbl.create 64 in
+  List.for_all
+    (fun (_, ws) ->
+      List.for_all
+        (fun w ->
+          if Hashtbl.mem tbl w then false
+          else begin
+            Hashtbl.replace tbl w ();
+            true
+          end)
+        (List.sort_uniq compare ws))
+    (witness_map gs)
+
+let residency_bound ~actives ~entities = actives * entities
+
+let within_bound gs =
+  (not (irreducible gs))
+  || begin
+       let actives = Intset.cardinal (Graph_state.active_txns gs) in
+       let entities = Intset.cardinal (Graph_state.entities gs) in
+       Intset.cardinal (Graph_state.completed_txns gs)
+       <= residency_bound ~actives ~entities
+     end

@@ -1,0 +1,28 @@
+(** Irreducible graphs and the a·e residency bound (§4, closing remark).
+
+    A graph is {e irreducible} when no transaction satisfies C1.  The
+    paper associates with every stuck completed transaction a witness
+    pair (active tight predecessor, entity) and shows no two completed
+    transactions can share a witness; hence an irreducible graph holds
+    at most [a·e] completed transactions ([a] actives, [e] entities). *)
+
+val irreducible : Graph_state.t -> bool
+(** No completed transaction is eligible. *)
+
+val witness_map : Graph_state.t -> (int * (int * int) list) list
+(** For each stuck completed transaction, its C1-violating witness
+    pairs.  Transactions satisfying C1 are omitted. *)
+
+val no_common_witness : Graph_state.t -> bool
+(** The paper's key fact: distinct stuck completed transactions never
+    share a witness pair.  Always [true] — kept as a checkable
+    invariant for the test-suite. *)
+
+val residency_bound : actives:int -> entities:int -> int
+(** [a·e]. *)
+
+val within_bound : Graph_state.t -> bool
+(** When the graph is irreducible, completed count ≤
+    [residency_bound ~actives ~entities] over the currently present
+    actives and the touched entities.  [true] vacuously on reducible
+    graphs. *)

@@ -1,0 +1,1 @@
+lib/graph/closure.ml: Bitset Digraph Hashtbl Intset Traversal

@@ -1,0 +1,1 @@
+lib/graph/closure.mli: Digraph Intset

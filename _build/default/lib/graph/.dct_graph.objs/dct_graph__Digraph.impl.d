@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Format Hashtbl Intset List String

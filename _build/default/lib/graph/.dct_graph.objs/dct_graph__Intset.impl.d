@@ -1,0 +1,1 @@
+lib/graph/intset.ml: Format Int List Set String

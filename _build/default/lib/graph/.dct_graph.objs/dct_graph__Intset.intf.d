@@ -1,0 +1,1 @@
+lib/graph/intset.mli: Format Set

@@ -1,0 +1,1 @@
+lib/graph/order.ml: Digraph Hashtbl Intset List Traversal

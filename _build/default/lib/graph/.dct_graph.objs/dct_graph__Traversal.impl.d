@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Digraph Hashtbl Intset List Queue

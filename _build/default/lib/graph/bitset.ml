@@ -1,0 +1,89 @@
+type t = { mutable words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for bits = (bits + bits_per_word - 1) / bits_per_word
+
+let create ?(capacity = 64) () = { words = Array.make (max 1 (words_for capacity)) 0 }
+
+let copy t = { words = Array.copy t.words }
+
+let ensure t word_index =
+  let n = Array.length t.words in
+  if word_index >= n then begin
+    let n' = max (word_index + 1) (2 * n) in
+    let words = Array.make n' 0 in
+    Array.blit t.words 0 words 0 n;
+    t.words <- words
+  end
+
+let add t i =
+  if i < 0 then invalid_arg "Bitset.add: negative index";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  ensure t w;
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  if i >= 0 then begin
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    if w < Array.length t.words then
+      t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+  end
+
+let mem t i =
+  if i < 0 then false
+  else
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    w < Array.length t.words && t.words.(w) land (1 lsl b) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount =
+  (* Kernighan's loop; words are sparse in our workloads. *)
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  fun w -> go 0 w
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let union_into ~into src =
+  let changed = ref false in
+  let n = Array.length src.words in
+  if n > 0 then ensure into (n - 1);
+  for i = 0 to n - 1 do
+    let w = into.words.(i) lor src.words.(i) in
+    if w <> into.words.(i) then begin
+      into.words.(i) <- w;
+      changed := true
+    end
+  done;
+  !changed
+
+let inter_card a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let iter f t =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    t.words
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))

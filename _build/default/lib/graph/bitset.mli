@@ -1,0 +1,44 @@
+(** Growable bitsets over non-negative integers.
+
+    Used as dense rows of the dynamic transitive closure
+    ({!Dct_graph.Closure}).  All operations grow the underlying array on
+    demand; membership queries outside the allocated range are [false]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is an empty bitset.  [capacity] is a size hint in bits. *)
+
+val copy : t -> t
+
+val add : t -> int -> unit
+(** [add t i] sets bit [i].  @raise Invalid_argument if [i < 0]. *)
+
+val remove : t -> int -> unit
+(** [remove t i] clears bit [i] (a no-op when out of range). *)
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into src] sets every bit of [src] in [into]; returns
+    [true] iff [into] changed. *)
+
+val inter_card : t -> t -> int
+(** [inter_card a b] is [cardinal (a ∩ b)] without materialising it. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to every set bit in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Set bits in increasing order. *)
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type t = {
+  g : Digraph.t; (* explicit arcs, needed for exact removal *)
+  desc : (int, Bitset.t) Hashtbl.t;
+  anc : (int, Bitset.t) Hashtbl.t;
+}
+
+let create () =
+  { g = Digraph.create (); desc = Hashtbl.create 64; anc = Hashtbl.create 64 }
+
+let copy t =
+  let dup tbl =
+    let out = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter (fun k b -> Hashtbl.replace out k (Bitset.copy b)) tbl;
+    out
+  in
+  { g = Digraph.copy t.g; desc = dup t.desc; anc = dup t.anc }
+
+let row tbl v =
+  match Hashtbl.find_opt tbl v with
+  | Some b -> b
+  | None ->
+      let b = Bitset.create () in
+      Hashtbl.replace tbl v b;
+      b
+
+let add_node t v =
+  Digraph.add_node t.g v;
+  ignore (row t.desc v);
+  ignore (row t.anc v)
+
+let mem_node t v = Digraph.mem_node t.g v
+
+let nodes t = Digraph.nodes t.g
+
+let reaches t ~src ~dst =
+  match Hashtbl.find_opt t.desc src with
+  | None -> false
+  | Some b -> Bitset.mem b dst
+
+let would_cycle t ~src ~dst = src = dst || reaches t ~src:dst ~dst:src
+
+let descendants t v =
+  match Hashtbl.find_opt t.desc v with
+  | None -> Intset.empty
+  | Some b -> Bitset.fold Intset.add b Intset.empty
+
+let ancestors t v =
+  match Hashtbl.find_opt t.anc v with
+  | None -> Intset.empty
+  | Some b -> Bitset.fold Intset.add b Intset.empty
+
+let add_arc t ~src ~dst =
+  add_node t src;
+  add_node t dst;
+  if not (Digraph.mem_arc t.g ~src ~dst) then begin
+    Digraph.add_arc t.g ~src ~dst;
+    if not (reaches t ~src ~dst) then begin
+      (* Snapshot the two frontiers before mutating any row. *)
+      let new_desc = Bitset.copy (row t.desc dst) in
+      Bitset.add new_desc dst;
+      let new_anc = Bitset.copy (row t.anc src) in
+      Bitset.add new_anc src;
+      let sources = Bitset.copy new_anc in
+      let sinks = Bitset.copy new_desc in
+      Bitset.iter
+        (fun a -> ignore (Bitset.union_into ~into:(row t.desc a) new_desc))
+        sources;
+      Bitset.iter
+        (fun d -> ignore (Bitset.union_into ~into:(row t.anc d) new_anc))
+        sinks
+    end
+  end
+
+let rebuild t =
+  Hashtbl.reset t.desc;
+  Hashtbl.reset t.anc;
+  Digraph.iter_nodes
+    (fun v ->
+      let dv = row t.desc v in
+      Intset.iter (fun w -> Bitset.add dv w) (Traversal.reachable t.g `Fwd v);
+      let av = row t.anc v in
+      Intset.iter (fun w -> Bitset.add av w) (Traversal.reachable t.g `Bwd v))
+    t.g
+
+let remove_node t mode v =
+  if Digraph.mem_node t.g v then
+    match mode with
+    | `Bypass ->
+        (* Keep paths through [v]: add explicit bypass arcs to the arc
+           graph so a later exact rebuild stays faithful, then erase the
+           node's row and column from the closure. *)
+        let ps = Digraph.preds t.g v and ss = Digraph.succs t.g v in
+        Digraph.remove_node t.g v;
+        Intset.iter
+          (fun p ->
+            Intset.iter
+              (fun s -> if p <> s then Digraph.add_arc t.g ~src:p ~dst:s)
+              ss)
+          ps;
+        Hashtbl.remove t.desc v;
+        Hashtbl.remove t.anc v;
+        Hashtbl.iter (fun _ b -> Bitset.remove b v) t.desc;
+        Hashtbl.iter (fun _ b -> Bitset.remove b v) t.anc
+    | `Exact ->
+        Digraph.remove_node t.g v;
+        rebuild t
+
+let check_against t g =
+  Intset.equal (nodes t) (Digraph.nodes g)
+  && Intset.for_all
+       (fun v ->
+         Intset.equal (descendants t v) (Traversal.reachable g `Fwd v)
+         && Intset.equal (ancestors t v) (Traversal.reachable g `Bwd v))
+       (Digraph.nodes g)

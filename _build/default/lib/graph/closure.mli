@@ -1,0 +1,49 @@
+(** Dynamic transitive closure.
+
+    Maintains, for every node, the bitset of its descendants and
+    ancestors under arc insertions.  This realises the paper's remark
+    (§3) that when the scheduler keeps the transitive closure, the safe
+    removal of a transaction amounts to deleting its node from the
+    closure — the bypass arcs of the reduction [D(G, T)] are implicit.
+
+    Arc insertion costs [O(affected pairs)] bitset words.  Node removal
+    comes in two flavours:
+    - [`Bypass] — the paper's reduction: paths through the node are kept,
+      so the closure of the reduced graph is obtained by just erasing the
+      node's row and column;
+    - [`Exact] — plain removal (used when a transaction {e aborts}): paths
+      through the node vanish, which forces a recomputation. *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+val add_node : t -> int -> unit
+
+val add_arc : t -> src:int -> dst:int -> unit
+(** Inserts the arc and updates the closure.  Endpoints are created if
+    missing.  Cycles are tolerated (the closure stays sound). *)
+
+val remove_node : t -> [ `Bypass | `Exact ] -> int -> unit
+
+val reaches : t -> src:int -> dst:int -> bool
+(** [reaches t ~src ~dst] is [true] iff a non-empty path [src ⇝ dst]
+    exists. *)
+
+val would_cycle : t -> src:int -> dst:int -> bool
+(** [true] iff inserting [src -> dst] would close a cycle
+    ([src = dst] or [dst ⇝ src]). *)
+
+val descendants : t -> int -> Intset.t
+val ancestors : t -> int -> Intset.t
+
+val nodes : t -> Intset.t
+
+val mem_node : t -> int -> bool
+
+val check_against : t -> Digraph.t -> bool
+(** For tests: the closure agrees with reachability recomputed from
+    scratch on [g]. *)

@@ -1,0 +1,98 @@
+type adj = { mutable succ : Intset.t; mutable pred : Intset.t }
+
+type t = { tbl : (int, adj) Hashtbl.t; mutable arcs : int }
+
+let create () = { tbl = Hashtbl.create 64; arcs = 0 }
+
+let copy g =
+  let tbl = Hashtbl.create (Hashtbl.length g.tbl) in
+  Hashtbl.iter (fun v a -> Hashtbl.replace tbl v { succ = a.succ; pred = a.pred }) g.tbl;
+  { tbl; arcs = g.arcs }
+
+let find_opt g v = Hashtbl.find_opt g.tbl v
+
+let ensure g v =
+  match find_opt g v with
+  | Some a -> a
+  | None ->
+      let a = { succ = Intset.empty; pred = Intset.empty } in
+      Hashtbl.replace g.tbl v a;
+      a
+
+let add_node g v = ignore (ensure g v)
+
+let mem_node g v = Hashtbl.mem g.tbl v
+
+let node_count g = Hashtbl.length g.tbl
+
+let nodes g = Hashtbl.fold (fun v _ acc -> Intset.add v acc) g.tbl Intset.empty
+
+let iter_nodes f g = Hashtbl.iter (fun v _ -> f v) g.tbl
+
+let succs g v = match find_opt g v with Some a -> a.succ | None -> Intset.empty
+let preds g v = match find_opt g v with Some a -> a.pred | None -> Intset.empty
+
+let out_degree g v = Intset.cardinal (succs g v)
+let in_degree g v = Intset.cardinal (preds g v)
+
+let mem_arc g ~src ~dst =
+  match find_opt g src with Some a -> Intset.mem dst a.succ | None -> false
+
+let add_arc g ~src ~dst =
+  let a = ensure g src in
+  if not (Intset.mem dst a.succ) then begin
+    a.succ <- Intset.add dst a.succ;
+    let b = ensure g dst in
+    b.pred <- Intset.add src b.pred;
+    g.arcs <- g.arcs + 1
+  end
+
+let remove_arc g ~src ~dst =
+  match find_opt g src with
+  | None -> ()
+  | Some a ->
+      if Intset.mem dst a.succ then begin
+        a.succ <- Intset.remove dst a.succ;
+        let b = ensure g dst in
+        b.pred <- Intset.remove src b.pred;
+        g.arcs <- g.arcs - 1
+      end
+
+let remove_node g v =
+  match find_opt g v with
+  | None -> ()
+  | Some a ->
+      Intset.iter (fun w -> remove_arc g ~src:v ~dst:w) a.succ;
+      Intset.iter (fun w -> remove_arc g ~src:w ~dst:v) a.pred;
+      Hashtbl.remove g.tbl v
+
+let arc_count g = g.arcs
+
+let iter_arcs f g =
+  Hashtbl.iter (fun src a -> Intset.iter (fun dst -> f ~src ~dst) a.succ) g.tbl
+
+let fold_arcs f g init =
+  let acc = ref init in
+  iter_arcs (fun ~src ~dst -> acc := f ~src ~dst !acc) g;
+  !acc
+
+let equal g1 g2 =
+  node_count g1 = node_count g2
+  && arc_count g1 = arc_count g2
+  && Intset.equal (nodes g1) (nodes g2)
+  && Hashtbl.fold
+       (fun v a acc -> acc && Intset.equal a.succ (succs g2 v))
+       g1.tbl true
+
+let pp ppf g =
+  let ns = Intset.to_sorted_list (nodes g) in
+  Format.fprintf ppf "@[<v>nodes: %s@,"
+    (String.concat " " (List.map string_of_int ns));
+  List.iter
+    (fun v ->
+      let ss = Intset.to_sorted_list (succs g v) in
+      if ss <> [] then
+        Format.fprintf ppf "%d -> %s@," v
+          (String.concat " " (List.map string_of_int ss)))
+    ns;
+  Format.fprintf ppf "@]"

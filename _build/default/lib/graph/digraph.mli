@@ -1,0 +1,61 @@
+(** Imperative directed graphs over integer node identifiers.
+
+    Node identifiers are chosen by the caller (transaction ids in the
+    scheduler).  Arcs are unlabelled and at most one arc exists per
+    ordered pair.  All mutating operations run in (amortised) logarithmic
+    time in the degree of the touched nodes.
+
+    The structure is deliberately small: reachability, ordering and
+    closure maintenance live in {!Traversal}, {!Order} and {!Closure}. *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+(** {1 Nodes} *)
+
+val add_node : t -> int -> unit
+(** [add_node g v] adds isolated node [v]; a no-op if present. *)
+
+val remove_node : t -> int -> unit
+(** [remove_node g v] removes [v] and all incident arcs; a no-op if
+    absent.  Note this is {e not} the paper's reduction [D(G, v)] — see
+    {!Reduced_graph} in [dct_deletion] for the bypassing removal. *)
+
+val mem_node : t -> int -> bool
+val node_count : t -> int
+val nodes : t -> Intset.t
+val iter_nodes : (int -> unit) -> t -> unit
+
+(** {1 Arcs} *)
+
+val add_arc : t -> src:int -> dst:int -> unit
+(** [add_arc g ~src ~dst] adds the arc; endpoints are created if missing.
+    Idempotent.  Self-loops are allowed (the scheduler never creates
+    them, but the graph does not forbid them). *)
+
+val remove_arc : t -> src:int -> dst:int -> unit
+val mem_arc : t -> src:int -> dst:int -> bool
+val arc_count : t -> int
+
+val succs : t -> int -> Intset.t
+(** Immediate successors; empty set if the node is absent. *)
+
+val preds : t -> int -> Intset.t
+(** Immediate predecessors; empty set if the node is absent. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_arcs : (src:int -> dst:int -> unit) -> t -> unit
+val fold_arcs : (src:int -> dst:int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Same node set and same arc set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(name = "G") ?(node_label = string_of_int)
+    ?(node_attrs = fun _ -> []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  let ns = Intset.to_sorted_list (Digraph.nodes g) in
+  List.iter
+    (fun v ->
+      let attrs =
+        ("label", node_label v) :: node_attrs v
+        |> List.map (fun (k, x) -> Printf.sprintf "%s=\"%s\"" k (escape x))
+        |> String.concat ", "
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" v attrs))
+    ns;
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" v w))
+        (Intset.to_sorted_list (Digraph.succs g v)))
+    ns;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let output oc g = output_string oc (to_string g)

@@ -1,0 +1,13 @@
+(** DOT (Graphviz) rendering of digraphs, for debugging and the README. *)
+
+val to_string :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?node_attrs:(int -> (string * string) list) ->
+  Digraph.t ->
+  string
+(** [to_string g] is a [digraph { ... }] document.  [node_label] defaults
+    to the node id; [node_attrs] can add e.g. [("style", "dashed")] for
+    active transactions. *)
+
+val output : out_channel -> Digraph.t -> unit

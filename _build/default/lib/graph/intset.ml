@@ -1,0 +1,8 @@
+(* Persistent sets of int node ids, shared by all graph structures. *)
+include Set.Make (Int)
+
+let to_sorted_list s = elements s
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements s)))

@@ -1,0 +1,13 @@
+(** Persistent sets of [int] node identifiers.
+
+    This is [Set.Make (Int)] plus a few convenience functions; it is the
+    set type used throughout the graph toolkit for adjacency and
+    reachability results. *)
+
+include Set.S with type elt = int
+
+val to_sorted_list : t -> int list
+(** [to_sorted_list s] is the elements of [s] in increasing order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp ppf s] prints [s] as [{1,2,3}]. *)

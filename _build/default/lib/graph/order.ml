@@ -1,0 +1,93 @@
+type t = {
+  g : Digraph.t;
+  ord : (int, int) Hashtbl.t; (* node -> priority, unique *)
+  mutable next : int;         (* next fresh priority *)
+}
+
+let create () = { g = Digraph.create (); ord = Hashtbl.create 64; next = 0 }
+
+let graph t = t.g
+
+let rank t v = Hashtbl.find t.ord v
+
+let add_node t v =
+  if not (Digraph.mem_node t.g v) then begin
+    Digraph.add_node t.g v;
+    Hashtbl.replace t.ord v t.next;
+    t.next <- t.next + 1
+  end
+
+let remove_node t v =
+  if Digraph.mem_node t.g v then begin
+    Digraph.remove_node t.g v;
+    Hashtbl.remove t.ord v
+  end
+
+exception Cycle_found
+
+(* Forward DFS from [start] restricted to nodes with priority < [ub];
+   encountering priority = [ub] (the arc source) means a cycle. *)
+let dfs_forward t start ub =
+  let visited = ref Intset.empty in
+  let rec go v =
+    visited := Intset.add v !visited;
+    Intset.iter
+      (fun w ->
+        let ow = rank t w in
+        if ow = ub then raise Cycle_found;
+        if ow < ub && not (Intset.mem w !visited) then go w)
+      (Digraph.succs t.g v)
+  in
+  go start;
+  !visited
+
+let dfs_backward t start lb =
+  let visited = ref Intset.empty in
+  let rec go v =
+    visited := Intset.add v !visited;
+    Intset.iter
+      (fun w ->
+        let ow = rank t w in
+        if ow > lb && not (Intset.mem w !visited) then go w)
+      (Digraph.preds t.g v)
+  in
+  go start;
+  !visited
+
+let reorder t delta_b delta_f =
+  (* Allocate the union of the old priorities of both regions to the
+     nodes of delta_b (kept in relative order) followed by delta_f. *)
+  let by_rank vs =
+    List.sort (fun a b -> compare (rank t a) (rank t b)) (Intset.elements vs)
+  in
+  let l = by_rank delta_b @ by_rank delta_f in
+  let slots = List.sort compare (List.map (rank t) l) in
+  List.iter2 (fun v p -> Hashtbl.replace t.ord v p) l slots
+
+let add_arc t ~src ~dst =
+  add_node t src;
+  add_node t dst;
+  if src = dst then `Cycle
+  else if Digraph.mem_arc t.g ~src ~dst then `Ok
+  else
+    let ox = rank t src and oy = rank t dst in
+    if oy > ox then begin
+      Digraph.add_arc t.g ~src ~dst;
+      `Ok
+    end
+    else
+      match dfs_forward t dst ox with
+      | exception Cycle_found -> `Cycle
+      | delta_f ->
+          let delta_b = dfs_backward t src oy in
+          reorder t delta_b delta_f;
+          Digraph.add_arc t.g ~src ~dst;
+          `Ok
+
+let would_cycle t ~src ~dst =
+  if src = dst then true
+  else if not (Digraph.mem_node t.g src) || not (Digraph.mem_node t.g dst) then false
+  else Traversal.has_path t.g ~src:dst ~dst:src
+
+let check_invariant t =
+  Digraph.fold_arcs (fun ~src ~dst acc -> acc && rank t src < rank t dst) t.g true

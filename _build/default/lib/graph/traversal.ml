@@ -1,0 +1,151 @@
+let neighbours g dir v =
+  match dir with `Fwd -> Digraph.succs g v | `Bwd -> Digraph.preds g v
+
+let reachable ?(through = fun _ -> true) g dir v =
+  (* BFS; we may expand a node only if it can serve as an intermediate. *)
+  let visited = ref Intset.empty in
+  let queue = Queue.create () in
+  Intset.iter
+    (fun w ->
+      if not (Intset.mem w !visited) then begin
+        visited := Intset.add w !visited;
+        Queue.push w queue
+      end)
+    (neighbours g dir v);
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    if through w then
+      Intset.iter
+        (fun u ->
+          if not (Intset.mem u !visited) then begin
+            visited := Intset.add u !visited;
+            Queue.push u queue
+          end)
+        (neighbours g dir w)
+  done;
+  !visited
+
+let has_path ?through g ~src ~dst = Intset.mem dst (reachable ?through g `Fwd src)
+
+let find_path ?(through = fun _ -> true) g ~src ~dst =
+  (* BFS with parent pointers; expansion through filtered intermediates
+     only, as in [reachable]. *)
+  let parent = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let enqueue v p =
+    if not (Hashtbl.mem parent v) then begin
+      Hashtbl.replace parent v p;
+      Queue.push v queue
+    end
+  in
+  Intset.iter (fun w -> enqueue w src) (Digraph.succs g src);
+  let found = ref (Hashtbl.mem parent dst) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    if w = dst then found := true
+    else if through w then
+      Intset.iter (fun u -> enqueue u w) (Digraph.succs g w)
+  done;
+  if not (Hashtbl.mem parent dst) then None
+  else begin
+    let rec build v acc =
+      if v = src then src :: acc else build (Hashtbl.find parent v) (v :: acc)
+    in
+    Some (build dst [])
+  end
+
+let topological_sort g =
+  let indeg = Hashtbl.create 64 in
+  Digraph.iter_nodes (fun v -> Hashtbl.replace indeg v (Digraph.in_degree g v)) g;
+  (* Min-id tie-break via a sorted module-level set used as a queue. *)
+  let ready = ref Intset.empty in
+  Hashtbl.iter (fun v d -> if d = 0 then ready := Intset.add v !ready) indeg;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (Intset.is_empty !ready) do
+    let v = Intset.min_elt !ready in
+    ready := Intset.remove v !ready;
+    out := v :: !out;
+    incr count;
+    Intset.iter
+      (fun w ->
+        let d = Hashtbl.find indeg w - 1 in
+        Hashtbl.replace indeg w d;
+        if d = 0 then ready := Intset.add w !ready)
+      (Digraph.succs g v)
+  done;
+  if !count = Digraph.node_count g then Some (List.rev !out) else None
+
+let is_acyclic g = topological_sort g <> None
+
+let scc g =
+  (* Tarjan, iterative to be safe on deep graphs. *)
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next_index;
+    Hashtbl.replace lowlink v !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    Intset.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Digraph.succs g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  Digraph.iter_nodes (fun v -> if not (Hashtbl.mem index v) then strongconnect v) g;
+  !components
+
+let find_cycle g =
+  (* A non-trivial SCC, or a self-loop, yields a cycle; walk it. *)
+  let self_loop =
+    Digraph.fold_arcs
+      (fun ~src ~dst acc -> if src = dst then Some src else acc)
+      g None
+  in
+  match self_loop with
+  | Some v -> Some [ v ]
+  | None -> (
+      let comp = List.find_opt (fun c -> List.length c > 1) (scc g) in
+      match comp with
+      | None -> None
+      | Some c ->
+          let members = Intset.of_list c in
+          (* DFS inside the component from its first node back to itself. *)
+          let start = List.hd c in
+          let rec walk path v visited =
+            let nexts = Intset.inter (Digraph.succs g v) members in
+            if Intset.mem start nexts && path <> [] then Some (List.rev (v :: path))
+            else
+              Intset.fold
+                (fun w acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                      if Intset.mem w visited then None
+                      else walk (v :: path) w (Intset.add w visited))
+                nexts None
+          in
+          walk [] start (Intset.singleton start))

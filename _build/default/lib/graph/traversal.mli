@@ -1,0 +1,37 @@
+(** Reachability, topological order and strongly connected components.
+
+    The filtered reachability functions are the workhorse of the paper's
+    {e tight} predecessor/successor relations: a path whose intermediate
+    nodes all satisfy a predicate (e.g. "is a completed transaction"). *)
+
+val reachable :
+  ?through:(int -> bool) -> Digraph.t -> [ `Fwd | `Bwd ] -> int -> Intset.t
+(** [reachable ?through g dir v] is the set of nodes reachable from [v]
+    along arcs ([`Fwd]) or reverse arcs ([`Bwd]) by a non-empty path whose
+    {e intermediate} nodes all satisfy [through] (default: everything).
+    The source and the final node of a path are not constrained.  [v]
+    itself is in the result only if it lies on a cycle of such a path. *)
+
+val has_path : ?through:(int -> bool) -> Digraph.t -> src:int -> dst:int -> bool
+(** [has_path g ~src ~dst] is [true] iff a non-empty directed path from
+    [src] to [dst] exists, intermediates constrained as in {!reachable}. *)
+
+val find_path :
+  ?through:(int -> bool) -> Digraph.t -> src:int -> dst:int -> int list option
+(** A shortest such path as [src; ...; dst] (BFS), or [None].  Used to
+    render human-readable explanations of tight-predecessor witnesses. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val topological_sort : Digraph.t -> int list option
+(** Kahn's algorithm; [None] when the graph has a cycle.  Ties are broken
+    by smallest node id, so the output is deterministic. *)
+
+val scc : Digraph.t -> int list list
+(** Tarjan's algorithm.  Components are returned in reverse topological
+    order of the condensation; node order inside a component follows the
+    discovery stack. *)
+
+val find_cycle : Digraph.t -> int list option
+(** Some cycle as a node list [v1; ...; vk] with arcs [vi -> vi+1] and
+    [vk -> v1], or [None] if the graph is acyclic. *)

@@ -1,0 +1,1 @@
+lib/kvstore/mv_store.ml: Dct_graph Hashtbl List

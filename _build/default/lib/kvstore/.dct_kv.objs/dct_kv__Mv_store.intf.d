@@ -1,0 +1,1 @@
+lib/kvstore/mv_store.mli: Dct_graph

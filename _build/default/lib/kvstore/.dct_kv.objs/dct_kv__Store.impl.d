@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Dct_graph Hashtbl Version_log

@@ -1,0 +1,1 @@
+lib/kvstore/store.mli: Dct_graph Version_log

@@ -1,0 +1,1 @@
+lib/kvstore/version_log.ml: Dct_graph List

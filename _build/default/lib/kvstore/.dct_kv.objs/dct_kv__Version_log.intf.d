@@ -1,0 +1,1 @@
+lib/kvstore/version_log.mli: Dct_graph

@@ -1,0 +1,1 @@
+lib/kvstore/wal.ml: Format Hashtbl List Store

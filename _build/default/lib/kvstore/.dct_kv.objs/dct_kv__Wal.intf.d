@@ -1,0 +1,1 @@
+lib/kvstore/wal.mli: Format Store

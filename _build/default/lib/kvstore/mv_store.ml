@@ -1,0 +1,76 @@
+type version = { wts : int; mutable rts : int; value : int }
+
+type t = {
+  default : int;
+  chains : (int, version list ref) Hashtbl.t; (* newest (largest wts) first *)
+}
+
+let create ?(default = 0) () = { default; chains = Hashtbl.create 64 }
+
+let chain t entity =
+  match Hashtbl.find_opt t.chains entity with
+  | Some c -> c
+  | None ->
+      let c = ref [ { wts = 0; rts = 0; value = t.default } ] in
+      Hashtbl.replace t.chains entity c;
+      c
+
+(* Newest version with wts <= ts; chains always contain wts = 0. *)
+let visible versions ts =
+  match List.find_opt (fun v -> v.wts <= ts) versions with
+  | Some v -> v
+  | None -> invalid_arg "Mv_store: missing initial version"
+
+let read t ~entity ~ts =
+  if ts <= 0 then invalid_arg "Mv_store.read: timestamps start at 1";
+  let v = visible !(chain t entity) ts in
+  v.rts <- max v.rts ts;
+  v
+
+let write_allowed t ~entity ~ts =
+  let v = visible !(chain t entity) ts in
+  v.rts <= ts
+
+let install t ~entity ~ts ~value =
+  let c = chain t entity in
+  if List.exists (fun v -> v.wts = ts) !c then
+    invalid_arg "Mv_store.install: duplicate write timestamp";
+  let newer, older = List.partition (fun v -> v.wts > ts) !c in
+  c := newer @ ({ wts = ts; rts = 0; value } :: older)
+
+let remove_writer t ~entity ~ts =
+  let c = chain t entity in
+  c := List.filter (fun v -> v.wts <> ts) !c
+
+let vacuum t ~min_active_ts =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ c ->
+      (* Keep everything newer than the horizon, plus the single newest
+         version at or below it (still visible to the oldest active). *)
+      let rec split = function
+        | v :: rest when v.wts > min_active_ts ->
+            let keep, drop = split rest in
+            (v :: keep, drop)
+        | v :: rest -> ([ v ], rest)
+        | [] -> ([], [])
+      in
+      let keep, drop = split !c in
+      dropped := !dropped + List.length drop;
+      c := keep)
+    t.chains;
+  !dropped
+
+let version_count t ~entity = List.length !(chain t entity)
+
+let total_versions t =
+  Hashtbl.fold (fun _ c acc -> acc + List.length !c) t.chains 0
+
+let entities t =
+  Hashtbl.fold (fun e _ acc -> Dct_graph.Intset.add e acc) t.chains
+    Dct_graph.Intset.empty
+
+let current_value t ~entity =
+  match !(chain t entity) with
+  | v :: _ -> v.value
+  | [] -> t.default

@@ -1,0 +1,45 @@
+(** Timestamp-indexed multiversion storage (for the MVTO scheduler).
+
+    Every entity carries a list of versions ordered by writer timestamp.
+    A reader with timestamp [ts] observes the version with the largest
+    [wts ≤ ts] and leaves its own timestamp as [rts] on it — the
+    information the MVTO write rule needs.
+
+    Version garbage collection is the paper's retention problem in the
+    version dimension: a non-latest version is reclaimable once no
+    active transaction's timestamp falls inside its visibility window.
+    {!vacuum} keeps, per entity, every version with [wts >
+    min_active_ts] plus the newest one at or below it. *)
+
+type version = { wts : int; mutable rts : int; value : int }
+
+type t
+
+val create : ?default:int -> unit -> t
+(** Every entity starts with an initial version at [wts = 0]. *)
+
+val read : t -> entity:int -> ts:int -> version
+(** The visible version for [ts]; records [ts] in its [rts].
+    @raise Invalid_argument if [ts <= 0]. *)
+
+val write_allowed : t -> entity:int -> ts:int -> bool
+(** The MVTO rule: writing at [ts] is allowed iff the version visible to
+    [ts] has [rts ≤ ts] (no younger reader would be invalidated). *)
+
+val install : t -> entity:int -> ts:int -> value:int -> unit
+(** Install a version with [wts = ts].  Caller must have checked
+    {!write_allowed}; @raise Invalid_argument if a version with the same
+    [wts] already exists on the entity. *)
+
+val remove_writer : t -> entity:int -> ts:int -> unit
+(** Drop the version written at [ts] (abort path). *)
+
+val vacuum : t -> min_active_ts:int -> int
+(** Reclaim versions invisible to every timestamp ≥ [min_active_ts];
+    returns how many versions were dropped. *)
+
+val version_count : t -> entity:int -> int
+val total_versions : t -> int
+val entities : t -> Dct_graph.Intset.t
+val current_value : t -> entity:int -> int
+(** Value of the newest version. *)

@@ -1,0 +1,62 @@
+module Intset = Dct_graph.Intset
+
+type t = {
+  default : int;
+  logs : (int, Version_log.t) Hashtbl.t;
+  mutable seq : int; (* global version sequence *)
+}
+
+let create ?(default = 0) () = { default; logs = Hashtbl.create 64; seq = 0 }
+
+let log t entity =
+  match Hashtbl.find_opt t.logs entity with
+  | Some l -> l
+  | None ->
+      let l = Version_log.create ~initial:t.default in
+      Hashtbl.replace t.logs entity l;
+      l
+
+let read t ~entity ~reader = Version_log.read_current (log t entity) ~reader
+
+let write t ~entity ~writer ~value =
+  t.seq <- t.seq + 1;
+  ignore (Version_log.install (log t entity) ~writer ~value ~seq:t.seq)
+
+let peek t ~entity = (Version_log.current (log t entity)).Version_log.value
+
+let current_writer t ~entity =
+  match Hashtbl.find_opt t.logs entity with
+  | None -> None
+  | Some l -> (Version_log.current l).Version_log.writer
+
+let current_readers t ~entity =
+  match Hashtbl.find_opt t.logs entity with
+  | None -> Intset.empty
+  | Some l -> (Version_log.current l).Version_log.readers
+
+let txn_is_current t ~txn ~entities =
+  Intset.exists
+    (fun entity ->
+      current_writer t ~entity = Some txn
+      || Intset.mem txn (current_readers t ~entity))
+    entities
+
+let undo_writes t ~txn =
+  Hashtbl.iter (fun _ l -> Version_log.remove_writer l txn) t.logs
+
+let forget_txn t ~txn =
+  Hashtbl.iter (fun _ l -> Version_log.forget_reader l txn) t.logs
+
+let entities t =
+  Hashtbl.fold (fun e _ acc -> Intset.add e acc) t.logs Intset.empty
+
+let version_count t ~entity =
+  match Hashtbl.find_opt t.logs entity with
+  | None -> 0
+  | Some l -> Version_log.length l
+
+let total_versions t =
+  Hashtbl.fold (fun _ l acc -> acc + Version_log.length l) t.logs 0
+
+let truncate_history t ~keep =
+  Hashtbl.iter (fun _ l -> Version_log.truncate l ~keep) t.logs

@@ -1,0 +1,51 @@
+(** The database: a set of entities with versioned values.
+
+    Entities spring into existence on first access with the store's
+    default initial value.  The store is deliberately unsynchronised —
+    schedulers serialize access to it; it supplies values, read-from
+    lineage and current-accessor information. *)
+
+type t
+
+val create : ?default:int -> unit -> t
+(** [default] (0 if omitted) is the initial value of every entity. *)
+
+val read : t -> entity:int -> reader:int -> Version_log.version
+(** Read the current version, recording the reader on it.  The returned
+    version's [writer] is the transaction this read {e reads from}
+    ([None] when reading the initial value). *)
+
+val write : t -> entity:int -> writer:int -> value:int -> unit
+(** Install a new current version. *)
+
+val peek : t -> entity:int -> int
+(** Current value, without recording an access. *)
+
+val current_writer : t -> entity:int -> int option
+(** Writer of the current version. *)
+
+val current_readers : t -> entity:int -> Dct_graph.Intset.t
+(** Readers recorded on the current version. *)
+
+val txn_is_current : t -> txn:int -> entities:Dct_graph.Intset.t -> bool
+(** Did [txn] read or write the {e current} value of any of [entities]?
+    (Corollary 1: if not, the completed transaction is "noncurrent" and
+    can always be deleted.) *)
+
+val undo_writes : t -> txn:int -> unit
+(** Remove every version written by [txn] from every chain (abort). *)
+
+val forget_txn : t -> txn:int -> unit
+(** Erase a transaction from all reader sets (when it is deleted and
+    bookkeeping should shrink). *)
+
+val entities : t -> Dct_graph.Intset.t
+(** Entities that have been touched at least once. *)
+
+val version_count : t -> entity:int -> int
+
+val total_versions : t -> int
+(** Sum of all chain lengths — a memory-residency metric. *)
+
+val truncate_history : t -> keep:int -> unit
+(** Keep the [keep] newest versions of every entity. *)

@@ -1,0 +1,47 @@
+(** Per-entity version chain.
+
+    Every write installs a new version on top; every read is recorded on
+    the version it observed.  This gives the two facts the rest of the
+    system needs:
+
+    - who accessed the {e current} value (Corollary 1's "noncurrent
+      transaction" test: a completed transaction none of whose accesses
+      touched a current value can always be deleted);
+    - which transaction a read {e read from} (the direct-dependency
+      relation of the multi-write model, driving cascading aborts). *)
+
+type version = {
+  value : int;
+  writer : int option;  (** [None] for the initial version *)
+  seq : int;            (** global installation order *)
+  mutable readers : Dct_graph.Intset.t;
+}
+
+type t
+
+val create : initial:int -> t
+(** A chain holding one initial version with sequence number 0. *)
+
+val current : t -> version
+
+val read_current : t -> reader:int -> version
+(** Returns the current version and records [reader] on it. *)
+
+val install : t -> writer:int -> value:int -> seq:int -> version
+
+val remove_writer : t -> int -> unit
+(** Splices out every version written by the given transaction (undo of
+    an aborted transaction's writes).  Readers recorded on the removed
+    versions are discarded with them — the scheduler is responsible for
+    aborting those dependents first. *)
+
+val forget_reader : t -> int -> unit
+(** Erase a transaction from every version's reader set. *)
+
+val versions : t -> version list
+(** Newest first; always non-empty. *)
+
+val length : t -> int
+
+val truncate : t -> keep:int -> unit
+(** Keep only the [keep] newest versions (at least the current one). *)

@@ -1,0 +1,75 @@
+type record =
+  | Begin of { txn : int }
+  | Write of { txn : int; entity : int; value : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+
+let txn_of = function
+  | Begin { txn } | Write { txn; _ } | Commit { txn } | Abort { txn } -> txn
+
+let pp_record ppf = function
+  | Begin { txn } -> Format.fprintf ppf "BEGIN T%d" txn
+  | Write { txn; entity; value } ->
+      Format.fprintf ppf "WRITE T%d e%d := %d" txn entity value
+  | Commit { txn } -> Format.fprintf ppf "COMMIT T%d" txn
+  | Abort { txn } -> Format.fprintf ppf "ABORT T%d" txn
+
+type t = {
+  mutable retained : (int * record) list; (* newest first *)
+  mutable next_lsn : int;
+  mutable low_water : int;
+  mutable dropped : int;
+}
+
+let create () = { retained = []; next_lsn = 1; low_water = 0; dropped = 0 }
+
+let append t r =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.retained <- (lsn, r) :: t.retained;
+  lsn
+
+let length t = List.length t.retained
+
+let total_appended t = t.next_lsn - 1
+
+let truncated t = t.dropped
+
+let low_water_mark t = t.low_water
+
+let records t = List.rev t.retained
+
+let truncate_to t ~resident =
+  (* Scan from the oldest record; stop at the first one whose
+     transaction the scheduler still remembers. *)
+  let rec split kept = function
+    | (_, r) :: rest when not (resident (txn_of r)) -> split (kept + 1) rest
+    | remaining -> (kept, remaining)
+  in
+  let oldest_first = records t in
+  let kept, remaining = split 0 oldest_first in
+  if kept > 0 then begin
+    t.low_water <-
+      (match remaining with
+      | (lsn, _) :: _ -> lsn - 1
+      | [] -> t.next_lsn - 1);
+    t.retained <- List.rev remaining;
+    t.dropped <- t.dropped + kept
+  end;
+  kept
+
+let replay t ~into =
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Commit { txn } -> Hashtbl.replace committed txn ()
+      | Begin _ | Write _ | Abort _ -> ())
+    (records t);
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Write { txn; entity; value } when Hashtbl.mem committed txn ->
+          Store.write into ~entity ~writer:txn ~value
+      | Write _ | Begin _ | Commit _ | Abort _ -> ())
+    (records t)

@@ -1,0 +1,55 @@
+(** Write-ahead log with deletion-driven truncation.
+
+    The modern shadow of the paper's problem is log truncation: a
+    recovery log can drop its prefix only when no surviving transaction
+    needs it.  This module materialises the connection — the scheduler
+    appends begin/write/commit/abort records, and whenever the deletion
+    policy forgets transactions, the log advances its low-water mark to
+    the longest prefix containing only forgotten (or aborted) ones.
+
+    Records carry monotonically increasing LSNs.  [replay] reconstructs
+    a {!Store} from a checkpointed store plus the surviving suffix —
+    tested to agree with the live store byte for byte. *)
+
+type record =
+  | Begin of { txn : int }
+  | Write of { txn : int; entity : int; value : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> int
+(** Returns the record's LSN (starting at 1). *)
+
+val length : t -> int
+(** Records currently retained (after truncation). *)
+
+val total_appended : t -> int
+
+val truncated : t -> int
+(** Records dropped so far. *)
+
+val low_water_mark : t -> int
+(** LSN up to (and including) which the log has been discarded. *)
+
+val truncate_to : t -> resident:(int -> bool) -> int
+(** Advance the low-water mark over the longest prefix whose
+    transactions are all non-resident, i.e. forgotten by the scheduler
+    (committed-and-deleted) or aborted.  Returns how many records were
+    dropped.  A record of transaction [t] with [resident t = true] stops
+    the scan. *)
+
+val records : t -> (int * record) list
+(** Retained records, oldest first, with their LSNs. *)
+
+val replay : t -> into:Store.t -> unit
+(** Apply the retained records to a store: writes of transactions whose
+    [Commit] appears in the retained suffix are installed; writes of
+    aborted or unfinished transactions are not.  (Writes whose
+    transaction committed {e before} the low-water mark are assumed to
+    be in the checkpoint image, as their records are gone.) *)
+
+val pp_record : Format.formatter -> record -> unit

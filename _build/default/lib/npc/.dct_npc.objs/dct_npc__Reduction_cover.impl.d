@@ -1,0 +1,1 @@
+lib/npc/reduction_cover.ml: Array Dct_deletion Dct_graph Dct_txn Fun List Set_cover

@@ -1,0 +1,1 @@
+lib/npc/reduction_cover.mli: Dct_deletion Dct_graph Dct_txn Set_cover

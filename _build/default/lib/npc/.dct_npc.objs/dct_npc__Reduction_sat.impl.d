@@ -1,0 +1,1 @@
+lib/npc/reduction_sat.ml: Array Dct_deletion Dct_graph Dct_txn Fun Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/npc/reduction_sat.mli: Dct_deletion Dct_graph Dct_txn Sat

@@ -1,0 +1,1 @@
+lib/npc/sat.ml: Array Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/npc/sat.mli: Format

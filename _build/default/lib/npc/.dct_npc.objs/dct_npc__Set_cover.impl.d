@@ -1,0 +1,1 @@
+lib/npc/set_cover.ml: Array Dct_graph Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/npc/set_cover.mli: Dct_graph Format

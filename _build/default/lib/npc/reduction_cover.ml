@@ -1,0 +1,71 @@
+module Intset = Dct_graph.Intset
+module Step = Dct_txn.Step
+module Graph_state = Dct_deletion.Graph_state
+module Rules = Dct_deletion.Rules
+
+type ids = {
+  t0 : int;
+  set_txn : int array;
+  t_last : int;
+  x_entity : int array;
+  y_entity : int;
+  z_entity : int array;
+}
+
+let ids_of (inst : Set_cover.t) =
+  let n = inst.universe and m = Array.length inst.sets in
+  {
+    t0 = 0;
+    set_txn = Array.init m (fun i -> i + 1);
+    t_last = m + 1;
+    x_entity = Array.init n (fun j -> j);
+    y_entity = n;
+    z_entity = Array.init m (fun i -> n + 1 + i);
+  }
+
+let build (inst : Set_cover.t) ~with_last_step =
+  let ids = ids_of inst in
+  let m = Array.length inst.sets in
+  let steps = ref [] in
+  let emit s = steps := s :: !steps in
+  emit (Step.Begin ids.t0);
+  emit (Step.Read (ids.t0, ids.y_entity));
+  Array.iter (fun x -> emit (Step.Read (ids.t0, x))) ids.x_entity;
+  for i = 0 to m - 1 do
+    let t = ids.set_txn.(i) in
+    emit (Step.Begin t);
+    emit (Step.Read (t, ids.z_entity.(i)));
+    emit
+      (Step.Write
+         (t, List.map (fun j -> ids.x_entity.(j)) (Intset.elements inst.sets.(i))))
+  done;
+  emit (Step.Begin ids.t_last);
+  Array.iter (fun z -> emit (Step.Read (ids.t_last, z))) ids.z_entity;
+  if with_last_step then emit (Step.Write (ids.t_last, [ ids.y_entity ]));
+  (List.rev !steps, ids)
+
+let schedule inst = build inst ~with_last_step:true
+let schedule_without_last_step inst = build inst ~with_last_step:false
+
+let graph_state inst =
+  let steps, ids = schedule inst in
+  let gs = Graph_state.create () in
+  List.iter
+    (fun step ->
+      match Rules.apply gs step with
+      | Rules.Accepted -> ()
+      | Rules.Rejected | Rules.Ignored ->
+          (* The reduction schedule is serial except for T0's reads and
+             therefore always accepted. *)
+          assert false)
+    steps;
+  (gs, ids)
+
+let remaining_sets (inst : Set_cover.t) ids ~deleted =
+  let m = Array.length inst.sets in
+  List.filter
+    (fun i -> not (Intset.mem ids.set_txn.(i) deleted))
+    (List.init m Fun.id)
+
+let max_deletable inst =
+  Array.length inst.Set_cover.sets - List.length (Set_cover.exact_min inst)

@@ -1,0 +1,38 @@
+(** The Theorem 5 reduction: Set Cover → maximum safe deletion.
+
+    Given an instance with sets [S1..Sm] over universe [X] the schedule
+    is (§4):
+
+    - [T0] begins, reads [y] and every element of [X], and stays active;
+    - for [i = 1..m]: [Ti] begins, reads [zi], atomically writes the
+      elements of [Si], and completes;
+    - [Tm+1] begins, reads [z1..zm], atomically writes [y], completes.
+
+    Until the last step no transaction is deletable; after it, a subset
+    [N ⊆ {T1..Tm}] is safely deletable iff the remaining sets form a
+    cover.  Hence the maximum number of safely deletable transactions is
+    [m − (minimum cover size)]. *)
+
+type ids = {
+  t0 : int;                (** the long-running active reader *)
+  set_txn : int array;     (** [set_txn.(i)] is the transaction of set Si *)
+  t_last : int;            (** T_{m+1} *)
+  x_entity : int array;    (** entity of universe element j *)
+  y_entity : int;
+  z_entity : int array;    (** private entity of set i *)
+}
+
+val schedule : Set_cover.t -> Dct_txn.Schedule.t * ids
+(** The full schedule (all steps accepted — it is intrinsically CSR). *)
+
+val schedule_without_last_step : Set_cover.t -> Dct_txn.Schedule.t * ids
+
+val graph_state : Set_cover.t -> Dct_deletion.Graph_state.t * ids
+(** {!schedule} replayed through the basic rules. *)
+
+val remaining_sets : Set_cover.t -> ids -> deleted:Dct_graph.Intset.t -> int list
+(** Indices of the sets whose transactions were {e not} deleted — by
+    Theorem 5 these form a cover whenever the deletion was safe. *)
+
+val max_deletable : Set_cover.t -> int
+(** [m − |exact minimum cover|], the predicted optimum. *)

@@ -1,0 +1,204 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+module Step = Dct_txn.Step
+module Transaction = Dct_txn.Transaction
+module Graph_state = Dct_deletion.Graph_state
+module Condition_c3 = Dct_deletion.Condition_c3
+
+type ids = {
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  pos_active : int array;
+  neg_active : int array;
+  pos_var : int array;
+  neg_var : int array;
+  clause_lit : int array array;
+  y_entity : int;
+}
+
+let ids_of (f : Sat.t) =
+  let n = f.Sat.nvars in
+  let m = List.length f.Sat.clauses in
+  {
+    a = 0;
+    b = 1;
+    c = 2;
+    d = 3;
+    pos_active = Array.init n (fun i -> 4 + i);
+    neg_active = Array.init n (fun i -> 4 + n + i);
+    pos_var = Array.init n (fun i -> 4 + (2 * n) + i);
+    neg_var = Array.init n (fun i -> 4 + (3 * n) + i);
+    clause_lit =
+      Array.init m (fun j -> Array.init 3 (fun k -> 4 + (4 * n) + (3 * j) + k));
+    y_entity = 0;
+  }
+
+(* The arc plan: every arc is labelled by a fresh entity accessed only by
+   its endpoints — write-write, or write-read (a dependency). *)
+type arc = Ww of int * int | Wr of int * int
+
+let arcs (f : Sat.t) ids =
+  let n = f.Sat.nvars in
+  let out = ref [] in
+  let add a = out := a :: !out in
+  for i = 0 to n - 2 do
+    add (Ww (ids.pos_var.(i), ids.pos_var.(i + 1)));
+    add (Ww (ids.pos_var.(i), ids.neg_var.(i + 1)));
+    add (Ww (ids.neg_var.(i), ids.pos_var.(i + 1)));
+    add (Ww (ids.neg_var.(i), ids.neg_var.(i + 1)))
+  done;
+  add (Ww (ids.a, ids.pos_var.(0)));
+  add (Ww (ids.a, ids.neg_var.(0)));
+  add (Ww (ids.pos_var.(n - 1), ids.b));
+  add (Ww (ids.neg_var.(n - 1), ids.b));
+  add (Ww (ids.b, ids.c));
+  for i = 0 to n - 1 do
+    add (Ww (ids.pos_active.(i), ids.d));
+    add (Ww (ids.neg_active.(i), ids.d));
+    add (Wr (ids.pos_active.(i), ids.pos_var.(i)));
+    add (Wr (ids.neg_active.(i), ids.neg_var.(i)))
+  done;
+  List.iteri
+    (fun j clause ->
+      let lits = ids.clause_lit.(j) in
+      add (Ww (ids.a, lits.(0)));
+      add (Ww (lits.(0), lits.(1)));
+      add (Ww (lits.(1), lits.(2)));
+      add (Ww (lits.(2), ids.d));
+      List.iteri
+        (fun k lit ->
+          let v = abs lit - 1 in
+          if lit > 0 then add (Wr (ids.pos_active.(v), lits.(k)))
+          else add (Wr (ids.neg_active.(v), lits.(k))))
+        clause)
+    f.Sat.clauses;
+  List.rev !out
+
+let all_txns (f : Sat.t) ids =
+  let n = f.Sat.nvars in
+  [ ids.a; ids.b; ids.c; ids.d ]
+  @ List.concat_map
+      (fun i ->
+        [ ids.pos_active.(i); ids.neg_active.(i); ids.pos_var.(i); ids.neg_var.(i) ])
+      (List.init n Fun.id)
+  @ List.concat_map Array.to_list (Array.to_list ids.clause_lit)
+
+let txn_state (f : Sat.t) ids t =
+  let n = f.Sat.nvars in
+  if t = ids.a then Transaction.Active
+  else if t = ids.b || t = ids.c || t = ids.d then Transaction.Committed
+  else if t >= 4 && t < 4 + (2 * n) then Transaction.Active (* Ai, Āi *)
+  else Transaction.Finished (* Xi, X̄i, Cjk *)
+
+let check_3cnf (f : Sat.t) =
+  if f.Sat.nvars < 1 then invalid_arg "Reduction_sat: need at least one variable";
+  List.iter
+    (fun c ->
+      if List.length c <> 3 then invalid_arg "Reduction_sat: clause size <> 3")
+    f.Sat.clauses
+
+let graph_state f =
+  check_3cnf f;
+  let ids = ids_of f in
+  let gs = Graph_state.create () in
+  List.iter (fun t -> Graph_state.begin_txn gs t) (all_txns f ids);
+  (* Entity 0 is y; fresh entities follow. *)
+  let next_entity = ref 1 in
+  let fresh () =
+    let e = !next_entity in
+    incr next_entity;
+    e
+  in
+  Graph_state.record_access gs ~txn:ids.d ~entity:ids.y_entity ~mode:Access.Read;
+  Graph_state.record_access gs ~txn:ids.c ~entity:ids.y_entity ~mode:Access.Read;
+  List.iter
+    (fun arc ->
+      let e = fresh () in
+      match arc with
+      | Ww (u, v) ->
+          Graph_state.record_access gs ~txn:u ~entity:e ~mode:Access.Write;
+          Graph_state.record_access gs ~txn:v ~entity:e ~mode:Access.Write;
+          Graph_state.add_arc gs ~src:u ~dst:v
+      | Wr (u, v) ->
+          Graph_state.record_access gs ~txn:u ~entity:e ~mode:Access.Write;
+          Graph_state.record_access gs ~txn:v ~entity:e ~mode:Access.Read;
+          Graph_state.add_arc gs ~src:u ~dst:v;
+          Graph_state.add_dependency gs ~dependent:v ~on_:u)
+    (arcs f ids);
+  (* Private entities: everyone but C. *)
+  List.iter
+    (fun t ->
+      if t <> ids.c then
+        Graph_state.record_access gs ~txn:t ~entity:(fresh ()) ~mode:Access.Write)
+    (all_txns f ids);
+  List.iter (fun t -> Graph_state.set_state gs t (txn_state f ids t)) (all_txns f ids);
+  (gs, ids)
+
+let schedule f =
+  check_3cnf f;
+  let ids = ids_of f in
+  (* Execute serially in a topological order: actives first (they are
+     the sources), then the ladder, clause chains, B, D, C. *)
+  let next_entity = ref 1 in
+  let fresh () =
+    let e = !next_entity in
+    incr next_entity;
+    e
+  in
+  (* Assign entities per arc, in the same order as [graph_state]. *)
+  let entity_of_arc = Hashtbl.create 64 in
+  List.iter (fun arc -> Hashtbl.replace entity_of_arc arc (fresh ())) (arcs f ids);
+  let steps = ref [] in
+  let emit s = steps := s :: !steps in
+  let topo =
+    let n = f.Sat.nvars in
+    [ ids.a ]
+    @ List.concat_map
+        (fun i -> [ ids.pos_active.(i); ids.neg_active.(i) ])
+        (List.init n Fun.id)
+    @ List.concat_map
+        (fun i -> [ ids.pos_var.(i); ids.neg_var.(i) ])
+        (List.init n Fun.id)
+    @ List.concat_map Array.to_list (Array.to_list ids.clause_lit)
+    @ [ ids.b; ids.d; ids.c ]
+  in
+  List.iter (fun t -> emit (Step.Begin t)) topo;
+  (* Each transaction performs, at its topological turn, all accesses
+     whose arc it is an endpoint of — the source end eagerly (at its own
+     turn) and the target end at its turn, preserving arc direction. *)
+  List.iter
+    (fun t ->
+      (if t = ids.d then emit (Step.Read (t, ids.y_entity)));
+      (if t = ids.c then emit (Step.Read (t, ids.y_entity)));
+      List.iter
+        (fun arc ->
+          let e = Hashtbl.find entity_of_arc arc in
+          match arc with
+          | Ww (u, v) ->
+              if u = t then emit (Step.Write_one (t, e))
+              else if v = t then emit (Step.Write_one (t, e))
+          | Wr (u, v) ->
+              if u = t then emit (Step.Write_one (t, e))
+              else if v = t then emit (Step.Read (t, e)))
+        (arcs f ids);
+      if t <> ids.c then emit (Step.Write_one (t, fresh ()));
+      let state = txn_state f ids t in
+      if state <> Transaction.Active then emit (Step.Finish t))
+    topo;
+  (List.rev !steps, ids)
+
+let abort_set_of_assignment (f : Sat.t) ids assignment =
+  let n = f.Sat.nvars in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let t = if assignment.(i + 1) then ids.pos_active.(i) else ids.neg_active.(i) in
+      go (i + 1) (Intset.add t acc)
+  in
+  go 0 Intset.empty
+
+let c_deletable f =
+  let gs, ids = graph_state f in
+  Condition_c3.holds gs ids.c

@@ -1,0 +1,49 @@
+(** The Theorem 6 reduction: 3-SAT → deletability in the multi-write
+    model (Figure 3).
+
+    For a 3-CNF formula with variables [x1..xn] and clauses [c1..cm] the
+    constructed graph has active transactions [A, Ai, Āi], finished
+    (type F) transactions [Xi, X̄i] and one [Cjk] per clause literal,
+    and committed transactions [B, C, D].  Write–write arcs build the
+    variable ladder [A → {X1,X̄1} → ... → {Xn,X̄n} → B → C], the clause
+    chains [A → Cj1 → Cj2 → Cj3 → D] and the guards [Ai, Āi → D];
+    write–read arcs make [Xi] depend on [Ai], [X̄i] on [Āi], and each
+    clause-literal transaction on the activation of its literal.  Every
+    transaction except [C] also writes a private entity; [C] reads [y],
+    otherwise read only by [D].
+
+    The only possibly-deletable transaction is [C], and deleting [C] is
+    safe iff the formula is {e unsatisfiable}: a satisfying assignment
+    picks the abort set [M = {Ai | xi true} ∪ {Āi | xi false}] whose
+    [M⁺] severs every [A ⇝ D] clause path while keeping [A ⇝ C] alive,
+    violating C3. *)
+
+type ids = {
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  pos_active : int array;  (** [Ai], indexed by variable − 1 *)
+  neg_active : int array;  (** [Āi] *)
+  pos_var : int array;     (** [Xi] *)
+  neg_var : int array;     (** [X̄i] *)
+  clause_lit : int array array;  (** [clause_lit.(j).(k)] = transaction of literal k of clause j *)
+  y_entity : int;
+}
+
+val graph_state : Sat.t -> Dct_deletion.Graph_state.t * ids
+(** Direct construction of the reduced graph (states, accesses, arcs,
+    dependencies).  @raise Invalid_argument unless the formula is 3-CNF. *)
+
+val schedule : Sat.t -> Dct_txn.Schedule.t * ids
+(** A multi-write schedule whose execution produces the same graph:
+    transactions run serially in topological order, the active ones
+    simply never finish.  Used to cross-check the multi-write scheduler
+    against {!graph_state}. *)
+
+val abort_set_of_assignment : Sat.t -> ids -> bool array -> Dct_graph.Intset.t
+(** The witness abort set [M] induced by a satisfying assignment. *)
+
+val c_deletable : Sat.t -> bool
+(** [Condition_c3.holds] on the constructed graph for transaction [C] —
+    by Theorem 6, equals [not (Sat.is_satisfiable f)]. *)

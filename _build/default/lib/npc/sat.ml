@@ -1,0 +1,133 @@
+type clause = int list
+type t = { nvars : int; clauses : clause list }
+
+let check_lit nvars l =
+  if l = 0 || abs l > nvars then
+    invalid_arg (Printf.sprintf "Sat: bad literal %d (nvars = %d)" l nvars)
+
+let make ~nvars clauses =
+  List.iter (List.iter (check_lit nvars)) clauses;
+  { nvars; clauses }
+
+let three_sat ~nvars clauses =
+  List.iter
+    (fun c ->
+      if List.length c <> 3 then invalid_arg "Sat.three_sat: clause size <> 3";
+      let vars = List.sort_uniq compare (List.map abs c) in
+      if List.length vars <> 3 then
+        invalid_arg "Sat.three_sat: repeated variable in clause")
+    clauses;
+  make ~nvars clauses
+
+let eval t assign =
+  List.for_all
+    (fun clause ->
+      List.exists (fun l -> if l > 0 then assign l else not (assign (-l))) clause)
+    t.clauses
+
+(* DPLL.  [assign.(v)]: 0 unassigned, 1 true, -1 false. *)
+let solve t =
+  let assign = Array.make (t.nvars + 1) 0 in
+  let value l =
+    let v = assign.(abs l) in
+    if v = 0 then 0 else if l > 0 then v else -v
+  in
+  let simplify clauses =
+    (* Returns [None] if a clause is falsified, otherwise the remaining
+       clauses with assigned literals resolved away. *)
+    let exception Falsified in
+    match
+      List.filter_map
+        (fun clause ->
+          let rec go kept = function
+            | [] -> if kept = [] then raise Falsified else Some kept
+            | l :: rest -> (
+                match value l with
+                | 1 -> None (* clause satisfied *)
+                | -1 -> go kept rest
+                | _ -> go (l :: kept) rest)
+          in
+          go [] clause)
+        clauses
+    with
+    | clauses -> Some clauses
+    | exception Falsified -> None
+  in
+  let rec dpll clauses =
+    match simplify clauses with
+    | None -> false
+    | Some [] -> true
+    | Some clauses -> (
+        (* Unit propagation. *)
+        match List.find_opt (fun c -> List.length c = 1) clauses with
+        | Some [ l ] ->
+            assign.(abs l) <- (if l > 0 then 1 else -1);
+            if dpll clauses then true
+            else begin
+              assign.(abs l) <- 0;
+              false
+            end
+        | Some _ -> assert false
+        | None -> (
+            (* Pure literal elimination. *)
+            let polarity = Hashtbl.create 16 in
+            List.iter
+              (List.iter (fun l ->
+                   let v = abs l in
+                   let p = if l > 0 then 1 else -1 in
+                   match Hashtbl.find_opt polarity v with
+                   | None -> Hashtbl.replace polarity v p
+                   | Some q when q = p || q = 0 -> ()
+                   | Some _ -> Hashtbl.replace polarity v 0))
+              clauses;
+            let pure =
+              Hashtbl.fold
+                (fun v p acc -> if p <> 0 then Some (v * p) else acc)
+                polarity None
+            in
+            match pure with
+            | Some l ->
+                assign.(abs l) <- (if l > 0 then 1 else -1);
+                if dpll clauses then true
+                else begin
+                  assign.(abs l) <- 0;
+                  false
+                end
+            | None -> (
+                (* Branch on the first literal of the first clause. *)
+                match clauses with
+                | (l :: _) :: _ ->
+                    let v = abs l in
+                    assign.(v) <- 1;
+                    if dpll clauses then true
+                    else begin
+                      assign.(v) <- -1;
+                      if dpll clauses then true
+                      else begin
+                        assign.(v) <- 0;
+                        false
+                      end
+                    end
+                | _ -> assert false)))
+  in
+  if dpll t.clauses then begin
+    (* Unconstrained variables default to false. *)
+    Some (Array.map (fun v -> v = 1) assign)
+  end
+  else None
+
+let is_satisfiable t = solve t <> None
+
+let pp ppf t =
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%s)"
+      (String.concat " | "
+         (List.map
+            (fun l -> if l > 0 then Printf.sprintf "x%d" l else Printf.sprintf "~x%d" (-l))
+            c))
+  in
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " &@ ")
+       pp_clause)
+    t.clauses

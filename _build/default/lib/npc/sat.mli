@@ -1,0 +1,31 @@
+(** CNF formulas and a DPLL satisfiability solver.
+
+    Used by the Theorem 6 experiments: the reduction maps a 3-CNF
+    formula to a conflict graph in which a designated transaction is
+    safely deletable iff the formula is {e un}satisfiable; the solver
+    provides the independent ground truth.
+
+    Literals are non-zero integers in DIMACS convention: variable [v]
+    positively as [v], negated as [-v]; variables are numbered from 1. *)
+
+type clause = int list
+type t = { nvars : int; clauses : clause list }
+
+val make : nvars:int -> clause list -> t
+(** @raise Invalid_argument on zero literals or variables out of range. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under an assignment (variable -> value). *)
+
+val solve : t -> bool array option
+(** DPLL with unit propagation and pure-literal elimination.  Returns a
+    satisfying assignment indexed by variable (slot 0 unused), or
+    [None] when unsatisfiable. *)
+
+val is_satisfiable : t -> bool
+
+val three_sat : nvars:int -> int list list -> t
+(** Checked constructor for 3-CNF: every clause must have exactly three
+    literals over distinct variables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+module Intset = Dct_graph.Intset
+
+type t = { universe : int; sets : Intset.t array }
+
+let make ~universe sets =
+  let sets =
+    Array.of_list
+      (List.map
+         (fun elems ->
+           List.iter
+             (fun e ->
+               if e < 0 || e >= universe then
+                 invalid_arg
+                   (Printf.sprintf "Set_cover.make: element %d outside universe" e))
+             elems;
+           Intset.of_list elems)
+         sets)
+  in
+  { universe; sets }
+
+let full t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (Intset.add i acc) in
+  go (t.universe - 1) Intset.empty
+
+let union_of t idxs =
+  List.fold_left (fun acc i -> Intset.union acc t.sets.(i)) Intset.empty idxs
+
+let validate t =
+  if Intset.equal (union_of t (List.init (Array.length t.sets) Fun.id)) (full t)
+  then Ok ()
+  else Error "family does not cover the universe"
+
+let is_cover t idxs = Intset.equal (union_of t idxs) (full t)
+
+let greedy t =
+  let rec go uncovered chosen =
+    if Intset.is_empty uncovered then List.rev chosen
+    else begin
+      let best = ref (-1) and best_gain = ref 0 in
+      Array.iteri
+        (fun i s ->
+          let gain = Intset.cardinal (Intset.inter s uncovered) in
+          if gain > !best_gain then begin
+            best := i;
+            best_gain := gain
+          end)
+        t.sets;
+      if !best < 0 then List.rev chosen (* family does not cover *)
+      else go (Intset.diff uncovered t.sets.(!best)) (!best :: chosen)
+    end
+  in
+  go (full t) []
+
+let exact_min t =
+  let m = Array.length t.sets in
+  let best = ref (List.init m Fun.id) in
+  let rec go uncovered chosen depth =
+    if depth >= List.length !best then ()
+    else if Intset.is_empty uncovered then best := List.rev chosen
+    else begin
+      let e = Intset.min_elt uncovered in
+      for i = 0 to m - 1 do
+        if Intset.mem e t.sets.(i) then
+          go (Intset.diff uncovered t.sets.(i)) (i :: chosen) (depth + 1)
+      done
+    end
+  in
+  go (full t) [] 0;
+  !best
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>universe: %d@," t.universe;
+  Array.iteri (fun i s -> Format.fprintf ppf "S%d = %a@," i Intset.pp s) t.sets;
+  Format.fprintf ppf "@]"

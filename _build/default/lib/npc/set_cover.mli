@@ -1,0 +1,30 @@
+(** The Set Cover problem — source of the Theorem 5 reduction.
+
+    An instance has universe [{0, ..., universe-1}] and a family of
+    subsets; a cover is a sub-family whose union is the universe.
+    Deciding whether a cover of size ≤ k exists is NP-complete [GJ]. *)
+
+type t = { universe : int; sets : Dct_graph.Intset.t array }
+
+val make : universe:int -> int list list -> t
+(** Sets given as element lists.  @raise Invalid_argument on elements
+    outside the universe. *)
+
+val validate : t -> (unit, string) result
+(** Checks that the family itself covers the universe (otherwise no
+    cover exists at all). *)
+
+val is_cover : t -> int list -> bool
+(** Do the sets at these indices cover the universe? *)
+
+val greedy : t -> int list
+(** Classic ln(n)-approximation: repeatedly take the set covering the
+    most uncovered elements (smallest index wins ties).  Assumes
+    {!validate} passed. *)
+
+val exact_min : t -> int list
+(** A minimum cover by branch-and-bound (branching on the sets
+    containing the lowest uncovered element).  Assumes {!validate}
+    passed; exponential worst case. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/scheduler/certifier.ml: Dct_deletion Dct_graph Dct_txn List Scheduler_intf

@@ -1,0 +1,1 @@
+lib/scheduler/certifier.mli: Dct_deletion Dct_txn Scheduler_intf

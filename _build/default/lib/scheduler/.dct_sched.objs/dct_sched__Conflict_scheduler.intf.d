@@ -1,0 +1,1 @@
+lib/scheduler/conflict_scheduler.mli: Dct_deletion Dct_graph Dct_kv Dct_txn Scheduler_intf

@@ -1,0 +1,1 @@
+lib/scheduler/lock_2pl.ml: Dct_graph Dct_txn Hashtbl List Option Queue Scheduler_intf

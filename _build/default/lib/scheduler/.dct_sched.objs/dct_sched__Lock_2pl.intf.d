@@ -1,0 +1,1 @@
+lib/scheduler/lock_2pl.mli: Dct_txn Scheduler_intf

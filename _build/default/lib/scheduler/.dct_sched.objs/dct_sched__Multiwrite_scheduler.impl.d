@@ -1,0 +1,1 @@
+lib/scheduler/multiwrite_scheduler.ml: Dct_deletion Dct_graph Dct_kv Dct_txn List Option Printf Scheduler_intf

@@ -1,0 +1,1 @@
+lib/scheduler/multiwrite_scheduler.mli: Dct_deletion Dct_kv Dct_txn Scheduler_intf

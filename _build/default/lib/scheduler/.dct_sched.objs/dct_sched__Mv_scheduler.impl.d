@@ -1,0 +1,1 @@
+lib/scheduler/mv_scheduler.ml: Dct_kv Dct_txn Hashtbl List Option Scheduler_intf

@@ -1,0 +1,1 @@
+lib/scheduler/mv_scheduler.mli: Dct_kv Dct_txn Scheduler_intf

@@ -1,0 +1,1 @@
+lib/scheduler/predeclared_scheduler.ml: Dct_deletion Dct_graph Dct_txn Hashtbl List Printf Queue Scheduler_intf

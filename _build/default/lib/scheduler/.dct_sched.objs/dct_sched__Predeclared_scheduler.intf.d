@@ -1,0 +1,1 @@
+lib/scheduler/predeclared_scheduler.mli: Dct_deletion Dct_txn Scheduler_intf

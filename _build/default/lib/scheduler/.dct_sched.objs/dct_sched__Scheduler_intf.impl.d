@@ -1,0 +1,1 @@
+lib/scheduler/scheduler_intf.ml: Dct_txn Format

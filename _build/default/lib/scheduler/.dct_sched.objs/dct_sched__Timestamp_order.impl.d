@@ -1,0 +1,1 @@
+lib/scheduler/timestamp_order.ml: Dct_txn Hashtbl List Scheduler_intf

@@ -1,0 +1,1 @@
+lib/scheduler/timestamp_order.mli: Dct_txn Scheduler_intf

@@ -1,0 +1,54 @@
+(** The preventive conflict-graph scheduler of §2 with a pluggable
+    deletion policy — the paper's system, end to end.
+
+    Each incoming step is run through Rules 1–3 ({!Dct_deletion.Rules});
+    after every accepted step the deletion policy is applied to the
+    resulting reduced graph ([R_P] of §4).  With
+    [Policy.Unsafe_commit_time] the scheduler becomes the classic broken
+    strawman: it will accept non-CSR schedules (demonstrated in the test
+    suite), which is precisely the paper's motivation. *)
+
+type t
+
+val create :
+  ?policy:Dct_deletion.Policy.t ->
+  ?store:Dct_kv.Store.t ->
+  ?wal:Dct_kv.Wal.t ->
+  ?with_closure:bool ->
+  unit ->
+  t
+(** [policy] defaults to [No_deletion].  When [store] is given, accepted
+    reads/writes are applied to it (writes install a fresh value derived
+    from the scheduler's step counter).  When [wal] is given, the
+    scheduler journals begin/write/commit/abort records and advances the
+    log's low-water mark whenever the deletion policy forgets
+    transactions — the log-truncation reading of the paper.
+    [with_closure] switches the cycle-check engine to a maintained
+    transitive closure (the §3 remark) — identical decisions, different
+    cost profile (see the ablation benchmarks). *)
+
+val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
+
+val graph_state : t -> Dct_deletion.Graph_state.t
+(** The live reduced graph (read-only use). *)
+
+val stats : t -> Scheduler_intf.stats
+
+val collect_garbage : t -> Dct_graph.Intset.t
+(** Run the deletion policy once outside the step path.  Needed after
+    out-of-band aborts (e.g. a client voluntarily abandoning a
+    transaction through {!graph_state}): removing an active transaction
+    can only enlarge the eligible set. *)
+
+val deleted_log : t -> (int * Dct_graph.Intset.t) list
+(** [(step_number, deleted_set)] for every non-empty policy invocation,
+    oldest first. *)
+
+val handle :
+  ?policy:Dct_deletion.Policy.t ->
+  ?store:Dct_kv.Store.t ->
+  ?wal:Dct_kv.Wal.t ->
+  ?with_closure:bool ->
+  unit ->
+  Scheduler_intf.handle
+(** A fresh scheduler wrapped for the simulation driver. *)

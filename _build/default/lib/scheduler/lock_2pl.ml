@@ -1,0 +1,235 @@
+module Intset = Dct_graph.Intset
+module Digraph = Dct_graph.Digraph
+module Traversal = Dct_graph.Traversal
+module Step = Dct_txn.Step
+
+type lock = { mutable x_holder : int option; mutable s_holders : Intset.t }
+
+type request = Shared of int | Exclusive_all of int list
+
+type t = {
+  locks : (int, lock) Hashtbl.t;
+  held : (int, Intset.t) Hashtbl.t; (* txn -> entities it holds a lock on *)
+  queues : (int, request Queue.t) Hashtbl.t; (* txn -> blocked steps, FIFO *)
+  active : (int, unit) Hashtbl.t;
+  aborted : (int, unit) Hashtbl.t;
+  mutable committed : int;
+  mutable aborts : int;
+  mutable deadlocks : int;
+  mutable delayed_events : int;
+  mutable exec_log : Step.t list; (* granted operations, newest first *)
+}
+
+let create () =
+  {
+    locks = Hashtbl.create 64;
+    held = Hashtbl.create 64;
+    queues = Hashtbl.create 16;
+    active = Hashtbl.create 16;
+    aborted = Hashtbl.create 16;
+    committed = 0;
+    aborts = 0;
+    deadlocks = 0;
+    delayed_events = 0;
+    exec_log = [];
+  }
+
+let lock_of t e =
+  match Hashtbl.find_opt t.locks e with
+  | Some l -> l
+  | None ->
+      let l = { x_holder = None; s_holders = Intset.empty } in
+      Hashtbl.replace t.locks e l;
+      l
+
+let queue_of t txn =
+  match Hashtbl.find_opt t.queues txn with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queues txn q;
+      q
+
+let note_held t txn e =
+  let s = Option.value ~default:Intset.empty (Hashtbl.find_opt t.held txn) in
+  Hashtbl.replace t.held txn (Intset.add e s)
+
+(* Who currently prevents [txn] from acquiring [req]? *)
+let blockers t txn req =
+  match req with
+  | Shared e -> (
+      let l = lock_of t e in
+      match l.x_holder with
+      | Some h when h <> txn -> Intset.singleton h
+      | _ -> Intset.empty)
+  | Exclusive_all es ->
+      List.fold_left
+        (fun acc e ->
+          let l = lock_of t e in
+          let acc =
+            match l.x_holder with
+            | Some h when h <> txn -> Intset.add h acc
+            | _ -> acc
+          in
+          Intset.union acc (Intset.remove txn l.s_holders))
+        Intset.empty es
+
+let grant t txn req =
+  (match req with
+  | Shared e -> t.exec_log <- Step.Read (txn, e) :: t.exec_log
+  | Exclusive_all es -> t.exec_log <- Step.Write (txn, es) :: t.exec_log);
+  match req with
+  | Shared e ->
+      let l = lock_of t e in
+      if l.x_holder <> Some txn then l.s_holders <- Intset.add txn l.s_holders;
+      note_held t txn e
+  | Exclusive_all es ->
+      List.iter
+        (fun e ->
+          let l = lock_of t e in
+          l.s_holders <- Intset.remove txn l.s_holders;
+          l.x_holder <- Some txn;
+          note_held t txn e)
+        es
+
+let release_all t txn =
+  (match Hashtbl.find_opt t.held txn with
+  | Some es ->
+      Intset.iter
+        (fun e ->
+          let l = lock_of t e in
+          if l.x_holder = Some txn then l.x_holder <- None;
+          l.s_holders <- Intset.remove txn l.s_holders)
+        es
+  | None -> ());
+  Hashtbl.remove t.held txn
+
+(* Waits-for graph over currently blocked transactions. *)
+let waits_for t =
+  let g = Digraph.create () in
+  Hashtbl.iter
+    (fun txn q ->
+      if not (Queue.is_empty q) then begin
+        Digraph.add_node g txn;
+        Intset.iter
+          (fun h -> Digraph.add_arc g ~src:txn ~dst:h)
+          (blockers t txn (Queue.peek q))
+      end)
+    t.queues;
+  g
+
+let finish_commit t txn req =
+  grant t txn req;
+  (* Strict 2PL: the final write is the lock point and commit follows
+     immediately; release everything and forget the transaction. *)
+  release_all t txn;
+  Hashtbl.remove t.active txn;
+  Hashtbl.remove t.queues txn;
+  t.committed <- t.committed + 1
+
+let abort t txn =
+  release_all t txn;
+  Hashtbl.remove t.active txn;
+  Hashtbl.remove t.queues txn;
+  Hashtbl.replace t.aborted txn ();
+  t.aborts <- t.aborts + 1
+
+(* Retry blocked queues until fixpoint. *)
+let rec retry t =
+  let progress = ref false in
+  let entries = Hashtbl.fold (fun txn q acc -> (txn, q) :: acc) t.queues [] in
+  List.iter
+    (fun (txn, q) ->
+      let continue_txn = ref true in
+      while !continue_txn && not (Queue.is_empty q) do
+        let req = Queue.peek q in
+        if Intset.is_empty (blockers t txn req) then begin
+          ignore (Queue.pop q);
+          (match req with
+          | Shared _ -> grant t txn req
+          | Exclusive_all _ -> finish_commit t txn req);
+          progress := true;
+          if not (Hashtbl.mem t.active txn) then continue_txn := false
+        end
+        else continue_txn := false
+      done)
+    entries;
+  if !progress then retry t
+
+let resolve_deadlock t =
+  match Traversal.find_cycle (waits_for t) with
+  | None -> ()
+  | Some cycle ->
+      (* Abort the youngest (largest id) participant. *)
+      let victim = List.fold_left max min_int cycle in
+      t.deadlocks <- t.deadlocks + 1;
+      abort t victim;
+      retry t
+
+let submit t txn req =
+  let q = queue_of t txn in
+  if (not (Queue.is_empty q)) || not (Intset.is_empty (blockers t txn req)) then begin
+    Queue.push req q;
+    t.delayed_events <- t.delayed_events + 1;
+    resolve_deadlock t;
+    if Hashtbl.mem t.aborted txn then Scheduler_intf.Rejected
+    else Scheduler_intf.Delayed
+  end
+  else begin
+    (match req with
+    | Shared _ -> grant t txn req
+    | Exclusive_all _ -> finish_commit t txn req);
+    retry t;
+    Scheduler_intf.Accepted
+  end
+
+let step t s =
+  let txn = Step.txn s in
+  if Hashtbl.mem t.aborted txn then Scheduler_intf.Ignored
+  else
+    match s with
+    | Step.Begin _ ->
+        Hashtbl.replace t.active txn ();
+        Scheduler_intf.Accepted
+    | Step.Read (_, x) -> submit t txn (Shared x)
+    | Step.Write (_, xs) -> submit t txn (Exclusive_all xs)
+    | Step.Begin_declared _ | Step.Write_one _ | Step.Finish _ ->
+        invalid_arg "Lock_2pl.step: basic-model steps only"
+
+let drain t =
+  let before =
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0
+  in
+  retry t;
+  resolve_deadlock t;
+  retry t;
+  let after = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0 in
+  before - after
+
+let execution_log t = List.rev t.exec_log
+
+let resident_txns t = Hashtbl.length t.active
+
+let locks_held t =
+  Hashtbl.fold (fun _ es acc -> acc + Intset.cardinal es) t.held 0
+
+let stats t =
+  {
+    Scheduler_intf.resident_txns = resident_txns t;
+    resident_arcs = locks_held t;
+    active_txns = resident_txns t;
+    committed_total = t.committed;
+    aborted_total = t.aborts;
+    deleted_total = t.committed; (* every commit closes the transaction *)
+    delayed_now = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0;
+  }
+
+let handle () =
+  let t = create () in
+  {
+    Scheduler_intf.name = "2pl";
+    step = step t;
+    stats = (fun () -> stats t);
+    drain = (fun () -> drain t);
+    aborted_txn = (fun txn -> Hashtbl.mem t.aborted txn);
+  }

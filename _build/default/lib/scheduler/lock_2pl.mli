@@ -1,0 +1,36 @@
+(** Strict two-phase locking — the paper's contrast baseline.
+
+    §1: "If pure locking is used to control concurrency ... transactions
+    can be closed at commit time."  This scheduler holds shared locks
+    for reads and acquires all exclusive locks atomically at the final
+    write, releasing everything at commit; a committed transaction
+    leaves {e no} trace, so residency equals the number of active
+    transactions — the behaviour conflict-graph schedulers cannot have
+    without the deletion machinery of the paper.
+
+    Blocking is modelled with per-transaction FIFO queues ([Delayed]
+    outcome); deadlocks are detected on the waits-for graph and resolved
+    by aborting the youngest transaction on the cycle. *)
+
+type t
+
+val create : unit -> t
+
+val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
+
+val drain : t -> int
+(** Retry blocked steps until a fixpoint. *)
+
+val resident_txns : t -> int
+(** Number of transactions the scheduler still remembers — always the
+    active ones only. *)
+
+val locks_held : t -> int
+
+val execution_log : t -> Dct_txn.Step.t list
+(** The data operations in the order they were actually {e granted}
+    (blocked steps appear at grant time, not submission time).  This is
+    the schedule whose committed projection must be CSR. *)
+
+val stats : t -> Scheduler_intf.stats
+val handle : unit -> Scheduler_intf.handle

@@ -1,0 +1,39 @@
+(** The §5 multi-write conflict-graph scheduler.
+
+    Transactions interleave reads and writes freely, so a transaction
+    can read from a still-active one and become {e dependent} on it: if
+    the provider aborts, the dependent must abort too (cascading
+    aborts), and a finished transaction cannot commit until it depends
+    on no active transaction (state F, then C).
+
+    The scheduler maintains the conflict graph step-by-step exactly as
+    the basic one, plus the dependency relation (read-from) against a
+    versioned store; aborts undo the aborted transactions' writes and
+    cascade through the dependents' closure.
+
+    Deletion uses condition C3, which is NP-hard to test (Theorem 6) —
+    the policy is therefore bounded: it only runs the exact test while
+    the number of active transactions is at most a configurable cap. *)
+
+type deletion_mode =
+  | No_deletion
+  | C3_exact of int
+      (** run [Condition_c3] after each commit while [#actives ≤ cap] *)
+
+type t
+
+val create : ?deletion:deletion_mode -> ?store:Dct_kv.Store.t -> unit -> t
+
+val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
+(** [Rejected] covers both a cycle-closing step and a cascading abort
+    triggered by one (the stepping transaction's whole dependent closure
+    aborts with it). *)
+
+val graph_state : t -> Dct_deletion.Graph_state.t
+val stats : t -> Scheduler_intf.stats
+
+val cascaded_total : t -> int
+(** Transactions aborted {e because} a provider aborted (excludes the
+    provider itself). *)
+
+val handle : ?deletion:deletion_mode -> unit -> Scheduler_intf.handle

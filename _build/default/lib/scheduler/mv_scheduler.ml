@@ -1,0 +1,100 @@
+module Step = Dct_txn.Step
+module Mv = Dct_kv.Mv_store
+
+type t = {
+  vacuum : bool;
+  store : Mv.t;
+  ts : (int, int) Hashtbl.t; (* active txn -> timestamp *)
+  aborted : (int, unit) Hashtbl.t;
+  mutable clock : int;
+  mutable committed : int;
+  mutable aborts : int;
+  mutable reclaimed : int;
+}
+
+let create ?(vacuum = false) ?store () =
+  {
+    vacuum;
+    store = Option.value ~default:(Mv.create ()) store;
+    ts = Hashtbl.create 16;
+    aborted = Hashtbl.create 16;
+    clock = 0;
+    committed = 0;
+    aborts = 0;
+    reclaimed = 0;
+  }
+
+let store t = t.store
+
+let min_active_ts t =
+  Hashtbl.fold
+    (fun _ ts acc ->
+      match acc with Some m -> Some (min m ts) | None -> Some ts)
+    t.ts None
+
+let run_vacuum t =
+  if t.vacuum then begin
+    (* Horizon: nothing older than the oldest active can be read again;
+       with no actives, everything up to the clock is fair game. *)
+    let horizon = Option.value ~default:t.clock (min_active_ts t) in
+    t.reclaimed <- t.reclaimed + Mv.vacuum t.store ~min_active_ts:horizon
+  end
+
+let abort t txn =
+  Hashtbl.remove t.ts txn;
+  Hashtbl.replace t.aborted txn ();
+  t.aborts <- t.aborts + 1
+
+let step t s =
+  let txn = Step.txn s in
+  if Hashtbl.mem t.aborted txn then Scheduler_intf.Ignored
+  else
+    match s with
+    | Step.Begin _ ->
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.ts txn t.clock;
+        Scheduler_intf.Accepted
+    | Step.Read (_, x) ->
+        let ts = Hashtbl.find t.ts txn in
+        ignore (Mv.read t.store ~entity:x ~ts);
+        Scheduler_intf.Accepted
+    | Step.Write (_, xs) ->
+        let ts = Hashtbl.find t.ts txn in
+        if List.for_all (fun x -> Mv.write_allowed t.store ~entity:x ~ts) xs
+        then begin
+          List.iter (fun x -> Mv.install t.store ~entity:x ~ts ~value:ts) xs;
+          Hashtbl.remove t.ts txn;
+          t.committed <- t.committed + 1;
+          run_vacuum t;
+          Scheduler_intf.Accepted
+        end
+        else begin
+          abort t txn;
+          Scheduler_intf.Rejected
+        end
+    | Step.Begin_declared _ | Step.Write_one _ | Step.Finish _ ->
+        invalid_arg "Mv_scheduler.step: basic-model steps only"
+
+let versions_reclaimed t = t.reclaimed
+
+let stats t =
+  {
+    Scheduler_intf.resident_txns = Hashtbl.length t.ts;
+    resident_arcs = Mv.total_versions t.store;
+    active_txns = Hashtbl.length t.ts;
+    committed_total = t.committed;
+    aborted_total = t.aborts;
+    deleted_total = t.reclaimed;
+    delayed_now = 0;
+  }
+
+let handle ?vacuum () =
+  let t = create ?vacuum () in
+  {
+    Scheduler_intf.name =
+      (if t.vacuum then "mvto/vacuum" else "mvto/none");
+    step = step t;
+    stats = (fun () -> stats t);
+    drain = (fun () -> 0);
+    aborted_txn = (fun txn -> Hashtbl.mem t.aborted txn);
+  }

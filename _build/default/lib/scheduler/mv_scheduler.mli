@@ -1,0 +1,37 @@
+(** Multiversion timestamp ordering (MVTO) — the multiversion context
+    the paper's §1 cites ([BHR], [HP]).
+
+    Transactions are stamped at BEGIN.  Reads {e never} fail: a reader
+    observes the newest version older than itself.  The final atomic
+    write succeeds iff, for every written entity, no younger transaction
+    has already read the version the write would supersede; the new
+    versions carry the writer's timestamp.
+
+    The retention problem reappears in the version dimension: old
+    versions must be kept while a transaction that could still read them
+    is active.  With [vacuum = true] the scheduler reclaims, after every
+    commit, all versions invisible to the oldest active transaction —
+    the multiversion analogue of the paper's deletion conditions, and
+    like them it is exactly as aggressive as the long-running-reader
+    allows. *)
+
+type t
+
+val create : ?vacuum:bool -> ?store:Dct_kv.Mv_store.t -> unit -> t
+
+val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
+(** Basic-model steps.  Reads are always [Accepted]; a [Write] failing
+    the MVTO rule aborts the transaction ([Rejected]). *)
+
+val store : t -> Dct_kv.Mv_store.t
+
+val min_active_ts : t -> int option
+(** Oldest active transaction's timestamp (the vacuum horizon). *)
+
+val versions_reclaimed : t -> int
+
+val stats : t -> Scheduler_intf.stats
+(** [resident_arcs] reports the store's total version count — the
+    memory-residency axis for this scheduler. *)
+
+val handle : ?vacuum:bool -> unit -> Scheduler_intf.handle

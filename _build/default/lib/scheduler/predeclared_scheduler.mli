@@ -1,0 +1,42 @@
+(** The §5 predeclared-transactions conflict-graph scheduler
+    (Rules 1'–3').
+
+    Transactions declare their full read/write sets at BEGIN.  The
+    scheduler adds the conflict arc at the {e first} of two conflicting
+    steps: at BEGIN, arcs from every transaction that has already
+    executed a step conflicting with a declared future step; at each
+    data step, arcs from the stepping transaction to every transaction
+    that {e will} perform a conflicting step later.  A step whose arcs
+    would close a cycle is {e delayed} — queued and retried after
+    subsequent events — never aborted; the paper shows the waits-for
+    relation can never deadlock, which the implementation asserts.
+
+    A transaction completes (and, aborts being impossible, commits) when
+    it has performed every declared access.  Deletion uses condition C4
+    (polynomial, Theorem 7). *)
+
+type t
+
+val create : ?use_c4_deletion:bool -> unit -> t
+(** [use_c4_deletion] (default false) greedily deletes C4-eligible
+    completed transactions after each completion. *)
+
+val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
+(** [Delayed] means the step is queued inside the scheduler.  Steps must
+    stay within the declaration.  @raise Invalid_argument otherwise. *)
+
+val drain : t -> int
+(** Retry queued steps to a fixpoint; returns how many executed.  Once
+    every transaction's full declared step list has been submitted,
+    deadlock-freedom guarantees the queue flushes completely (checked by
+    the test-suite). *)
+
+val pending : t -> int
+
+val execution_log : t -> Dct_txn.Step.t list
+(** Data steps in actual execution order (delayed steps appear when they
+    finally ran); its projection on any transaction set must be CSR. *)
+
+val graph_state : t -> Dct_deletion.Graph_state.t
+val stats : t -> Scheduler_intf.stats
+val handle : ?use_c4_deletion:bool -> unit -> Scheduler_intf.handle

@@ -1,0 +1,58 @@
+(** The common vocabulary of all schedulers.
+
+    Every scheduler consumes steps and reports one of four outcomes.
+    [Delayed] only occurs in blocking schedulers (predeclared
+    conflict-graph, 2PL): the step was queued and will be retried
+    internally; the caller must not resubmit it.  A [stats] snapshot
+    exposes the memory-residency counters the experiments compare. *)
+
+type outcome =
+  | Accepted
+  | Rejected  (** the transaction was aborted (and, for 2PL/TO, may be restarted by the driver) *)
+  | Delayed   (** queued inside the scheduler; retried automatically *)
+  | Ignored   (** step of an already-aborted transaction *)
+
+let pp_outcome ppf o =
+  Format.pp_print_string ppf
+    (match o with
+    | Accepted -> "accepted"
+    | Rejected -> "rejected"
+    | Delayed -> "delayed"
+    | Ignored -> "ignored")
+
+type stats = {
+  resident_txns : int;  (** transactions currently remembered *)
+  resident_arcs : int;  (** arcs (or locks) currently held *)
+  active_txns : int;
+  committed_total : int;
+  aborted_total : int;
+  deleted_total : int;  (** transactions forgotten by the deletion policy *)
+  delayed_now : int;    (** steps currently waiting (blocking schedulers) *)
+}
+
+let zero_stats =
+  {
+    resident_txns = 0;
+    resident_arcs = 0;
+    active_txns = 0;
+    committed_total = 0;
+    aborted_total = 0;
+    deleted_total = 0;
+    delayed_now = 0;
+  }
+
+(** First-class scheduler handle, used by the simulation driver so that
+    heterogeneous schedulers can run under one loop. *)
+type handle = {
+  name : string;
+  step : Dct_txn.Step.t -> outcome;
+  stats : unit -> stats;
+  drain : unit -> int;
+      (** Give a blocking scheduler a chance to run queued steps to
+          completion at end of input; returns how many it flushed. *)
+  aborted_txn : int -> bool;
+      (** Was this transaction ever aborted?  Blocking schedulers can
+          victimise a transaction without any of its own submissions
+          returning [Rejected]; restart harnesses use this to classify
+          final outcomes. *)
+}

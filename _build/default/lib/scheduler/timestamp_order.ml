@@ -1,0 +1,98 @@
+module Step = Dct_txn.Step
+
+type entity_meta = { mutable rts : int; mutable wts : int }
+
+type t = {
+  meta : (int, entity_meta) Hashtbl.t;
+  ts : (int, int) Hashtbl.t; (* active txn -> timestamp *)
+  aborted : (int, unit) Hashtbl.t;
+  mutable clock : int;
+  mutable committed : int;
+  mutable aborts : int;
+}
+
+let create () =
+  {
+    meta = Hashtbl.create 64;
+    ts = Hashtbl.create 16;
+    aborted = Hashtbl.create 16;
+    clock = 0;
+    committed = 0;
+    aborts = 0;
+  }
+
+let meta_of t e =
+  match Hashtbl.find_opt t.meta e with
+  | Some m -> m
+  | None ->
+      let m = { rts = 0; wts = 0 } in
+      Hashtbl.replace t.meta e m;
+      m
+
+let abort t txn =
+  Hashtbl.remove t.ts txn;
+  Hashtbl.replace t.aborted txn ();
+  t.aborts <- t.aborts + 1
+
+let step t s =
+  let txn = Step.txn s in
+  if Hashtbl.mem t.aborted txn then Scheduler_intf.Ignored
+  else
+    match s with
+    | Step.Begin _ ->
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.ts txn t.clock;
+        Scheduler_intf.Accepted
+    | Step.Read (_, x) ->
+        let ts = Hashtbl.find t.ts txn in
+        let m = meta_of t x in
+        if ts < m.wts then begin
+          abort t txn;
+          Scheduler_intf.Rejected
+        end
+        else begin
+          m.rts <- max m.rts ts;
+          Scheduler_intf.Accepted
+        end
+    | Step.Write (_, xs) ->
+        let ts = Hashtbl.find t.ts txn in
+        let ok =
+          List.for_all
+            (fun x ->
+              let m = meta_of t x in
+              ts >= m.rts && ts >= m.wts)
+            xs
+        in
+        if ok then begin
+          List.iter (fun x -> (meta_of t x).wts <- ts) xs;
+          Hashtbl.remove t.ts txn;
+          t.committed <- t.committed + 1;
+          Scheduler_intf.Accepted
+        end
+        else begin
+          abort t txn;
+          Scheduler_intf.Rejected
+        end
+    | Step.Begin_declared _ | Step.Write_one _ | Step.Finish _ ->
+        invalid_arg "Timestamp_order.step: basic-model steps only"
+
+let stats t =
+  {
+    Scheduler_intf.resident_txns = Hashtbl.length t.ts;
+    resident_arcs = 0;
+    active_txns = Hashtbl.length t.ts;
+    committed_total = t.committed;
+    aborted_total = t.aborts;
+    deleted_total = t.committed;
+    delayed_now = 0;
+  }
+
+let handle () =
+  let t = create () in
+  {
+    Scheduler_intf.name = "timestamp";
+    step = step t;
+    stats = (fun () -> stats t);
+    drain = (fun () -> 0);
+    aborted_txn = (fun txn -> Hashtbl.mem t.aborted txn);
+  }

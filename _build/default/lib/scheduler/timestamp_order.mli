@@ -1,0 +1,15 @@
+(** Basic timestamp ordering — a second non-graph baseline.
+
+    Every transaction is stamped at BEGIN; a read is rejected when the
+    entity was already written by a younger timestamp, a write when the
+    entity was read or written by a younger timestamp.  Like locking,
+    the scheduler keeps only O(entities) metadata and forgets
+    transactions at commit — no deletion problem arises, at the price of
+    restart-heavy behaviour under contention. *)
+
+type t
+
+val create : unit -> t
+val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
+val stats : t -> Scheduler_intf.stats
+val handle : unit -> Scheduler_intf.handle

@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Dct_sched List Sys

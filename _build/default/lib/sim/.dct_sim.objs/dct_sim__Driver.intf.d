@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Dct_sched Dct_txn

@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Dct_deletion Dct_graph Dct_kv Dct_npc Dct_sched Dct_txn Dct_workload Driver List Metrics Printf Report Restart Sweep Sys

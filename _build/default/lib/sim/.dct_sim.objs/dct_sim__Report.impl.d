@@ -1,0 +1,1 @@
+lib/sim/report.ml: Buffer List Printf String

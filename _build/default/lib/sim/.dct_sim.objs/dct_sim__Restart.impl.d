@@ -1,0 +1,1 @@
+lib/sim/restart.ml: Dct_sched Dct_txn Format Hashtbl List Option Queue Sys

@@ -1,0 +1,1 @@
+lib/sim/restart.mli: Dct_sched Dct_txn Format

@@ -1,0 +1,1 @@
+lib/sim/sweep.ml: Dct_workload Driver List

@@ -1,0 +1,1 @@
+lib/sim/sweep.mli: Dct_sched Dct_workload Driver

@@ -1,0 +1,44 @@
+(** Feed a schedule to a scheduler and record what happened.
+
+    The driver is model-agnostic: it streams steps into any
+    {!Dct_sched.Scheduler_intf.handle}, samples residency on a fixed
+    cadence, drains blocking schedulers at end of input, and returns a
+    summary used by the experiment harness. *)
+
+type sample = {
+  at_step : int;
+  resident_txns : int;
+  resident_arcs : int;
+  active_txns : int;
+}
+
+type result = {
+  name : string;
+  steps : int;
+  accepted : int;
+  rejected : int;
+  delayed : int;
+  ignored : int;
+  final : Dct_sched.Scheduler_intf.stats;
+  peak_resident : int;
+  peak_arcs : int;
+  mean_resident : float;
+  samples : sample list;  (** oldest first *)
+  wall_seconds : float;
+}
+
+val run :
+  ?sample_every:int ->
+  Dct_sched.Scheduler_intf.handle ->
+  Dct_txn.Schedule.t ->
+  result
+(** [sample_every] defaults to 16 steps.  Residency peaks are tracked at
+    every step regardless of the sampling cadence. *)
+
+val run_fresh :
+  ?sample_every:int ->
+  (unit -> Dct_sched.Scheduler_intf.handle) list ->
+  Dct_txn.Schedule.t ->
+  result list
+(** Run the same schedule through several independently constructed
+    schedulers. *)

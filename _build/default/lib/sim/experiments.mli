@@ -1,0 +1,71 @@
+(** The per-experiment harness: one function per table/figure of
+    EXPERIMENTS.md (EX1–EX15; EX11's statistically robust timing half
+    lives in the Bechamel bench executable).
+
+    Each function prints its table/series to [oc] (stdout by default)
+    and returns nothing; all randomness is seeded, so output is stable.
+    [run_all] executes every experiment in order — this is what
+    [bench/main.exe] and [dct experiments] call. *)
+
+val ex1_example1 : ?oc:out_channel -> unit -> unit
+(** Example 1 / Figure 1: per-transaction verdicts, pair C2, and the
+    after-deletion flip. *)
+
+val ex2_lemma1 : ?oc:out_channel -> unit -> unit
+(** Lemma 1 over random prefixes: completed transactions without active
+    predecessors are always deletable, confirmed by the bounded oracle. *)
+
+val ex3_theorem1 : ?oc:out_channel -> unit -> unit
+(** Theorem 1 both directions on random prefixes: eligible transactions
+    never diverge (bounded oracle); stuck transactions always diverge on
+    the adversarial continuation. *)
+
+val ex4_corollary1 : ?oc:out_channel -> unit -> unit
+(** Corollary 1: noncurrent ⊆ C1-eligible, with population counts. *)
+
+val ex5_set_cover : ?oc:out_channel -> unit -> unit
+(** Theorem 5: per instance, minimum cover vs maximum safe deletion,
+    exact vs greedy. *)
+
+val ex6_residency_bound : ?oc:out_channel -> unit -> unit
+(** The a·e bound: sweep long-readers × entities, report the residency
+    ceiling of the irreducible graphs against a·e. *)
+
+val ex7_three_sat : ?oc:out_channel -> unit -> unit
+(** Theorem 6: DPLL verdict vs C3 deletability of the gadget's [C]. *)
+
+val ex8_example2 : ?oc:out_channel -> unit -> unit
+(** Example 2 / Figure 4: C4 verdicts including the clause-2 mechanism. *)
+
+val ex9_policy_series : ?oc:out_channel -> unit -> unit
+(** Residency-over-time series under the deletion policies (the
+    "figure" of the synthetic evaluation), plus the unsafe commit-time
+    strawman's CSR violation count. *)
+
+val ex10_scheduler_comparison : ?oc:out_channel -> unit -> unit
+(** Cross-scheduler table: SGT variants vs certifier vs 2PL vs TO on
+    the same workload — commits, aborts, residency, wall time. *)
+
+val ex11_complexity_table : ?oc:out_channel -> unit -> unit
+(** Measured C1/C2-check and deletion costs as the graph grows
+    (wall-clock medians; the statistically rigorous version is the
+    Bechamel suite in [bench/main.exe]). *)
+
+val ex12_log_truncation : ?oc:out_channel -> unit -> unit
+(** The log-truncation reading: WAL retention under each deletion
+    policy — deletion is what lets the log advance its low-water mark
+    past a long-running reader. *)
+
+val ex13_version_residency : ?oc:out_channel -> unit -> unit
+(** Multiversion (MVTO) analogue: version-chain residency with and
+    without vacuum, with and without long readers pinning the horizon. *)
+
+val ex14_goodput_with_restarts : ?oc:out_channel -> unit -> unit
+(** Cross-scheduler goodput when aborted transactions are retried (the
+    client-visible fairness axis missing from EX10's single-shot view). *)
+
+val ex15_sensitivity : ?oc:out_channel -> unit -> unit
+(** Sensitivity sweep: residency reduction of greedy C1 deletion across
+    skew, concurrency, database size and long-reader pressure. *)
+
+val run_all : ?oc:out_channel -> unit -> unit

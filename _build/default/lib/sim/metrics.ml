@@ -1,0 +1,39 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+        |> max 0 |> min (n - 1)
+      in
+      arr.(rank)
+
+let max_int_list = List.fold_left max 0
+
+let histogram ~buckets xs =
+  match xs with
+  | [] -> Array.make buckets (0.0, 0)
+  | _ ->
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0 in
+      let out = Array.init buckets (fun i -> (lo +. (float_of_int i *. width), 0)) in
+      List.iter
+        (fun x ->
+          let i =
+            min (buckets - 1) (int_of_float ((x -. lo) /. width))
+          in
+          let b, c = out.(i) in
+          out.(i) <- (b, c + 1))
+        xs;
+      out
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b

@@ -1,0 +1,19 @@
+(** Small summary-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val mean_int : int list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank on the
+    sorted sample; 0 on the empty list. *)
+
+val max_int_list : int list -> int
+(** 0 on the empty list. *)
+
+val histogram : buckets:int -> float list -> (float * int) array
+(** Equal-width buckets over the sample range: (lower bound, count). *)
+
+val ratio : int -> int -> float
+(** [ratio a b] = a/b as a float, 0 when [b = 0]. *)

@@ -1,0 +1,53 @@
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let rstrip s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render_table ~headers ~rows =
+  let ncols = List.length headers in
+  let rows =
+    List.map
+      (fun r ->
+        let len = List.length r in
+        if len < ncols then r @ List.init (ncols - len) (fun _ -> "") else r)
+      rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length h) rows)
+      headers
+  in
+  let line cells = rstrip (String.concat "  " (List.map2 pad cells widths)) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print_table ?(oc = stdout) ~headers rows =
+  output_string oc (render_table ~headers ~rows)
+
+let print_series ?(oc = stdout) ~title ~headers rows =
+  Printf.fprintf oc "%s\n" title;
+  print_table ~oc ~headers rows
+
+let fmt_float f = Printf.sprintf "%.2f" f
+
+let fmt_ratio f = Printf.sprintf "%.2fx" f
+
+let section ?(oc = stdout) title =
+  Printf.fprintf oc "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,28 @@
+(** Plain-text tables and series for the experiment harness.
+
+    Every experiment prints through this module so the bench output has
+    one consistent, diffable format. *)
+
+val render_table : headers:string list -> rows:string list list -> string
+(** Column-aligned table with a header rule.  Rows shorter than the
+    header are right-padded with empty cells. *)
+
+val print_table : ?oc:out_channel -> headers:string list -> string list list -> unit
+
+val print_series :
+  ?oc:out_channel ->
+  title:string ->
+  headers:string list ->
+  string list list ->
+  unit
+(** A titled table — used for the "figure" experiments whose output is a
+    data series rather than a summary row. *)
+
+val fmt_float : float -> string
+(** Fixed 2-decimal rendering used across tables. *)
+
+val fmt_ratio : float -> string
+(** e.g. ["3.17x"]. *)
+
+val section : ?oc:out_channel -> string -> unit
+(** Underlined section heading. *)

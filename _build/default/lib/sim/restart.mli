@@ -1,0 +1,37 @@
+(** Restart semantics on top of any scheduler.
+
+    The schedulers abort transactions; real clients resubmit them.  This
+    wrapper replays a basic-model schedule and, whenever a transaction is
+    aborted (its step rejected, or a later step ignored because a
+    blocking scheduler victimised it), re-enqueues the whole transaction
+    under a fresh id after the current stream, up to a retry budget.
+
+    This makes cross-scheduler comparisons fair on the axis that matters
+    to clients: {e goodput} — how many of the originally submitted
+    transactions eventually commit — and at what step-work cost. *)
+
+type result = {
+  name : string;
+  original_txns : int;
+  eventually_committed : int;  (** distinct originals that committed, any attempt *)
+  gave_up : int;               (** originals that exhausted the retry budget *)
+  attempts : int;              (** total transaction executions, retries included *)
+  steps_submitted : int;       (** total step submissions, retries included *)
+  peak_resident : int;
+  wall_seconds : float;
+}
+
+val goodput : result -> float
+(** [eventually_committed / original_txns]. *)
+
+val run :
+  ?max_attempts:int ->
+  Dct_sched.Scheduler_intf.handle ->
+  Dct_txn.Schedule.t ->
+  result
+(** [max_attempts] counts executions per original transaction (default
+    4: one initial try + three retries).  The schedule must be
+    basic-model and well-formed; retried transactions keep their step
+    sequence but run under fresh ids appended after the stream. *)
+
+val pp : Format.formatter -> result -> unit

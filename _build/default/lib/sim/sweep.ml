@@ -1,0 +1,16 @@
+type cell = {
+  label : string;
+  profile : Dct_workload.Generator.profile;
+  result : Driver.result;
+}
+
+let grid ?sample_every ~make ~cells () =
+  List.map
+    (fun (label, profile) ->
+      let schedule = Dct_workload.Generator.basic profile in
+      let result = Driver.run ?sample_every (make ()) schedule in
+      { label; profile; result })
+    cells
+
+let vary ~base modifiers =
+  List.map (fun (label, f) -> (label, f base)) modifiers

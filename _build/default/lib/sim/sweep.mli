@@ -1,0 +1,26 @@
+(** Parameter sweeps: run a scheduler factory over a grid of workload
+    profiles and collect one summary row per cell.
+
+    Used by the sensitivity experiment (EX15): how the deletion
+    conditions' effectiveness responds to contention (skew), concurrency
+    (mpl) and pinning (long readers). *)
+
+type cell = {
+  label : string;              (** grid-point description *)
+  profile : Dct_workload.Generator.profile;
+  result : Driver.result;
+}
+
+val grid :
+  ?sample_every:int ->
+  make:(unit -> Dct_sched.Scheduler_intf.handle) ->
+  cells:(string * Dct_workload.Generator.profile) list ->
+  unit ->
+  cell list
+(** Run each profile through a fresh scheduler. *)
+
+val vary :
+  base:Dct_workload.Generator.profile ->
+  (string * (Dct_workload.Generator.profile -> Dct_workload.Generator.profile)) list ->
+  (string * Dct_workload.Generator.profile) list
+(** Build grid cells by applying labelled modifiers to a base profile. *)

@@ -1,0 +1,1 @@
+lib/txn/access.ml: Dct_graph Format Int List Map

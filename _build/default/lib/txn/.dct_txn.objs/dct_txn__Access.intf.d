@@ -1,0 +1,1 @@
+lib/txn/access.mli: Dct_graph Format

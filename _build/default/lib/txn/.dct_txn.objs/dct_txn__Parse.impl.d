@@ -1,0 +1,1 @@
+lib/txn/parse.ml: Access Dct_graph List Option Printf Step String Symtab

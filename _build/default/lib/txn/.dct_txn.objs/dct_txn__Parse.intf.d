@@ -1,0 +1,1 @@
+lib/txn/parse.mli: Schedule Step Symtab

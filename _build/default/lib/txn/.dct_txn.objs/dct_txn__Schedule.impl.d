@@ -1,0 +1,1 @@
+lib/txn/schedule.ml: Access Dct_graph Format Hashtbl List Option Printf Step

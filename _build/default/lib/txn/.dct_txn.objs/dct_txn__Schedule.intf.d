@@ -1,0 +1,1 @@
+lib/txn/schedule.mli: Dct_graph Format Step

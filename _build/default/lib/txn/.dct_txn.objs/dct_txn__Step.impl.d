@@ -1,0 +1,1 @@
+lib/txn/step.ml: Access Format List String

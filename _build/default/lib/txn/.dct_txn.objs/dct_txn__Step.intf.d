@@ -1,0 +1,1 @@
+lib/txn/step.mli: Access Format

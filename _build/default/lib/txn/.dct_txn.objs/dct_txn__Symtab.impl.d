@@ -1,0 +1,1 @@
+lib/txn/symtab.ml: Array Hashtbl Printf

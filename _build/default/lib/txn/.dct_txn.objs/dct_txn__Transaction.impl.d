@@ -1,0 +1,1 @@
+lib/txn/transaction.ml: Access Format

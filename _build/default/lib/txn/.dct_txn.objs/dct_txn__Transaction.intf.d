@@ -1,0 +1,1 @@
+lib/txn/transaction.mli: Access Format

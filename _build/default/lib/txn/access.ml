@@ -1,0 +1,74 @@
+module Imap = Map.Make (Int)
+
+type mode = Read | Write
+
+let mode_equal a b = a = b
+
+let at_least_as_strong a b =
+  match (a, b) with Write, _ -> true | Read, Read -> true | Read, Write -> false
+
+let conflict a b = match (a, b) with Read, Read -> false | _ -> true
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf (match m with Read -> "r" | Write -> "w")
+
+type t = mode Imap.t
+
+let empty = Imap.empty
+let is_empty = Imap.is_empty
+
+let add t ~entity ~mode =
+  Imap.update entity
+    (function
+      | None -> Some mode
+      | Some old -> if at_least_as_strong old mode then Some old else Some mode)
+    t
+
+let find t ~entity = Imap.find_opt entity t
+let mem t ~entity = Imap.mem entity t
+
+let entities t = Imap.fold (fun e _ acc -> Dct_graph.Intset.add e acc) t Dct_graph.Intset.empty
+
+let reads t =
+  Imap.fold
+    (fun e m acc -> match m with Read -> Dct_graph.Intset.add e acc | Write -> acc)
+    t Dct_graph.Intset.empty
+
+let writes t =
+  Imap.fold
+    (fun e m acc -> match m with Write -> Dct_graph.Intset.add e acc | Read -> acc)
+    t Dct_graph.Intset.empty
+
+let union a b =
+  Imap.union
+    (fun _ m1 m2 -> Some (if at_least_as_strong m1 m2 then m1 else m2))
+    a b
+
+let conflicts_on a b =
+  Imap.fold
+    (fun e m acc ->
+      match Imap.find_opt e b with
+      | Some m' when conflict m m' -> e :: acc
+      | _ -> acc)
+    a []
+  |> List.rev
+
+let fold f t init = Imap.fold (fun entity mode acc -> f ~entity ~mode acc) t init
+let iter f t = Imap.iter (fun entity mode -> f ~entity ~mode) t
+let cardinal = Imap.cardinal
+
+let of_list l =
+  List.fold_left (fun acc (entity, mode) -> add acc ~entity ~mode) empty l
+
+let equal = Imap.equal mode_equal
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{";
+  let first = ref true in
+  iter
+    (fun ~entity ~mode ->
+      if not !first then Format.fprintf ppf ", ";
+      first := false;
+      Format.fprintf ppf "%a%d" pp_mode mode entity)
+    t;
+  Format.fprintf ppf "}@]"

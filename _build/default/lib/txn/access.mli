@@ -1,0 +1,56 @@
+(** Access modes and per-transaction access sets.
+
+    The paper orders accesses by strength: "a write access of an entity
+    ... is stronger than a read access".  Conditions C1–C4 all quantify
+    over "a transaction that accesses x {e at least as strongly}". *)
+
+type mode = Read | Write
+
+val mode_equal : mode -> mode -> bool
+
+val at_least_as_strong : mode -> mode -> bool
+(** [at_least_as_strong a b] — [a] is at least as strong as [b]:
+    [Write ≥ Write ≥ Read ≥ Read], [not (Read ≥ Write)]. *)
+
+val conflict : mode -> mode -> bool
+(** Two accesses to the same entity conflict iff at least one writes. *)
+
+val pp_mode : Format.formatter -> mode -> unit
+
+(** {1 Access sets}
+
+    A map from entity id to the strongest mode used on it. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : t -> entity:int -> mode:mode -> t
+(** Records an access; an existing weaker mode is upgraded, a stronger
+    one is kept. *)
+
+val find : t -> entity:int -> mode option
+val mem : t -> entity:int -> bool
+
+val reads : t -> Dct_graph.Intset.t
+(** Entities whose strongest recorded access is [Read]. *)
+
+val writes : t -> Dct_graph.Intset.t
+(** Entities written. *)
+
+val entities : t -> Dct_graph.Intset.t
+(** All accessed entities. *)
+
+val union : t -> t -> t
+(** Pointwise strongest mode. *)
+
+val conflicts_on : t -> t -> int list
+(** Entities on which the two access sets conflict. *)
+
+val fold : (entity:int -> mode:mode -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (entity:int -> mode:mode -> unit) -> t -> unit
+val cardinal : t -> int
+val of_list : (int * mode) list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

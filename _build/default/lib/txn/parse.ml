@@ -1,0 +1,112 @@
+type env = { txns : Symtab.t; entities : Symtab.t }
+
+let create_env () = { txns = Symtab.create (); entities = Symtab.create () }
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* "r:x,y" or "w:z" clauses of a declaration. *)
+let parse_decl_clause env acc clause =
+  match String.index_opt clause ':' with
+  | None -> Error (Printf.sprintf "malformed declaration clause %S" clause)
+  | Some i ->
+      let kind = String.sub clause 0 i in
+      let rest = String.sub clause (i + 1) (String.length clause - i - 1) in
+      let names = String.split_on_char ',' rest |> List.filter (( <> ) "") in
+      let mode =
+        match kind with
+        | "r" -> Some Access.Read
+        | "w" -> Some Access.Write
+        | _ -> None
+      in
+      (match mode with
+      | None -> Error (Printf.sprintf "unknown declaration kind %S" kind)
+      | Some mode ->
+          Ok
+            (List.fold_left
+               (fun acc n ->
+                 Access.add acc ~entity:(Symtab.intern env.entities n) ~mode)
+               acc names))
+
+let parse_line env line =
+  let line = strip_comment line in
+  match tokens line with
+  | [] -> Ok None
+  | verb :: args -> (
+      let txn name = Symtab.intern env.txns name in
+      let entity name = Symtab.intern env.entities name in
+      match (String.lowercase_ascii verb, args) with
+      | ("b" | "begin"), [ t ] -> Ok (Some (Step.Begin (txn t)))
+      | ("r" | "read"), [ t; x ] -> Ok (Some (Step.Read (txn t, entity x)))
+      | ("w" | "write"), t :: xs ->
+          Ok (Some (Step.Write (txn t, List.map entity xs)))
+      | ("w1" | "write1"), [ t; x ] -> Ok (Some (Step.Write_one (txn t, entity x)))
+      | ("f" | "finish"), [ t ] -> Ok (Some (Step.Finish (txn t)))
+      | ("bd" | "declare"), t :: clauses -> (
+          let acc =
+            List.fold_left
+              (fun acc clause ->
+                match acc with
+                | Error _ as e -> e
+                | Ok a -> parse_decl_clause env a clause)
+              (Ok Access.empty) clauses
+          in
+          match acc with
+          | Error e -> Error e
+          | Ok a -> Ok (Some (Step.Begin_declared (txn t, a))))
+      | _ -> Error (Printf.sprintf "cannot parse step %S" line))
+
+let parse env doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line env line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        | Ok None -> go (n + 1) acc rest
+        | Ok (Some step) -> go (n + 1) (step :: acc) rest)
+  in
+  go 1 [] lines
+
+let parse_exn env doc =
+  match parse env doc with Ok s -> s | Error e -> failwith e
+
+let txn_name env t =
+  Option.value ~default:(Printf.sprintf "T%d" t) (Symtab.name env.txns t)
+
+let entity_name env x =
+  Option.value ~default:(Printf.sprintf "e%d" x) (Symtab.name env.entities x)
+
+let unparse_step env = function
+  | Step.Begin t -> Printf.sprintf "b %s" (txn_name env t)
+  | Step.Read (t, x) -> Printf.sprintf "r %s %s" (txn_name env t) (entity_name env x)
+  | Step.Write (t, xs) ->
+      String.concat " " ("w" :: txn_name env t :: List.map (entity_name env) xs)
+  | Step.Write_one (t, x) ->
+      Printf.sprintf "w1 %s %s" (txn_name env t) (entity_name env x)
+  | Step.Finish t -> Printf.sprintf "f %s" (txn_name env t)
+  | Step.Begin_declared (t, a) ->
+      let names mode set =
+        Dct_graph.Intset.elements set
+        |> List.map (entity_name env)
+        |> String.concat ","
+        |> fun s -> Printf.sprintf "%s:%s" mode s
+      in
+      let clauses =
+        (if Dct_graph.Intset.is_empty (Access.reads a) then []
+         else [ names "r" (Access.reads a) ])
+        @
+        if Dct_graph.Intset.is_empty (Access.writes a) then []
+        else [ names "w" (Access.writes a) ]
+      in
+      String.concat " " (("bd" :: [ txn_name env t ]) @ clauses)
+
+let unparse env schedule =
+  String.concat "\n" (List.map (unparse_step env) schedule) ^ "\n"

@@ -1,0 +1,31 @@
+(** Text format for schedules, used by the CLI and example files.
+
+    One step per line; [#] starts a comment; blank lines are skipped.
+    Transaction and entity names are arbitrary tokens, interned to ids.
+
+    {v
+    b  T1              # BEGIN
+    r  T1 x            # T1 reads x
+    w  T1 x y          # final atomic write of x and y (completes T1)
+    w1 T2 x            # single write step (multi-write model)
+    f  T2              # T2 finishes (multi-write model)
+    bd T3 r:x,y w:z    # BEGIN with predeclared reads {x,y} and writes {z}
+    v}
+
+    Long forms [begin]/[read]/[write]/[write1]/[finish]/[declare] are
+    accepted too. *)
+
+type env = { txns : Symtab.t; entities : Symtab.t }
+
+val create_env : unit -> env
+
+val parse_line : env -> string -> (Step.t option, string) result
+(** [Ok None] for blank/comment lines. *)
+
+val parse : env -> string -> (Schedule.t, string) result
+(** Parse a whole document; errors are prefixed with the line number. *)
+
+val parse_exn : env -> string -> Schedule.t
+
+val unparse_step : env -> Step.t -> string
+val unparse : env -> Schedule.t -> string

@@ -1,0 +1,94 @@
+module Intset = Dct_graph.Intset
+module Digraph = Dct_graph.Digraph
+
+type t = Step.t list
+
+let txns s =
+  List.fold_left (fun acc step -> Intset.add (Step.txn step) acc) Intset.empty s
+
+let entities s =
+  List.fold_left
+    (fun acc step ->
+      List.fold_left (fun acc (x, _) -> Intset.add x acc) acc (Step.accesses step))
+    Intset.empty s
+
+let project s ~keep = List.filter (fun step -> keep (Step.txn step)) s
+
+let conflict_graph s =
+  let g = Digraph.create () in
+  (* Per entity, the history of (txn, mode) accesses in order. *)
+  let history : (int, (int * Access.mode) list) Hashtbl.t = Hashtbl.create 32 in
+  let record t x m =
+    let past = Option.value ~default:[] (Hashtbl.find_opt history x) in
+    List.iter
+      (fun (t', m') ->
+        if t' <> t && Access.conflict m' m then Digraph.add_arc g ~src:t' ~dst:t)
+      past;
+    Hashtbl.replace history x ((t, m) :: past)
+  in
+  List.iter
+    (fun step ->
+      Digraph.add_node g (Step.txn step);
+      List.iter (fun (x, m) -> record (Step.txn step) x m) (Step.accesses step))
+    s;
+  g
+
+let serialization_order s = Dct_graph.Traversal.topological_sort (conflict_graph s)
+
+let is_csr s = serialization_order s <> None
+
+let serial groups = List.concat_map snd groups
+
+let equivalent_serial s =
+  match serialization_order s with
+  | None -> None
+  | Some order ->
+      let steps_of t = List.filter (fun step -> Step.txn step = t) s in
+      Some (List.concat_map steps_of order)
+
+let completed_basic s =
+  List.fold_left
+    (fun acc step ->
+      match step with Step.Write (t, _) -> Intset.add t acc | _ -> acc)
+    Intset.empty s
+
+let active_basic s = Intset.diff (txns s) (completed_basic s)
+
+let well_formed_basic s =
+  let seen_begin = Hashtbl.create 16 in
+  let seen_write = Hashtbl.create 16 in
+  let rec check = function
+    | [] -> Ok ()
+    | step :: rest -> (
+        let t = Step.txn step in
+        let err msg = Error (Printf.sprintf "T%d: %s" t msg) in
+        if Hashtbl.mem seen_write t then err "step after final write"
+        else
+          match step with
+          | Step.Begin _ ->
+              if Hashtbl.mem seen_begin t then err "duplicate BEGIN"
+              else begin
+                Hashtbl.replace seen_begin t ();
+                check rest
+              end
+          | Step.Read _ ->
+              if not (Hashtbl.mem seen_begin t) then err "read before BEGIN"
+              else check rest
+          | Step.Write _ ->
+              if not (Hashtbl.mem seen_begin t) then err "write before BEGIN"
+              else begin
+                Hashtbl.replace seen_write t ();
+                check rest
+              end
+          | Step.Begin_declared _ -> err "predeclared step in basic schedule"
+          | Step.Write_one _ -> err "multi-write step in basic schedule"
+          | Step.Finish _ -> err "Finish step in basic schedule")
+  in
+  check s
+
+let pp ppf s =
+  Format.fprintf ppf "@[<hov 1>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Step.pp)
+    s
+
+let to_string s = Format.asprintf "%a" pp s

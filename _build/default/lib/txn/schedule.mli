@@ -1,0 +1,53 @@
+(** Schedules as plain step sequences, and the offline conflict graph.
+
+    A schedule here is syntax — a list of steps in arrival order.  The
+    {e online} behaviour (acceptance, abort, deletion) lives in the
+    schedulers; this module provides the textbook offline notions used to
+    cross-check them: the conflict graph [CG(S)] of a step sequence and
+    the conflict-serializability test. *)
+
+type t = Step.t list
+
+val txns : t -> Dct_graph.Intset.t
+(** All transaction ids mentioned. *)
+
+val entities : t -> Dct_graph.Intset.t
+(** All entity ids accessed. *)
+
+val project : t -> keep:(int -> bool) -> t
+(** Subsequence of the steps of transactions satisfying [keep] (the
+    paper's "accepted subschedule" when [keep] is "not aborted"). *)
+
+val conflict_graph : t -> Dct_graph.Digraph.t
+(** [CG(S)]: one node per mentioned transaction; an arc [Ti -> Tj]
+    whenever a step of [Ti] precedes a conflicting step of [Tj].  All
+    steps are taken at face value (no online aborts). *)
+
+val is_csr : t -> bool
+(** Acyclicity of {!conflict_graph} — conflict serializability. *)
+
+val serialization_order : t -> int list option
+(** A serial order witnessing CSR, or [None]. *)
+
+val serial : (int * Step.t list) list -> t
+(** [serial [t1, steps1; t2, steps2; ...]] concatenates per-transaction
+    step lists into a serial schedule. *)
+
+val equivalent_serial : t -> t option
+(** A serial schedule over the same transactions that is
+    conflict-equivalent to the input, when the input is CSR. *)
+
+val completed_basic : t -> Dct_graph.Intset.t
+(** Transactions whose final atomic write appears in the schedule
+    (basic-model "completed"). *)
+
+val active_basic : t -> Dct_graph.Intset.t
+(** Transactions begun but not completed (basic model). *)
+
+val well_formed_basic : t -> (unit, string) result
+(** Checks the basic-model shape: [Begin] first, then reads, then one
+    final write, nothing after it; no [Write_one]/[Finish]/
+    [Begin_declared]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

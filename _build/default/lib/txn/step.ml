@@ -1,0 +1,44 @@
+type t =
+  | Begin of int
+  | Begin_declared of int * Access.t
+  | Read of int * int
+  | Write of int * int list
+  | Write_one of int * int
+  | Finish of int
+
+let txn = function
+  | Begin t | Begin_declared (t, _) | Read (t, _) | Write (t, _)
+  | Write_one (t, _) | Finish t ->
+      t
+
+let accesses = function
+  | Begin _ | Begin_declared _ | Finish _ -> []
+  | Read (_, x) -> [ (x, Access.Read) ]
+  | Write (_, xs) -> List.map (fun x -> (x, Access.Write)) xs
+  | Write_one (_, x) -> [ (x, Access.Write) ]
+
+let completes_basic = function Write _ -> true | _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Begin t1, Begin t2 | Finish t1, Finish t2 -> t1 = t2
+  | Begin_declared (t1, a1), Begin_declared (t2, a2) -> t1 = t2 && Access.equal a1 a2
+  | Read (t1, x1), Read (t2, x2) | Write_one (t1, x1), Write_one (t2, x2) ->
+      t1 = t2 && x1 = x2
+  | Write (t1, xs1), Write (t2, xs2) -> t1 = t2 && xs1 = xs2
+  | ( ( Begin _ | Begin_declared _ | Read _ | Write _ | Write_one _
+      | Finish _ ),
+      _ ) ->
+      false
+
+let pp ppf = function
+  | Begin t -> Format.fprintf ppf "b(T%d)" t
+  | Begin_declared (t, a) -> Format.fprintf ppf "b(T%d:%a)" t Access.pp a
+  | Read (t, x) -> Format.fprintf ppf "r(T%d,%d)" t x
+  | Write (t, xs) ->
+      Format.fprintf ppf "W(T%d,[%s])" t
+        (String.concat ";" (List.map string_of_int xs))
+  | Write_one (t, x) -> Format.fprintf ppf "w(T%d,%d)" t x
+  | Finish t -> Format.fprintf ppf "f(T%d)" t
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,35 @@
+(** Transaction steps — the input alphabet of every scheduler.
+
+    The three transaction models of the paper share one step type:
+
+    - {e basic model} (§2): [Begin], any number of [Read]s, one final
+      atomic [Write] (which completes — and, reads being clean, commits —
+      the transaction).  A read-only transaction ends with [Write t []].
+    - {e multi-write model} (§5): [Begin], interleaved [Read]/[Write_one]
+      steps, and an explicit [Finish].  Commit happens later, once the
+      transaction no longer depends on active ones.
+    - {e predeclared model} (§5): [Begin_declared] carries the full
+      read/write sets; subsequent steps must stay inside the
+      declaration. *)
+
+type t =
+  | Begin of int                          (** BEGIN of transaction [t] *)
+  | Begin_declared of int * Access.t      (** BEGIN with predeclared access set *)
+  | Read of int * int                     (** [Read (t, x)]: [t] reads entity [x] *)
+  | Write of int * int list               (** final atomic write of all listed entities *)
+  | Write_one of int * int                (** single write step (multi-write model) *)
+  | Finish of int                         (** end of a multi-write transaction *)
+
+val txn : t -> int
+(** The transaction performing the step. *)
+
+val accesses : t -> (int * Access.mode) list
+(** Entity accesses performed by the step (empty for [Begin]/[Finish]). *)
+
+val completes_basic : t -> bool
+(** [true] for the steps that complete a transaction of the basic model
+    (the final atomic [Write]). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,33 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable count : int;
+}
+
+let create () = { by_name = Hashtbl.create 32; by_id = Array.make 16 ""; count = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id >= Array.length t.by_id then begin
+        let arr = Array.make (2 * Array.length t.by_id) "" in
+        Array.blit t.by_id 0 arr 0 id;
+        t.by_id <- arr
+      end;
+      t.by_id.(id) <- name;
+      t.count <- t.count + 1;
+      Hashtbl.replace t.by_name name id;
+      id
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let name t id = if id >= 0 && id < t.count then Some t.by_id.(id) else None
+
+let name_exn t id =
+  match name t id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Symtab.name_exn: unknown id %d" id)
+
+let count t = t.count

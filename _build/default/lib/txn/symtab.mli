@@ -1,0 +1,16 @@
+(** Bidirectional string↔int interning, used to map transaction and
+    entity names of the CLI text format to the dense int ids the engine
+    works with. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Returns the id of [name], allocating the next fresh id on first
+    sight. *)
+
+val find : t -> string -> int option
+val name : t -> int -> string option
+val name_exn : t -> int -> string
+val count : t -> int

@@ -1,0 +1,40 @@
+type state = Active | Finished | Committed | Aborted
+
+let is_completed = function Finished | Committed -> true | Active | Aborted -> false
+let is_active = function Active -> true | Finished | Committed | Aborted -> false
+
+let state_to_string = function
+  | Active -> "active"
+  | Finished -> "finished"
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+
+let pp_state ppf s = Format.pp_print_string ppf (state_to_string s)
+
+type t = {
+  id : int;
+  mutable state : state;
+  mutable accesses : Access.t;
+  mutable declared : Access.t option;
+}
+
+let create ?declared id = { id; state = Active; accesses = Access.empty; declared }
+
+let perform t ~entity ~mode = t.accesses <- Access.add t.accesses ~entity ~mode
+
+let future_accesses t =
+  match (t.state, t.declared) with
+  | Active, Some declared ->
+      Access.fold
+        (fun ~entity ~mode acc ->
+          let done_at_strength =
+            match Access.find t.accesses ~entity with
+            | Some m -> Access.at_least_as_strong m mode
+            | None -> false
+          in
+          if done_at_strength then acc else Access.add acc ~entity ~mode)
+        declared Access.empty
+  | _ -> Access.empty
+
+let pp ppf t =
+  Format.fprintf ppf "T%d[%a]%a" t.id pp_state t.state Access.pp t.accesses

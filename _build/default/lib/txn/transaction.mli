@@ -1,0 +1,40 @@
+(** Transaction records and lifecycle.
+
+    The paper distinguishes, at any point of a schedule (§5):
+    - type (A) {e active} — has not executed all its steps;
+    - type (F) {e finished} — executed all steps but still depends on
+      active transactions (multi-write model only);
+    - type (C) {e committed} — finished and dependency-free.
+
+    In the basic model writes are atomic at the end, so a transaction
+    jumps from [Active] straight to [Committed] ("transactions may commit
+    upon completion", §2) and "completed" means committed. *)
+
+type state = Active | Finished | Committed | Aborted
+
+val is_completed : state -> bool
+(** [Finished] or [Committed] — the paper's "completed". *)
+
+val is_active : state -> bool
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+
+type t = {
+  id : int;
+  mutable state : state;
+  mutable accesses : Access.t;  (** accesses performed so far *)
+  mutable declared : Access.t option;
+      (** full predeclared access set, when the model provides one *)
+}
+
+val create : ?declared:Access.t -> int -> t
+
+val perform : t -> entity:int -> mode:Access.mode -> unit
+(** Record an access just executed. *)
+
+val future_accesses : t -> Access.t
+(** Declared accesses not yet performed at the declared strength: the
+    "entities [T] will access in the future" of Rule 1'/C4.  Empty when
+    nothing was declared or the transaction is no longer active. *)
+
+val pp : Format.formatter -> t -> unit

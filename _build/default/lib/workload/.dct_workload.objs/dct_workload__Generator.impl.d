@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dct_txn Format Hashtbl List Prng Queue Zipf

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Dct_txn Format

@@ -1,0 +1,1 @@
+lib/workload/prng.ml: Array Fun Hashtbl Int64 List

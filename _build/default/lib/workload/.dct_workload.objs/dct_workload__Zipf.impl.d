@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Printf Prng String

@@ -1,0 +1,182 @@
+module Step = Dct_txn.Step
+module Access = Dct_txn.Access
+
+type profile = {
+  n_txns : int;
+  n_entities : int;
+  mpl : int;
+  reads_min : int;
+  reads_max : int;
+  writes_min : int;
+  writes_max : int;
+  read_only_fraction : float;
+  write_from_reads : float;
+  skew : string;
+  long_readers : int;
+  long_reader_step : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_txns = 200;
+    n_entities = 64;
+    mpl = 8;
+    reads_min = 2;
+    reads_max = 6;
+    writes_min = 1;
+    writes_max = 3;
+    read_only_fraction = 0.1;
+    write_from_reads = 0.7;
+    skew = "zipf:0.9";
+    long_readers = 0;
+    long_reader_step = 0.05;
+    seed = 42;
+  }
+
+let pp_profile ppf p =
+  Format.fprintf ppf
+    "txns=%d entities=%d mpl=%d reads=%d..%d writes=%d..%d ro=%.2f skew=%s \
+     long=%d seed=%d"
+    p.n_txns p.n_entities p.mpl p.reads_min p.reads_max p.writes_min
+    p.writes_max p.read_only_fraction p.skew p.long_readers p.seed
+
+(* A planned transaction: the entities it will read, in order, and the
+   entities of its final write set. *)
+type plan = { reads : int list; writes : int list }
+
+let dist_of p =
+  match Zipf.of_spec p.skew ~n:p.n_entities with
+  | Ok d -> d
+  | Error e -> invalid_arg ("Generator: " ^ e)
+
+let range rng lo hi = if hi <= lo then lo else lo + Prng.int rng (hi - lo + 1)
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    l
+
+let make_plan p dist rng =
+  let n_reads = range rng p.reads_min p.reads_max in
+  let reads = dedup (List.init n_reads (fun _ -> Zipf.sample dist rng)) in
+  let writes =
+    if Prng.bool rng ~p:p.read_only_fraction then []
+    else begin
+      let n_writes = range rng p.writes_min p.writes_max in
+      let reads_arr = Array.of_list reads in
+      dedup
+        (List.init n_writes (fun _ ->
+             if Array.length reads_arr > 0 && Prng.bool rng ~p:p.write_from_reads
+             then Prng.choose rng reads_arr
+             else Zipf.sample dist rng))
+    end
+  in
+  { reads; writes }
+
+(* The interleaving engine.  [render] turns a plan into that model's step
+   list (excluding Begin); long readers read one entity at a time and
+   complete only after every regular transaction has. *)
+let interleave p ~begin_step ~render ~finish_long =
+  let rng = Prng.create ~seed:p.seed in
+  let dist = dist_of p in
+  let steps = ref [] in
+  let emit s = steps := s :: !steps in
+  let next_txn = ref 0 in
+  let fresh_txn () =
+    incr next_txn;
+    !next_txn
+  in
+  (* Long readers: begin first, then receive single read steps. *)
+  let long_ids = List.init p.long_readers (fun _ -> fresh_txn ()) in
+  List.iter
+    (fun t ->
+      let plan =
+        { reads = List.init 64 (fun _ -> Zipf.sample dist rng); writes = [] }
+      in
+      emit (begin_step t plan))
+    long_ids;
+  let long_arr = Array.of_list long_ids in
+  let long_read t = emit (Step.Read (t, Zipf.sample dist rng)) in
+  (* Regular slots. *)
+  let slots = Queue.create () in
+  let started = ref 0 in
+  let activate () =
+    if !started < p.n_txns then begin
+      incr started;
+      let t = fresh_txn () in
+      let plan = make_plan p dist rng in
+      emit (begin_step t plan);
+      Queue.push (t, ref (render t plan)) slots
+    end
+  in
+  for _ = 1 to min p.mpl p.n_txns do
+    activate ()
+  done;
+  while not (Queue.is_empty slots) do
+    if Array.length long_arr > 0 && Prng.bool rng ~p:p.long_reader_step then
+      long_read (Prng.choose rng long_arr)
+    else begin
+      (* Rotate a uniformly chosen number of slots to vary interleaving. *)
+      let n = Queue.length slots in
+      for _ = 1 to Prng.int rng n do
+        Queue.push (Queue.pop slots) slots
+      done;
+      let t, remaining = Queue.pop slots in
+      match !remaining with
+      | [] -> activate () (* slot exhausted: refill *)
+      | step :: rest ->
+          emit step;
+          remaining := rest;
+          if rest = [] then begin
+            activate ()
+          end
+          else Queue.push (t, remaining) slots
+    end
+  done;
+  (* Long readers finish last. *)
+  List.iter (fun t -> emit (finish_long t)) long_ids;
+  List.rev !steps
+
+let basic p =
+  interleave p
+    ~finish_long:(fun t -> Step.Write (t, []))
+    ~begin_step:(fun t _ -> Step.Begin t)
+    ~render:(fun t plan ->
+      List.map (fun x -> Step.Read (t, x)) plan.reads
+      @ [ Step.Write (t, plan.writes) ])
+
+let multiwrite p =
+  interleave p
+    ~finish_long:(fun t -> Step.Finish t)
+    ~begin_step:(fun t _ -> Step.Begin t)
+    ~render:(fun t plan ->
+      List.map (fun x -> Step.Read (t, x)) plan.reads
+      @ List.map (fun x -> Step.Write_one (t, x)) plan.writes
+      @ [ Step.Finish t ])
+
+let declaration_of plan =
+  let acc =
+    List.fold_left
+      (fun acc x -> Access.add acc ~entity:x ~mode:Access.Read)
+      Access.empty plan.reads
+  in
+  List.fold_left
+    (fun acc x -> Access.add acc ~entity:x ~mode:Access.Write)
+    acc plan.writes
+
+let predeclared p =
+  if p.long_readers > 0 then
+    invalid_arg "Generator.predeclared: long readers unsupported (open-ended reads)";
+  interleave p
+    ~finish_long:(fun t -> Step.Finish t)
+    ~begin_step:(fun t plan -> Step.Begin_declared (t, declaration_of plan))
+    ~render:(fun t plan ->
+      List.map (fun x -> Step.Read (t, x)) plan.reads
+      @ List.map (fun x -> Step.Write_one (t, x)) plan.writes)

@@ -1,0 +1,37 @@
+(** Synthetic transaction workloads for all three models.
+
+    A profile fixes the shape (sizes, skew, multiprogramming level,
+    long-running readers) and a seed; generation is deterministic.  The
+    same profile can be rendered as a basic-model schedule (reads then
+    one atomic final write), a multi-write schedule (interleaved writes,
+    explicit [Finish]) or a predeclared schedule ([Begin_declared]).
+
+    Long-running readers are the adversarial ingredient the paper's
+    residency bound cares about: an active transaction that keeps
+    reading pins its tight successors in the graph. *)
+
+type profile = {
+  n_txns : int;           (** regular transactions to run to completion *)
+  n_entities : int;
+  mpl : int;              (** concurrent active regular transactions *)
+  reads_min : int;
+  reads_max : int;
+  writes_min : int;
+  writes_max : int;
+  read_only_fraction : float;  (** probability a transaction writes nothing *)
+  write_from_reads : float;    (** probability a written entity is one that was read *)
+  skew : string;               (** distribution spec, see {!Zipf.of_spec} *)
+  long_readers : int;          (** extra always-active readers, completing last *)
+  long_reader_step : float;    (** probability a given step goes to a long reader *)
+  seed : int;
+}
+
+val default : profile
+(** 200 txns, 64 entities, mpl 8, 2–6 reads, 1–3 writes, 10% read-only,
+    zipf:0.9, no long readers, seed 42. *)
+
+val basic : profile -> Dct_txn.Schedule.t
+val multiwrite : profile -> Dct_txn.Schedule.t
+val predeclared : profile -> Dct_txn.Schedule.t
+
+val pp_profile : Format.formatter -> profile -> unit

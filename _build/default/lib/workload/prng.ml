@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits so the value stays non-negative as a native int. *)
+  let r = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+  r mod bound
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t ~p = float t < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let sample_distinct t ~n ~bound =
+  if n >= bound then List.init bound Fun.id
+  else begin
+    let seen = Hashtbl.create n in
+    let rec go acc k =
+      if k = 0 then List.rev acc
+      else begin
+        let v = int t bound in
+        if Hashtbl.mem seen v then go acc k
+        else begin
+          Hashtbl.replace seen v ();
+          go (v :: acc) (k - 1)
+        end
+      end
+    in
+    go [] n
+  end
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,72 @@
+type shape =
+  | Uniform
+  | Zipf of float * float array (* theta, cdf *)
+  | Hotspot of float * float (* hot_fraction, hot_probability *)
+
+type t = { n : int; shape : shape }
+
+let uniform ~n =
+  if n <= 0 then invalid_arg "Zipf.uniform: n <= 0";
+  { n; shape = Uniform }
+
+let zipf ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.zipf: n <= 0";
+  if theta < 0.0 then invalid_arg "Zipf.zipf: negative theta";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { n; shape = Zipf (theta, cdf) }
+
+let hotspot ~n ~hot_fraction ~hot_probability =
+  if n <= 0 then invalid_arg "Zipf.hotspot: n <= 0";
+  if hot_fraction <= 0.0 || hot_fraction >= 1.0 then
+    invalid_arg "Zipf.hotspot: hot_fraction must be in (0,1)";
+  if hot_probability < 0.0 || hot_probability > 1.0 then
+    invalid_arg "Zipf.hotspot: hot_probability must be in [0,1]";
+  { n; shape = Hotspot (hot_fraction, hot_probability) }
+
+let support t = t.n
+
+let sample t rng =
+  match t.shape with
+  | Uniform -> Prng.int rng t.n
+  | Zipf (_, cdf) ->
+      let u = Prng.float rng in
+      (* First index with cdf >= u. *)
+      let lo = ref 0 and hi = ref (t.n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      !lo
+  | Hotspot (frac, prob) ->
+      let hot = max 1 (int_of_float (frac *. float_of_int t.n)) in
+      if hot >= t.n then Prng.int rng t.n
+      else if Prng.bool rng ~p:prob then Prng.int rng hot
+      else hot + Prng.int rng (t.n - hot)
+
+let spec t =
+  match t.shape with
+  | Uniform -> "uniform"
+  | Zipf (theta, _) -> Printf.sprintf "zipf(%.2f)" theta
+  | Hotspot (f, p) -> Printf.sprintf "hotspot(%.2f,%.2f)" f p
+
+let of_spec s ~n =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "uniform" ] -> Ok (uniform ~n)
+  | [ "zipf"; theta ] -> (
+      match float_of_string_opt theta with
+      | Some theta -> Ok (zipf ~n ~theta)
+      | None -> Error (Printf.sprintf "bad zipf theta %S" theta))
+  | [ "hotspot"; f; p ] -> (
+      match (float_of_string_opt f, float_of_string_opt p) with
+      | Some f, Some p -> Ok (hotspot ~n ~hot_fraction:f ~hot_probability:p)
+      | _ -> Error "bad hotspot parameters")
+  | _ -> Error (Printf.sprintf "unknown distribution %S" s)

@@ -1,0 +1,31 @@
+(** Entity-selection distributions.
+
+    The paper never fixes a workload; skewed access is the regime where
+    deletion matters most (hot entities are overwritten quickly, making
+    old transactions noncurrent; cold entities pin transactions), so the
+    generators support the three standard shapes. *)
+
+type t
+
+val uniform : n:int -> t
+(** Uniform over [\[0, n)]. *)
+
+val zipf : n:int -> theta:float -> t
+(** Zipfian with exponent [theta] ([theta = 0] degenerates to uniform;
+    typical OLTP skew is 0.8–1.2).  CDF precomputed; sampling is a
+    binary search.  @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val hotspot : n:int -> hot_fraction:float -> hot_probability:float -> t
+(** With probability [hot_probability] pick uniformly inside the first
+    [hot_fraction · n] entities, otherwise uniformly among the rest. *)
+
+val sample : t -> Prng.t -> int
+
+val support : t -> int
+(** The [n] the distribution ranges over. *)
+
+val of_spec : string -> n:int -> (t, string) result
+(** Parse ["uniform" | "zipf:<theta>" | "hotspot:<frac>:<prob>"]. *)
+
+val spec : t -> string
+(** Human-readable description ("zipf(0.99)" etc.). *)

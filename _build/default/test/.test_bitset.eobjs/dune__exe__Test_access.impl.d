@@ -1,0 +1,1 @@
+test/test_access.ml: Alcotest Dct_graph Dct_txn

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Dct_graph List

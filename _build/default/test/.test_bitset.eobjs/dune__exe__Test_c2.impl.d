@@ -1,0 +1,1 @@
+test/test_c2.ml: Alcotest Array Dct_deletion Dct_graph Dct_workload List Printf

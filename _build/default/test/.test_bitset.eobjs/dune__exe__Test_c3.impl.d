@@ -1,0 +1,1 @@
+test/test_c3.ml: Alcotest Dct_deletion Dct_graph Dct_txn List

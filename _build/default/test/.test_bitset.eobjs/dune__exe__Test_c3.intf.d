@@ -1,0 +1,1 @@
+test/test_c3.mli:

@@ -1,0 +1,1 @@
+test/test_closure.ml: Alcotest Dct_graph Dct_workload List Printf

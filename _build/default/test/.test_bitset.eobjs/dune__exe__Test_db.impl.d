@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Dct_db Dct_deletion Dct_kv Dct_workload Printf

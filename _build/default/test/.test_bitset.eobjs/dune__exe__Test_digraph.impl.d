@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Dct_graph

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dct_sim Filename Fun List String Sys

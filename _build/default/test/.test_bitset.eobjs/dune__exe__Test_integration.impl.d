@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dct_deletion Dct_graph Dct_npc Dct_sched Dct_txn Format List Printf

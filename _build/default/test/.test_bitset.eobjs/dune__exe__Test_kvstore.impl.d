@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Dct_graph Dct_kv

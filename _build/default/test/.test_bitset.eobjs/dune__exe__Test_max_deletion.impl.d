@@ -1,0 +1,1 @@
+test/test_max_deletion.ml: Alcotest Array Dct_deletion Dct_graph Dct_txn Dct_workload Printf

@@ -1,0 +1,1 @@
+test/test_max_deletion.mli:

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Dct_deletion Dct_graph Dct_sched Dct_sim Dct_txn Dct_workload Format Fun List Printf String

@@ -1,0 +1,1 @@
+test/test_mvto.ml: Alcotest Dct_kv Dct_sched Dct_txn Dct_workload Fun List Printf

@@ -1,0 +1,1 @@
+test/test_online_reduction.ml: Alcotest Dct_deletion Dct_graph Dct_sched Dct_txn Dct_workload List Printf

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Dct_graph Dct_workload

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Dct_graph Dct_txn List Result String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Dct_deletion Dct_graph Dct_kv Dct_sched Dct_txn Dct_workload List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reduction_cover.ml: Alcotest Array Dct_deletion Dct_graph Dct_npc Fun List Printf

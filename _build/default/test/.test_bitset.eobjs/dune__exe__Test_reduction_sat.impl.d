@@ -1,0 +1,1 @@
+test/test_reduction_sat.ml: Alcotest Array Dct_deletion Dct_graph Dct_npc Dct_txn List Printf

@@ -1,0 +1,1 @@
+test/test_restart.ml: Alcotest Dct_deletion Dct_sched Dct_sim Dct_txn Dct_workload List

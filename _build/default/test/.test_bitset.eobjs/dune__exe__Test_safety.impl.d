@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Dct_deletion Dct_graph Dct_txn Dct_workload List Printf

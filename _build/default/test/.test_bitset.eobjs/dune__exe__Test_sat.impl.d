@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dct_npc Dct_workload List

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Dct_graph Dct_txn List Result

@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Dct_deletion Dct_graph Dct_sched Dct_txn Dct_workload Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_set_cover.ml: Alcotest Dct_npc Dct_workload Fun List Result

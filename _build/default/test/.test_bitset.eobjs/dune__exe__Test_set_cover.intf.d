@@ -1,0 +1,1 @@
+test/test_set_cover.mli:

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dct_deletion Dct_sched Dct_sim Dct_workload List String

@@ -1,0 +1,1 @@
+test/test_tightness.ml: Alcotest Dct_deletion Dct_graph Dct_txn List

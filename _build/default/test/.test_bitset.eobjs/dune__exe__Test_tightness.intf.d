@@ -1,0 +1,1 @@
+test/test_tightness.mli:

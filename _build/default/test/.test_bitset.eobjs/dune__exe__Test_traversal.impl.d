@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Dct_graph List

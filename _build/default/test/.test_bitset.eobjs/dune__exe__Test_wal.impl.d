@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Dct_deletion Dct_graph Dct_kv Dct_sched Dct_workload Format List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dct_graph Dct_txn Dct_workload Format Fun Hashtbl List Printf Result String

@@ -1,0 +1,66 @@
+module A = Dct_txn.Access
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+
+let test_strength () =
+  check "w >= r" true (A.at_least_as_strong A.Write A.Read);
+  check "w >= w" true (A.at_least_as_strong A.Write A.Write);
+  check "r >= r" true (A.at_least_as_strong A.Read A.Read);
+  check "r < w" false (A.at_least_as_strong A.Read A.Write)
+
+let test_conflict () =
+  check "rr no" false (A.conflict A.Read A.Read);
+  check "rw yes" true (A.conflict A.Read A.Write);
+  check "wr yes" true (A.conflict A.Write A.Read);
+  check "ww yes" true (A.conflict A.Write A.Write)
+
+let test_upgrade () =
+  let a = A.add A.empty ~entity:1 ~mode:A.Read in
+  let a = A.add a ~entity:1 ~mode:A.Write in
+  check "upgraded" true (A.find a ~entity:1 = Some A.Write);
+  (* A later read does not downgrade. *)
+  let a = A.add a ~entity:1 ~mode:A.Read in
+  check "not downgraded" true (A.find a ~entity:1 = Some A.Write);
+  Alcotest.(check int) "one entity" 1 (A.cardinal a)
+
+let test_reads_writes_partition () =
+  let a = A.of_list [ (1, A.Read); (2, A.Write); (3, A.Read); (3, A.Write) ] in
+  Alcotest.(check (list int)) "reads" [ 1 ] (Intset.to_sorted_list (A.reads a));
+  Alcotest.(check (list int)) "writes" [ 2; 3 ] (Intset.to_sorted_list (A.writes a));
+  Alcotest.(check (list int)) "entities" [ 1; 2; 3 ]
+    (Intset.to_sorted_list (A.entities a))
+
+let test_union () =
+  let a = A.of_list [ (1, A.Read); (2, A.Write) ] in
+  let b = A.of_list [ (1, A.Write); (3, A.Read) ] in
+  let u = A.union a b in
+  check "1 strongest" true (A.find u ~entity:1 = Some A.Write);
+  check "2 kept" true (A.find u ~entity:2 = Some A.Write);
+  check "3 kept" true (A.find u ~entity:3 = Some A.Read)
+
+let test_conflicts_on () =
+  let a = A.of_list [ (1, A.Read); (2, A.Write); (4, A.Read) ] in
+  let b = A.of_list [ (1, A.Write); (2, A.Read); (4, A.Read); (9, A.Write) ] in
+  Alcotest.(check (list int)) "conflicting entities" [ 1; 2 ] (A.conflicts_on a b)
+
+let test_equal () =
+  let a = A.of_list [ (1, A.Read) ] in
+  check "equal" true (A.equal a (A.of_list [ (1, A.Read) ]));
+  check "mode matters" false (A.equal a (A.of_list [ (1, A.Write) ]))
+
+let () =
+  Alcotest.run "access"
+    [
+      ( "access",
+        [
+          Alcotest.test_case "strength order" `Quick test_strength;
+          Alcotest.test_case "conflict relation" `Quick test_conflict;
+          Alcotest.test_case "mode upgrade" `Quick test_upgrade;
+          Alcotest.test_case "reads/writes partition" `Quick
+            test_reads_writes_partition;
+          Alcotest.test_case "union strongest" `Quick test_union;
+          Alcotest.test_case "conflicts_on" `Quick test_conflicts_on;
+          Alcotest.test_case "equality" `Quick test_equal;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+module B = Dct_graph.Bitset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_basic () =
+  let b = B.create () in
+  check "empty" true (B.is_empty b);
+  B.add b 3;
+  B.add b 200;
+  B.add b 3;
+  check "mem 3" true (B.mem b 3);
+  check "mem 200" true (B.mem b 200);
+  check "not mem 4" false (B.mem b 4);
+  check "not mem negative" false (B.mem b (-1));
+  check_int "cardinal" 2 (B.cardinal b);
+  B.remove b 3;
+  check "removed" false (B.mem b 3);
+  check_int "cardinal after remove" 1 (B.cardinal b);
+  B.remove b 100000 (* out of range: no-op *)
+
+let test_elements_sorted () =
+  let b = B.create () in
+  List.iter (B.add b) [ 500; 1; 63; 64; 65; 0 ];
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 63; 64; 65; 500 ] (B.elements b)
+
+let test_union_into () =
+  let a = B.create () and b = B.create () in
+  List.iter (B.add a) [ 1; 2 ];
+  List.iter (B.add b) [ 2; 300 ];
+  check "changed" true (B.union_into ~into:a b);
+  Alcotest.(check (list int)) "union" [ 1; 2; 300 ] (B.elements a);
+  check "idempotent" false (B.union_into ~into:a b)
+
+let test_inter_card () =
+  let a = B.create () and b = B.create () in
+  List.iter (B.add a) [ 1; 2; 64; 999 ];
+  List.iter (B.add b) [ 2; 64; 1000 ];
+  check_int "intersection" 2 (B.inter_card a b)
+
+let test_copy_independent () =
+  let a = B.create () in
+  B.add a 7;
+  let b = B.copy a in
+  B.add b 8;
+  check "original unchanged" false (B.mem a 8);
+  check "copy has both" true (B.mem b 7 && B.mem b 8)
+
+let test_clear () =
+  let a = B.create () in
+  List.iter (B.add a) [ 5; 50; 500 ];
+  B.clear a;
+  check "cleared" true (B.is_empty a)
+
+let test_negative_add () =
+  let a = B.create () in
+  Alcotest.check_raises "negative add" (Invalid_argument "Bitset.add: negative index")
+    (fun () -> B.add a (-1))
+
+let test_fold () =
+  let a = B.create () in
+  List.iter (B.add a) [ 1; 2; 3 ];
+  check_int "fold sum" 6 (B.fold ( + ) a 0)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "add/mem/remove/cardinal" `Quick test_basic;
+          Alcotest.test_case "elements sorted" `Quick test_elements_sorted;
+          Alcotest.test_case "union_into" `Quick test_union_into;
+          Alcotest.test_case "inter_card" `Quick test_inter_card;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "negative index rejected" `Quick test_negative_add;
+          Alcotest.test_case "fold" `Quick test_fold;
+        ] );
+    ]

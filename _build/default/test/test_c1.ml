@@ -1,0 +1,121 @@
+(* Condition C1 (Theorem 1/3), Corollary 1, and Example 1 / Figure 1. *)
+
+module Intset = Dct_graph.Intset
+module Digraph = Dct_graph.Digraph
+module C1 = Dct_deletion.Condition_c1
+module C2 = Dct_deletion.Condition_c2
+module Gallery = Dct_deletion.Paper_gallery
+module Reduced = Dct_deletion.Reduced_graph
+module Gs = Dct_deletion.Graph_state
+module Safety = Dct_deletion.Safety
+
+let check = Alcotest.(check bool)
+
+let ex1 () = Gallery.example1 ()
+
+let test_fig1_graph () =
+  let e = ex1 () in
+  let g = Gs.graph e.Gallery.gs1 in
+  check "T1 -> T2" true (Digraph.mem_arc g ~src:e.t1 ~dst:e.t2);
+  check "T2 -> T3" true (Digraph.mem_arc g ~src:e.t2 ~dst:e.t3);
+  check "T1 -> T3" true (Digraph.mem_arc g ~src:e.t1 ~dst:e.t3);
+  Alcotest.(check int) "3 arcs" 3 (Digraph.arc_count g);
+  check "T1 active" true (Gs.is_active e.gs1 e.t1);
+  check "T2 completed" true (Gs.is_completed e.gs1 e.t2);
+  check "T3 completed" true (Gs.is_completed e.gs1 e.t3)
+
+let test_example1_c1 () =
+  let e = ex1 () in
+  check "T2 satisfies C1" true (C1.holds e.Gallery.gs1 e.t2);
+  check "T3 satisfies C1" true (C1.holds e.gs1 e.t3);
+  check "T1 is active, not eligible" false
+    (Intset.mem e.t1 (C1.eligible e.gs1))
+
+let test_example1_not_both () =
+  let e = ex1 () in
+  check "{T2,T3} violates C2" false
+    (C2.holds e.Gallery.gs1 (Intset.of_list [ e.t2; e.t3 ]));
+  check "{T2} alone fine" true (C2.holds e.gs1 (Intset.singleton e.t2));
+  check "{T3} alone fine" true (C2.holds e.gs1 (Intset.singleton e.t3))
+
+let test_example1_after_deleting_t3 () =
+  let e = ex1 () in
+  let gs = Gs.copy e.Gallery.gs1 in
+  Reduced.delete gs e.t3;
+  check "after deleting T3, T2 loses C1" false (C1.holds gs e.t2);
+  (* And the safety oracle agrees: deleting T2 now diverges. *)
+  match Safety.search ~depth:2 gs ~deleted:(Intset.singleton e.t2) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a diverging continuation"
+
+let test_example1_deleting_either_safe () =
+  let e = ex1 () in
+  List.iter
+    (fun t ->
+      match
+        Safety.search ~depth:3 e.Gallery.gs1 ~deleted:(Intset.singleton t)
+      with
+      | None -> ()
+      | Some d ->
+          Alcotest.failf "deleting T%d should be safe, diverged at step %d" t
+            d.Safety.step_index)
+    [ e.t2; e.t3 ]
+
+let test_example1_noncurrent () =
+  let e = ex1 () in
+  check "T2 noncurrent" true (C1.noncurrent e.Gallery.gs1 e.t2);
+  check "T3 current" false (C1.noncurrent e.gs1 e.t3)
+
+let test_adversarial_continuation () =
+  (* Build a state where C1 fails: T1 active reads x; T2 reads z and
+     writes x, completes.  Witness (T1, z): no completed tight successor
+     of T1 accesses z. *)
+  let open Dct_txn.Step in
+  let gs = Gs.create () in
+  let steps =
+    [ Begin 1; Read (1, 0); Begin 2; Read (2, 1); Write (2, [ 0 ]) ]
+  in
+  List.iter (fun s -> ignore (Dct_deletion.Rules.apply gs s)) steps;
+  check "T2 fails C1" false (C1.holds gs 2);
+  match C1.adversarial_continuation gs 2 ~fresh_txn:99 ~fresh_entity:50 with
+  | None -> Alcotest.fail "expected an adversarial continuation"
+  | Some r -> (
+      match Safety.replay gs ~deleted:(Intset.singleton 2) r with
+      | Some _ -> ()
+      | None -> Alcotest.fail "adversarial continuation did not diverge")
+
+let test_lemma1_no_active_preds () =
+  (* A completed transaction with no active predecessor is trivially
+     deletable (C1 vacuous) and the oracle finds no divergence. *)
+  let open Dct_txn.Step in
+  let gs = Gs.create () in
+  List.iter
+    (fun s -> ignore (Dct_deletion.Rules.apply gs s))
+    [ Begin 1; Read (1, 0); Write (1, [ 1 ]); Begin 2; Read (2, 5) ];
+  check "T1 satisfies C1" true (C1.holds gs 1);
+  match Safety.search ~depth:3 gs ~deleted:(Intset.singleton 1) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Lemma 1 deletion diverged"
+
+let () =
+  Alcotest.run "condition_c1"
+    [
+      ( "example1",
+        [
+          Alcotest.test_case "figure 1 graph" `Quick test_fig1_graph;
+          Alcotest.test_case "T2 and T3 satisfy C1" `Quick test_example1_c1;
+          Alcotest.test_case "cannot delete both" `Quick test_example1_not_both;
+          Alcotest.test_case "after T3, T2 stuck" `Quick
+            test_example1_after_deleting_t3;
+          Alcotest.test_case "either deletion safe (oracle)" `Slow
+            test_example1_deleting_either_safe;
+          Alcotest.test_case "noncurrency" `Quick test_example1_noncurrent;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "necessity construction" `Quick
+            test_adversarial_continuation;
+          Alcotest.test_case "lemma 1 vacuous case" `Quick
+            test_lemma1_no_active_preds;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Condition C2 (Theorem 4): set deletion, order-independence, and the
+   precomputed requirements form. *)
+
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C1 = Dct_deletion.Condition_c1
+module C2 = Dct_deletion.Condition_c2
+module Reduced = Dct_deletion.Reduced_graph
+module Rules = Dct_deletion.Rules
+module Gallery = Dct_deletion.Paper_gallery
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let random_state seed n_txns =
+  let profile =
+    { Gen.default with Gen.n_txns; n_entities = 8; mpl = 4; seed }
+  in
+  let gs = Gs.create () in
+  ignore (Rules.apply_all gs (Gen.basic profile));
+  gs
+
+let test_c2_singleton_equals_c1 () =
+  for seed = 1 to 10 do
+    let gs = random_state seed 15 in
+    Intset.iter
+      (fun ti ->
+        check
+          (Printf.sprintf "seed %d T%d" seed ti)
+          (C1.holds gs ti)
+          (C2.holds gs (Intset.singleton ti)))
+      (Gs.completed_txns gs)
+  done
+
+let test_c2_downward_closed () =
+  for seed = 1 to 10 do
+    let gs = random_state seed 12 in
+    let m = Intset.to_sorted_list (C1.eligible gs) in
+    (* If a pair is jointly safe, each singleton is too (downward
+       closure of C2). *)
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b && C2.holds gs (Intset.of_list [ a; b ]) then begin
+              check "left member" true (C2.holds gs (Intset.singleton a));
+              check "right member" true (C2.holds gs (Intset.singleton b))
+            end)
+          m)
+      m
+  done
+
+let test_c2_equals_sequential_deletion () =
+  (* Theorem 4: C2 holds for N iff deleting N one-by-one keeps each
+     step's C1 valid in the intermediate graph, in any order. *)
+  for seed = 1 to 8 do
+    let gs = random_state seed 12 in
+    let m = Intset.to_sorted_list (C1.eligible gs) in
+    let pairs =
+      List.concat_map (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) m) m
+    in
+    List.iter
+      (fun (a, b) ->
+        let c2 = C2.holds gs (Intset.of_list [ a; b ]) in
+        let seq first second =
+          let g = Gs.copy gs in
+          C1.holds g first
+          && begin
+               Reduced.delete g first;
+               C1.holds g second
+             end
+        in
+        check
+          (Printf.sprintf "seed %d {%d,%d} a-then-b" seed a b)
+          c2 (seq a b);
+        check
+          (Printf.sprintf "seed %d {%d,%d} b-then-a" seed a b)
+          c2 (seq b a))
+      pairs
+  done
+
+let test_requirements_match_holds () =
+  for seed = 1 to 10 do
+    let gs = random_state seed 12 in
+    let candidates = C1.eligible gs in
+    let reqs = C2.prepare gs ~candidates in
+    let elems = Array.of_list (Intset.to_sorted_list candidates) in
+    let k = min 10 (Array.length elems) in
+    (* All subsets of the first k candidates. *)
+    for mask = 0 to (1 lsl k) - 1 do
+      let n = ref Intset.empty in
+      for i = 0 to k - 1 do
+        if mask land (1 lsl i) <> 0 then n := Intset.add elems.(i) !n
+      done;
+      check
+        (Printf.sprintf "seed %d mask %d" seed mask)
+        (C2.holds gs !n) (C2.feasible reqs !n)
+    done
+  done
+
+let test_empty_set_safe () =
+  let gs = random_state 3 10 in
+  check "empty set always deletable" true (C2.holds gs Intset.empty)
+
+let test_example1_pair () =
+  let e = Gallery.example1 () in
+  let v = C2.violations e.Gallery.gs1 (Intset.of_list [ e.t2; e.t3 ]) in
+  check "violations nonempty" true (v <> []);
+  (* The violation names the active reader T1 and entity x. *)
+  check "witness mentions T1 and x" true
+    (List.exists (fun (_, tj, x) -> tj = e.t1 && x = e.x) v)
+
+let test_rejects_non_completed () =
+  let e = Gallery.example1 () in
+  check "active member refused" false
+    (C2.holds e.Gallery.gs1 (Intset.singleton e.t1))
+
+let () =
+  Alcotest.run "condition_c2"
+    [
+      ( "condition_c2",
+        [
+          Alcotest.test_case "singleton C2 = C1" `Quick test_c2_singleton_equals_c1;
+          Alcotest.test_case "downward closed" `Quick test_c2_downward_closed;
+          Alcotest.test_case "equals sequential deletion, any order" `Slow
+            test_c2_equals_sequential_deletion;
+          Alcotest.test_case "requirements = direct test" `Quick
+            test_requirements_match_holds;
+          Alcotest.test_case "empty set" `Quick test_empty_set_safe;
+          Alcotest.test_case "example 1 pair violation" `Quick test_example1_pair;
+          Alcotest.test_case "non-completed member" `Quick
+            test_rejects_non_completed;
+        ] );
+    ]

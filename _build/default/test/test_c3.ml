@@ -1,0 +1,126 @@
+(* Condition C3: the multi-write model (§5).
+
+   Scenario (a miniature of the Theorem 6 gadget):
+     A (1, active) writes e1; X (2, finished) reads e1 and so depends
+     on A; X writes e2 which C (3, committed) reads — the FC-path
+     A -> X -> C.  C also reads y, an entity otherwise read only by
+     D (4, committed).  Whether C is deletable hinges on whether D is
+     reachable from A in G − M⁺ for every abort set M. *)
+
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C3 = Dct_deletion.Condition_c3
+module A = Dct_txn.Access
+module T = Dct_txn.Transaction
+
+let check = Alcotest.(check bool)
+
+let e1 = 1
+let e2 = 2
+let e3 = 3
+let e4 = 4
+let y = 10
+
+let build ~with_cover () =
+  let gs = Gs.create () in
+  List.iter (Gs.begin_txn gs) [ 1; 2; 3; 4 ];
+  Gs.set_state gs 2 T.Finished;
+  Gs.set_state gs 3 T.Committed;
+  Gs.set_state gs 4 T.Committed;
+  (* A writes e1; X reads it: arc + dependency. *)
+  Gs.record_access gs ~txn:1 ~entity:e1 ~mode:A.Write;
+  Gs.record_access gs ~txn:2 ~entity:e1 ~mode:A.Read;
+  Gs.add_arc gs ~src:1 ~dst:2;
+  Gs.add_dependency gs ~dependent:2 ~on_:1;
+  (* X writes e2; C reads it: the FC-path's second arc. *)
+  Gs.record_access gs ~txn:2 ~entity:e2 ~mode:A.Write;
+  Gs.record_access gs ~txn:3 ~entity:e2 ~mode:A.Read;
+  Gs.add_arc gs ~src:2 ~dst:3;
+  (* y is read by C and by D only (read-read: no arc). *)
+  Gs.record_access gs ~txn:3 ~entity:y ~mode:A.Read;
+  Gs.record_access gs ~txn:4 ~entity:y ~mode:A.Read;
+  if with_cover then begin
+    (* Make D reachable from A: a ww conflict on e3. *)
+    Gs.record_access gs ~txn:1 ~entity:e3 ~mode:A.Write;
+    Gs.record_access gs ~txn:4 ~entity:e3 ~mode:A.Write;
+    Gs.add_arc gs ~src:1 ~dst:4
+  end;
+  gs
+
+let test_no_cover_fails () =
+  let gs = build ~with_cover:false () in
+  check "C3 fails without cover" false (C3.holds gs 3);
+  check "quick_reject detects it" true (C3.quick_reject gs 3);
+  match C3.violating_m gs 3 with
+  | Some m -> check "empty M is the witness" true (Intset.is_empty m)
+  | None -> Alcotest.fail "expected a violating M"
+
+let test_cover_makes_it_hold () =
+  let gs = build ~with_cover:true () in
+  (* M = {}: D covers y, X covers e2.  M = {A}: M+ = {A, X}, severing
+     the only FC-path into C — vacuous.  C3 holds. *)
+  check "C3 holds with cover" true (C3.holds gs 3);
+  check "quick_reject agrees" false (C3.quick_reject gs 3)
+
+let test_dependency_severs_cover () =
+  (* Hang the cover D on a second active B: aborting {B} removes D while
+     the FC-path A -> X -> C survives — C3 must fail, with M = {B}. *)
+  let gs = build ~with_cover:true () in
+  Gs.set_state gs 4 T.Finished;
+  Gs.begin_txn gs 5;
+  Gs.record_access gs ~txn:5 ~entity:e4 ~mode:A.Write;
+  Gs.record_access gs ~txn:4 ~entity:e4 ~mode:A.Read;
+  Gs.add_arc gs ~src:5 ~dst:4;
+  Gs.add_dependency gs ~dependent:4 ~on_:5;
+  check "C3 fails" false (C3.holds gs 3);
+  (match C3.violating_m gs 3 with
+  | Some m -> check "witness M = {B}" true (Intset.equal m (Intset.singleton 5))
+  | None -> Alcotest.fail "expected witness");
+  check "quick_reject catches singleton witness" true (C3.quick_reject gs 3)
+
+let test_fc_path_needs_fc_intermediates () =
+  (* With X active instead of finished, A no longer has an FC-path to C
+     (the intermediate is active) — but X itself becomes an active
+     transaction with a direct arc to C, so C3 still fails, now with X
+     in the role of Tj. *)
+  let gs = build ~with_cover:false () in
+  Gs.set_state gs 2 T.Active;
+  let fc_from_a =
+    Dct_deletion.Tightness.reachable_through gs
+      ~through:(fun v -> Gs.is_completed gs v)
+      `Fwd 1
+  in
+  check "A has no FC-path to C anymore" false (Intset.mem 3 fc_from_a);
+  check "C3 still fails via X" false (C3.holds gs 3)
+
+let test_only_committed_deletable () =
+  let gs = build ~with_cover:true () in
+  check "finished txn raises" true
+    (try
+       ignore (C3.violating_m gs 2);
+       false
+     with Invalid_argument _ -> true);
+  check "holds false for finished" false (C3.holds gs 2)
+
+let test_eligible () =
+  let gs = build ~with_cover:true () in
+  let e = C3.eligible gs in
+  check "C eligible" true (Intset.mem 3 e);
+  check "X not eligible (finished)" false (Intset.mem 2 e)
+
+let () =
+  Alcotest.run "condition_c3"
+    [
+      ( "condition_c3",
+        [
+          Alcotest.test_case "fails without cover" `Quick test_no_cover_fails;
+          Alcotest.test_case "cover makes it hold" `Quick test_cover_makes_it_hold;
+          Alcotest.test_case "abort set severs the cover" `Quick
+            test_dependency_severs_cover;
+          Alcotest.test_case "FC-path needs completed intermediates" `Quick
+            test_fc_path_needs_fc_intermediates;
+          Alcotest.test_case "only committed txns" `Quick
+            test_only_committed_deletable;
+          Alcotest.test_case "eligible set" `Quick test_eligible;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Condition C4: predeclared transactions (§5), Example 2 / Figure 4. *)
+
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C4 = Dct_deletion.Condition_c4
+module Gallery = Dct_deletion.Paper_gallery
+module A = Dct_txn.Access
+module G = Dct_graph.Digraph
+
+let check = Alcotest.(check bool)
+
+let test_fig4_graph () =
+  let e = Gallery.example2 () in
+  let g = Gs.graph e.Gallery.gs2 in
+  check "A -> B" true (G.mem_arc g ~src:e.a ~dst:e.b);
+  check "A -> C" true (G.mem_arc g ~src:e.a ~dst:e.c);
+  Alcotest.(check int) "2 arcs" 2 (G.arc_count g);
+  check "A active" true (Gs.is_active e.gs2 e.a);
+  check "B, C completed" true
+    (Gs.is_completed e.gs2 e.b && Gs.is_completed e.gs2 e.c)
+
+let test_example2_verdicts () =
+  let e = Gallery.example2 () in
+  check "B fails C4" false (C4.holds e.Gallery.gs2 e.b);
+  check "C satisfies C4" true (C4.holds e.gs2 e.c);
+  Alcotest.(check (list int)) "eligible = {C}" [ e.c ]
+    (Intset.to_sorted_list (C4.eligible e.gs2))
+
+let test_example2_clause2 () =
+  let e = Gallery.example2 () in
+  (* A's only future access is the read of y, already performed by its
+     successor B — so A "behaves as completed" w.r.t. deleting C. *)
+  check "A behaves as completed (exclude C)" true
+    (C4.behaves_as_completed e.Gallery.gs2 e.a ~exclude:e.c);
+  (* But excluding B, nobody else read y: clause 2 fails. *)
+  check "A does not behave as completed (exclude B)" false
+    (C4.behaves_as_completed e.gs2 e.a ~exclude:e.b)
+
+let test_example2_violations () =
+  let e = Gallery.example2 () in
+  let v = C4.violations e.Gallery.gs2 e.b in
+  check "B's violations mention A" true (List.exists (fun (tj, _) -> tj = e.a) v);
+  (* Entities: u (clause 1 fails — nobody else wrote u) and y. *)
+  check "u among the violations" true (List.exists (fun (_, x) -> x = e.u) v)
+
+let test_clause1_alone_suffices () =
+  (* Build: active A declared to read nothing more; its successors B and
+     C both wrote x; deleting C is fine because B covers x (clause 1). *)
+  let gs = Gs.create () in
+  let da = A.of_list [ (0, A.Read) ] in
+  Gs.begin_txn gs 1 ~declared:da;
+  Gs.record_access gs ~txn:1 ~entity:0 ~mode:A.Read;
+  let db = A.of_list [ (0, A.Write) ] in
+  Gs.begin_txn gs 2 ~declared:db;
+  Gs.record_access gs ~txn:2 ~entity:0 ~mode:A.Write;
+  Gs.add_arc gs ~src:1 ~dst:2;
+  Gs.set_state gs 2 Dct_txn.Transaction.Committed;
+  let dc = A.of_list [ (0, A.Write) ] in
+  Gs.begin_txn gs 3 ~declared:dc;
+  Gs.record_access gs ~txn:3 ~entity:0 ~mode:A.Write;
+  Gs.add_arc gs ~src:1 ~dst:3;
+  Gs.add_arc gs ~src:2 ~dst:3;
+  Gs.set_state gs 3 Dct_txn.Transaction.Committed;
+  check "B deletable (C covers x)" true (C4.holds gs 2);
+  check "C deletable (B covers x)" true (C4.holds gs 3)
+
+let test_requires_declarations () =
+  let gs = Gs.create () in
+  Gs.begin_txn gs 1; (* active, no declaration *)
+  Gs.begin_txn gs 2;
+  Gs.record_access gs ~txn:1 ~entity:0 ~mode:A.Read;
+  Gs.record_access gs ~txn:2 ~entity:0 ~mode:A.Write;
+  Gs.add_arc gs ~src:1 ~dst:2;
+  Gs.set_state gs 2 Dct_txn.Transaction.Committed;
+  check "undeclared active predecessor raises" true
+    (try
+       ignore (C4.holds gs 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_no_active_preds_trivially_deletable () =
+  let gs = Gs.create () in
+  Gs.begin_txn gs 1 ~declared:(A.of_list [ (0, A.Write) ]);
+  Gs.record_access gs ~txn:1 ~entity:0 ~mode:A.Write;
+  Gs.set_state gs 1 Dct_txn.Transaction.Committed;
+  check "isolated completed txn deletable" true (C4.holds gs 1)
+
+let () =
+  Alcotest.run "condition_c4"
+    [
+      ( "condition_c4",
+        [
+          Alcotest.test_case "figure 4 graph" `Quick test_fig4_graph;
+          Alcotest.test_case "example 2 verdicts" `Quick test_example2_verdicts;
+          Alcotest.test_case "clause 2 mechanics" `Quick test_example2_clause2;
+          Alcotest.test_case "violation witnesses" `Quick test_example2_violations;
+          Alcotest.test_case "clause 1 alone" `Quick test_clause1_alone_suffices;
+          Alcotest.test_case "declarations required" `Quick
+            test_requires_declarations;
+          Alcotest.test_case "no active predecessors" `Quick
+            test_no_active_preds_trivially_deletable;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module C = Dct_graph.Closure
+module G = Dct_graph.Digraph
+module T = Dct_graph.Traversal
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+
+let test_basic () =
+  let c = C.create () in
+  C.add_arc c ~src:1 ~dst:2;
+  C.add_arc c ~src:2 ~dst:3;
+  check "1 reaches 3" true (C.reaches c ~src:1 ~dst:3);
+  check "3 not 1" false (C.reaches c ~src:3 ~dst:1);
+  check "would cycle 3->1" true (C.would_cycle c ~src:3 ~dst:1);
+  check "no cycle 1->3" false (C.would_cycle c ~src:1 ~dst:3);
+  Alcotest.(check (list int)) "descendants of 1" [ 2; 3 ]
+    (Intset.to_sorted_list (C.descendants c 1));
+  Alcotest.(check (list int)) "ancestors of 3" [ 1; 2 ]
+    (Intset.to_sorted_list (C.ancestors c 3))
+
+let test_bypass_removal () =
+  (* 1 -> 2 -> 3: removing 2 with bypass keeps 1 ⇝ 3. *)
+  let c = C.create () in
+  C.add_arc c ~src:1 ~dst:2;
+  C.add_arc c ~src:2 ~dst:3;
+  C.remove_node c `Bypass 2;
+  check "1 still reaches 3" true (C.reaches c ~src:1 ~dst:3);
+  check "2 gone" false (C.mem_node c 2)
+
+let test_exact_removal () =
+  (* Same chain: exact removal severs the path. *)
+  let c = C.create () in
+  C.add_arc c ~src:1 ~dst:2;
+  C.add_arc c ~src:2 ~dst:3;
+  C.remove_node c `Exact 2;
+  check "1 no longer reaches 3" false (C.reaches c ~src:1 ~dst:3)
+
+let test_exact_removal_with_parallel_path () =
+  let c = C.create () in
+  C.add_arc c ~src:1 ~dst:2;
+  C.add_arc c ~src:2 ~dst:3;
+  C.add_arc c ~src:1 ~dst:3;
+  C.remove_node c `Exact 2;
+  check "direct arc survives" true (C.reaches c ~src:1 ~dst:3)
+
+let test_random_against_recompute () =
+  let rng = Dct_workload.Prng.create ~seed:11 in
+  for _trial = 1 to 25 do
+    let c = C.create () in
+    let reference = G.create () in
+    for _ = 1 to 60 do
+      let op = Dct_workload.Prng.int rng 10 in
+      if op < 7 then begin
+        let src = Dct_workload.Prng.int rng 15
+        and dst = Dct_workload.Prng.int rng 15 in
+        if src <> dst then begin
+          C.add_arc c ~src ~dst;
+          G.add_arc reference ~src ~dst
+        end
+      end
+      else begin
+        let v = Dct_workload.Prng.int rng 15 in
+        if G.mem_node reference v then begin
+          C.remove_node c `Exact v;
+          G.remove_node reference v
+        end
+      end
+    done;
+    check "closure matches recomputation" true (C.check_against c reference)
+  done
+
+let test_bypass_equals_reduced_reachability () =
+  (* Random DAG; bypass-removing a node must preserve reachability among
+     the remaining nodes exactly. *)
+  let rng = Dct_workload.Prng.create ~seed:13 in
+  for _trial = 1 to 25 do
+    let c = C.create () in
+    let reference = G.create () in
+    for _ = 1 to 40 do
+      let src = Dct_workload.Prng.int rng 12
+      and dst = Dct_workload.Prng.int rng 12 in
+      (* Keep it a DAG: only arcs small -> large. *)
+      if src < dst then begin
+        C.add_arc c ~src ~dst;
+        G.add_arc reference ~src ~dst
+      end
+    done;
+    let victim = 5 in
+    if G.mem_node reference victim then begin
+      let before =
+        Intset.fold
+          (fun v acc ->
+            if v = victim then acc
+            else
+              Intset.fold
+                (fun w acc ->
+                  if w = victim then acc else ((v, w), T.has_path reference ~src:v ~dst:w) :: acc)
+                (G.nodes reference) acc)
+          (G.nodes reference) []
+      in
+      C.remove_node c `Bypass victim;
+      List.iter
+        (fun ((v, w), reachable) ->
+          check
+            (Printf.sprintf "reach %d->%d preserved" v w)
+            reachable
+            (C.reaches c ~src:v ~dst:w))
+        before
+    end
+  done
+
+let () =
+  Alcotest.run "closure"
+    [
+      ( "closure",
+        [
+          Alcotest.test_case "incremental reach" `Quick test_basic;
+          Alcotest.test_case "bypass removal keeps paths" `Quick test_bypass_removal;
+          Alcotest.test_case "exact removal severs paths" `Quick test_exact_removal;
+          Alcotest.test_case "exact removal, parallel path" `Quick
+            test_exact_removal_with_parallel_path;
+          Alcotest.test_case "random ops vs recompute" `Slow
+            test_random_against_recompute;
+          Alcotest.test_case "bypass = reduced reachability" `Slow
+            test_bypass_equals_reduced_reachability;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(* Smoke-run every experiment function into a sink: the bench harness is
+   a deliverable, so a crash or an empty table in any EXn is a test
+   failure, not something discovered at paper-writing time. *)
+
+module E = Dct_sim.Experiments
+
+let run_into_sink f =
+  let path = Filename.temp_file "dct_ex" ".txt" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      f ?oc:(Some oc) ();
+      close_out oc;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s)
+
+let smoke name ?(expect = []) f () =
+  let out = run_into_sink f in
+  Alcotest.(check bool) (name ^ " produced output") true (String.length out > 80);
+  List.iter
+    (fun needle ->
+      let contains =
+        let rec go i =
+          i + String.length needle <= String.length out
+          && (String.sub out i (String.length needle) = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) (name ^ " mentions " ^ needle) true contains)
+    expect
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "ex1" `Quick
+            (smoke "ex1" ~expect:[ "T2"; "noncurrent" ] E.ex1_example1);
+          Alcotest.test_case "ex2" `Slow (smoke "ex2" E.ex2_lemma1);
+          Alcotest.test_case "ex3" `Slow
+            (smoke "ex3" ~expect:[ "necessity" ] E.ex3_theorem1);
+          Alcotest.test_case "ex4" `Slow
+            (smoke "ex4" ~expect:[ "noncurrent" ] E.ex4_corollary1);
+          Alcotest.test_case "ex5" `Quick
+            (smoke "ex5" ~expect:[ "min cover"; "yes" ] E.ex5_set_cover);
+          Alcotest.test_case "ex6" `Slow
+            (smoke "ex6" ~expect:[ "within bound" ] E.ex6_residency_bound);
+          Alcotest.test_case "ex7" `Slow
+            (smoke "ex7" ~expect:[ "SAT"; "agree" ] E.ex7_three_sat);
+          Alcotest.test_case "ex8" `Quick
+            (smoke "ex8" ~expect:[ "behaves as completed" ] E.ex8_example2);
+          Alcotest.test_case "ex9" `Slow
+            (smoke "ex9" ~expect:[ "commit-time deletion strawman" ]
+               E.ex9_policy_series);
+          Alcotest.test_case "ex10" `Slow
+            (smoke "ex10" ~expect:[ "2pl"; "timestamp" ]
+               E.ex10_scheduler_comparison);
+          Alcotest.test_case "ex11" `Slow
+            (smoke "ex11" ~expect:[ "C1 all (ms)" ] E.ex11_complexity_table);
+          Alcotest.test_case "ex12" `Slow
+            (smoke "ex12" ~expect:[ "low-water" ] E.ex12_log_truncation);
+          Alcotest.test_case "ex13" `Slow
+            (smoke "ex13" ~expect:[ "vacuum" ] E.ex13_version_residency);
+          Alcotest.test_case "ex14" `Slow
+            (smoke "ex14" ~expect:[ "goodput" ] E.ex14_goodput_with_restarts);
+          Alcotest.test_case "ex15" `Slow
+            (smoke "ex15" ~expect:[ "reduction" ] E.ex15_sensitivity);
+        ] );
+    ]

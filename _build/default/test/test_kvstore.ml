@@ -1,0 +1,92 @@
+module Store = Dct_kv.Store
+module Vl = Dct_kv.Version_log
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_read_initial () =
+  let s = Store.create ~default:7 () in
+  let v = Store.read s ~entity:0 ~reader:1 in
+  check_int "initial value" 7 v.Vl.value;
+  check "no writer" true (v.Vl.writer = None);
+  check "reader recorded" true (Intset.mem 1 (Store.current_readers s ~entity:0))
+
+let test_write_then_read () =
+  let s = Store.create () in
+  Store.write s ~entity:0 ~writer:1 ~value:42;
+  let v = Store.read s ~entity:0 ~reader:2 in
+  check_int "value" 42 v.Vl.value;
+  check "read from T1" true (v.Vl.writer = Some 1);
+  check "current writer" true (Store.current_writer s ~entity:0 = Some 1);
+  check_int "two versions" 2 (Store.version_count s ~entity:0)
+
+let test_txn_is_current () =
+  let s = Store.create () in
+  Store.write s ~entity:0 ~writer:1 ~value:1;
+  ignore (Store.read s ~entity:0 ~reader:2);
+  Store.write s ~entity:0 ~writer:3 ~value:2;
+  let e0 = Intset.singleton 0 in
+  check "T1 overwritten: not current" false (Store.txn_is_current s ~txn:1 ~entities:e0);
+  check "T2's read overwritten" false (Store.txn_is_current s ~txn:2 ~entities:e0);
+  check "T3 current" true (Store.txn_is_current s ~txn:3 ~entities:e0)
+
+let test_undo_writes () =
+  let s = Store.create ~default:5 () in
+  Store.write s ~entity:0 ~writer:1 ~value:10;
+  Store.write s ~entity:1 ~writer:1 ~value:11;
+  Store.write s ~entity:0 ~writer:2 ~value:20;
+  Store.undo_writes s ~txn:1;
+  check_int "entity 0 keeps T2's value" 20 (Store.peek s ~entity:0);
+  check_int "entity 1 reverts to default" 5 (Store.peek s ~entity:1);
+  check_int "one version on entity 1" 1 (Store.version_count s ~entity:1)
+
+let test_undo_middle_of_chain () =
+  let s = Store.create () in
+  Store.write s ~entity:0 ~writer:1 ~value:1;
+  Store.write s ~entity:0 ~writer:2 ~value:2;
+  Store.write s ~entity:0 ~writer:3 ~value:3;
+  Store.undo_writes s ~txn:2;
+  check_int "current still T3" 3 (Store.peek s ~entity:0);
+  check_int "chain length 3" 3 (Store.version_count s ~entity:0)
+
+let test_forget_txn () =
+  let s = Store.create () in
+  ignore (Store.read s ~entity:0 ~reader:9);
+  Store.forget_txn s ~txn:9;
+  check "reader forgotten" false (Intset.mem 9 (Store.current_readers s ~entity:0))
+
+let test_truncate () =
+  let s = Store.create () in
+  for i = 1 to 10 do
+    Store.write s ~entity:0 ~writer:i ~value:i
+  done;
+  check_int "11 versions" 11 (Store.version_count s ~entity:0);
+  Store.truncate_history s ~keep:3;
+  check_int "3 versions kept" 3 (Store.version_count s ~entity:0);
+  check_int "current preserved" 10 (Store.peek s ~entity:0);
+  check_int "total versions" 3 (Store.total_versions s)
+
+let test_entities () =
+  let s = Store.create () in
+  ignore (Store.read s ~entity:3 ~reader:1);
+  Store.write s ~entity:5 ~writer:1 ~value:0;
+  Alcotest.(check (list int)) "touched" [ 3; 5 ]
+    (Intset.to_sorted_list (Store.entities s))
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "initial read" `Quick test_read_initial;
+          Alcotest.test_case "write then read" `Quick test_write_then_read;
+          Alcotest.test_case "currency tracking" `Quick test_txn_is_current;
+          Alcotest.test_case "undo writes" `Quick test_undo_writes;
+          Alcotest.test_case "undo middle of chain" `Quick
+            test_undo_middle_of_chain;
+          Alcotest.test_case "forget reader" `Quick test_forget_txn;
+          Alcotest.test_case "truncate history" `Quick test_truncate;
+          Alcotest.test_case "entity enumeration" `Quick test_entities;
+        ] );
+    ]

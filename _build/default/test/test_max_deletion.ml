@@ -1,0 +1,159 @@
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C1 = Dct_deletion.Condition_c1
+module C2 = Dct_deletion.Condition_c2
+module Max = Dct_deletion.Max_deletion
+module Witness = Dct_deletion.Witness
+module Rules = Dct_deletion.Rules
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let random_state seed n_txns =
+  let profile =
+    { Gen.default with Gen.n_txns; n_entities = 8; mpl = 4; seed }
+  in
+  let gs = Gs.create () in
+  ignore (Rules.apply_all gs (Gen.basic profile));
+  gs
+
+let test_greedy_is_safe_and_maximal () =
+  for seed = 1 to 12 do
+    let gs = random_state seed 14 in
+    let n = Max.greedy gs in
+    check (Printf.sprintf "seed %d greedy safe" seed) true (C2.holds gs n);
+    (* Maximality: after deleting n, nothing is eligible. *)
+    let g = Gs.copy gs in
+    Max.apply g n;
+    check
+      (Printf.sprintf "seed %d greedy maximal" seed)
+      true
+      (Witness.irreducible g)
+  done
+
+let test_exact_dominates_greedy () =
+  for seed = 1 to 12 do
+    let gs = random_state seed 14 in
+    let g = Intset.cardinal (Max.greedy gs) in
+    let e = Max.exact_size gs in
+    check (Printf.sprintf "seed %d exact >= greedy" seed) true (e >= g)
+  done
+
+let test_exact_is_safe_and_optimal () =
+  for seed = 1 to 6 do
+    let gs = random_state seed 10 in
+    let best = Max.exact gs in
+    check (Printf.sprintf "seed %d exact safe" seed) true (C2.holds gs best);
+    (* Optimality vs brute force over subsets of eligible. *)
+    let elems = Array.of_list (Intset.to_sorted_list (C1.eligible gs)) in
+    let k = Array.length elems in
+    if k <= 12 then begin
+      let brute = ref 0 in
+      for mask = 0 to (1 lsl k) - 1 do
+        let n = ref Intset.empty in
+        for i = 0 to k - 1 do
+          if mask land (1 lsl i) <> 0 then n := Intset.add elems.(i) !n
+        done;
+        if C2.holds gs !n then brute := max !brute (Intset.cardinal !n)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d optimal" seed)
+        !brute (Intset.cardinal best)
+    end
+  done
+
+let test_descending_order_also_safe () =
+  let gs = random_state 5 14 in
+  let n = Max.greedy ~order:`Descending gs in
+  check "descending greedy safe" true (C2.holds gs n)
+
+let test_weighted_on_example1 () =
+  (* Example 1: exactly one of {T2, T3} can go.  Uniform weights pick
+     T2 (tie towards smaller id); weighting T3 heavier flips it. *)
+  let e = Dct_deletion.Paper_gallery.example1 () in
+  let uniform = Max.exact_weighted ~weight:(fun _ -> 1) e.Dct_deletion.Paper_gallery.gs1 in
+  Alcotest.(check (list int)) "uniform picks T2" [ e.t2 ]
+    (Intset.to_sorted_list uniform);
+  let heavy_t3 = Max.exact_weighted ~weight:(fun t -> if t = e.t3 then 5 else 1) e.gs1 in
+  Alcotest.(check (list int)) "heavy T3 flips the choice" [ e.t3 ]
+    (Intset.to_sorted_list heavy_t3);
+  let g = Max.greedy_weighted ~weight:(fun t -> if t = e.t3 then 5 else 1) e.gs1 in
+  Alcotest.(check (list int)) "weighted greedy agrees here" [ e.t3 ]
+    (Intset.to_sorted_list g)
+
+let test_weighted_uniform_equals_exact () =
+  for seed = 1 to 8 do
+    let gs = random_state seed 12 in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d cardinalities agree" seed)
+      (Max.exact_size gs)
+      (Intset.cardinal (Max.exact_weighted ~weight:(fun _ -> 1) gs))
+  done
+
+let test_weighted_safe_and_dominant () =
+  for seed = 1 to 8 do
+    let gs = random_state seed 12 in
+    (* Weight = access-set size (freed memory proxy). *)
+    let weight t =
+      max 1
+        (Dct_txn.Access.cardinal (Dct_deletion.Graph_state.accesses gs t))
+    in
+    let w_of set = Intset.fold (fun t acc -> acc + weight t) set 0 in
+    let best = Max.exact_weighted ~weight gs in
+    check (Printf.sprintf "seed %d weighted safe" seed) true (C2.holds gs best);
+    (* Dominates both unweighted exact and weighted greedy in weight. *)
+    check "beats unweighted exact in weight" true
+      (w_of best >= w_of (Max.exact gs));
+    let g = Max.greedy_weighted ~weight gs in
+    check "greedy_weighted safe" true (C2.holds gs g);
+    check "beats weighted greedy" true (w_of best >= w_of g)
+  done
+
+let test_weighted_rejects_nonpositive () =
+  let e = Dct_deletion.Paper_gallery.example1 () in
+  check "zero weight refused" true
+    (try
+       ignore
+         (Max.exact_weighted ~weight:(fun _ -> 0)
+            e.Dct_deletion.Paper_gallery.gs1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_apply_then_irreducible_bound () =
+  for seed = 1 to 8 do
+    let gs = random_state seed 20 in
+    let g = Gs.copy gs in
+    Max.apply g (Max.greedy g);
+    check
+      (Printf.sprintf "seed %d a*e bound" seed)
+      true (Witness.within_bound g);
+    check
+      (Printf.sprintf "seed %d no common witness" seed)
+      true
+      (Witness.no_common_witness g)
+  done
+
+let () =
+  Alcotest.run "max_deletion"
+    [
+      ( "max_deletion",
+        [
+          Alcotest.test_case "greedy safe and maximal" `Quick
+            test_greedy_is_safe_and_maximal;
+          Alcotest.test_case "exact >= greedy" `Quick test_exact_dominates_greedy;
+          Alcotest.test_case "exact safe and optimal (brute force)" `Slow
+            test_exact_is_safe_and_optimal;
+          Alcotest.test_case "descending order safe" `Quick
+            test_descending_order_also_safe;
+          Alcotest.test_case "irreducible graphs: a*e and witnesses" `Quick
+            test_apply_then_irreducible_bound;
+          Alcotest.test_case "weighted: example 1 flip" `Quick
+            test_weighted_on_example1;
+          Alcotest.test_case "weighted: uniform = exact" `Quick
+            test_weighted_uniform_equals_exact;
+          Alcotest.test_case "weighted: safe and dominant" `Quick
+            test_weighted_safe_and_dominant;
+          Alcotest.test_case "weighted: positive weights only" `Quick
+            test_weighted_rejects_nonpositive;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Small-module coverage: symtab, dot, step printing, transaction
+   lifecycle helpers, sweep, intset. *)
+
+module Symtab = Dct_txn.Symtab
+module Step = Dct_txn.Step
+module T = Dct_txn.Transaction
+module A = Dct_txn.Access
+module Dot = Dct_graph.Dot
+module G = Dct_graph.Digraph
+module Intset = Dct_graph.Intset
+module Sweep = Dct_sim.Sweep
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_symtab () =
+  let t = Symtab.create () in
+  let a = Symtab.intern t "alpha" in
+  let b = Symtab.intern t "beta" in
+  check_int "fresh ids" 1 (b - a);
+  check_int "idempotent" a (Symtab.intern t "alpha");
+  check "find" true (Symtab.find t "beta" = Some b);
+  check "find missing" true (Symtab.find t "gamma" = None);
+  check "name" true (Symtab.name t a = Some "alpha");
+  check "name out of range" true (Symtab.name t 99 = None);
+  check_int "count" 2 (Symtab.count t);
+  check "name_exn raises" true
+    (try
+       ignore (Symtab.name_exn t 99);
+       false
+     with Invalid_argument _ -> true);
+  (* Growth beyond the initial array. *)
+  for i = 0 to 40 do
+    ignore (Symtab.intern t (Printf.sprintf "n%d" i))
+  done;
+  check "growth preserves names" true (Symtab.name t a = Some "alpha")
+
+let test_dot () =
+  let g = G.create () in
+  G.add_arc g ~src:1 ~dst:2;
+  G.add_node g 3;
+  let s =
+    Dot.to_string ~name:"demo"
+      ~node_label:(fun v -> Printf.sprintf "T%d" v)
+      ~node_attrs:(fun v -> if v = 3 then [ ("style", "dashed") ] else [])
+      g
+  in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length s
+      && (String.sub s i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "digraph header" true (contains "digraph \"demo\"");
+  check "labelled node" true (contains "label=\"T1\"");
+  check "arc" true (contains "n1 -> n2;");
+  check "attr" true (contains "style=\"dashed\"");
+  (* Quotes in labels escape cleanly. *)
+  let s2 = Dot.to_string ~node_label:(fun _ -> "a\"b") g in
+  let contains2 needle =
+    let rec go i =
+      i + String.length needle <= String.length s2
+      && (String.sub 	s2 i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "escaped quote" true (contains2 "a\\\"b")
+
+let test_step_printing_and_accessors () =
+  check_str "begin" "b(T1)" (Step.to_string (Step.Begin 1));
+  check_str "read" "r(T2,5)" (Step.to_string (Step.Read (2, 5)));
+  check_str "write" "W(T3,[1;2])" (Step.to_string (Step.Write (3, [ 1; 2 ])));
+  check_str "write1" "w(T4,9)" (Step.to_string (Step.Write_one (4, 9)));
+  check_str "finish" "f(T5)" (Step.to_string (Step.Finish 5));
+  check_int "txn of declared" 7
+    (Step.txn (Step.Begin_declared (7, A.empty)));
+  check "accesses of begin empty" true (Step.accesses (Step.Begin 1) = []);
+  check "accesses of write" true
+    (Step.accesses (Step.Write (1, [ 3 ])) = [ (3, A.Write) ]);
+  check "completes_basic" true
+    (Step.completes_basic (Step.Write (1, []))
+    && not (Step.completes_basic (Step.Read (1, 0))));
+  check "equal distinguishes" true
+    (Step.equal (Step.Begin 1) (Step.Begin 1)
+    && (not (Step.equal (Step.Begin 1) (Step.Finish 1)))
+    && not (Step.equal (Step.Write (1, [ 1 ])) (Step.Write (1, [ 2 ]))))
+
+let test_transaction_lifecycle () =
+  check "completed states" true
+    (T.is_completed T.Finished && T.is_completed T.Committed
+    && (not (T.is_completed T.Active))
+    && not (T.is_completed T.Aborted));
+  check "active state" true
+    (T.is_active T.Active && not (T.is_active T.Finished));
+  check_str "to_string" "committed" (T.state_to_string T.Committed);
+  let txn = T.create 5 in
+  check "fresh is active" true (txn.T.state = T.Active);
+  check "no declaration, no future" true
+    (A.is_empty (T.future_accesses txn));
+  T.perform txn ~entity:3 ~mode:A.Read;
+  check "access recorded" true (A.mem txn.T.accesses ~entity:3);
+  (* Declared: future shrinks as accesses are performed, and empties
+     when the transaction leaves Active. *)
+  let d = A.of_list [ (1, A.Read); (2, A.Write) ] in
+  let txn2 = T.create ~declared:d 6 in
+  check_int "two future" 2 (A.cardinal (T.future_accesses txn2));
+  T.perform txn2 ~entity:1 ~mode:A.Read;
+  check_int "one future" 1 (A.cardinal (T.future_accesses txn2));
+  (* Reading entity 2 does not discharge the declared write. *)
+  T.perform txn2 ~entity:2 ~mode:A.Read;
+  check_int "write still pending" 1 (A.cardinal (T.future_accesses txn2));
+  T.perform txn2 ~entity:2 ~mode:A.Write;
+  check "all done" true (A.is_empty (T.future_accesses txn2));
+  txn2.T.state <- T.Committed;
+  check "no future once completed" true (A.is_empty (T.future_accesses txn2))
+
+let test_intset_pp () =
+  check_str "pp" "{1,2,9}"
+    (Format.asprintf "%a" Intset.pp (Intset.of_list [ 9; 1; 2 ]));
+  check "sorted list" true
+    (Intset.to_sorted_list (Intset.of_list [ 3; 1 ]) = [ 1; 3 ])
+
+let test_sweep () =
+  let base = { Gen.default with Gen.n_txns = 20; seed = 9 } in
+  let cells =
+    Sweep.vary ~base
+      [ ("base", Fun.id); ("mpl 2", fun p -> { p with Gen.mpl = 2 }) ]
+  in
+  check_int "two cells" 2 (List.length cells);
+  let results =
+    Sweep.grid
+      ~make:(fun () -> Dct_sched.Conflict_scheduler.handle ())
+      ~cells ()
+  in
+  check_int "two results" 2 (List.length results);
+  List.iter
+    (fun c ->
+      check "ran steps" true (c.Sweep.result.Dct_sim.Driver.steps > 0))
+    results
+
+let test_policy_all_correct () =
+  (* The advertised list contains no strawman. *)
+  check "no unsafe policy in all_correct" true
+    (List.for_all
+       (fun p -> p <> Dct_deletion.Policy.Unsafe_commit_time)
+       Dct_deletion.Policy.all_correct)
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "misc",
+        [
+          Alcotest.test_case "symtab" `Quick test_symtab;
+          Alcotest.test_case "dot export" `Quick test_dot;
+          Alcotest.test_case "step printing/accessors" `Quick
+            test_step_printing_and_accessors;
+          Alcotest.test_case "transaction lifecycle" `Quick
+            test_transaction_lifecycle;
+          Alcotest.test_case "intset pp" `Quick test_intset_pp;
+          Alcotest.test_case "sweep grid" `Quick test_sweep;
+          Alcotest.test_case "policy catalogue sanity" `Quick
+            test_policy_all_correct;
+        ] );
+    ]

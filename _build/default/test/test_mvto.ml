@@ -1,0 +1,226 @@
+(* The multiversion store and MVTO scheduler. *)
+
+module Mv = Dct_kv.Mv_store
+module Mvs = Dct_sched.Mv_scheduler
+module Si = Dct_sched.Scheduler_intf
+module Step = Dct_txn.Step
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- store --- *)
+
+let test_visibility () =
+  let s = Mv.create ~default:100 () in
+  Mv.install s ~entity:0 ~ts:5 ~value:50;
+  Mv.install s ~entity:0 ~ts:10 ~value:99;
+  check_int "ts 3 sees initial" 100 (Mv.read s ~entity:0 ~ts:3).Mv.value;
+  check_int "ts 7 sees v5" 50 (Mv.read s ~entity:0 ~ts:7).Mv.value;
+  check_int "ts 12 sees v10" 99 (Mv.read s ~entity:0 ~ts:12).Mv.value;
+  check_int "ts 5 sees v5 (inclusive)" 50 (Mv.read s ~entity:0 ~ts:5).Mv.value
+
+let test_rts_tracking_and_write_rule () =
+  let s = Mv.create () in
+  Mv.install s ~entity:0 ~ts:5 ~value:1;
+  ignore (Mv.read s ~entity:0 ~ts:8);
+  (* ts 6 would install between v5 and the reader at 8 who saw v5:
+     forbidden. *)
+  check "write at 6 blocked by reader 8" false (Mv.write_allowed s ~entity:0 ~ts:6);
+  (* ts 9 supersedes v5 after the read: fine. *)
+  check "write at 9 ok" true (Mv.write_allowed s ~entity:0 ~ts:9);
+  (* A write above every read is always fine. *)
+  Mv.install s ~entity:0 ~ts:9 ~value:2;
+  check "write at 10 ok" true (Mv.write_allowed s ~entity:0 ~ts:10)
+
+let test_install_ordering () =
+  let s = Mv.create () in
+  Mv.install s ~entity:0 ~ts:10 ~value:10;
+  Mv.install s ~entity:0 ~ts:5 ~value:5;
+  (* Out-of-order install keeps the chain sorted. *)
+  check_int "ts 7 sees v5" 5 (Mv.read s ~entity:0 ~ts:7).Mv.value;
+  check_int "ts 11 sees v10" 10 (Mv.read s ~entity:0 ~ts:11).Mv.value;
+  check "duplicate wts refused" true
+    (try
+       Mv.install s ~entity:0 ~ts:5 ~value:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_remove_writer () =
+  let s = Mv.create () in
+  Mv.install s ~entity:0 ~ts:5 ~value:5;
+  Mv.remove_writer s ~entity:0 ~ts:5;
+  check_int "back to initial" 0 (Mv.read s ~entity:0 ~ts:9).Mv.value
+
+let test_vacuum () =
+  let s = Mv.create () in
+  List.iter (fun ts -> Mv.install s ~entity:0 ~ts ~value:ts) [ 2; 4; 6; 8 ];
+  check_int "five versions" 5 (Mv.version_count s ~entity:0);
+  (* Oldest active ts = 5: versions 6, 8 stay (newer), version 4 stays
+     (visible to 5), versions 2 and 0 go. *)
+  let dropped = Mv.vacuum s ~min_active_ts:5 in
+  check_int "dropped 2" 2 dropped;
+  check_int "three left" 3 (Mv.version_count s ~entity:0);
+  check_int "ts 5 still sees v4" 4 (Mv.read s ~entity:0 ~ts:5).Mv.value;
+  check_int "ts 9 sees v8" 8 (Mv.read s ~entity:0 ~ts:9).Mv.value
+
+let test_vacuum_never_drops_visible () =
+  (* Property-style: after random installs and a vacuum at horizon h,
+     every ts >= h still reads the same value as before. *)
+  let rng = Dct_workload.Prng.create ~seed:9 in
+  for _ = 1 to 50 do
+    let s = Mv.create () in
+    let wts = ref [] in
+    for _ = 1 to 10 do
+      let ts = 1 + Dct_workload.Prng.int rng 50 in
+      if not (List.mem ts !wts) then begin
+        Mv.install s ~entity:0 ~ts ~value:ts;
+        wts := ts :: !wts
+      end
+    done;
+    let h = 1 + Dct_workload.Prng.int rng 50 in
+    let before =
+      List.init 20 (fun i -> (Mv.read s ~entity:0 ~ts:(h + i)).Mv.value)
+    in
+    ignore (Mv.vacuum s ~min_active_ts:h);
+    let after =
+      List.init 20 (fun i -> (Mv.read s ~entity:0 ~ts:(h + i)).Mv.value)
+    in
+    check "visible reads unchanged" true (before = after)
+  done
+
+(* --- scheduler --- *)
+
+let test_reads_never_fail () =
+  let t = Mvs.create () in
+  let schedule =
+    Gen.basic { Gen.default with Gen.n_txns = 60; n_entities = 8; seed = 3 }
+  in
+  List.iter
+    (fun s ->
+      let o = Mvs.step t s in
+      match s with
+      | Step.Read _ -> check "read accepted" true (o = Si.Accepted)
+      | _ -> ())
+    schedule
+
+let test_mvto_beats_to_on_read_only () =
+  (* A long read-only transaction survives under MVTO but is killed by
+     single-version TO when a younger writer overwrites what it reads. *)
+  let steps =
+    [
+      Step.Begin 1;          (* reader, ts 1 *)
+      Step.Read (1, 0);
+      Step.Begin 2;          (* writer, ts 2 *)
+      Step.Read (2, 0);
+      Step.Write (2, [ 0 ]);
+      Step.Read (1, 0);      (* reader returns to x after the overwrite *)
+      Step.Write (1, []);
+    ]
+  in
+  let mv = Mvs.create () in
+  let mv_outcomes = List.map (Mvs.step mv) steps in
+  check "MVTO accepts everything" true
+    (List.for_all (fun o -> o = Si.Accepted) mv_outcomes);
+  let to_ = Dct_sched.Timestamp_order.create () in
+  let to_outcomes = List.map (Dct_sched.Timestamp_order.step to_) steps in
+  check "single-version TO kills the reader" true
+    (List.exists (fun o -> o = Si.Rejected) to_outcomes)
+
+let test_write_rule_aborts () =
+  (* Writer older than an established reader of the would-be-superseded
+     version must abort. *)
+  let steps =
+    [
+      Step.Begin 1;          (* ts 1, will write late *)
+      Step.Begin 2;          (* ts 2, reads x *)
+      Step.Read (2, 0);
+      Step.Write (2, []);
+      Step.Read (1, 0);
+      Step.Write (1, [ 0 ]); (* would install v1 under reader ts2's view *)
+    ]
+  in
+  let t = Mvs.create () in
+  let outcomes = List.map (Mvs.step t) steps in
+  check "late write rejected" true
+    (List.nth outcomes 5 = Si.Rejected)
+
+let test_vacuum_reclaims () =
+  let schedule =
+    Gen.basic
+      {
+        Gen.default with
+        Gen.n_txns = 120;
+        n_entities = 8;
+        mpl = 6;
+        skew = "zipf:1.0";
+        seed = 7;
+      }
+  in
+  let no_gc = Mvs.create () in
+  let gc = Mvs.create ~vacuum:true () in
+  List.iter (fun s -> ignore (Mvs.step no_gc s)) schedule;
+  List.iter (fun s -> ignore (Mvs.step gc s)) schedule;
+  let v_no = Dct_kv.Mv_store.total_versions (Mvs.store no_gc) in
+  let v_gc = Dct_kv.Mv_store.total_versions (Mvs.store gc) in
+  check (Printf.sprintf "vacuum shrinks store (%d < %d)" v_gc v_no) true
+    (v_gc < v_no);
+  check "reclaimed counted" true (Mvs.versions_reclaimed gc > 0);
+  (* Same scheduling decisions with and without vacuum. *)
+  let no_gc2 = Mvs.create () in
+  let gc2 = Mvs.create ~vacuum:true () in
+  let o1 = List.map (Mvs.step no_gc2) schedule in
+  let o2 = List.map (Mvs.step gc2) schedule in
+  check "vacuum changes no decision" true (List.for_all2 ( = ) o1 o2)
+
+let test_long_reader_pins_versions () =
+  (* With a long reader at ts 1, vacuum cannot advance past its horizon:
+     versions pile up despite GC; once it commits they can go. *)
+  let mk_writer i =
+    [
+      Step.Begin (i + 10);
+      Step.Read (i + 10, 0);
+      Step.Write (i + 10, [ 0 ]);
+    ]
+  in
+  let writers = List.concat_map mk_writer (List.init 10 Fun.id) in
+  let t = Mvs.create ~vacuum:true () in
+  ignore (Mvs.step t (Step.Begin 1));
+  ignore (Mvs.step t (Step.Read (1, 0)));
+  List.iter (fun s -> ignore (Mvs.step t s)) writers;
+  let pinned = Dct_kv.Mv_store.version_count (Mvs.store t) ~entity:0 in
+  check (Printf.sprintf "versions pinned by the reader (%d > 2)" pinned) true
+    (pinned > 2);
+  ignore (Mvs.step t (Step.Write (1, [])));
+  let after = Dct_kv.Mv_store.version_count (Mvs.store t) ~entity:0 in
+  check (Printf.sprintf "released after the reader commits (%d <= 2)" after)
+    true (after <= 2)
+
+let () =
+  Alcotest.run "mvto"
+    [
+      ( "mv_store",
+        [
+          Alcotest.test_case "timestamp visibility" `Quick test_visibility;
+          Alcotest.test_case "rts and the write rule" `Quick
+            test_rts_tracking_and_write_rule;
+          Alcotest.test_case "out-of-order install" `Quick test_install_ordering;
+          Alcotest.test_case "abort removal" `Quick test_remove_writer;
+          Alcotest.test_case "vacuum keeps the horizon version" `Quick
+            test_vacuum;
+          Alcotest.test_case "vacuum never changes visible reads" `Slow
+            test_vacuum_never_drops_visible;
+        ] );
+      ( "mv_scheduler",
+        [
+          Alcotest.test_case "reads never fail" `Quick test_reads_never_fail;
+          Alcotest.test_case "read-only txns survive (vs TO)" `Quick
+            test_mvto_beats_to_on_read_only;
+          Alcotest.test_case "write rule aborts late writers" `Quick
+            test_write_rule_aborts;
+          Alcotest.test_case "vacuum reclaims, decisions unchanged" `Quick
+            test_vacuum_reclaims;
+          Alcotest.test_case "long reader pins versions" `Quick
+            test_long_reader_pins_versions;
+        ] );
+    ]

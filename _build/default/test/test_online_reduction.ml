@@ -1,0 +1,288 @@
+(* The generic online-reduction oracle (section 6's generalisation):
+   (1) instantiated with the basic rules it agrees with the hand-rolled
+       Safety oracle;
+   (2) instantiated with an unrelated toy system it separates safe from
+       unsafe reductions;
+   (3) instantiated with the certifier it mechanises the finding that
+       C1-deletion is unsound under certification. *)
+
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C1 = Dct_deletion.Condition_c1
+module Rules = Dct_deletion.Rules
+module Safety = Dct_deletion.Safety
+module Or_ = Dct_deletion.Online_reduction
+module Step = Dct_txn.Step
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+
+(* --- instance 1: the basic conflict scheduler --- *)
+
+module Basic_system = struct
+  type state = Gs.t
+  type input = Step.t
+
+  let copy = Gs.copy
+
+  let apply gs step =
+    match Rules.apply gs step with
+    | Rules.Accepted | Rules.Ignored -> true
+    | Rules.Rejected -> false
+
+  let candidate_inputs gs =
+    let touched = Gs.entities gs in
+    let fresh = if Intset.is_empty touched then 0 else Intset.max_elt touched + 1 in
+    let universe = Intset.to_sorted_list touched @ [ fresh ] in
+    Intset.fold
+      (fun t acc ->
+        List.map (fun x -> Step.Read (t, x)) universe
+        @ List.map (fun x -> Step.Write (t, [ x ])) universe
+        @ [ Step.Write (t, []) ]
+        @ acc)
+      (Gs.active_txns gs) []
+end
+
+module Basic_oracle = Or_.Make (Basic_system)
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let random_state seed =
+  let profile =
+    {
+      Gen.default with
+      Gen.n_txns = 8;
+      n_entities = 4;
+      mpl = 3;
+      reads_min = 1;
+      reads_max = 3;
+      seed;
+    }
+  in
+  let schedule = Gen.basic profile in
+  let gs = Gs.create () in
+  ignore (Rules.apply_all gs (take (List.length schedule * 2 / 3) schedule));
+  gs
+
+let test_agrees_with_safety () =
+  (* Same verdict (divergence found or not) as the specialised oracle,
+     for every completed transaction of random states.  The candidate
+     enumerations differ slightly (Safety also begins fresh
+     transactions), so compare only where both say "safe" or the
+     specialised one finds nothing either. *)
+  for seed = 1 to 10 do
+    let gs = random_state seed in
+    Intset.iter
+      (fun ti ->
+        let reduced = Gs.copy gs in
+        Dct_deletion.Reduced_graph.delete reduced ti;
+        let generic =
+          Basic_oracle.search ~depth:2 ~original:gs ~reduced <> None
+        in
+        let specialised =
+          Safety.search ~max_new_txns:0 ~depth:2 gs
+            ~deleted:(Intset.singleton ti)
+          <> None
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d T%d" seed ti)
+          specialised generic)
+      (Gs.completed_txns gs)
+  done
+
+let test_c1_through_generic_oracle () =
+  for seed = 1 to 10 do
+    let gs = random_state seed in
+    Intset.iter
+      (fun ti ->
+        if C1.holds gs ti then
+          check
+            (Printf.sprintf "seed %d T%d safe" seed ti)
+            true
+            (Basic_oracle.reduction_safe ~depth:2 gs ~reduce:(fun g ->
+                 Dct_deletion.Reduced_graph.delete g ti)))
+      (Gs.completed_txns gs)
+  done
+
+(* --- instance 2: a toy system with no graphs at all --- *)
+
+(* An online maximum tracker: numbers arrive; a query "is v a new
+   maximum?" is accepted iff v exceeds everything seen.  Forgetting a
+   dominated element is safe; forgetting the current maximum is not. *)
+module Max_tracker = struct
+  type state = { mutable seen : int list }
+  type input = Observe of int | Claim_max of int
+
+  let copy s = { seen = s.seen }
+
+  let apply s = function
+    | Observe v ->
+        s.seen <- v :: s.seen;
+        true
+    | Claim_max v -> List.for_all (fun w -> v > w) s.seen
+
+  let candidate_inputs _ =
+    [ Observe 1; Observe 5; Observe 9; Claim_max 3; Claim_max 7 ]
+end
+
+module Max_oracle = Or_.Make (Max_tracker)
+
+let test_toy_safe_and_unsafe () =
+  let state = { Max_tracker.seen = [ 2; 8; 4 ] } in
+  (* Dropping dominated elements is safe... *)
+  check "dropping dominated is safe" true
+    (Max_oracle.reduction_safe ~depth:2 state ~reduce:(fun s ->
+         s.Max_tracker.seen <- [ 8 ]));
+  (* ...dropping the maximum is not: Claim_max 7 separates the runs. *)
+  (match
+     Max_oracle.search ~depth:2 ~original:state
+       ~reduced:{ Max_tracker.seen = [ 2; 4 ] }
+   with
+  | Some d ->
+      check "separating input is a claim" true
+        (List.exists
+           (function Max_tracker.Claim_max _ -> true | _ -> false)
+           d.Max_oracle.inputs)
+  | None -> Alcotest.fail "expected divergence when the maximum is dropped")
+
+(* --- instance 3: the certifier --- *)
+
+module Certifier_system = struct
+  type state = Dct_sched.Certifier.t
+  type input = Step.t
+
+  let copy = Dct_sched.Certifier.copy
+
+  let apply t step =
+    match Dct_sched.Certifier.step t step with
+    | Dct_sched.Scheduler_intf.Accepted | Dct_sched.Scheduler_intf.Ignored
+    | Dct_sched.Scheduler_intf.Delayed ->
+        true
+    | Dct_sched.Scheduler_intf.Rejected -> false
+
+  let candidate_inputs t =
+    let gs = Dct_sched.Certifier.graph_state t in
+    let touched = Gs.entities gs in
+    let universe = Intset.to_sorted_list touched in
+    Intset.fold
+      (fun txn acc ->
+        List.map (fun x -> Step.Read (txn, x)) universe
+        @ List.map (fun x -> Step.Write (txn, [ x ])) universe
+        @ [ Step.Write (txn, []) ]
+        @ acc)
+      (Gs.active_txns gs) []
+end
+
+module Certifier_oracle = Or_.Make (Certifier_system)
+
+(* The deterministic §2-restriction counterexample.
+
+   The certifier records conflicts silently and derives arcs only at
+   certification time, so its graph is NOT a reduced graph in the §4
+   sense: two present transactions can have executed conflicting steps
+   with no arc between them (a read performed after the writer already
+   certified).  C1 evaluated on that arc-deficient graph deletes
+   transactions whose conflict evidence a future certification still
+   needs.
+
+   Scenario (entities x=0, q=9; A=1 stays active throughout):
+
+     r A x                      -- A's early read
+     T=2: r q, W[x]  certify    -- arc A->T materialises
+     r A x                      -- SILENT conflict: T wrote x before this
+     U=3: r q, W[x]  certify    -- arc A->U, T->U
+       C1(T) holds (cover U)    -- delete T  (erases T's history!)
+     W=4: r q, W[x]  certify    -- arc A->W, U->W
+       C1(U) holds (cover W)    -- delete U
+     A certifies (empty write):
+       original: history of x still shows  rA < wT < rA  => cycle A->T->A,
+                 A is REJECTED;
+       reduced:  T and U erased, only W's write (after all of A's reads)
+                 remains => no into-arc, A is ACCEPTED.      DIVERGENCE. *)
+
+let certifier_counterexample_prefix =
+  let a = 1 and t = 2 and u = 3 and w = 4 in
+  let x = 0 and q = 9 in
+  [
+    Step.Begin a;
+    Step.Read (a, x);
+    Step.Begin t;
+    Step.Read (t, q);
+    Step.Write (t, [ x ]);
+    Step.Read (a, x);
+    Step.Begin u;
+    Step.Read (u, q);
+    Step.Write (u, [ x ]);
+    Step.Begin w;
+    Step.Read (w, q);
+    Step.Write (w, [ x ]);
+  ]
+
+let test_certifier_c1_deletion_diverges () =
+  (* Reference run: no deletion. *)
+  let keep = Dct_sched.Certifier.create () in
+  List.iter
+    (fun s ->
+      match Dct_sched.Certifier.step keep s with
+      | Dct_sched.Scheduler_intf.Accepted -> ()
+      | _ -> Alcotest.failf "reference rejected %s" (Step.to_string s))
+    certifier_counterexample_prefix;
+  (* Deleting run: greedy C1 after each commit (via the demonstration
+     entry point). *)
+  let del = Dct_sched.Certifier.create () in
+  List.iter
+    (fun s ->
+      match
+        Dct_sched.Certifier.unsafe_step_with_policy del
+          Dct_deletion.Policy.Greedy_c1 s
+      with
+      | Dct_sched.Scheduler_intf.Accepted -> ()
+      | _ -> Alcotest.failf "deleting run rejected %s" (Step.to_string s))
+    certifier_counterexample_prefix;
+  (* The deletions really happened: T=2 and U=3 are gone, W=4 remains. *)
+  let gs_del = Dct_sched.Certifier.graph_state del in
+  check "T deleted" false (Gs.mem_txn gs_del 2);
+  check "U deleted" false (Gs.mem_txn gs_del 3);
+  check "W retained" true (Gs.mem_txn gs_del 4);
+  (* Each deletion was C1-justified on the certifier's own graph — that
+     is exactly the trap: the graph is missing the silent-arc T -> A. *)
+  (* The generic oracle separates the runs (Theorem 2's framing),
+     checked on copies so the direct comparison below starts clean. *)
+  (match
+     Certifier_oracle.search ~depth:1
+       ~original:(Dct_sched.Certifier.copy keep)
+       ~reduced:(Dct_sched.Certifier.copy del)
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "generic oracle failed to separate the runs");
+  (* The separating step: A's certification. *)
+  let final = Step.Write (1, []) in
+  let o_keep = Dct_sched.Certifier.step keep final in
+  let o_del = Dct_sched.Certifier.step del final in
+  check "reference rejects A (cycle through T)" true
+    (o_keep = Dct_sched.Scheduler_intf.Rejected);
+  check "deleting run wrongly accepts A" true
+    (o_del = Dct_sched.Scheduler_intf.Accepted);
+  (* And indeed the schedule the deleting run accepted is not CSR. *)
+  let accepted = certifier_counterexample_prefix @ [ final ] in
+  check "accepted schedule is not conflict-serializable" false
+    (Dct_txn.Schedule.is_csr accepted)
+
+let () =
+  Alcotest.run "online_reduction"
+    [
+      ( "generic-oracle",
+        [
+          Alcotest.test_case "agrees with the specialised Safety oracle" `Slow
+            test_agrees_with_safety;
+          Alcotest.test_case "C1 deletions pass the generic oracle" `Quick
+            test_c1_through_generic_oracle;
+          Alcotest.test_case "toy max-tracker: safe vs unsafe reductions"
+            `Quick test_toy_safe_and_unsafe;
+          Alcotest.test_case "certifier: C1 deletion diverges (micro)" `Quick
+            test_certifier_c1_deletion_diverges;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+module P = Dct_txn.Parse
+module Step = Dct_txn.Step
+module A = Dct_txn.Access
+
+let check = Alcotest.(check bool)
+
+let doc =
+  {|# Example 1 of the paper
+b  T1
+r  T1 x      # T1 reads x
+b  T2
+r  T2 x
+w  T2 x
+b  T3
+r  T3 x
+w  T3 x
+|}
+
+let test_parse_basic () =
+  let env = P.create_env () in
+  match P.parse env doc with
+  | Error e -> Alcotest.fail e
+  | Ok steps ->
+      Alcotest.(check int) "8 steps" 8 (List.length steps);
+      check "well formed" true
+        (Dct_txn.Schedule.well_formed_basic steps = Ok ())
+
+let test_roundtrip () =
+  let env = P.create_env () in
+  let steps = P.parse_exn env doc in
+  let doc' = P.unparse env steps in
+  let steps' = P.parse_exn env doc' in
+  check "roundtrip" true (List.for_all2 Step.equal steps steps')
+
+let test_multiwrite_forms () =
+  let env = P.create_env () in
+  let steps = P.parse_exn env "b T1\nw1 T1 x\nf T1\n" in
+  match steps with
+  | [ Step.Begin _; Step.Write_one (_, _); Step.Finish _ ] -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_declaration () =
+  let env = P.create_env () in
+  let steps = P.parse_exn env "bd T1 r:x,y w:z\n" in
+  match steps with
+  | [ Step.Begin_declared (_, a) ] ->
+      Alcotest.(check int) "three entities" 3 (A.cardinal a);
+      Alcotest.(check int) "one write" 1
+        (Dct_graph.Intset.cardinal (A.writes a))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_declaration_roundtrip () =
+  let env = P.create_env () in
+  let steps = P.parse_exn env "bd T1 r:x,y w:z\nr T1 x\n" in
+  let steps' = P.parse_exn env (P.unparse env steps) in
+  check "roundtrip" true (List.for_all2 Step.equal steps steps')
+
+let test_errors () =
+  let env = P.create_env () in
+  check "bad verb" true (Result.is_error (P.parse env "frobnicate T1"));
+  check "missing args" true (Result.is_error (P.parse env "r T1"));
+  check "bad decl" true (Result.is_error (P.parse env "bd T1 q:x"));
+  (match P.parse env "b T1\nnope" with
+  | Error e -> check "line number" true (String.length e > 0 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected error");
+  check "blank ok" true (P.parse env "\n\n# only comments\n" = Ok [])
+
+let test_interning () =
+  let env = P.create_env () in
+  let steps = P.parse_exn env "b T1\nr T1 x\nr T1 x\n" in
+  match steps with
+  | [ _; Step.Read (t, x1); Step.Read (t', x2) ] ->
+      check "same txn id" true (t = t');
+      check "same entity id" true (x1 = x2);
+      check "names recoverable" true
+        (Dct_txn.Symtab.name env.P.txns t = Some "T1")
+  | _ -> Alcotest.fail "unexpected parse"
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic document" `Quick test_parse_basic;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "multiwrite forms" `Quick test_multiwrite_forms;
+          Alcotest.test_case "declarations" `Quick test_declaration;
+          Alcotest.test_case "declaration roundtrip" `Quick
+            test_declaration_roundtrip;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "interning" `Quick test_interning;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C1 = Dct_deletion.Condition_c1
+module Policy = Dct_deletion.Policy
+module Rules = Dct_deletion.Rules
+module Gallery = Dct_deletion.Paper_gallery
+module Step = Dct_txn.Step
+module S = Dct_txn.Schedule
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun (s, expect) ->
+      match Policy.of_string s with
+      | Ok p -> Alcotest.(check string) s expect (Policy.name p)
+      | Error e -> Alcotest.fail e)
+    [
+      ("none", "none");
+      ("commit", "commit-time(unsafe)");
+      ("noncurrent", "noncurrent");
+      ("greedy", "greedy-c1");
+      ("exact", "exact-max");
+      ("exact-weighted", "exact-max-weighted");
+      ("budget:10:greedy", "budget(10,greedy-c1)");
+      ("budget:4:budget:2:none", "budget(4,budget(2,none))");
+    ];
+  check "bad policy" true (Result.is_error (Policy.of_string "bogus"));
+  check "bad budget" true (Result.is_error (Policy.of_string "budget:x:none"))
+
+let test_no_deletion () =
+  let e = Gallery.example1 () in
+  let deleted = Policy.run Policy.No_deletion e.Gallery.gs1 in
+  check "nothing deleted" true (Intset.is_empty deleted)
+
+let test_noncurrent_on_example1 () =
+  let e = Gallery.example1 () in
+  let deleted = Policy.run Policy.Noncurrent e.Gallery.gs1 in
+  Alcotest.(check (list int)) "deletes exactly T2" [ e.t2 ]
+    (Intset.to_sorted_list deleted);
+  check "T3 still present" true (Gs.mem_txn e.gs1 e.t3)
+
+let test_greedy_on_example1 () =
+  let e = Gallery.example1 () in
+  let deleted = Policy.run Policy.Greedy_c1 e.Gallery.gs1 in
+  (* Either T2 or T3 can go, not both: greedy (ascending) takes T2. *)
+  Alcotest.(check (list int)) "deletes T2 only" [ e.t2 ]
+    (Intset.to_sorted_list deleted)
+
+let test_exact_weighted_runs () =
+  let e = Gallery.example1 () in
+  (* Uniform access sizes on example 1 (all touch only x): the weighted
+     policy behaves like exact and removes exactly one of T2/T3. *)
+  let deleted = Policy.run Policy.Exact_max_weighted e.Gallery.gs1 in
+  Alcotest.(check int) "one deletion" 1 (Intset.cardinal deleted)
+
+let test_budget_trigger () =
+  let e = Gallery.example1 () in
+  let no = Policy.run (Policy.Budget (10, Policy.Greedy_c1)) e.Gallery.gs1 in
+  check "under budget: no deletion" true (Intset.is_empty no);
+  let e2 = Gallery.example1 () in
+  let yes = Policy.run (Policy.Budget (2, Policy.Greedy_c1)) e2.Gallery.gs1 in
+  check "over budget: deletes" true (not (Intset.is_empty yes))
+
+let test_unsafe_commit_time_breaks_csr () =
+  (* The paper's motivating failure: deleting at commit time lets the
+     scheduler accept a non-CSR schedule.  Schedule: T2 completes while
+     active T1 has read x; delete T2 at commit; then T1 writes x and a
+     fresh T3 reads x and y, T1 writes y...  Build the classic case:
+       r1(x) w2(x)[commit,deleted] r3(x→from T2) w3(y) ... r1 writes y
+     Simpler: Example 1 extended — delete T2 and T3 at commit, then
+     T1 writes x: in the full graph this closes no cycle... use the
+     2-txn case:
+       T1 reads x; T2 reads x writes x (T1->T2, deleted); T1 writes x.
+     Full scheduler: arcs T1->T2 (kept) and T2->T1 (new) = cycle, T1
+     aborted.  Commit-time scheduler: T2 forgotten, T1's write accepted,
+     and the accepted schedule r1(x) r2(x) w2(x) w1(x) is not CSR. *)
+  let steps =
+    [
+      Step.Begin 1;
+      Step.Read (1, 0);
+      Step.Begin 2;
+      Step.Read (2, 0);
+      Step.Write (2, [ 0 ]);
+      Step.Write (1, [ 0 ]);
+    ]
+  in
+  (* Full scheduler rejects the last step. *)
+  let gs_full = Gs.create () in
+  let outcomes = Rules.apply_all gs_full steps in
+  check "full scheduler rejects" true (List.nth outcomes 5 = Rules.Rejected);
+  (* Commit-time deletion accepts everything... *)
+  let gs_bad = Gs.create () in
+  let accepted_all =
+    List.for_all
+      (fun s ->
+        match Rules.apply gs_bad s with
+        | Rules.Accepted ->
+            ignore (Policy.run Policy.Unsafe_commit_time gs_bad);
+            true
+        | Rules.Rejected | Rules.Ignored -> false)
+      steps
+  in
+  check "unsafe scheduler accepts all" true accepted_all;
+  (* ...and the schedule it accepted is not conflict-serializable. *)
+  check "accepted schedule not CSR" false (S.is_csr steps)
+
+let test_correct_policies_preserve_csr () =
+  (* End-to-end: on random workloads, every correct policy accepts
+     exactly the same steps as the no-deletion scheduler. *)
+  let profile = { Gen.default with Gen.n_txns = 40; n_entities = 6; mpl = 5 } in
+  List.iter
+    (fun seed ->
+      let schedule = Gen.basic { profile with Gen.seed } in
+      let reference = Gs.create () in
+      let ref_outcomes = Rules.apply_all reference schedule in
+      List.iter
+        (fun policy ->
+          let gs = Gs.create () in
+          let outcomes =
+            List.map
+              (fun s ->
+                let o = Rules.apply gs s in
+                if o = Rules.Accepted then ignore (Policy.run policy gs);
+                o)
+              schedule
+          in
+          check
+            (Printf.sprintf "seed %d policy %s agrees" seed (Policy.name policy))
+            true
+            (List.for_all2 ( = ) ref_outcomes outcomes))
+        [ Policy.Noncurrent; Policy.Greedy_c1; Policy.Budget (16, Policy.Greedy_c1) ])
+    [ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "parse/name roundtrip" `Quick test_names_roundtrip;
+          Alcotest.test_case "no-deletion" `Quick test_no_deletion;
+          Alcotest.test_case "noncurrent on example 1" `Quick
+            test_noncurrent_on_example1;
+          Alcotest.test_case "greedy on example 1" `Quick test_greedy_on_example1;
+          Alcotest.test_case "budget trigger" `Quick test_budget_trigger;
+          Alcotest.test_case "exact-weighted policy" `Quick
+            test_exact_weighted_runs;
+          Alcotest.test_case "commit-time deletion breaks CSR" `Quick
+            test_unsafe_commit_time_breaks_csr;
+          Alcotest.test_case "correct policies = reference scheduler" `Slow
+            test_correct_policies_preserve_csr;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* Theorem 5: Set Cover -> maximum safe deletion. *)
+
+module Intset = Dct_graph.Intset
+module C1 = Dct_deletion.Condition_c1
+module C2 = Dct_deletion.Condition_c2
+module Max = Dct_deletion.Max_deletion
+module Rc = Dct_npc.Reduction_cover
+module Sc = Dct_npc.Set_cover
+module Rules = Dct_deletion.Rules
+module Gs = Dct_deletion.Graph_state
+
+let instances =
+  [
+    (* (universe, sets, minimum cover size) *)
+    (3, [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ], 2);
+    (4, [ [ 0; 1 ]; [ 2; 3 ]; [ 0; 1; 2; 3 ] ], 1);
+    (5, [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ]; [ 0; 1; 2 ]; [ 3; 4 ] ], 2);
+    (6, [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 5 ] ], 2);
+    (4, [ [ 0 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 0; 1; 2; 3 ] ], 1);
+    (1, [ [ 0 ] ], 1);
+  ]
+
+let mk (u, sets, _) = Sc.make ~universe:u sets
+
+let test_exact_min () =
+  List.iter
+    (fun ((_, _, expect) as i) ->
+      let inst = mk i in
+      Alcotest.(check (result unit string)) "valid" (Ok ()) (Sc.validate inst);
+      Alcotest.(check int) "min cover" expect (List.length (Sc.exact_min inst));
+      Alcotest.(check bool) "exact is a cover" true
+        (Sc.is_cover inst (Sc.exact_min inst));
+      Alcotest.(check bool) "greedy is a cover" true
+        (Sc.is_cover inst (Sc.greedy inst)))
+    instances
+
+let test_no_deletion_before_last_step () =
+  List.iter
+    (fun i ->
+      let inst = mk i in
+      let steps, _ = Rc.schedule_without_last_step inst in
+      let gs = Gs.create () in
+      List.iter (fun s -> ignore (Rules.apply gs s)) steps;
+      Alcotest.(check bool) "irreducible before last step" true
+        (Intset.is_empty (C1.eligible gs)))
+    instances
+
+let test_max_deletable_equals_complement_of_min_cover () =
+  List.iter
+    (fun i ->
+      let inst = mk i in
+      let gs, _ = Rc.graph_state inst in
+      Alcotest.(check int) "max deletable" (Rc.max_deletable inst)
+        (Max.exact_size gs))
+    instances
+
+let test_safe_sets_are_covers () =
+  (* For a small instance, enumerate all subsets of the eligible txns:
+     C2 holds iff the remaining sets cover the universe. *)
+  let inst = mk (List.nth instances 0) in
+  let gs, ids = Rc.graph_state inst in
+  let m = Array.length inst.Sc.sets in
+  for mask = 0 to (1 lsl m) - 1 do
+    let n =
+      List.fold_left
+        (fun acc i ->
+          if mask land (1 lsl i) <> 0 then Intset.add ids.Rc.set_txn.(i) acc
+          else acc)
+        Intset.empty (List.init m Fun.id)
+    in
+    let safe = C2.holds gs n in
+    let cover = Sc.is_cover inst (Rc.remaining_sets inst ids ~deleted:n) in
+    Alcotest.(check bool)
+      (Printf.sprintf "mask %d: C2 iff remaining covers" mask)
+      cover safe
+  done
+
+let test_greedy_leq_exact () =
+  List.iter
+    (fun i ->
+      let inst = mk i in
+      let gs, _ = Rc.graph_state inst in
+      let g = Intset.cardinal (Max.greedy gs) in
+      let e = Max.exact_size gs in
+      Alcotest.(check bool) "greedy <= exact" true (g <= e);
+      (* Greedy must still be safe. *)
+      Alcotest.(check bool) "greedy set is C2-safe" true
+        (C2.holds gs (Max.greedy gs)))
+    instances
+
+let () =
+  Alcotest.run "reduction_cover"
+    [
+      ( "theorem5",
+        [
+          Alcotest.test_case "exact/greedy set cover solvers" `Quick
+            test_exact_min;
+          Alcotest.test_case "irreducible before last step" `Quick
+            test_no_deletion_before_last_step;
+          Alcotest.test_case "max deletable = m - min cover" `Quick
+            test_max_deletable_equals_complement_of_min_cover;
+          Alcotest.test_case "safe subsets are exactly covers" `Quick
+            test_safe_sets_are_covers;
+          Alcotest.test_case "greedy bounded by exact, still safe" `Quick
+            test_greedy_leq_exact;
+        ] );
+    ]

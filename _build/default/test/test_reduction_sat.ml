@@ -1,0 +1,104 @@
+(* Theorem 6: 3-SAT -> deletability of C in the multi-write model. *)
+
+module Intset = Dct_graph.Intset
+module C3 = Dct_deletion.Condition_c3
+module Rs = Dct_npc.Reduction_sat
+module Sat = Dct_npc.Sat
+module Gs = Dct_deletion.Graph_state
+
+let formulas =
+  [
+    (* (name, nvars, clauses, satisfiable) *)
+    ("trivially sat", 3, [ [ 1; 2; 3 ] ], true);
+    ("sat two clauses", 3, [ [ 1; 2; 3 ]; [ -1; -2; -3 ] ], true);
+    ( "unsat on 3 vars",
+      3,
+      [
+        [ 1; 2; 3 ]; [ 1; 2; -3 ]; [ 1; -2; 3 ]; [ 1; -2; -3 ];
+        [ -1; 2; 3 ]; [ -1; 2; -3 ]; [ -1; -2; 3 ]; [ -1; -2; -3 ];
+      ],
+      false );
+    ( "sat pigeonhole-ish",
+      4,
+      [ [ 1; 2; 3 ]; [ -1; -2; 4 ]; [ -3; -4; 1 ]; [ 2; -3; -4 ] ],
+      true );
+  ]
+
+let mk (_, n, cs, _) = Sat.three_sat ~nvars:n cs
+
+let test_dpll () =
+  List.iter
+    (fun ((name, _, _, sat) as f) ->
+      let formula = mk f in
+      Alcotest.(check bool) name sat (Sat.is_satisfiable formula);
+      match Sat.solve formula with
+      | Some a ->
+          Alcotest.(check bool)
+            (name ^ ": model checks") true
+            (Sat.eval formula (fun v -> a.(v)))
+      | None -> ())
+    formulas
+
+let test_reduction () =
+  List.iter
+    (fun ((name, _, _, sat) as f) ->
+      let formula = mk f in
+      (* Theorem 6: C deletable iff f unsatisfiable. *)
+      Alcotest.(check bool)
+        (name ^ ": C deletable iff unsat")
+        (not sat)
+        (Rs.c_deletable formula))
+    formulas
+
+let test_only_c_maybe_deletable () =
+  let formula = mk (List.nth formulas 0) in
+  let gs, ids = Rs.graph_state formula in
+  Intset.iter
+    (fun t ->
+      if t <> ids.Rs.c && Gs.state gs t = Dct_txn.Transaction.Committed then
+        Alcotest.(check bool)
+          (Printf.sprintf "T%d not deletable" t)
+          false (C3.holds gs t))
+    (Gs.all_txns gs)
+
+let test_witness_abort_set () =
+  (* For a satisfiable formula, the assignment-induced abort set must
+     violate C3's consequent. *)
+  let f = mk (List.nth formulas 1) in
+  let gs, ids = Rs.graph_state f in
+  match Sat.solve f with
+  | None -> Alcotest.fail "formula should be satisfiable"
+  | Some a -> (
+      let m = Rs.abort_set_of_assignment f ids a in
+      match C3.violating_m gs ids.Rs.c with
+      | None -> Alcotest.fail "C3 should fail for satisfiable formula"
+      | Some _ ->
+          (* The specific M from the assignment is itself a violator:
+             re-check by asking whether C3 restricted to it fails.  We
+             approximate by checking the full decision again after
+             verifying the abort set is made of actives. *)
+          Alcotest.(check bool) "abort set is active" true
+            (Intset.for_all (Gs.is_active gs) m))
+
+let test_graph_acyclic () =
+  List.iter
+    (fun f ->
+      let formula = mk f in
+      let gs, _ = Rs.graph_state formula in
+      Alcotest.(check bool) "reduction graph acyclic" true (Gs.is_acyclic gs))
+    formulas
+
+let () =
+  Alcotest.run "reduction_sat"
+    [
+      ( "theorem6",
+        [
+          Alcotest.test_case "DPLL solver" `Quick test_dpll;
+          Alcotest.test_case "C deletable iff unsat" `Quick test_reduction;
+          Alcotest.test_case "only C can be deletable" `Quick
+            test_only_c_maybe_deletable;
+          Alcotest.test_case "assignment induces violating abort set" `Quick
+            test_witness_abort_set;
+          Alcotest.test_case "gadget graphs acyclic" `Quick test_graph_acyclic;
+        ] );
+    ]

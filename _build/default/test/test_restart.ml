@@ -1,0 +1,109 @@
+module Restart = Dct_sim.Restart
+module Cs = Dct_sched.Conflict_scheduler
+module Policy = Dct_deletion.Policy
+module Step = Dct_txn.Step
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let schedule = Gen.basic { Gen.default with Gen.n_txns = 80; n_entities = 8; mpl = 6; seed = 13 }
+
+let test_accounting () =
+  let r = Restart.run (Cs.handle ~policy:Policy.Greedy_c1 ()) schedule in
+  check_int "originals counted" 80 r.Restart.original_txns;
+  check "attempts >= originals" true (r.Restart.attempts >= 80);
+  check "committed + gave_up = originals" true
+    (r.Restart.eventually_committed + r.Restart.gave_up = 80);
+  check "goodput in [0,1]" true
+    (Restart.goodput r >= 0.0 && Restart.goodput r <= 1.0)
+
+let test_restarts_improve_goodput () =
+  (* Single-shot commits vs goodput with retries. *)
+  let single = Dct_sim.Driver.run (Cs.handle ()) schedule in
+  let retried = Restart.run (Cs.handle ()) schedule in
+  check "retries commit at least as many" true
+    (retried.Restart.eventually_committed
+    >= single.Dct_sim.Driver.final.Dct_sched.Scheduler_intf.committed_total)
+
+let test_no_conflict_no_retry () =
+  (* Disjoint transactions never abort: attempts = originals. *)
+  let steps =
+    List.concat_map
+      (fun i ->
+        [ Step.Begin i; Step.Read (i, i); Step.Write (i, [ i ]) ])
+      (List.init 10 (fun i -> i + 1))
+  in
+  let r = Restart.run (Cs.handle ()) steps in
+  check_int "all committed" 10 r.Restart.eventually_committed;
+  check_int "no retries" 10 r.Restart.attempts;
+  check_int "nobody gave up" 0 r.Restart.gave_up
+
+let test_forced_conflict_retries_succeed () =
+  (* Two txns in a guaranteed cycle: one aborts first time, and its
+     retry (running alone) commits. *)
+  let steps =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (1, 0);
+      Step.Read (2, 1);
+      Step.Write (2, [ 0 ]);
+      Step.Write (1, [ 1 ]); (* cycle: T1 aborted *)
+    ]
+  in
+  let r = Restart.run (Cs.handle ()) steps in
+  check_int "both eventually commit" 2 r.Restart.eventually_committed;
+  check_int "one retry" 3 r.Restart.attempts;
+  check_int "nobody gave up" 0 r.Restart.gave_up
+
+let test_max_attempts_respected () =
+  (* max_attempts = 1: no retries at all. *)
+  let steps =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (1, 0);
+      Step.Read (2, 1);
+      Step.Write (2, [ 0 ]);
+      Step.Write (1, [ 1 ]);
+    ]
+  in
+  let r = Restart.run ~max_attempts:1 (Cs.handle ()) steps in
+  check_int "one commits" 1 r.Restart.eventually_committed;
+  check_int "one gives up" 1 r.Restart.gave_up;
+  check_int "no extra attempts" 2 r.Restart.attempts
+
+let test_2pl_with_restarts () =
+  let r = Restart.run (Dct_sched.Lock_2pl.handle ()) schedule in
+  check "2pl commits most with retries" true
+    (Restart.goodput r > 0.5);
+  check "accounting closed" true
+    (r.Restart.eventually_committed + r.Restart.gave_up
+    = r.Restart.original_txns)
+
+let test_deterministic () =
+  let a = Restart.run (Cs.handle ~policy:Policy.Greedy_c1 ()) schedule in
+  let b = Restart.run (Cs.handle ~policy:Policy.Greedy_c1 ()) schedule in
+  check "same goodput" true
+    (a.Restart.eventually_committed = b.Restart.eventually_committed);
+  check "same attempts" true (a.Restart.attempts = b.Restart.attempts)
+
+let () =
+  Alcotest.run "restart"
+    [
+      ( "restart",
+        [
+          Alcotest.test_case "accounting invariants" `Quick test_accounting;
+          Alcotest.test_case "retries improve goodput" `Quick
+            test_restarts_improve_goodput;
+          Alcotest.test_case "no conflicts, no retries" `Quick
+            test_no_conflict_no_retry;
+          Alcotest.test_case "forced conflict retried to success" `Quick
+            test_forced_conflict_retries_succeed;
+          Alcotest.test_case "max_attempts respected" `Quick
+            test_max_attempts_respected;
+          Alcotest.test_case "2PL under restarts" `Quick test_2pl_with_restarts;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

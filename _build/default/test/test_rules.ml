@@ -1,0 +1,156 @@
+(* Rules 1-3: the scheduler accepts exactly the steps that keep the
+   conflict graph acyclic, and aborts the offender otherwise. *)
+
+module Gs = Dct_deletion.Graph_state
+module Rules = Dct_deletion.Rules
+module Step = Dct_txn.Step
+module S = Dct_txn.Schedule
+module G = Dct_graph.Digraph
+
+let check = Alcotest.(check bool)
+
+let replay steps =
+  let gs = Gs.create () in
+  let outcomes = Rules.apply_all gs steps in
+  (gs, outcomes)
+
+let test_rule2_arcs () =
+  let gs, _ =
+    replay [ Step.Begin 1; Step.Read (1, 0); Step.Write (1, [ 0 ]);
+             Step.Begin 2; Step.Read (2, 0) ]
+  in
+  check "writer -> reader arc" true (G.mem_arc (Gs.graph gs) ~src:1 ~dst:2)
+
+let test_rule3_arcs () =
+  let gs, _ =
+    replay [ Step.Begin 1; Step.Read (1, 0); Step.Begin 2; Step.Write (2, [ 0 ]) ]
+  in
+  check "reader -> writer arc" true (G.mem_arc (Gs.graph gs) ~src:1 ~dst:2)
+
+let test_cycle_rejected () =
+  let steps =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (1, 0);
+      Step.Read (2, 1);
+      Step.Write (2, [ 0 ]); (* T1 -> T2 *)
+      Step.Write (1, [ 1 ]); (* would add T2 -> T1: cycle *)
+    ]
+  in
+  let gs, outcomes = replay steps in
+  check "last step rejected" true (List.nth outcomes 5 = Rules.Rejected);
+  check "T1 aborted" true (Gs.was_aborted gs 1);
+  check "T2 survives" true (Gs.is_completed gs 2);
+  check "graph stays acyclic" true (Gs.is_acyclic gs)
+
+let test_steps_after_abort_ignored () =
+  let steps =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (1, 0);
+      Step.Read (2, 1);
+      Step.Write (2, [ 0 ]);
+      Step.Write (1, [ 1 ]); (* T1 aborts *)
+      Step.Read (1, 5);      (* late step of aborted txn *)
+    ]
+  in
+  let _, outcomes = replay steps in
+  check "late step ignored" true (List.nth outcomes 6 = Rules.Ignored)
+
+let test_accepted_subschedule_csr () =
+  let steps =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (1, 0);
+      Step.Read (2, 1);
+      Step.Write (2, [ 0 ]);
+      Step.Write (1, [ 1 ]);
+    ]
+  in
+  let gs = Gs.create () in
+  let accepted = Rules.accepted_subschedule gs steps in
+  check "accepted subschedule CSR" true (S.is_csr accepted);
+  check "T1 projected out" false
+    (Dct_graph.Intset.mem 1 (S.txns accepted))
+
+let test_would_accept_pure () =
+  let gs, _ =
+    replay
+      [
+        Step.Begin 1; Step.Begin 2; Step.Read (1, 0); Step.Read (2, 1);
+        Step.Write (2, [ 0 ]);
+      ]
+  in
+  let before_arcs = G.arc_count (Gs.graph gs) in
+  check "predicts rejection" false (Rules.would_accept gs (Step.Write (1, [ 1 ])));
+  check "predicts acceptance" true (Rules.would_accept gs (Step.Write (1, [])));
+  Alcotest.(check int) "state unchanged" before_arcs (G.arc_count (Gs.graph gs));
+  check "T1 still active" true (Gs.is_active gs 1)
+
+let test_malformed () =
+  let gs = Gs.create () in
+  check "unknown txn raises" true
+    (try
+       ignore (Rules.apply gs (Step.Read (9, 0)));
+       false
+     with Invalid_argument _ -> true);
+  ignore (Rules.apply gs (Step.Begin 1));
+  ignore (Rules.apply gs (Step.Write (1, [])));
+  check "step after completion raises" true
+    (try
+       ignore (Rules.apply gs (Step.Read (1, 0)));
+       false
+     with Invalid_argument _ -> true);
+  check "multiwrite step raises" true
+    (try
+       ignore (Rules.apply gs (Step.Write_one (1, 0)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_read_only_txn () =
+  let gs, outcomes =
+    replay [ Step.Begin 1; Step.Read (1, 0); Step.Write (1, []) ]
+  in
+  check "all accepted" true (List.for_all (( = ) Rules.Accepted) outcomes);
+  check "read-only txn committed" true (Gs.is_completed gs 1)
+
+let test_matches_offline_conflict_graph () =
+  (* When nothing aborts, the online graph equals the offline CG(p). *)
+  let steps =
+    [
+      Step.Begin 1; Step.Begin 2; Step.Begin 3;
+      Step.Read (1, 0); Step.Read (2, 0);
+      Step.Write (1, [ 1 ]);
+      Step.Read (3, 1);
+      Step.Write (2, [ 2 ]);
+      Step.Write (3, [ 0 ]);
+    ]
+  in
+  let gs, outcomes = replay steps in
+  check "no rejection" true (List.for_all (( <> ) Rules.Rejected) outcomes);
+  check "graphs equal" true
+    (G.equal (Gs.graph gs) (S.conflict_graph steps))
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "rule 2 arcs" `Quick test_rule2_arcs;
+          Alcotest.test_case "rule 3 arcs" `Quick test_rule3_arcs;
+          Alcotest.test_case "cycle rejected, offender aborted" `Quick
+            test_cycle_rejected;
+          Alcotest.test_case "post-abort steps ignored" `Quick
+            test_steps_after_abort_ignored;
+          Alcotest.test_case "accepted subschedule is CSR" `Quick
+            test_accepted_subschedule_csr;
+          Alcotest.test_case "would_accept is pure" `Quick test_would_accept_pure;
+          Alcotest.test_case "malformed input raises" `Quick test_malformed;
+          Alcotest.test_case "read-only transactions" `Quick test_read_only_txn;
+          Alcotest.test_case "online graph = offline CG" `Quick
+            test_matches_offline_conflict_graph;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* The safety oracle itself, plus Theorem 1 both ways on random states:
+   C1 holds  -> bounded search finds no divergence;
+   C1 fails  -> the adversarial continuation diverges. *)
+
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module C1 = Dct_deletion.Condition_c1
+module C2 = Dct_deletion.Condition_c2
+module Safety = Dct_deletion.Safety
+module Rules = Dct_deletion.Rules
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Replay a 2/3 prefix so that some transactions are still active —
+   otherwise C1 is vacuously true everywhere. *)
+let random_state seed n_txns =
+  let profile =
+    {
+      Gen.default with
+      Gen.n_txns;
+      n_entities = 4;
+      mpl = 3;
+      reads_min = 1;
+      reads_max = 3;
+      seed;
+    }
+  in
+  let schedule = Gen.basic profile in
+  let prefix = take (List.length schedule * 2 / 3) schedule in
+  let gs = Gs.create () in
+  ignore (Rules.apply_all gs prefix);
+  gs
+
+let test_replay_agreement_on_safe () =
+  (* Replaying any continuation after a C2-safe deletion agrees. *)
+  let gs = random_state 1 8 in
+  let n = Dct_deletion.Max_deletion.greedy gs in
+  let continuation =
+    Gen.basic { Gen.default with Gen.n_txns = 6; n_entities = 4; seed = 99 }
+    |> List.map (fun s ->
+           (* shift txn ids to be fresh *)
+           match s with
+           | Dct_txn.Step.Begin t -> Dct_txn.Step.Begin (t + 1000)
+           | Dct_txn.Step.Read (t, x) -> Dct_txn.Step.Read (t + 1000, x)
+           | Dct_txn.Step.Write (t, xs) -> Dct_txn.Step.Write (t + 1000, xs)
+           | s -> s)
+  in
+  check "no divergence" true (Safety.replay gs ~deleted:n continuation = None)
+
+let test_sound_c1_no_divergence () =
+  for seed = 1 to 8 do
+    let gs = random_state seed 6 in
+    Intset.iter
+      (fun ti ->
+        if C1.holds gs ti then
+          match Safety.search ~depth:3 gs ~deleted:(Intset.singleton ti) with
+          | None -> ()
+          | Some d ->
+              Alcotest.failf
+                "seed %d: C1 held for T%d but divergence at step %d" seed ti
+                d.Safety.step_index)
+      (Gs.completed_txns gs)
+  done
+
+let test_necessity_adversarial_diverges () =
+  let tested = ref 0 in
+  for seed = 1 to 20 do
+    let gs = random_state seed 6 in
+    let all = Gs.all_txns gs in
+    let max_txn = if Intset.is_empty all then 0 else Intset.max_elt all in
+    let entities = Gs.entities gs in
+    let max_entity = if Intset.is_empty entities then 0 else Intset.max_elt entities in
+    Intset.iter
+      (fun ti ->
+        if not (C1.holds gs ti) then begin
+          match
+            C1.adversarial_continuation gs ti ~fresh_txn:(max_txn + 1)
+              ~fresh_entity:(max_entity + 1)
+          with
+          | None -> Alcotest.fail "C1 fails but no adversarial continuation"
+          | Some r -> (
+              incr tested;
+              match Safety.replay gs ~deleted:(Intset.singleton ti) r with
+              | Some _ -> ()
+              | None ->
+                  Alcotest.failf
+                    "seed %d: adversarial continuation for T%d did not diverge"
+                    seed ti)
+        end)
+      (Gs.completed_txns gs)
+  done;
+  check "necessity exercised at least once" true (!tested > 0)
+
+let test_set_safety_oracle_agrees_with_c2 () =
+  (* On tiny states, C2's verdict for pairs matches the bounded oracle. *)
+  for seed = 1 to 5 do
+    let gs = random_state seed 5 in
+    let completed = Intset.to_sorted_list (Gs.completed_txns gs) in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b then begin
+              let n = Intset.of_list [ a; b ] in
+              let c2 = C2.holds gs n in
+              match Safety.search ~depth:2 gs ~deleted:n with
+              | None ->
+                  (* No divergence found at depth 2: C2 may be false with a
+                     deeper witness, but C2 = true must imply no witness. *)
+                  ()
+              | Some _ ->
+                  check
+                    (Printf.sprintf "seed %d {%d,%d}: divergence implies ~C2"
+                       seed a b)
+                    false c2
+            end)
+          completed)
+      completed
+  done
+
+let test_search_reports_prefix () =
+  let e = Dct_deletion.Paper_gallery.example1 () in
+  let gs = Gs.copy e.Dct_deletion.Paper_gallery.gs1 in
+  Dct_deletion.Reduced_graph.delete gs e.t3;
+  match Safety.search ~depth:2 gs ~deleted:(Intset.singleton e.t2) with
+  | None -> Alcotest.fail "expected divergence"
+  | Some d ->
+      check "index within continuation" true
+        (d.Safety.step_index < List.length d.Safety.continuation)
+
+let () =
+  Alcotest.run "safety"
+    [
+      ( "safety",
+        [
+          Alcotest.test_case "safe deletion: replay agrees" `Quick
+            test_replay_agreement_on_safe;
+          Alcotest.test_case "C1 sound (bounded oracle)" `Slow
+            test_sound_c1_no_divergence;
+          Alcotest.test_case "C1 necessary (adversarial)" `Quick
+            test_necessity_adversarial_diverges;
+          Alcotest.test_case "set oracle vs C2" `Slow
+            test_set_safety_oracle_agrees_with_c2;
+          Alcotest.test_case "divergence reporting" `Quick
+            test_search_reports_prefix;
+        ] );
+    ]

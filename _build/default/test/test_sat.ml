@@ -1,0 +1,84 @@
+module Sat = Dct_npc.Sat
+
+let check = Alcotest.(check bool)
+
+let test_validation () =
+  check "zero literal" true
+    (try
+       ignore (Sat.make ~nvars:2 [ [ 0 ] ]);
+       false
+     with Invalid_argument _ -> true);
+  check "out of range" true
+    (try
+       ignore (Sat.make ~nvars:2 [ [ 3 ] ]);
+       false
+     with Invalid_argument _ -> true);
+  check "3sat arity" true
+    (try
+       ignore (Sat.three_sat ~nvars:3 [ [ 1; 2 ] ]);
+       false
+     with Invalid_argument _ -> true);
+  check "3sat distinct vars" true
+    (try
+       ignore (Sat.three_sat ~nvars:3 [ [ 1; -1; 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_simple () =
+  let f = Sat.make ~nvars:2 [ [ 1 ]; [ -2 ] ] in
+  (match Sat.solve f with
+  | Some a -> check "model" true (a.(1) && not a.(2))
+  | None -> Alcotest.fail "satisfiable");
+  let g = Sat.make ~nvars:1 [ [ 1 ]; [ -1 ] ] in
+  check "contradiction" false (Sat.is_satisfiable g)
+
+let test_empty_formula () =
+  let f = Sat.make ~nvars:3 [] in
+  check "empty is sat" true (Sat.is_satisfiable f)
+
+let test_unit_propagation_chain () =
+  (* x1; x1->x2; x2->x3; ~x3 : unsat via propagation. *)
+  let f = Sat.make ~nvars:3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3 ] ] in
+  check "chain unsat" false (Sat.is_satisfiable f)
+
+let test_models_check_out () =
+  (* Random small formulas: every model returned satisfies eval, and
+     UNSAT verdicts agree with brute force. *)
+  let rng = Dct_workload.Prng.create ~seed:31 in
+  for _ = 1 to 60 do
+    let nvars = 3 + Dct_workload.Prng.int rng 3 in
+    let nclauses = 2 + Dct_workload.Prng.int rng 12 in
+    let clause () =
+      let size = 1 + Dct_workload.Prng.int rng 3 in
+      Dct_workload.Prng.sample_distinct rng ~n:size ~bound:nvars
+      |> List.map (fun v ->
+             if Dct_workload.Prng.bool rng ~p:0.5 then v + 1 else -(v + 1))
+    in
+    let f = Sat.make ~nvars (List.init nclauses (fun _ -> clause ())) in
+    let brute =
+      let found = ref false in
+      for mask = 0 to (1 lsl nvars) - 1 do
+        if (not !found) && Sat.eval f (fun v -> mask land (1 lsl (v - 1)) <> 0)
+        then found := true
+      done;
+      !found
+    in
+    match Sat.solve f with
+    | Some a ->
+        check "model valid" true (Sat.eval f (fun v -> a.(v)));
+        check "brute agrees sat" true brute
+    | None -> check "brute agrees unsat" false brute
+  done
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "dpll",
+        [
+          Alcotest.test_case "input validation" `Quick test_validation;
+          Alcotest.test_case "simple formulas" `Quick test_simple;
+          Alcotest.test_case "empty formula" `Quick test_empty_formula;
+          Alcotest.test_case "unit propagation" `Quick test_unit_propagation_chain;
+          Alcotest.test_case "random vs brute force" `Slow test_models_check_out;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+module S = Dct_txn.Schedule
+module Step = Dct_txn.Step
+module G = Dct_graph.Digraph
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+
+(* rx(T1) wx(T2) -> arc T1 -> T2. *)
+let test_conflict_graph_basic () =
+  let s = [ Step.Begin 1; Step.Read (1, 0); Step.Begin 2; Step.Write (2, [ 0 ]) ] in
+  let g = S.conflict_graph s in
+  check "arc T1->T2" true (G.mem_arc g ~src:1 ~dst:2);
+  check "no arc T2->T1" false (G.mem_arc g ~src:2 ~dst:1);
+  check "csr" true (S.is_csr s)
+
+let test_non_csr () =
+  (* rx(T1) wx(T2) ry(T2)... make a 2-cycle: T1 reads x, T2 writes x
+     (T1->T2), T2 reads y, T1 writes y (T2->T1). *)
+  let s =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (1, 0);
+      Step.Read (2, 1);
+      Step.Write (2, [ 0 ]);
+      Step.Write (1, [ 1 ]);
+    ]
+  in
+  check "not csr" false (S.is_csr s);
+  check "no serialization order" true (S.serialization_order s = None)
+
+let test_read_read_no_conflict () =
+  let s =
+    [ Step.Begin 1; Step.Begin 2; Step.Read (1, 0); Step.Read (2, 0) ]
+  in
+  let g = S.conflict_graph s in
+  Alcotest.(check int) "no arcs" 0 (G.arc_count g)
+
+let test_serial_is_csr () =
+  let s =
+    S.serial
+      [
+        (1, [ Step.Begin 1; Step.Read (1, 0); Step.Write (1, [ 0 ]) ]);
+        (2, [ Step.Begin 2; Step.Read (2, 0); Step.Write (2, [ 0 ]) ]);
+      ]
+  in
+  check "serial schedules are CSR" true (S.is_csr s);
+  match S.serialization_order s with
+  | Some [ 1; 2 ] -> ()
+  | Some _ | None -> Alcotest.fail "expected order [1;2]"
+
+let test_equivalent_serial () =
+  let s =
+    [
+      Step.Begin 1;
+      Step.Begin 2;
+      Step.Read (2, 0);
+      Step.Read (1, 1);
+      Step.Write (2, [ 1 ]);
+      Step.Write (1, []);
+    ]
+  in
+  (* T1 reads y before T2 writes y: T1 -> T2. *)
+  match S.equivalent_serial s with
+  | None -> Alcotest.fail "schedule is CSR"
+  | Some serial ->
+      check "serial has same steps" true
+        (List.sort compare serial = List.sort compare s);
+      (* In the serial version all of T1's steps precede T2's. *)
+      let positions t =
+        List.filteri (fun _ step -> Step.txn step = t) serial
+        |> List.map (fun step ->
+               let rec index i = function
+                 | [] -> -1
+                 | x :: _ when Step.equal x step -> i
+                 | _ :: tl -> index (i + 1) tl
+               in
+               index 0 serial)
+      in
+      let max1 = List.fold_left max (-1) (positions 1) in
+      let min2 = List.fold_left min max_int (positions 2) in
+      check "T1 before T2" true (max1 < min2)
+
+let test_completed_active () =
+  let s =
+    [ Step.Begin 1; Step.Read (1, 0); Step.Begin 2; Step.Write (2, []) ]
+  in
+  Alcotest.(check (list int)) "completed" [ 2 ]
+    (Intset.to_sorted_list (S.completed_basic s));
+  Alcotest.(check (list int)) "active" [ 1 ]
+    (Intset.to_sorted_list (S.active_basic s))
+
+let test_well_formed () =
+  let ok = [ Step.Begin 1; Step.Read (1, 0); Step.Write (1, [ 0 ]) ] in
+  check "well formed" true (S.well_formed_basic ok = Ok ());
+  let bad1 = [ Step.Read (1, 0) ] in
+  check "read before begin" true (Result.is_error (S.well_formed_basic bad1));
+  let bad2 = [ Step.Begin 1; Step.Write (1, []); Step.Read (1, 0) ] in
+  check "step after final write" true (Result.is_error (S.well_formed_basic bad2));
+  let bad3 = [ Step.Begin 1; Step.Begin 1 ] in
+  check "duplicate begin" true (Result.is_error (S.well_formed_basic bad3));
+  let bad4 = [ Step.Begin 1; Step.Write_one (1, 0) ] in
+  check "multiwrite step" true (Result.is_error (S.well_formed_basic bad4))
+
+let test_project () =
+  let s = [ Step.Begin 1; Step.Begin 2; Step.Read (1, 0); Step.Read (2, 0) ] in
+  let p = S.project s ~keep:(fun t -> t = 1) in
+  Alcotest.(check int) "projected length" 2 (List.length p);
+  check "only T1" true (Intset.equal (S.txns p) (Intset.singleton 1))
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "conflict graph arcs" `Quick test_conflict_graph_basic;
+          Alcotest.test_case "non-CSR detection" `Quick test_non_csr;
+          Alcotest.test_case "read-read no conflict" `Quick
+            test_read_read_no_conflict;
+          Alcotest.test_case "serial is CSR" `Quick test_serial_is_csr;
+          Alcotest.test_case "equivalent serial" `Quick test_equivalent_serial;
+          Alcotest.test_case "completed/active split" `Quick test_completed_active;
+          Alcotest.test_case "well-formedness" `Quick test_well_formed;
+          Alcotest.test_case "projection" `Quick test_project;
+        ] );
+    ]

@@ -1,0 +1,73 @@
+module Sc = Dct_npc.Set_cover
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make_validates_elements () =
+  check "out of range" true
+    (try
+       ignore (Sc.make ~universe:2 [ [ 0; 5 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate () =
+  let full = Sc.make ~universe:3 [ [ 0; 1 ]; [ 2 ] ] in
+  check "covers" true (Sc.validate full = Ok ());
+  let partial = Sc.make ~universe:3 [ [ 0; 1 ] ] in
+  check "does not cover" true (Result.is_error (Sc.validate partial))
+
+let test_is_cover () =
+  let inst = Sc.make ~universe:4 [ [ 0; 1 ]; [ 2 ]; [ 2; 3 ] ] in
+  check "cover" true (Sc.is_cover inst [ 0; 2 ]);
+  check "not a cover" false (Sc.is_cover inst [ 0; 1 ]);
+  check "redundant cover" true (Sc.is_cover inst [ 0; 1; 2 ])
+
+let test_exact_beats_greedy_sometimes () =
+  (* Classic greedy trap: greedy takes the big set, then needs 2 more;
+     optimal is the 2 disjoint halves. *)
+  let inst =
+    Sc.make ~universe:8
+      [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ]; [ 0; 1; 4; 5; 2 ]; [ 3; 6; 7 ] ]
+  in
+  check_int "exact" 2 (List.length (Sc.exact_min inst));
+  check "greedy is a cover" true (Sc.is_cover inst (Sc.greedy inst));
+  check "exact is a cover" true (Sc.is_cover inst (Sc.exact_min inst))
+
+let test_greedy_never_smaller_than_exact () =
+  let rng = Dct_workload.Prng.create ~seed:21 in
+  for _ = 1 to 30 do
+    let universe = 4 + Dct_workload.Prng.int rng 6 in
+    let m = 3 + Dct_workload.Prng.int rng 5 in
+    let sets =
+      List.init m (fun _ ->
+          let size = 1 + Dct_workload.Prng.int rng universe in
+          Dct_workload.Prng.sample_distinct rng ~n:size ~bound:universe)
+    in
+    (* Ensure coverage by adding the full set. *)
+    let inst = Sc.make ~universe (List.init universe Fun.id :: sets) in
+    let e = List.length (Sc.exact_min inst) in
+    let g = List.length (Sc.greedy inst) in
+    check "exact <= greedy" true (e <= g);
+    check "exact covers" true (Sc.is_cover inst (Sc.exact_min inst));
+    check "greedy covers" true (Sc.is_cover inst (Sc.greedy inst))
+  done
+
+let test_singleton_universe () =
+  let inst = Sc.make ~universe:1 [ [ 0 ]; [ 0 ] ] in
+  check_int "min cover 1" 1 (List.length (Sc.exact_min inst))
+
+let () =
+  Alcotest.run "set_cover"
+    [
+      ( "set_cover",
+        [
+          Alcotest.test_case "element validation" `Quick test_make_validates_elements;
+          Alcotest.test_case "family validation" `Quick test_validate;
+          Alcotest.test_case "is_cover" `Quick test_is_cover;
+          Alcotest.test_case "exact beats greedy" `Quick
+            test_exact_beats_greedy_sometimes;
+          Alcotest.test_case "random: exact <= greedy" `Slow
+            test_greedy_never_smaller_than_exact;
+          Alcotest.test_case "singleton universe" `Quick test_singleton_universe;
+        ] );
+    ]

@@ -1,0 +1,89 @@
+module Driver = Dct_sim.Driver
+module Metrics = Dct_sim.Metrics
+module Report = Dct_sim.Report
+module Cs = Dct_sched.Conflict_scheduler
+module L2pl = Dct_sched.Lock_2pl
+module Policy = Dct_deletion.Policy
+module Gen = Dct_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let schedule = Gen.basic { Gen.default with Gen.n_txns = 80; seed = 17 }
+
+let test_driver_counts () =
+  let r = Driver.run (Cs.handle ()) schedule in
+  Alcotest.(check int) "all steps fed" (List.length schedule) r.Driver.steps;
+  Alcotest.(check int) "outcome sum"
+    r.Driver.steps
+    (r.Driver.accepted + r.Driver.rejected + r.Driver.delayed + r.Driver.ignored);
+  check "samples collected" true (r.Driver.samples <> []);
+  check "peak >= mean" true
+    (float_of_int r.Driver.peak_resident >= r.Driver.mean_resident)
+
+let test_driver_comparative () =
+  let results =
+    Driver.run_fresh
+      [
+        (fun () -> Cs.handle ~policy:Policy.No_deletion ());
+        (fun () -> Cs.handle ~policy:Policy.Greedy_c1 ());
+        (fun () -> L2pl.handle ());
+      ]
+      schedule
+  in
+  match results with
+  | [ none; greedy; lock ] ->
+      check "greedy residency below none" true
+        (greedy.Driver.peak_resident <= none.Driver.peak_resident);
+      check "2pl residency lowest" true
+        (lock.Driver.peak_resident <= greedy.Driver.peak_resident);
+      check "names distinct" true (none.Driver.name <> lock.Driver.name)
+  | _ -> Alcotest.fail "expected three results"
+
+let test_sampling_cadence () =
+  let r = Driver.run ~sample_every:10 (Cs.handle ()) schedule in
+  List.iter
+    (fun s -> check "multiple of 10" true (s.Driver.at_step mod 10 = 0))
+    r.Driver.samples
+
+let test_metrics () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Metrics.mean []);
+  Alcotest.(check (float 1e-9)) "p50" 2.0
+    (Metrics.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p100" 3.0
+    (Metrics.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check int) "max" 9 (Metrics.max_int_list [ 4; 9; 1 ]);
+  Alcotest.(check (float 1e-9)) "ratio" 2.5 (Metrics.ratio 5 2);
+  Alcotest.(check (float 1e-9)) "ratio by zero" 0.0 (Metrics.ratio 5 0);
+  let h = Metrics.histogram ~buckets:2 [ 0.0; 0.1; 0.9; 1.0 ] in
+  Alcotest.(check int) "buckets" 2 (Array.length h);
+  Alcotest.(check int) "total count" 4
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 h)
+
+let test_report_table () =
+  let s =
+    Report.render_table ~headers:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s |> List.filter (( <> ) "") in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  check "header present" true
+    (String.length (List.hd lines) >= String.length "name  value");
+  (* Alignment: every data line at least as wide as the widest cell. *)
+  check "ragged rows padded" true
+    (String.length (List.nth lines 2) >= 5)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "step accounting" `Quick test_driver_counts;
+          Alcotest.test_case "comparative run" `Quick test_driver_comparative;
+          Alcotest.test_case "sampling cadence" `Quick test_sampling_cadence;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "summary stats" `Quick test_metrics ] );
+      ( "report",
+        [ Alcotest.test_case "table rendering" `Quick test_report_table ] );
+    ]

@@ -1,0 +1,77 @@
+module Gs = Dct_deletion.Graph_state
+module Ti = Dct_deletion.Tightness
+module T = Dct_txn.Transaction
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+
+(* Build: A(active) -> C1(completed) -> C2(completed) -> A2(active) -> C3(completed)
+   and a side arc C1 -> C3. *)
+let build () =
+  let gs = Gs.create () in
+  List.iter (Gs.begin_txn gs) [ 1; 2; 3; 4; 5 ];
+  List.iter (fun v -> Gs.set_state gs v T.Committed) [ 2; 3; 5 ];
+  Gs.add_arc gs ~src:1 ~dst:2;
+  Gs.add_arc gs ~src:2 ~dst:3;
+  Gs.add_arc gs ~src:3 ~dst:4;
+  Gs.add_arc gs ~src:4 ~dst:5;
+  Gs.add_arc gs ~src:2 ~dst:5;
+  gs
+
+let sorted s = Intset.to_sorted_list s
+
+let test_tight_predecessors () =
+  let gs = build () in
+  (* Tight preds of 5: paths through completed intermediates only.
+     4 -> 5 direct; 2 -> 5 direct; 1 -> 2 -> 5 (2 completed); 3 -> 4 -> 5
+     blocked (4 active); 2 -> 3 -> 4 -> 5 blocked. *)
+  Alcotest.(check (list int)) "tight preds of 5" [ 1; 2; 4 ]
+    (sorted (Ti.tight_predecessors gs 5));
+  Alcotest.(check (list int)) "active tight preds of 5" [ 1; 4 ]
+    (sorted (Ti.active_tight_predecessors gs 5))
+
+let test_tight_successors () =
+  let gs = build () in
+  (* Tight succs of 1: 2 direct, 3 via 2, 5 via 2, 4 via 2,3. *)
+  Alcotest.(check (list int)) "tight succs of 1" [ 2; 3; 4; 5 ]
+    (sorted (Ti.tight_successors gs 1));
+  Alcotest.(check (list int)) "completed tight succs of 1" [ 2; 3; 5 ]
+    (sorted (Ti.completed_tight_successors gs 1));
+  (* From 3: the next hop 4 is active, so nothing past 4 is tight. *)
+  Alcotest.(check (list int)) "tight succs of 3" [ 4 ]
+    (sorted (Ti.tight_successors gs 3))
+
+let test_is_tight_predecessor () =
+  let gs = build () in
+  check "1 tight pred of 3" true (Ti.is_tight_predecessor gs ~pred:1 ~of_:3);
+  check "1 not tight pred of 4? (via 2,3 completed)" true
+    (Ti.is_tight_predecessor gs ~pred:1 ~of_:4);
+  check "3 not tight pred of 5" false (Ti.is_tight_predecessor gs ~pred:3 ~of_:5)
+
+let test_deleted_nodes_not_intermediate () =
+  let gs = build () in
+  Dct_deletion.Reduced_graph.delete gs 2;
+  (* Bypass arcs 1->3, 1->5 keep the relation intact. *)
+  check "1 still tight pred of 5" true (Ti.is_tight_predecessor gs ~pred:1 ~of_:5);
+  check "1 still tight pred of 3" true (Ti.is_tight_predecessor gs ~pred:1 ~of_:3)
+
+let test_reachable_through_generic () =
+  let gs = build () in
+  let only_odd v = v mod 2 = 1 in
+  let r = Ti.reachable_through gs ~through:only_odd `Fwd 1 in
+  (* 1 -> 2 (endpoint ok); cannot pass through 2. *)
+  Alcotest.(check (list int)) "blocked by filter" [ 2 ] (sorted r)
+
+let () =
+  Alcotest.run "tightness"
+    [
+      ( "tightness",
+        [
+          Alcotest.test_case "tight predecessors" `Quick test_tight_predecessors;
+          Alcotest.test_case "tight successors" `Quick test_tight_successors;
+          Alcotest.test_case "pairwise query" `Quick test_is_tight_predecessor;
+          Alcotest.test_case "after deletion (bypass arcs)" `Quick
+            test_deleted_nodes_not_intermediate;
+          Alcotest.test_case "generic filter" `Quick test_reachable_through_generic;
+        ] );
+    ]

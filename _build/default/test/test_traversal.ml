@@ -1,0 +1,124 @@
+module G = Dct_graph.Digraph
+module T = Dct_graph.Traversal
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+
+let chain n =
+  let g = G.create () in
+  for i = 1 to n - 1 do
+    G.add_arc g ~src:i ~dst:(i + 1)
+  done;
+  g
+
+let test_reachable_fwd () =
+  let g = chain 5 in
+  let r = T.reachable g `Fwd 2 in
+  Alcotest.(check (list int)) "fwd from 2" [ 3; 4; 5 ] (Intset.to_sorted_list r)
+
+let test_reachable_bwd () =
+  let g = chain 5 in
+  let r = T.reachable g `Bwd 3 in
+  Alcotest.(check (list int)) "bwd from 3" [ 1; 2 ] (Intset.to_sorted_list r)
+
+let test_reachable_filtered () =
+  (* 1 -> 2 -> 3 and 1 -> 4; filter forbids passing through 2. *)
+  let g = G.create () in
+  G.add_arc g ~src:1 ~dst:2;
+  G.add_arc g ~src:2 ~dst:3;
+  G.add_arc g ~src:1 ~dst:4;
+  let r = T.reachable ~through:(fun v -> v <> 2) g `Fwd 1 in
+  (* 2 is reachable as an endpoint but cannot be an intermediate. *)
+  Alcotest.(check (list int)) "filtered" [ 2; 4 ] (Intset.to_sorted_list r)
+
+let test_self_on_cycle () =
+  let g = G.create () in
+  G.add_arc g ~src:1 ~dst:2;
+  G.add_arc g ~src:2 ~dst:1;
+  check "1 reaches itself on a cycle" true (Intset.mem 1 (T.reachable g `Fwd 1));
+  check "has_path cycle" true (T.has_path g ~src:1 ~dst:1)
+
+let test_topological_sort () =
+  let g = G.create () in
+  G.add_arc g ~src:3 ~dst:1;
+  G.add_arc g ~src:3 ~dst:2;
+  G.add_arc g ~src:1 ~dst:2;
+  (match T.topological_sort g with
+  | Some order -> Alcotest.(check (list int)) "topo order" [ 3; 1; 2 ] order
+  | None -> Alcotest.fail "expected acyclic");
+  G.add_arc g ~src:2 ~dst:3;
+  check "cyclic" true (T.topological_sort g = None);
+  check "is_acyclic false" false (T.is_acyclic g)
+
+let test_scc () =
+  let g = G.create () in
+  (* Two 2-cycles joined by an arc, plus a singleton. *)
+  G.add_arc g ~src:1 ~dst:2;
+  G.add_arc g ~src:2 ~dst:1;
+  G.add_arc g ~src:2 ~dst:3;
+  G.add_arc g ~src:3 ~dst:4;
+  G.add_arc g ~src:4 ~dst:3;
+  G.add_node g 5;
+  let comps = T.scc g |> List.map (List.sort compare) |> List.sort compare in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ] comps
+
+let test_find_cycle () =
+  let g = chain 4 in
+  check "acyclic: no cycle" true (T.find_cycle g = None);
+  G.add_arc g ~src:4 ~dst:2;
+  (match T.find_cycle g with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+      (* Verify it is a real cycle in g. *)
+      let ok = ref (List.length cycle >= 1) in
+      let arr = Array.of_list cycle in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        if not (G.mem_arc g ~src:arr.(i) ~dst:arr.((i + 1) mod n)) then ok := false
+      done;
+      check "valid cycle" true !ok)
+
+let test_find_path () =
+  let g = G.create () in
+  G.add_arc g ~src:1 ~dst:2;
+  G.add_arc g ~src:2 ~dst:3;
+  G.add_arc g ~src:1 ~dst:4;
+  G.add_arc g ~src:4 ~dst:3;
+  (match T.find_path g ~src:1 ~dst:3 with
+  | Some p ->
+      check "path length 3 (shortest)" true (List.length p = 3);
+      check "starts at 1, ends at 3" true
+        (List.hd p = 1 && List.nth p 2 = 3)
+  | None -> Alcotest.fail "expected a path");
+  check "no reverse path" true (T.find_path g ~src:3 ~dst:1 = None);
+  (* Filter blocks the only intermediate. *)
+  let g2 = G.create () in
+  G.add_arc g2 ~src:1 ~dst:2;
+  G.add_arc g2 ~src:2 ~dst:3;
+  check "filtered out" true
+    (T.find_path ~through:(fun v -> v <> 2) g2 ~src:1 ~dst:3 = None);
+  Alcotest.(check (option (list int))) "direct hop unaffected" (Some [ 1; 2 ])
+    (T.find_path ~through:(fun v -> v <> 2) g2 ~src:1 ~dst:2)
+
+let test_find_cycle_self_loop () =
+  let g = G.create () in
+  G.add_arc g ~src:7 ~dst:7;
+  Alcotest.(check (option (list int))) "self loop" (Some [ 7 ]) (T.find_cycle g)
+
+let () =
+  Alcotest.run "traversal"
+    [
+      ( "traversal",
+        [
+          Alcotest.test_case "forward reachability" `Quick test_reachable_fwd;
+          Alcotest.test_case "backward reachability" `Quick test_reachable_bwd;
+          Alcotest.test_case "filtered intermediates" `Quick test_reachable_filtered;
+          Alcotest.test_case "self reach on cycles" `Quick test_self_on_cycle;
+          Alcotest.test_case "topological sort" `Quick test_topological_sort;
+          Alcotest.test_case "tarjan scc" `Quick test_scc;
+          Alcotest.test_case "find_cycle" `Quick test_find_cycle;
+          Alcotest.test_case "find_path" `Quick test_find_path;
+          Alcotest.test_case "find_cycle self loop" `Quick test_find_cycle_self_loop;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+module Prng = Dct_workload.Prng
+module Zipf = Dct_workload.Zipf
+module Gen = Dct_workload.Generator
+module S = Dct_txn.Schedule
+module Step = Dct_txn.Step
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:5 and b = Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create ~seed:6 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  check "different seeds differ" true !differs
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    check "in range" true (v >= 0 && v < 7);
+    let f = Prng.float rng in
+    check "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  check "bad bound" true
+    (try
+       ignore (Prng.int rng 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sample_distinct () =
+  let rng = Prng.create ~seed:2 in
+  let s = Prng.sample_distinct rng ~n:5 ~bound:10 in
+  Alcotest.(check int) "5 values" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  let all = Prng.sample_distinct rng ~n:20 ~bound:4 in
+  Alcotest.(check (list int)) "whole range" [ 0; 1; 2; 3 ] (List.sort compare all)
+
+let test_shuffle_and_choose () =
+  let rng = Prng.create ~seed:6 in
+  let arr = Array.init 10 Fun.id in
+  Prng.shuffle rng arr;
+  Alcotest.(check (list int)) "permutation" (List.init 10 Fun.id)
+    (List.sort compare (Array.to_list arr));
+  for _ = 1 to 50 do
+    let v = Prng.choose rng arr in
+    check "chosen member" true (Array.exists (( = ) v) arr)
+  done;
+  check "choose empty raises" true
+    (try
+       ignore (Prng.choose rng [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_zipf_spec_strings () =
+  Alcotest.(check string) "uniform" "uniform"
+    (Zipf.spec (Zipf.uniform ~n:4));
+  Alcotest.(check string) "zipf" "zipf(0.99)"
+    (Zipf.spec (Zipf.zipf ~n:4 ~theta:0.99));
+  Alcotest.(check string) "hotspot" "hotspot(0.20,0.80)"
+    (Zipf.spec (Zipf.hotspot ~n:4 ~hot_fraction:0.2 ~hot_probability:0.8));
+  Alcotest.(check int) "support" 7 (Zipf.support (Zipf.uniform ~n:7))
+
+let test_profile_pp () =
+  let s = Format.asprintf "%a" Gen.pp_profile Gen.default in
+  check "mentions txns" true
+    (String.length s > 0
+    && String.sub s 0 5 = "txns=")
+
+let test_zipf_skew () =
+  let rng = Prng.create ~seed:3 in
+  let d = Zipf.zipf ~n:100 ~theta:1.2 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let v = Zipf.sample d rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check "head heavier than tail" true (counts.(0) > 10 * counts.(50));
+  check "rank 0 >= rank 1" true (counts.(0) >= counts.(1))
+
+let test_uniform_flat () =
+  let rng = Prng.create ~seed:4 in
+  let d = Zipf.uniform ~n:10 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let v = Zipf.sample d rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter (fun c -> check "roughly flat" true (c > 600 && c < 1400)) counts
+
+let test_hotspot () =
+  let rng = Prng.create ~seed:5 in
+  let d = Zipf.hotspot ~n:100 ~hot_fraction:0.1 ~hot_probability:0.9 in
+  let hot = ref 0 in
+  let total = 10000 in
+  for _ = 1 to total do
+    if Zipf.sample d rng < 10 then incr hot
+  done;
+  check "≈90% hot" true (!hot > 8500 && !hot < 9500)
+
+let test_of_spec () =
+  check "uniform" true (Result.is_ok (Zipf.of_spec "uniform" ~n:4));
+  check "zipf" true (Result.is_ok (Zipf.of_spec "zipf:0.99" ~n:4));
+  check "hotspot" true (Result.is_ok (Zipf.of_spec "hotspot:0.2:0.8" ~n:4));
+  check "garbage" true (Result.is_error (Zipf.of_spec "nope" ~n:4))
+
+let test_basic_well_formed () =
+  List.iter
+    (fun seed ->
+      let p = { Gen.default with Gen.n_txns = 50; seed } in
+      let s = Gen.basic p in
+      check
+        (Printf.sprintf "seed %d well-formed" seed)
+        true
+        (S.well_formed_basic s = Ok ());
+      (* Everyone completes. *)
+      check "all complete" true (Intset.is_empty (S.active_basic s)))
+    [ 1; 2; 3 ]
+
+let test_basic_deterministic () =
+  let p = { Gen.default with Gen.n_txns = 30 } in
+  let a = Gen.basic p and b = Gen.basic p in
+  check "same schedule" true (List.for_all2 Step.equal a b)
+
+let test_txn_count () =
+  let p = { Gen.default with Gen.n_txns = 25; long_readers = 2 } in
+  let s = Gen.basic p in
+  Alcotest.(check int) "txns = 25 + 2 long readers" 27
+    (Intset.cardinal (S.txns s))
+
+let test_entities_in_range () =
+  let p = { Gen.default with Gen.n_txns = 40; n_entities = 16 } in
+  let s = Gen.basic p in
+  check "entities within range" true
+    (Intset.for_all (fun e -> e >= 0 && e < 16) (S.entities s))
+
+let test_multiwrite_shape () =
+  let p = { Gen.default with Gen.n_txns = 30 } in
+  let s = Gen.multiwrite p in
+  (* Every txn has Begin, then steps, then Finish; no atomic Write. *)
+  check "no atomic writes" true
+    (List.for_all (function Step.Write _ -> false | _ -> true) s);
+  let finishes =
+    List.filter (function Step.Finish _ -> true | _ -> false) s
+  in
+  Alcotest.(check int) "one finish per txn" 30 (List.length finishes)
+
+let test_predeclared_shape () =
+  let p = { Gen.default with Gen.n_txns = 30 } in
+  let s = Gen.predeclared p in
+  (* Every step stays inside its declaration. *)
+  let decls = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Step.Begin_declared (t, a) -> Hashtbl.replace decls t a
+      | Step.Read (t, x) ->
+          let d = Hashtbl.find decls t in
+          check "read declared" true (Dct_txn.Access.mem d ~entity:x)
+      | Step.Write_one (t, x) ->
+          let d = Hashtbl.find decls t in
+          check "write declared" true
+            (Dct_txn.Access.find d ~entity:x = Some Dct_txn.Access.Write)
+      | _ -> ())
+    s;
+  check "long readers rejected" true
+    (try
+       ignore (Gen.predeclared { p with Gen.long_readers = 1 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_read_only_fraction () =
+  let p =
+    { Gen.default with Gen.n_txns = 300; read_only_fraction = 1.0 }
+  in
+  let s = Gen.basic p in
+  check "all writes empty" true
+    (List.for_all (function Step.Write (_, xs) -> xs = [] | _ -> true) s)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "shuffle and choose" `Quick test_shuffle_and_choose;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform flat" `Quick test_uniform_flat;
+          Alcotest.test_case "hotspot" `Quick test_hotspot;
+          Alcotest.test_case "spec parsing" `Quick test_of_spec;
+          Alcotest.test_case "spec printing" `Quick test_zipf_spec_strings;
+          Alcotest.test_case "profile printing" `Quick test_profile_pp;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "basic well-formed" `Quick test_basic_well_formed;
+          Alcotest.test_case "deterministic" `Quick test_basic_deterministic;
+          Alcotest.test_case "transaction count" `Quick test_txn_count;
+          Alcotest.test_case "entity range" `Quick test_entities_in_range;
+          Alcotest.test_case "multiwrite shape" `Quick test_multiwrite_shape;
+          Alcotest.test_case "predeclared shape" `Quick test_predeclared_shape;
+          Alcotest.test_case "read-only fraction" `Quick test_read_only_fraction;
+        ] );
+    ]
