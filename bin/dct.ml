@@ -2,6 +2,10 @@
 
    Subcommands:
      simulate     run a synthetic workload through a scheduler
+                  (--selfcheck validates graph-state invariants per step)
+     lint         static diagnostics over schedule files (DCT000-DCT007)
+     audit        replay a scheduler+policy decision trace and cross-check
+                  every deletion against the C1/C2/safety oracles
      check        evaluate C1/C2/C4 on a schedule file
      dot          print the conflict graph of a schedule file as DOT
      experiments  print the EX1-EX11 experiment tables
@@ -47,7 +51,7 @@ let schedule_file =
 
 (* --- simulate --- *)
 
-let simulate model policy txns entities mpl skew seed long_readers =
+let simulate model policy txns entities mpl skew seed long_readers selfcheck =
   let profile =
     {
       Gen.default with
@@ -59,24 +63,64 @@ let simulate model policy txns entities mpl skew seed long_readers =
       long_readers;
     }
   in
-  let handle, schedule =
+  (* [gs] is the live graph state when the model has one — the hook the
+     --selfcheck invariant audit needs. *)
+  let handle, gs, schedule =
     match model with
-    | "basic" -> (Dct_sched.Conflict_scheduler.handle ~policy (), Gen.basic profile)
-    | "certify" -> (Dct_sched.Certifier.handle (), Gen.basic profile)
+    | "basic" ->
+        let t = Dct_sched.Conflict_scheduler.create ~policy () in
+        ( Dct_sched.Conflict_scheduler.handle_of t,
+          Some (fun () -> Dct_sched.Conflict_scheduler.graph_state t),
+          Gen.basic profile )
+    | "certify" -> (Dct_sched.Certifier.handle (), None, Gen.basic profile)
     | "multiwrite" ->
-        ( Dct_sched.Multiwrite_scheduler.handle
-            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) (),
+        let t =
+          Dct_sched.Multiwrite_scheduler.create
+            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ()
+        in
+        ( Dct_sched.Multiwrite_scheduler.handle_of t,
+          Some (fun () -> Dct_sched.Multiwrite_scheduler.graph_state t),
           Gen.multiwrite profile )
     | "predeclared" ->
-        ( Dct_sched.Predeclared_scheduler.handle ~use_c4_deletion:true (),
+        let t = Dct_sched.Predeclared_scheduler.create ~use_c4_deletion:true () in
+        ( Dct_sched.Predeclared_scheduler.handle_of t,
+          Some (fun () -> Dct_sched.Predeclared_scheduler.graph_state t),
           Gen.predeclared profile )
-    | "mvto" -> (Dct_sched.Mv_scheduler.handle ~vacuum:true (), Gen.basic profile)
-    | "2pl" -> (Dct_sched.Lock_2pl.handle (), Gen.basic profile)
-    | "timestamp" -> (Dct_sched.Timestamp_order.handle (), Gen.basic profile)
+    | "mvto" -> (Dct_sched.Mv_scheduler.handle ~vacuum:true (), None, Gen.basic profile)
+    | "2pl" -> (Dct_sched.Lock_2pl.handle (), None, Gen.basic profile)
+    | "timestamp" -> (Dct_sched.Timestamp_order.handle (), None, Gen.basic profile)
     | other -> Printf.ksprintf failwith "unknown model %S" other
   in
-  let r = Dct_sim.Driver.run handle schedule in
+  let checked = ref 0 in
+  let handle, observe =
+    if not selfcheck then (handle, None)
+    else
+      match gs with
+      | None ->
+          Printf.eprintf
+            "dct: --selfcheck is unsupported for model %S (no reduced graph \
+             state)\n"
+            model;
+          exit 2
+      | Some gs ->
+          ( Dct_analysis.Invariant.selfcheck_handle ~gs handle,
+            Some (fun _n _step _outcome -> incr checked) )
+  in
+  let r =
+    try Dct_sim.Driver.run ?observe handle schedule with
+    | Dct_analysis.Invariant.Violation { context; violations } ->
+        Printf.eprintf "selfcheck FAILED %s:\n" context;
+        List.iter
+          (fun v ->
+            Printf.eprintf "  %s\n"
+              (Format.asprintf "%a" Dct_analysis.Invariant.pp_violation v))
+          violations;
+        exit 1
+  in
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Gen.pp_profile profile);
+  if selfcheck then
+    Printf.printf "selfcheck: invariants validated after each of %d steps\n"
+      !checked;
   Dct_sim.Report.print_table
     ~headers:[ "metric"; "value" ]
     [
@@ -125,11 +169,148 @@ let simulate_cmd =
   let long_readers =
     Arg.(value & opt int 0 & info [ "long-readers" ] ~doc:"Pinning readers.")
   in
+  let selfcheck =
+    Arg.(
+      value & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Validate the graph-state invariants (acyclicity, index \
+             mirrors, closure agreement, no resurrected transactions) \
+             after every step; exit 1 on the first violation.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a synthetic workload through a scheduler")
     Term.(
       const simulate $ model $ policy_arg $ txns $ entities $ mpl $ skew $ seed
-      $ long_readers)
+      $ long_readers $ selfcheck)
+
+(* --- lint --- *)
+
+let lint files machine strict =
+  let module L = Dct_analysis.Lint in
+  List.fold_left
+    (fun worst path ->
+      match L.lint_file path with
+      | Error e ->
+          Printf.eprintf "dct: lint: %s\n" e;
+          max worst 2
+      | Ok findings ->
+          print_string
+            (if machine then L.render_machine ~file:path findings
+             else L.render ~file:path findings);
+          max worst (L.exit_code ~strict findings))
+    0 files
+
+let lint_cmd =
+  (* [Arg.string], not [Arg.file]: unreadable paths must flow through
+     [Lint.lint_file] so the documented exit code 2 applies. *)
+  let files =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Schedule files to lint.")
+  in
+  let machine =
+    Arg.(
+      value & flag
+      & info [ "machine" ]
+          ~doc:"Tab-separated output (file, line, severity, code, message).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static diagnostics over schedule files (codes DCT000-DCT007). \
+          Exits 0 when clean, 1 on findings, 2 on I/O errors."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Checked diagnostics:";
+           `Noblank;
+           `Pre
+             (String.concat "\n"
+                (List.map
+                   (fun (c, d) -> Printf.sprintf "  %s  %s" c d)
+                   Dct_analysis.Lint.code_descriptions));
+         ])
+    Term.(const lint $ files $ machine $ strict)
+
+(* --- audit --- *)
+
+let audit path policy safety_depth =
+  let module L = Dct_analysis.Lint in
+  let module A = Dct_analysis.Audit in
+  match L.lint_file path with
+  | Error e ->
+      Printf.eprintf "dct: audit: %s\n" e;
+      2
+  | Ok findings when L.errors findings <> [] ->
+      print_string (L.render ~file:path findings);
+      Printf.eprintf "dct: audit: %s has lint errors; fix them first\n" path;
+      2
+  | Ok _ -> (
+      let env = Dct_txn.Parse.create_env () in
+      match Dct_txn.Parse.parse_file env path with
+      | Error e ->
+          Printf.eprintf "dct: audit: %s\n" e;
+          2
+      | Ok schedule ->
+          let basic_only =
+            List.for_all
+              (function
+                | Dct_txn.Step.Begin _ | Dct_txn.Step.Read _
+                | Dct_txn.Step.Write _ ->
+                    true
+                | Dct_txn.Step.Begin_declared _ | Dct_txn.Step.Write_one _
+                | Dct_txn.Step.Finish _ ->
+                    false)
+              schedule
+          in
+          if not basic_only then begin
+            Printf.eprintf
+              "dct: audit: %s uses multi-write or predeclared steps; the \
+               trace auditor supports the basic model only\n"
+              path;
+            2
+          end
+          else begin
+            let report = A.audit_schedule ?safety_depth ~policy schedule in
+            let txn_name id =
+              Option.value ~default:(Printf.sprintf "T%d" id)
+                (Dct_txn.Symtab.name env.Dct_txn.Parse.txns id)
+            in
+            let entity_name id =
+              Option.value ~default:(Printf.sprintf "e%d" id)
+                (Dct_txn.Symtab.name env.Dct_txn.Parse.entities id)
+            in
+            Format.printf "policy: %s@.%a@." (Policy.name policy)
+              (A.pp_report ~txn_name ~entity_name)
+              report;
+            if A.ok report then 0 else 1
+          end)
+
+let audit_cmd =
+  let safety_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "safety-depth" ] ~docv:"D"
+          ~doc:
+            "Also consult the bounded ground-truth safety oracle \
+             (exhaustive continuation search to depth $(docv)) for \
+             deletions that fail both condition checks.  Expensive; keep \
+             at most 3.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Replay a schedule under a deletion policy and cross-check every \
+          decision: each deletion against the C1/C2 oracles (optionally \
+          the bounded safety search) and the accepted schedule against a \
+          closure-based CSR test.  Exits 0 when every decision is \
+          justified, 1 on the first unjustified one, 2 on bad input.")
+    Term.(const audit $ schedule_file $ policy_arg $ safety_depth)
 
 (* --- check --- *)
 
@@ -391,8 +572,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "dct" ~version:"1.0.0" ~doc)
     [
-      simulate_cmd; check_cmd; dot_cmd; experiments_cmd; reduce_cover_cmd;
-      reduce_sat_cmd; demo_cmd;
+      simulate_cmd; lint_cmd; audit_cmd; check_cmd; dot_cmd; experiments_cmd;
+      reduce_cover_cmd; reduce_sat_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

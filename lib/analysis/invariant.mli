@@ -1,0 +1,58 @@
+(** Executable well-formedness of the scheduler's {!Dct_deletion.Graph_state}.
+
+    The deletion conditions are only meaningful on a state that {e is}
+    a reduced graph of the executed schedule; a bug anywhere in the
+    rules, the reduction or the closure maintenance silently invalidates
+    every later decision.  This module checks the structural invariants
+    after the fact:
+
+    - every graph node has a transaction record and vice versa;
+    - arc endpoints are live transactions, and the successor/predecessor
+      adjacency mirrors agree;
+    - the graph is acyclic (it is a {e reduced} graph);
+    - completed transactions are graph nodes;
+    - transactions removed by the reduction ([deleted]) or by an abort
+      never reappear among the nodes;
+    - the maintained transitive closure (when present) has the same node
+      set as the graph and agrees with reachability recomputed from
+      scratch;
+    - per-entity current-accessor entries point at live transactions,
+      and the internal history/dependency indexes are mutually
+      consistent ({!Dct_deletion.Graph_state.check_invariants}). *)
+
+type violation = { name : string; detail : string }
+(** [name] is a stable identifier ([cyclic-graph],
+    [node-without-record], [deleted-resurrected], ...); [detail] is
+    human-readable. *)
+
+val violation_names : string list
+(** Every name {!check} can produce. *)
+
+val check : Dct_deletion.Graph_state.t -> violation list
+(** Empty on a well-formed state.  Read-only. *)
+
+exception Violation of { context : string; violations : violation list }
+
+val check_exn : ?context:string -> Dct_deletion.Graph_state.t -> unit
+(** @raise Violation when {!check} is non-empty. *)
+
+val checked_apply :
+  Dct_deletion.Graph_state.t -> Dct_txn.Step.t -> Dct_deletion.Rules.outcome
+(** {!Dct_deletion.Rules.apply} followed by {!check_exn} — the
+    self-checking scheduler core.
+    @raise Violation naming the step as context. *)
+
+val checked_policy_run :
+  Dct_deletion.Policy.t -> Dct_deletion.Graph_state.t -> Dct_graph.Intset.t
+(** {!Dct_deletion.Policy.run} followed by {!check_exn}. *)
+
+val selfcheck_handle :
+  gs:(unit -> Dct_deletion.Graph_state.t) ->
+  Dct_sched.Scheduler_intf.handle ->
+  Dct_sched.Scheduler_intf.handle
+(** Wrap a scheduler handle so every [step] and the final [drain]
+    validate the invariants — [dct simulate --selfcheck].  [gs] fetches
+    the live graph state of the wrapped scheduler.
+    @raise Violation on the first violated step. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,293 @@
+module Intset = Dct_graph.Intset
+module Access = Dct_txn.Access
+module Step = Dct_txn.Step
+module Parse = Dct_txn.Parse
+module Symtab = Dct_txn.Symtab
+
+type severity = Error | Warning
+
+type finding = { code : string; severity : severity; line : int; message : string }
+
+let code_descriptions =
+  [
+    ("DCT000", "parse-error: the line is not a recognisable step");
+    ("DCT001", "step-before-begin: step of a transaction that was never begun");
+    ("DCT002", "step-after-completion: step of an already-completed transaction");
+    ("DCT003", "transaction-never-completes: begun but no final write / finish");
+    ("DCT004", "mixed-models: final-write, multi-write and predeclared steps mixed");
+    ("DCT005", "access-outside-declaration: access outside the predeclared set");
+    ("DCT006", "entity-never-read: entity written but never read");
+    ("DCT007", "duplicate-begin: BEGIN of an already-active transaction");
+  ]
+
+(* The transaction-model flavour a step belongs to, used by DCT004. *)
+type flavour = Final_write | Multi_write | Predeclared
+
+let flavour_name = function
+  | Final_write -> "final-write (basic)"
+  | Multi_write -> "multi-write"
+  | Predeclared -> "predeclared"
+
+type txn_status = {
+  mutable begin_line : int;
+  mutable completed_at : int option;  (** line of the completing step *)
+  mutable declared : Access.t option;
+  mutable performed : Access.t;
+  mutable flavours : (flavour * int) list;  (** first line of each flavour *)
+}
+
+let finding code severity line fmt =
+  Printf.ksprintf (fun message -> { code; severity; line; message }) fmt
+
+let compare_findings a b =
+  match compare a.line b.line with 0 -> compare a.code b.code | c -> c
+
+(* Does [performed] reach [declared] everywhere at declared strength?
+   (A predeclared transaction completes once it has performed every
+   declared access.) *)
+let declaration_fulfilled ~declared ~performed =
+  Access.fold
+    (fun ~entity ~mode acc ->
+      acc
+      &&
+      match Access.find performed ~entity with
+      | Some got -> Access.at_least_as_strong got mode
+      | None -> false)
+    declared true
+
+let check ~env (steps : Parse.located list) =
+  let txn_name id =
+    Option.value ~default:(Printf.sprintf "T%d" id)
+      (Symtab.name env.Parse.txns id)
+  in
+  let entity_name id =
+    Option.value ~default:(Printf.sprintf "e%d" id)
+      (Symtab.name env.Parse.entities id)
+  in
+  let out = ref [] in
+  let emit f = out := f :: !out in
+  let txns : (int, txn_status) Hashtbl.t = Hashtbl.create 16 in
+  let entity_reads : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let entity_first_write : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Opening of a transaction that was never begun: report DCT001 once,
+     then track it anyway so one typo does not cascade. *)
+  let status line t =
+    match Hashtbl.find_opt txns t with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            begin_line = line;
+            completed_at = None;
+            declared = None;
+            performed = Access.empty;
+            flavours = [];
+          }
+        in
+        Hashtbl.replace txns t st;
+        st
+  in
+  let note_flavour st line fl t =
+    if not (List.mem_assoc fl st.flavours) then begin
+      st.flavours <- st.flavours @ [ (fl, line) ];
+      (match st.flavours with
+      | (first, _) :: _ :: _ when first <> Predeclared && fl <> Predeclared ->
+          emit
+            (finding "DCT004" Error line
+               "transaction %s mixes %s and %s steps" (txn_name t)
+               (flavour_name first) (flavour_name fl))
+      | _ -> ())
+    end
+  in
+  let check_body line t what =
+    match Hashtbl.find_opt txns t with
+    | None ->
+        emit
+          (finding "DCT001" Error line "%s by %s before its begin" what
+             (txn_name t));
+        Some (status line t)
+    | Some st -> (
+        match st.completed_at with
+        | Some at ->
+            emit
+              (finding "DCT002" Error line
+                 "%s by %s after its completion on line %d" what (txn_name t) at);
+            None
+        | None -> Some st)
+  in
+  let check_declared st line t x ~mode =
+    match st.declared with
+    | None -> ()
+    | Some declared -> (
+        match Access.find declared ~entity:x with
+        | None ->
+            emit
+              (finding "DCT005" Error line
+                 "%s accesses %s outside its declared set" (txn_name t)
+                 (entity_name x))
+        | Some declared_mode ->
+            if not (Access.at_least_as_strong declared_mode mode) then
+              emit
+                (finding "DCT005" Error line
+                   "%s writes %s but declared it read-only" (txn_name t)
+                   (entity_name x)))
+  in
+  let record_access st line t x ~mode =
+    st.performed <- Access.add st.performed ~entity:x ~mode;
+    (match mode with
+    | Access.Read -> Hashtbl.replace entity_reads x ()
+    | Access.Write ->
+        if not (Hashtbl.mem entity_first_write x) then
+          Hashtbl.replace entity_first_write x line);
+    check_declared st line t x ~mode;
+    (* A predeclared transaction completes once the declaration is
+       exhausted — later steps are DCT002 territory. *)
+    match st.declared with
+    | Some declared
+      when declaration_fulfilled ~declared ~performed:st.performed ->
+        st.completed_at <- Some line
+    | _ -> ()
+  in
+  let begin_txn line t ~declared ~what =
+    match Hashtbl.find_opt txns t with
+    | Some st when st.completed_at <> None ->
+        emit
+          (finding "DCT002" Error line "%s of %s after its completion on line %d"
+             what (txn_name t)
+             (Option.get st.completed_at))
+    | Some st ->
+        emit
+          (finding "DCT007" Error line
+             "%s of %s but it is already active since line %d" what (txn_name t)
+             st.begin_line)
+    | None ->
+        let st = status line t in
+        st.declared <- declared;
+        if declared <> None then note_flavour st line Predeclared t
+  in
+  List.iter
+    (fun { Parse.line; step } ->
+      match step with
+      | Step.Begin t -> begin_txn line t ~declared:None ~what:"begin"
+      | Step.Begin_declared (t, a) ->
+          begin_txn line t ~declared:(Some a) ~what:"declared begin"
+      | Step.Read (t, x) -> (
+          match check_body line t (Printf.sprintf "read of %s" (entity_name x)) with
+          | None -> ()
+          | Some st -> record_access st line t x ~mode:Access.Read)
+      | Step.Write (t, xs) -> (
+          match check_body line t "final write" with
+          | None -> ()
+          | Some st ->
+              note_flavour st line Final_write t;
+              List.iter (fun x -> record_access st line t x ~mode:Access.Write) xs;
+              st.completed_at <- Some line)
+      | Step.Write_one (t, x) -> (
+          match
+            check_body line t (Printf.sprintf "write of %s" (entity_name x))
+          with
+          | None -> ()
+          | Some st ->
+              note_flavour st line Multi_write t;
+              record_access st line t x ~mode:Access.Write)
+      | Step.Finish t -> (
+          match check_body line t "finish" with
+          | None -> ()
+          | Some st ->
+              note_flavour st line Multi_write t;
+              st.completed_at <- Some line))
+    steps;
+  (* End-of-file checks. *)
+  Hashtbl.iter
+    (fun t st ->
+      if st.completed_at = None then
+        emit
+          (finding "DCT003" Warning st.begin_line
+             "%s begun here but never completes (no final write / finish)"
+             (txn_name t)))
+    txns;
+  Hashtbl.iter
+    (fun x line ->
+      if not (Hashtbl.mem entity_reads x) then
+        emit
+          (finding "DCT006" Warning line
+             "entity %s is written but never read by any transaction"
+             (entity_name x)))
+    entity_first_write;
+  (* Cross-transaction model mixing: the scheduler for one model raises
+     on steps of another.  Classify each transaction by the flavour of
+     its first flavoured step and compare across the schedule. *)
+  let schedule_flavours =
+    Hashtbl.fold
+      (fun _ st acc ->
+        match st.flavours with
+        | [] -> acc
+        | (fl, line) :: _ -> (
+            match List.assoc_opt fl acc with
+            | Some l when l <= line -> acc
+            | _ -> (fl, line) :: List.remove_assoc fl acc))
+      txns []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  (match schedule_flavours with
+  | _ :: (_, second_line) :: _ ->
+      emit
+        (finding "DCT004" Warning second_line
+           "schedule mixes transaction models (%s)"
+           (String.concat ", " (List.map (fun (fl, _) -> flavour_name fl)
+                                  schedule_flavours)))
+  | _ -> ());
+  List.sort compare_findings !out
+
+let lint_string doc =
+  let env = Parse.create_env () in
+  let located = ref [] in
+  let parse_findings = ref [] in
+  List.iteri
+    (fun i line ->
+      let n = i + 1 in
+      match Parse.parse_line env line with
+      | Ok None -> ()
+      | Ok (Some step) -> located := { Parse.line = n; step } :: !located
+      | Error e -> parse_findings := finding "DCT000" Error n "%s" e :: !parse_findings)
+    (String.split_on_char '\n' doc);
+  List.sort compare_findings (!parse_findings @ check ~env (List.rev !located))
+
+let lint_file path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Result.Error (path ^ ": is a directory")
+  else
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Result.Error e
+  | doc -> Ok (lint_string doc)
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let warnings fs = List.filter (fun f -> f.severity = Warning) fs
+
+let exit_code ?(strict = false) fs =
+  if errors fs <> [] then 1 else if strict && fs <> [] then 1 else 0
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp_finding ?file ppf f =
+  (match file with Some p -> Format.fprintf ppf "%s:" p | None -> ());
+  Format.fprintf ppf "%d: %s: %s [%s]" f.line (severity_name f.severity)
+    f.message f.code
+
+let render ?file fs =
+  String.concat ""
+    (List.map (fun f -> Format.asprintf "%a@." (pp_finding ?file) f) fs)
+
+let render_machine ?file fs =
+  let file = Option.value ~default:"-" file in
+  String.concat ""
+    (List.map
+       (fun f ->
+         Printf.sprintf "%s\t%d\t%s\t%s\t%s\n" file f.line
+           (severity_name f.severity) f.code f.message)
+       fs)

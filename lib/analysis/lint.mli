@@ -1,0 +1,68 @@
+(** Static diagnostics over schedule files.
+
+    The linter checks the things the schedulers either reject at run
+    time with an exception ([Rules.apply] raises on malformed input) or
+    silently tolerate but almost certainly indicate a typo in a
+    hand-written [.sched] file.  Each finding carries a stable code so
+    CI can assert on them:
+
+    - [DCT000] [parse-error] — the line is not a step at all (unknown
+      verb, wrong arity, malformed declaration clause);
+    - [DCT001] [step-before-begin] — a read/write/finish of a
+      transaction that was never begun;
+    - [DCT002] [step-after-completion] — a step of a transaction that
+      already completed (final write or finish);
+    - [DCT003] [transaction-never-completes] — begun but never reaches
+      its final write / finish ({e warning}: legal mid-schedule state,
+      suspicious in a complete file);
+    - [DCT004] [mixed-models] — final-write (basic), multi-write and
+      predeclared steps mixed; an {e error} when one transaction mixes
+      them, a {e warning} when the schedule does across transactions;
+    - [DCT005] [access-outside-declaration] — a predeclared transaction
+      touches an entity outside its declared set, or writes an entity
+      declared read-only (the predeclared scheduler raises on this);
+    - [DCT006] [entity-never-read] — an entity is written but never read
+      anywhere in the schedule ({e warning}: dead writes);
+    - [DCT007] [duplicate-begin] — BEGIN of an already-active
+      transaction. *)
+
+type severity = Error | Warning
+
+type finding = {
+  code : string;  (** ["DCT001"] ... *)
+  severity : severity;
+  line : int;  (** 1-based source line *)
+  message : string;
+}
+
+val code_descriptions : (string * string) list
+(** [(code, one-line description)] for every code, in order. *)
+
+val check : env:Dct_txn.Parse.env -> Dct_txn.Parse.located list -> finding list
+(** Lint already-parsed steps (no [DCT000] findings).  Findings are
+    sorted by line, then code. *)
+
+val lint_string : string -> finding list
+(** Parse and lint a whole document.  Unlike {!Dct_txn.Parse.parse},
+    a line that fails to parse becomes a [DCT000] finding and linting
+    continues on the remaining lines. *)
+
+val lint_file : string -> (finding list, string) result
+(** [Error] only for I/O problems; parse errors are findings. *)
+
+val errors : finding list -> finding list
+val warnings : finding list -> finding list
+
+val exit_code : ?strict:bool -> finding list -> int
+(** CI contract: [0] when clean, [1] when any [Error] finding is present
+    (with [~strict:true], when any finding at all is present). *)
+
+val pp_finding : ?file:string -> Format.formatter -> finding -> unit
+(** [file:line: severity: message [code]] — compiler style. *)
+
+val render : ?file:string -> finding list -> string
+(** Pretty, one finding per line, trailing newline when non-empty. *)
+
+val render_machine : ?file:string -> finding list -> string
+(** Stable tab-separated form: [file<TAB>line<TAB>severity<TAB>code<TAB>
+    message], one finding per line — for scripts. *)

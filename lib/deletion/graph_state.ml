@@ -29,6 +29,9 @@ type t = {
   deps : (int, Intset.t) Hashtbl.t; (* dependent -> providers it read from *)
   rev_deps : (int, Intset.t) Hashtbl.t; (* provider -> dependents *)
   aborted : (int, unit) Hashtbl.t;
+  deleted : (int, unit) Hashtbl.t;
+      (* ids forgotten by the reduction D(G,T) — kept so auditors can
+         assert a deleted transaction never reappears in the graph *)
   mutable seq : int;
 }
 
@@ -41,6 +44,7 @@ let create ?(with_closure = false) () =
     deps = Hashtbl.create 16;
     rev_deps = Hashtbl.create 16;
     aborted = Hashtbl.create 16;
+    deleted = Hashtbl.create 16;
     seq = 0;
   }
 
@@ -74,6 +78,7 @@ let copy t =
     deps = Hashtbl.copy t.deps;
     rev_deps = Hashtbl.copy t.rev_deps;
     aborted = Hashtbl.copy t.aborted;
+    deleted = Hashtbl.copy t.deleted;
     seq = t.seq;
   }
 
@@ -276,6 +281,16 @@ let abort_txn t id =
 
 let was_aborted t id = Hashtbl.mem t.aborted id
 
+let aborted_txns t =
+  Hashtbl.fold (fun id () acc -> Intset.add id acc) t.aborted Intset.empty
+
+let was_deleted t id = Hashtbl.mem t.deleted id
+
+let deleted_txns t =
+  Hashtbl.fold (fun id () acc -> Intset.add id acc) t.deleted Intset.empty
+
+let closure t = t.closure
+
 let forget_txn_record t id =
   if mem_txn t id then begin
     Hashtbl.remove t.txns id;
@@ -296,7 +311,8 @@ let delete_with_bypass t ti =
         ss)
     ps;
   Option.iter (fun c -> Dct_graph.Closure.remove_node c `Bypass ti) t.closure;
-  forget_txn_record t ti
+  forget_txn_record t ti;
+  Hashtbl.replace t.deleted ti ()
 
 let check_invariants t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in

@@ -111,6 +111,22 @@ val was_aborted : t -> int -> bool
 (** Has this id been {!abort_txn}-ed before?  Later steps of an aborted
     transaction are ignored by the rules, not treated as errors. *)
 
+val aborted_txns : t -> Dct_graph.Intset.t
+(** All ids ever passed to {!abort_txn}. *)
+
+val was_deleted : t -> int -> bool
+(** Has this id been removed by the reduction {!delete_with_bypass}
+    (i.e. by the deletion policy)?  Disjoint from {!was_aborted}. *)
+
+val deleted_txns : t -> Dct_graph.Intset.t
+(** All ids ever deleted through the reduction — the auditor's record of
+    what the policy has forgotten. *)
+
+val closure : t -> Dct_graph.Closure.t option
+(** The maintained transitive closure, when the state was created
+    [~with_closure:true] — read-only use (the invariant checker verifies
+    it against the graph). *)
+
 val is_acyclic : t -> bool
 
 (** {1 Internal — used by {!Reduced_graph}} *)

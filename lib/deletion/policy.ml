@@ -54,18 +54,39 @@ let rec run policy gs =
 let all_correct =
   [ No_deletion; Noncurrent; Greedy_c1; Exact_max; Budget (32, Greedy_c1) ]
 
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Accepts both the short CLI spellings and the canonical {!name} output,
+   so [of_string (name p) = Ok p] for every policy (round-trip tested). *)
 let rec of_string s =
   match String.lowercase_ascii s with
   | "none" -> Ok No_deletion
-  | "commit" -> Ok Unsafe_commit_time
+  | "commit" | "commit-time(unsafe)" -> Ok Unsafe_commit_time
   | "noncurrent" -> Ok Noncurrent
-  | "greedy" -> Ok Greedy_c1
-  | "exact" -> Ok Exact_max
-  | "exact-weighted" -> Ok Exact_max_weighted
-  | s when String.length s > 7 && String.sub s 0 7 = "budget:" -> (
+  | "greedy" | "greedy-c1" -> Ok Greedy_c1
+  | "exact" | "exact-max" -> Ok Exact_max
+  | "exact-weighted" | "exact-max-weighted" -> Ok Exact_max_weighted
+  | s when has_prefix ~prefix:"budget:" s -> (
       let rest = String.sub s 7 (String.length s - 7) in
       match String.index_opt rest ':' with
       | None -> Error "budget policy needs budget:<n>:<inner>"
+      | Some i -> (
+          let n = String.sub rest 0 i in
+          let inner = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match (int_of_string_opt n, of_string inner) with
+          | Some n, Ok inner -> Ok (Budget (n, inner))
+          | None, _ -> Error (Printf.sprintf "bad budget size %S" n)
+          | _, (Error _ as e) -> e))
+  | s
+    when has_prefix ~prefix:"budget(" s
+         && String.length s > 8
+         && s.[String.length s - 1] = ')' -> (
+      (* canonical form budget(<n>,<inner>) *)
+      let rest = String.sub s 7 (String.length s - 8) in
+      match String.index_opt rest ',' with
+      | None -> Error "budget policy needs budget(<n>,<inner>)"
       | Some i -> (
           let n = String.sub rest 0 i in
           let inner = String.sub rest (i + 1) (String.length rest - i - 1) in

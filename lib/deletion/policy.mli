@@ -43,4 +43,6 @@ val all_correct : t list
 
 val of_string : string -> (t, string) result
 (** Parse ["none" | "commit" | "noncurrent" | "greedy" | "exact" |
-    "budget:<n>:<inner>"] — CLI support. *)
+    "exact-weighted" | "budget:<n>:<inner>"] — CLI support.  The
+    canonical {!name} spellings are accepted too, so
+    [of_string (name p) = Ok p] for every policy (property-tested). *)

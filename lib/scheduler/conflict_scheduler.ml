@@ -118,14 +118,14 @@ let collect_garbage t =
 
 let deleted_log t = List.rev t.log
 
-let handle ?policy ?store ?wal ?with_closure () =
-  let t = create ?policy ?store ?wal ?with_closure () in
+let handle_of t =
   {
-    Scheduler_intf.name =
-      Printf.sprintf "sgt/%s"
-        (Policy.name (Option.value ~default:Policy.No_deletion policy));
+    Scheduler_intf.name = Printf.sprintf "sgt/%s" (Policy.name t.policy);
     step = step t;
     stats = (fun () -> stats t);
     drain = (fun () -> 0);
     aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
   }
+
+let handle ?policy ?store ?wal ?with_closure () =
+  handle_of (create ?policy ?store ?wal ?with_closure ())

@@ -44,6 +44,10 @@ val deleted_log : t -> (int * Dct_graph.Intset.t) list
 (** [(step_number, deleted_set)] for every non-empty policy invocation,
     oldest first. *)
 
+val handle_of : t -> Scheduler_intf.handle
+(** Wrap an existing scheduler for the simulation driver — used when the
+    caller also needs {!graph_state} (e.g. [dct simulate --selfcheck]). *)
+
 val handle :
   ?policy:Dct_deletion.Policy.t ->
   ?store:Dct_kv.Store.t ->

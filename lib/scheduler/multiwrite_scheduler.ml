@@ -151,8 +151,7 @@ let stats t =
     delayed_now = 0;
   }
 
-let handle ?deletion () =
-  let t = create ?deletion () in
+let handle_of t =
   let name =
     match t.deletion with
     | No_deletion -> "multiwrite/none"
@@ -165,3 +164,5 @@ let handle ?deletion () =
     drain = (fun () -> 0);
     aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
   }
+
+let handle ?deletion () = handle_of (create ?deletion ())

@@ -36,4 +36,7 @@ val cascaded_total : t -> int
 (** Transactions aborted {e because} a provider aborted (excludes the
     provider itself). *)
 
+val handle_of : t -> Scheduler_intf.handle
+(** Wrap an existing scheduler (callers that also need {!graph_state}). *)
+
 val handle : ?deletion:deletion_mode -> unit -> Scheduler_intf.handle

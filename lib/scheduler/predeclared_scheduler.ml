@@ -192,8 +192,7 @@ let stats t =
     delayed_now = pending t;
   }
 
-let handle ?use_c4_deletion () =
-  let t = create ?use_c4_deletion () in
+let handle_of t =
   {
     Scheduler_intf.name =
       (if t.use_c4 then "predeclared/c4" else "predeclared/none");
@@ -202,3 +201,5 @@ let handle ?use_c4_deletion () =
     drain = (fun () -> drain t);
     aborted_txn = (fun _ -> false);
   }
+
+let handle ?use_c4_deletion () = handle_of (create ?use_c4_deletion ())

@@ -39,4 +39,8 @@ val execution_log : t -> Dct_txn.Step.t list
 
 val graph_state : t -> Dct_deletion.Graph_state.t
 val stats : t -> Scheduler_intf.stats
+
+val handle_of : t -> Scheduler_intf.handle
+(** Wrap an existing scheduler (callers that also need {!graph_state}). *)
+
 val handle : ?use_c4_deletion:bool -> unit -> Scheduler_intf.handle

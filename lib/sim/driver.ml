@@ -22,7 +22,7 @@ type result = {
   wall_seconds : float;
 }
 
-let run ?(sample_every = 16) (handle : Si.handle) schedule =
+let run ?(sample_every = 16) ?observe (handle : Si.handle) schedule =
   let accepted = ref 0
   and rejected = ref 0
   and delayed = ref 0
@@ -36,11 +36,15 @@ let run ?(sample_every = 16) (handle : Si.handle) schedule =
   List.iter
     (fun step ->
       incr steps;
-      (match handle.Si.step step with
+      let outcome = handle.Si.step step in
+      (match outcome with
       | Si.Accepted -> incr accepted
       | Si.Rejected -> incr rejected
       | Si.Delayed -> incr delayed
       | Si.Ignored -> incr ignored);
+      (match observe with
+      | Some f -> f !steps step outcome
+      | None -> ());
       let st = handle.Si.stats () in
       peak_resident := max !peak_resident st.Si.resident_txns;
       peak_arcs := max !peak_arcs st.Si.resident_arcs;

@@ -29,11 +29,15 @@ type result = {
 
 val run :
   ?sample_every:int ->
+  ?observe:(int -> Dct_txn.Step.t -> Dct_sched.Scheduler_intf.outcome -> unit) ->
   Dct_sched.Scheduler_intf.handle ->
   Dct_txn.Schedule.t ->
   result
 (** [sample_every] defaults to 16 steps.  Residency peaks are tracked at
-    every step regardless of the sampling cadence. *)
+    every step regardless of the sampling cadence.  [observe] is called
+    after every step with the 1-based step number, the step and its
+    outcome — tracing and the [--selfcheck] invariant audit hang off
+    this hook; whatever it raises aborts the run. *)
 
 val run_fresh :
   ?sample_every:int ->

@@ -15,7 +15,10 @@ let strip_comment line =
 (* "r:x,y" or "w:z" clauses of a declaration. *)
 let parse_decl_clause env acc clause =
   match String.index_opt clause ':' with
-  | None -> Error (Printf.sprintf "malformed declaration clause %S" clause)
+  | None ->
+      Error
+        (Printf.sprintf "malformed declaration clause %S (expected r:... or w:...)"
+           clause)
   | Some i ->
       let kind = String.sub clause 0 i in
       let rest = String.sub clause (i + 1) (String.length clause - i - 1) in
@@ -27,13 +30,22 @@ let parse_decl_clause env acc clause =
         | _ -> None
       in
       (match mode with
-      | None -> Error (Printf.sprintf "unknown declaration kind %S" kind)
+      | None ->
+          Error
+            (Printf.sprintf "unknown declaration kind %S in clause %S" kind
+               clause)
       | Some mode ->
           Ok
             (List.fold_left
                (fun acc n ->
                  Access.add acc ~entity:(Symtab.intern env.entities n) ~mode)
                acc names))
+
+let arity_error verb ~expected args =
+  Error
+    (Printf.sprintf "verb %S expects %s, got %d: %s" verb expected
+       (List.length args)
+       (String.concat " " args))
 
 let parse_line env line =
   let line = strip_comment line in
@@ -44,11 +56,19 @@ let parse_line env line =
       let entity name = Symtab.intern env.entities name in
       match (String.lowercase_ascii verb, args) with
       | ("b" | "begin"), [ t ] -> Ok (Some (Step.Begin (txn t)))
+      | ("b" | "begin"), args -> arity_error verb ~expected:"1 argument (txn)" args
       | ("r" | "read"), [ t; x ] -> Ok (Some (Step.Read (txn t, entity x)))
+      | ("r" | "read"), args ->
+          arity_error verb ~expected:"2 arguments (txn entity)" args
       | ("w" | "write"), t :: xs ->
           Ok (Some (Step.Write (txn t, List.map entity xs)))
+      | ("w" | "write"), [] ->
+          arity_error verb ~expected:"at least 1 argument (txn entities...)" []
       | ("w1" | "write1"), [ t; x ] -> Ok (Some (Step.Write_one (txn t, entity x)))
+      | ("w1" | "write1"), args ->
+          arity_error verb ~expected:"2 arguments (txn entity)" args
       | ("f" | "finish"), [ t ] -> Ok (Some (Step.Finish (txn t)))
+      | ("f" | "finish"), args -> arity_error verb ~expected:"1 argument (txn)" args
       | ("bd" | "declare"), t :: clauses -> (
           let acc =
             List.fold_left
@@ -61,22 +81,49 @@ let parse_line env line =
           match acc with
           | Error e -> Error e
           | Ok a -> Ok (Some (Step.Begin_declared (txn t, a))))
-      | _ -> Error (Printf.sprintf "cannot parse step %S" line))
+      | ("bd" | "declare"), [] ->
+          arity_error verb ~expected:"at least 1 argument (txn clauses...)" []
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown verb %S (expected b|r|w|w1|f|bd or a long form)" verb))
 
-let parse env doc =
+type located = { line : int; step : Step.t }
+
+let parse_located ?file env doc =
+  let in_file =
+    match file with None -> "" | Some f -> Printf.sprintf "%s:" f
+  in
   let lines = String.split_on_char '\n' doc in
   let rec go n acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
         match parse_line env line with
-        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        | Error e -> Error (Printf.sprintf "%sline %d: %s" in_file n e)
         | Ok None -> go (n + 1) acc rest
-        | Ok (Some step) -> go (n + 1) (step :: acc) rest)
+        | Ok (Some step) -> go (n + 1) ({ line = n; step } :: acc) rest)
   in
   go 1 [] lines
 
+let parse env doc =
+  Result.map (List.map (fun l -> l.step)) (parse_located env doc)
+
 let parse_exn env doc =
   match parse env doc with Ok s -> s | Error e -> failwith e
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file env path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | doc ->
+      Result.map
+        (List.map (fun l -> l.step))
+        (parse_located ~file:path env doc)
 
 let txn_name env t =
   Option.value ~default:(Printf.sprintf "T%d" t) (Symtab.name env.txns t)

@@ -20,12 +20,25 @@ type env = { txns : Symtab.t; entities : Symtab.t }
 val create_env : unit -> env
 
 val parse_line : env -> string -> (Step.t option, string) result
-(** [Ok None] for blank/comment lines. *)
+(** [Ok None] for blank/comment lines.  Errors name the offending token
+    (unknown verb, wrong arity, malformed declaration clause). *)
+
+type located = { line : int; step : Step.t }
+(** A step together with its 1-based source line — the linter's input. *)
+
+val parse_located :
+  ?file:string -> env -> string -> (located list, string) result
+(** Like {!parse} but keeps line numbers.  When [file] is given it is
+    threaded into error messages ([file:line N: ...]). *)
 
 val parse : env -> string -> (Schedule.t, string) result
 (** Parse a whole document; errors are prefixed with the line number. *)
 
 val parse_exn : env -> string -> Schedule.t
+
+val parse_file : env -> string -> (Schedule.t, string) result
+(** Read and parse a file; both I/O and parse errors mention the
+    filename. *)
 
 val unparse_step : env -> Step.t -> string
 val unparse : env -> Schedule.t -> string

@@ -1,0 +1,230 @@
+(* The schedule linter: one unit test per diagnostic code, plus the
+   corpus under [corpus/]: every good file must lint clean (even under
+   [--strict]) and every bad file must raise the code its name claims,
+   both through the library and through the installed [dct lint]
+   executable (exit-code contract). *)
+
+module Lint = Dct_analysis.Lint
+
+let check = Alcotest.(check bool)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let codes fs = List.sort_uniq compare (List.map (fun f -> f.Lint.code) fs)
+
+let has_code c fs = List.mem c (codes fs)
+
+let lint = Lint.lint_string
+
+let test_clean () =
+  let fs = lint "b T1\nr T1 x\nb T2\nr T2 x\nw T2 x\nw T1\n" in
+  Alcotest.(check (list string)) "no findings" [] (codes fs);
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code ~strict:true fs)
+
+let test_dct000_parse_error () =
+  let fs = lint "b T1\nfrobnicate T1\nw T1\n" in
+  check "DCT000" true (has_code "DCT000" fs);
+  (* the offending token is named and the line is right *)
+  let f = List.find (fun f -> f.Lint.code = "DCT000") fs in
+  Alcotest.(check int) "line 2" 2 f.Lint.line;
+  check "names token" true
+    (contains ~sub:"frobnicate" f.Lint.message)
+
+let test_dct001_before_begin () =
+  let fs = lint "r T1 x\nw T1\n" in
+  check "DCT001" true (has_code "DCT001" fs);
+  check "error severity" true
+    ((List.find (fun f -> f.Lint.code = "DCT001") fs).Lint.severity = Lint.Error)
+
+let test_dct002_after_completion () =
+  let fs = lint "b T1\nw T1 x\nr T1 x\nb T2\nr T2 x\nw T2\n" in
+  check "DCT002" true (has_code "DCT002" fs);
+  Alcotest.(check int) "line 3" 3
+    (List.find (fun f -> f.Lint.code = "DCT002") fs).Lint.line;
+  (* finish and re-begin after completion are DCT002 too *)
+  check "finish after f" true (has_code "DCT002" (lint "b T1\nf T1\nf T1\n"));
+  check "begin after w" true (has_code "DCT002" (lint "b T1\nw T1\nb T1\n"))
+
+let test_dct003_never_completes () =
+  let fs = lint "b T1\nr T1 x\n" in
+  check "DCT003" true (has_code "DCT003" fs);
+  check "warning severity" true
+    ((List.find (fun f -> f.Lint.code = "DCT003") fs).Lint.severity
+    = Lint.Warning);
+  Alcotest.(check int) "non-strict exit 0" 0 (Lint.exit_code fs);
+  Alcotest.(check int) "strict exit 1" 1 (Lint.exit_code ~strict:true fs);
+  (* a predeclared transaction completes by exhausting its declaration *)
+  check "fulfilled declaration completes" false
+    (has_code "DCT003" (lint "bd T1 r:x\nr T1 x\n"));
+  check "unfulfilled declaration does not" true
+    (has_code "DCT003" (lint "bd T1 r:x w:z\nr T1 x\n"))
+
+let test_dct004_mixed_models () =
+  (* per-transaction mixing is an error *)
+  let fs = lint "b T1\nw1 T1 x\nw T1 x\nb T2\nr T2 x\nw T2\n" in
+  check "DCT004" true (has_code "DCT004" fs);
+  check "error severity" true
+    (List.exists
+       (fun f -> f.Lint.code = "DCT004" && f.Lint.severity = Lint.Error)
+       fs);
+  (* cross-transaction mixing is a warning *)
+  let fs = lint "b T1\nw T1 x\nb T2\nw1 T2 x\nf T2\nb T3\nr T3 x\nw T3\n" in
+  check "schedule-level DCT004" true
+    (List.exists
+       (fun f -> f.Lint.code = "DCT004" && f.Lint.severity = Lint.Warning)
+       fs);
+  (* predeclared transactions may use w1/f without mixing *)
+  check "predeclared+w1 ok" false
+    (has_code "DCT004" (lint "bd T1 r:x w:z\nr T1 x\nw1 T1 z\nbd T2 r:z\nr T2 z\n"))
+
+let test_dct005_outside_declaration () =
+  let fs = lint "bd T1 r:x\nr T1 y\nr T1 x\n" in
+  check "DCT005" true (has_code "DCT005" fs);
+  (* writing a read-only declared entity is DCT005 too *)
+  check "write of read-only" true
+    (has_code "DCT005" (lint "bd T1 r:x,z w:q\nw1 T1 x\nr T1 z\nw1 T1 q\n"));
+  (* undeclared transactions are exempt *)
+  check "no declaration, no check" false
+    (has_code "DCT005" (lint "b T1\nr T1 y\nw T1\n"))
+
+let test_dct006_never_read () =
+  let fs = lint "b T1\nw T1 x\n" in
+  check "DCT006" true (has_code "DCT006" fs);
+  check "warning severity" true
+    ((List.find (fun f -> f.Lint.code = "DCT006") fs).Lint.severity
+    = Lint.Warning);
+  check "read elsewhere silences" false
+    (has_code "DCT006" (lint "b T1\nw T1 x\nb T2\nr T2 x\nw T2\n"))
+
+let test_dct007_duplicate_begin () =
+  let fs = lint "b T1\nb T1\nw T1\n" in
+  check "DCT007" true (has_code "DCT007" fs);
+  Alcotest.(check int) "line 2" 2
+    (List.find (fun f -> f.Lint.code = "DCT007") fs).Lint.line
+
+let test_renderers () =
+  let fs = lint "r T1 x\nw T1\n" in
+  let human = Lint.render ~file:"f.sched" fs in
+  check "human mentions file" true
+    (contains ~sub:"f.sched:1: error:" human);
+  check "human mentions code" true
+    (contains ~sub:"[DCT001]" human);
+  let machine = Lint.render_machine ~file:"f.sched" fs in
+  check "machine tab-separated" true
+    (contains ~sub:"f.sched\t1\terror\tDCT001\t" machine)
+
+(* --- the corpus, through the library and through the binary --- *)
+
+let corpus_dir sub = Filename.concat (Filename.concat "corpus" sub)
+let list_corpus sub =
+  Sys.readdir (Filename.concat "corpus" sub)
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sched")
+  |> List.sort compare
+
+let dct_exe = Filename.concat (Filename.concat ".." "bin") "dct.exe"
+
+let run_lint ?(strict = false) path =
+  let out = Filename.temp_file "dct_lint" ".out" in
+  let args =
+    [ "lint" ] @ (if strict then [ "--strict" ] else []) @ [ "--machine"; path ]
+  in
+  let code = Sys.command (Filename.quote_command dct_exe ~stdout:out args) in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in_noerr ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let expected_code file =
+  (* corpus/bad/dct001_step_before_begin.sched -> DCT001 *)
+  String.uppercase_ascii (String.sub file 0 6)
+
+let test_corpus_good_library () =
+  let files = list_corpus "good" in
+  check "corpus present" true (List.length files >= 4);
+  List.iter
+    (fun f ->
+      match Lint.lint_file (corpus_dir "good" f) with
+      | Error e -> Alcotest.fail e
+      | Ok fs ->
+          Alcotest.(check (list string)) (f ^ " clean") [] (codes fs))
+    files
+
+let test_corpus_bad_library () =
+  let files = list_corpus "bad" in
+  check "corpus present" true (List.length files >= 8);
+  List.iter
+    (fun f ->
+      match Lint.lint_file (corpus_dir "bad" f) with
+      | Error e -> Alcotest.fail e
+      | Ok fs ->
+          check (f ^ " raises " ^ expected_code f) true
+            (has_code (expected_code f) fs);
+          Alcotest.(check int)
+            (f ^ " strict exit") 1
+            (Lint.exit_code ~strict:true fs))
+    files
+
+let test_corpus_binary () =
+  if not (Sys.file_exists dct_exe) then
+    Alcotest.skip ()
+  else begin
+    List.iter
+      (fun f ->
+        let code, _ = run_lint ~strict:true (corpus_dir "good" f) in
+        Alcotest.(check int) (f ^ " exits 0") 0 code)
+      (list_corpus "good");
+    List.iter
+      (fun f ->
+        let code, out = run_lint ~strict:true (corpus_dir "bad" f) in
+        Alcotest.(check int) (f ^ " exits 1") 1 code;
+        check
+          (f ^ " reports " ^ expected_code f)
+          true
+          (contains ~sub:(expected_code f) out))
+      (list_corpus "bad")
+  end
+
+let test_lint_file_missing () =
+  check "missing file is Error" true
+    (Result.is_error (Lint.lint_file "corpus/no_such_file.sched"))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "codes",
+        [
+          Alcotest.test_case "clean schedule" `Quick test_clean;
+          Alcotest.test_case "DCT000 parse error" `Quick test_dct000_parse_error;
+          Alcotest.test_case "DCT001 before begin" `Quick test_dct001_before_begin;
+          Alcotest.test_case "DCT002 after completion" `Quick
+            test_dct002_after_completion;
+          Alcotest.test_case "DCT003 never completes" `Quick
+            test_dct003_never_completes;
+          Alcotest.test_case "DCT004 mixed models" `Quick test_dct004_mixed_models;
+          Alcotest.test_case "DCT005 outside declaration" `Quick
+            test_dct005_outside_declaration;
+          Alcotest.test_case "DCT006 never read" `Quick test_dct006_never_read;
+          Alcotest.test_case "DCT007 duplicate begin" `Quick
+            test_dct007_duplicate_begin;
+          Alcotest.test_case "renderers" `Quick test_renderers;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "good files clean (library)" `Quick
+            test_corpus_good_library;
+          Alcotest.test_case "bad files flagged (library)" `Quick
+            test_corpus_bad_library;
+          Alcotest.test_case "exit codes (dct lint binary)" `Quick
+            test_corpus_binary;
+          Alcotest.test_case "missing file" `Quick test_lint_file_missing;
+        ] );
+    ]

@@ -55,6 +55,11 @@ let test_declaration_roundtrip () =
   let steps' = P.parse_exn env (P.unparse env steps) in
   check "roundtrip" true (List.for_all2 Step.equal steps steps')
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let test_errors () =
   let env = P.create_env () in
   check "bad verb" true (Result.is_error (P.parse env "frobnicate T1"));
@@ -64,6 +69,70 @@ let test_errors () =
   | Error e -> check "line number" true (String.length e > 0 && String.sub e 0 6 = "line 2")
   | Ok _ -> Alcotest.fail "expected error");
   check "blank ok" true (P.parse env "\n\n# only comments\n" = Ok [])
+
+let test_error_tokens () =
+  (* diagnostics name the offending token, not just the position *)
+  let env = P.create_env () in
+  (match P.parse env "frobnicate T1" with
+  | Error e -> check "names the verb" true (contains ~sub:"\"frobnicate\"" e)
+  | Ok _ -> Alcotest.fail "expected error");
+  (match P.parse env "r T1" with
+  | Error e ->
+      check "names arity" true (contains ~sub:"expects" e);
+      check "echoes args" true (contains ~sub:"T1" e)
+  | Ok _ -> Alcotest.fail "expected error");
+  match P.parse env "bd T1 q:x" with
+  | Error e -> check "names the clause" true (contains ~sub:"\"q:x\"" e)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parse_located () =
+  let env = P.create_env () in
+  match P.parse_located env "# header\n\nb T1\n# gap\nr T1 x\nw T1\n" with
+  | Error e -> Alcotest.fail e
+  | Ok located ->
+      Alcotest.(check (list int)) "source lines survive blanks and comments"
+        [ 3; 5; 6 ]
+        (List.map (fun l -> l.P.line) located)
+
+let test_parse_file () =
+  let path = Filename.temp_file "dct_parse" ".sched" in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  let env = P.create_env () in
+  (match P.parse_file env path with
+  | Error e -> Alcotest.fail e
+  | Ok steps -> Alcotest.(check int) "8 steps" 8 (List.length steps));
+  (* parse errors carry the filename *)
+  let oc = open_out path in
+  output_string oc "b T1\nnope\n";
+  close_out oc;
+  (match P.parse_file env path with
+  | Error e ->
+      check "filename in error" true (contains ~sub:(Filename.basename path) e);
+      check "line in error" true (contains ~sub:"line 2" e)
+  | Ok _ -> Alcotest.fail "expected error");
+  Sys.remove path;
+  (* ... and so do I/O errors *)
+  match P.parse_file env path with
+  | Error e -> check "missing file named" true (contains ~sub:(Filename.basename path) e)
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* Generated schedules survive unparse/parse at the textual level: a
+   fresh environment interns the printed names back to consistent ids,
+   so printing again reproduces the document byte for byte. *)
+let unparse_roundtrip =
+  QCheck.Test.make ~name:"unparse/parse round-trip on generated schedules"
+    ~count:50
+    (QCheck.make ~print:string_of_int QCheck.Gen.(1 -- 10_000))
+    (fun seed ->
+      let schedule =
+        Dct_workload.Generator.(
+          basic { default with n_txns = 15; n_entities = 5; mpl = 4; seed })
+      in
+      let doc = P.unparse (P.create_env ()) schedule in
+      let env2 = P.create_env () in
+      P.unparse env2 (P.parse_exn env2 doc) = doc)
 
 let test_interning () =
   let env = P.create_env () in
@@ -88,6 +157,10 @@ let () =
           Alcotest.test_case "declaration roundtrip" `Quick
             test_declaration_roundtrip;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error tokens" `Quick test_error_tokens;
+          Alcotest.test_case "located steps" `Quick test_parse_located;
+          Alcotest.test_case "parse_file" `Quick test_parse_file;
           Alcotest.test_case "interning" `Quick test_interning;
+          QCheck_alcotest.to_alcotest unparse_roundtrip;
         ] );
     ]

@@ -29,6 +29,42 @@ let test_names_roundtrip () =
   check "bad policy" true (Result.is_error (Policy.of_string "bogus"));
   check "bad budget" true (Result.is_error (Policy.of_string "budget:x:none"))
 
+(* [of_string] also accepts exactly what [name] prints, for every
+   policy — including arbitrarily nested [Budget]. *)
+let policy_arb =
+  let open QCheck.Gen in
+  let base =
+    oneofl
+      Policy.
+        [
+          No_deletion;
+          Unsafe_commit_time;
+          Noncurrent;
+          Greedy_c1;
+          Exact_max;
+          Exact_max_weighted;
+        ]
+  in
+  let gen =
+    sized
+      (fix (fun self n ->
+           if n = 0 then base
+           else
+             frequency
+               [
+                 (2, base);
+                 ( 3,
+                   map2
+                     (fun k inner -> Policy.Budget (k, inner))
+                     (1 -- 64) (self (n / 2)) );
+               ]))
+  in
+  QCheck.make ~print:Policy.name gen
+
+let name_of_string_roundtrip =
+  QCheck.Test.make ~name:"of_string (name p) = Ok p" ~count:200 policy_arb
+    (fun p -> Policy.of_string (Policy.name p) = Ok p)
+
 let test_no_deletion () =
   let e = Gallery.example1 () in
   let deleted = Policy.run Policy.No_deletion e.Gallery.gs1 in
@@ -139,6 +175,7 @@ let () =
       ( "policy",
         [
           Alcotest.test_case "parse/name roundtrip" `Quick test_names_roundtrip;
+          QCheck_alcotest.to_alcotest name_of_string_roundtrip;
           Alcotest.test_case "no-deletion" `Quick test_no_deletion;
           Alcotest.test_case "noncurrent on example 1" `Quick
             test_noncurrent_on_example1;
