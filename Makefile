@@ -1,0 +1,28 @@
+# Convenience entry points; everything below is a thin wrapper over dune.
+
+.PHONY: all build test oracle-test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Just the cycle-oracle differential + metamorphic suites — the tight
+# loop when hacking on a backend.
+oracle-test:
+	dune build @oracle
+
+# The full oracle sweep (writes BENCH_oracle.json; minutes).
+bench:
+	dune exec bench/main.exe -- oracle
+
+# CI gate: tiny sweep, exits non-zero if the backends disagree or the
+# emitted BENCH_oracle.json is malformed.
+bench-smoke:
+	dune exec bench/main.exe -- oracle-smoke
+
+clean:
+	dune clean

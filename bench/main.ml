@@ -290,7 +290,7 @@ let run_bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [ex1..ex15|bechamel|all]"
+    "usage: main.exe [ex1..ex15|bechamel|oracle|oracle-smoke|all]"
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -311,6 +311,8 @@ let () =
   | "ex14" -> E.ex14_goodput_with_restarts ()
   | "ex15" -> E.ex15_sensitivity ()
   | "bechamel" -> run_bechamel ()
+  | "oracle" -> Oracle_sweep.run ~smoke:false ()
+  | "oracle-smoke" -> Oracle_sweep.run ~smoke:true ()
   | "all" ->
       E.run_all ();
       run_bechamel ()

@@ -34,6 +34,22 @@ let policy_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Policy.of_string s) in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Policy.name p))
 
+let oracle_conv =
+  let module O = Dct_graph.Cycle_oracle in
+  let parse s = Result.map_error (fun e -> `Msg e) (O.backend_of_string s) in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (O.backend_name b))
+
+let oracle_arg =
+  Arg.(
+    value
+    & opt (some oracle_conv) None
+    & info [ "oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "Cycle-detection backend for graph-based models: closure (bitset \
+           transitive closure), topo (Pearce-Kelly incremental topological \
+           order) or checked (run both, fail on the first disagreement).  \
+           Default: plain DFS on the conflict graph.")
+
 let policy_arg =
   Arg.(
     value
@@ -51,7 +67,8 @@ let schedule_file =
 
 (* --- simulate --- *)
 
-let simulate model policy txns entities mpl skew seed long_readers selfcheck =
+let simulate model policy txns entities mpl skew seed long_readers selfcheck
+    oracle =
   let profile =
     {
       Gen.default with
@@ -68,24 +85,33 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck =
   let handle, gs, schedule =
     match model with
     | "basic" ->
-        let t = Dct_sched.Conflict_scheduler.create ~policy () in
+        let t = Dct_sched.Conflict_scheduler.create ~policy ?oracle () in
         ( Dct_sched.Conflict_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Conflict_scheduler.graph_state t),
           Gen.basic profile )
-    | "certify" -> (Dct_sched.Certifier.handle (), None, Gen.basic profile)
+    | "certify" ->
+        (Dct_sched.Certifier.handle ?oracle (), None, Gen.basic profile)
     | "multiwrite" ->
         let t =
           Dct_sched.Multiwrite_scheduler.create
-            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ()
+            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ?oracle ()
         in
         ( Dct_sched.Multiwrite_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Multiwrite_scheduler.graph_state t),
           Gen.multiwrite profile )
     | "predeclared" ->
-        let t = Dct_sched.Predeclared_scheduler.create ~use_c4_deletion:true () in
+        let t =
+          Dct_sched.Predeclared_scheduler.create ~use_c4_deletion:true ?oracle
+            ()
+        in
         ( Dct_sched.Predeclared_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Predeclared_scheduler.graph_state t),
           Gen.predeclared profile )
+    | ("mvto" | "2pl" | "timestamp") when oracle <> None ->
+        Printf.eprintf
+          "dct: --oracle is unsupported for model %S (no conflict graph)\n"
+          model;
+        exit 2
     | "mvto" -> (Dct_sched.Mv_scheduler.handle ~vacuum:true (), None, Gen.basic profile)
     | "2pl" -> (Dct_sched.Lock_2pl.handle (), None, Gen.basic profile)
     | "timestamp" -> (Dct_sched.Timestamp_order.handle (), None, Gen.basic profile)
@@ -116,8 +142,15 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck =
               (Format.asprintf "%a" Dct_analysis.Invariant.pp_violation v))
           violations;
         exit 1
+    | Dct_graph.Cycle_oracle.Disagreement msg ->
+        Printf.eprintf "oracle DISAGREEMENT: %s\n" msg;
+        exit 1
   in
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Gen.pp_profile profile);
+  (match oracle with
+  | Some b ->
+      Printf.printf "oracle: %s\n" (Dct_graph.Cycle_oracle.backend_name b)
+  | None -> ());
   if selfcheck then
     Printf.printf "selfcheck: invariants validated after each of %d steps\n"
       !checked;
@@ -182,7 +215,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a synthetic workload through a scheduler")
     Term.(
       const simulate $ model $ policy_arg $ txns $ entities $ mpl $ skew $ seed
-      $ long_readers $ selfcheck)
+      $ long_readers $ selfcheck $ oracle_arg)
 
 (* --- lint --- *)
 

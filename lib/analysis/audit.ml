@@ -24,8 +24,8 @@ let decision_of_outcome = function
   | Rules.Rejected -> Rejected
   | Rules.Ignored -> Ignored
 
-let record ?(policy = Policy.No_deletion) schedule =
-  let gs = Gs.create () in
+let record ?(policy = Policy.No_deletion) ?oracle schedule =
+  let gs = Gs.create ?oracle () in
   let events = ref [] in
   List.iteri
     (fun index step ->
@@ -170,8 +170,8 @@ let audit ?safety_depth trace =
   in
   { steps = !steps; deletions = !deletions; deleted_total = !deleted_total; finding }
 
-let audit_schedule ?safety_depth ~policy schedule =
-  audit ?safety_depth (record ~policy schedule)
+let audit_schedule ?safety_depth ?oracle ~policy schedule =
+  audit ?safety_depth (record ~policy ?oracle schedule)
 
 let ok r = r.finding = None
 

@@ -35,11 +35,17 @@ type event =
 
 type trace = event list
 
-val record : ?policy:Dct_deletion.Policy.t -> Dct_txn.Schedule.t -> trace
+val record :
+  ?policy:Dct_deletion.Policy.t ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  Dct_txn.Schedule.t ->
+  trace
 (** Run a schedule through {!Dct_deletion.Rules.apply} with the policy
     applied after every non-ignored step (mirroring
     [Conflict_scheduler]), recording everything.  [policy] defaults to
-    [No_deletion].
+    [No_deletion]; [oracle] selects the recording run's cycle-check
+    backend (the differential tests record with each backend and assert
+    identical traces).
     @raise Invalid_argument on malformed schedules — lint first. *)
 
 type finding =
@@ -76,6 +82,7 @@ val audit : ?safety_depth:int -> trace -> report
 
 val audit_schedule :
   ?safety_depth:int ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
   policy:Dct_deletion.Policy.t ->
   Dct_txn.Schedule.t ->
   report

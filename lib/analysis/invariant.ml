@@ -1,7 +1,7 @@
 module Intset = Dct_graph.Intset
 module Digraph = Dct_graph.Digraph
 module Traversal = Dct_graph.Traversal
-module Closure = Dct_graph.Closure
+module Cycle_oracle = Dct_graph.Cycle_oracle
 module Gs = Dct_deletion.Graph_state
 module Rules = Dct_deletion.Rules
 module Policy = Dct_deletion.Policy
@@ -105,20 +105,25 @@ let check gs =
       if Intset.mem n nodes then
         add (v "aborted-resurrected" "T%d was aborted but is back in the graph" n))
     (Gs.aborted_txns gs);
-  (match Gs.closure gs with
+  (match Gs.oracle gs with
   | None -> ()
-  | Some c ->
-      if not (Intset.equal (Closure.nodes c) nodes) then
+  | Some o ->
+      (* Violation names keep their historical "closure-" spelling: the
+         oracle is the generalisation of the maintained closure, and the
+         auditor's consumers key on these names. *)
+      if not (Intset.equal (Cycle_oracle.nodes o) nodes) then
         add
           (v "closure-nodes"
-             "closure nodes %s disagree with graph nodes %s"
-             (Format.asprintf "%a" Intset.pp (Closure.nodes c))
+             "%s oracle nodes %s disagree with graph nodes %s"
+             (Cycle_oracle.name o)
+             (Format.asprintf "%a" Intset.pp (Cycle_oracle.nodes o))
              (Format.asprintf "%a" Intset.pp nodes))
-      else if not (Closure.check_against c g) then
+      else if not (Cycle_oracle.check_against o g) then
         add
           (v "closure-divergence"
-             "maintained transitive closure disagrees with reachability \
-              recomputed from the graph"));
+             "maintained %s oracle disagrees with reachability recomputed \
+              from the graph"
+             (Cycle_oracle.name o)));
   Intset.iter
     (fun e ->
       Intset.iter

@@ -20,10 +20,11 @@ type einfo = {
 
 type t = {
   g : Digraph.t;
-  closure : Dct_graph.Closure.t option;
-      (* optional maintained transitive closure (the §3 remark): cycle
-         checks become bitset probes, arc inserts update rows, safe
-         deletions erase the node, aborts force a rebuild *)
+  oracle : Dct_graph.Cycle_oracle.t option;
+      (* optional maintained cycle-detection backend: bitset closure
+         (the §3 remark), Pearce-Kelly topological order, or both in
+         lock-step — cycle checks become oracle probes, arc inserts and
+         deletions keep it in sync with [g] *)
   txns : (int, Transaction.t) Hashtbl.t;
   einfos : (int, einfo) Hashtbl.t;
   deps : (int, Intset.t) Hashtbl.t; (* dependent -> providers it read from *)
@@ -35,10 +36,17 @@ type t = {
   mutable seq : int;
 }
 
-let create ?(with_closure = false) () =
+let create ?(with_closure = false) ?oracle () =
+  let oracle =
+    match (oracle, with_closure) with
+    | Some backend, _ -> Some (Dct_graph.Cycle_oracle.create backend)
+    | None, true ->
+        Some (Dct_graph.Cycle_oracle.create Dct_graph.Cycle_oracle.Closure)
+    | None, false -> None
+  in
   {
     g = Digraph.create ();
-    closure = (if with_closure then Some (Dct_graph.Closure.create ()) else None);
+    oracle;
     txns = Hashtbl.create 64;
     einfos = Hashtbl.create 64;
     deps = Hashtbl.create 16;
@@ -72,7 +80,7 @@ let copy t =
     t.einfos;
   {
     g = Digraph.copy t.g;
-    closure = Option.map Dct_graph.Closure.copy t.closure;
+    oracle = Option.map Dct_graph.Cycle_oracle.copy t.oracle;
     txns;
     einfos;
     deps = Hashtbl.copy t.deps;
@@ -91,7 +99,7 @@ let begin_txn ?declared t id =
     invalid_arg (Printf.sprintf "Graph_state.begin_txn: T%d already present" id);
   Hashtbl.replace t.txns id (Transaction.create ?declared id);
   Digraph.add_node t.g id;
-  Option.iter (fun c -> Dct_graph.Closure.add_node c id) t.closure
+  Option.iter (fun o -> Dct_graph.Cycle_oracle.add_node o id) t.oracle
 
 let txn t id = Hashtbl.find t.txns id
 
@@ -206,18 +214,25 @@ let graph t = t.g
 
 let add_arc t ~src ~dst =
   Digraph.add_arc t.g ~src ~dst;
-  Option.iter (fun c -> Dct_graph.Closure.add_arc c ~src ~dst) t.closure
+  Option.iter (fun o -> Dct_graph.Cycle_oracle.add_arc o ~src ~dst) t.oracle
+
+let reaches t ~src ~dst =
+  match t.oracle with
+  | Some o -> Dct_graph.Cycle_oracle.reaches o ~src ~dst
+  | None -> Traversal.has_path t.g ~src ~dst
+
+let reaches_any t ~src ~dsts =
+  (not (Intset.is_empty dsts))
+  &&
+  match t.oracle with
+  | Some o -> Dct_graph.Cycle_oracle.reaches_any o ~src ~dsts
+  | None ->
+      let desc = Traversal.reachable t.g `Fwd src in
+      not (Intset.is_empty (Intset.inter desc dsts))
 
 let would_cycle t ~into ~sources =
   (not (Intset.is_empty sources))
-  && (Intset.mem into sources
-     ||
-     match t.closure with
-     | Some c ->
-         Intset.exists (fun s -> Dct_graph.Closure.reaches c ~src:into ~dst:s) sources
-     | None ->
-         let desc = Traversal.reachable t.g `Fwd into in
-         not (Intset.is_empty (Intset.inter desc sources)))
+  && (Intset.mem into sources || reaches_any t ~src:into ~dsts:sources)
 
 let is_acyclic t = Traversal.is_acyclic t.g
 
@@ -272,7 +287,7 @@ let drop_deps t id =
 let abort_txn t id =
   if mem_txn t id then begin
     Digraph.remove_node t.g id;
-    Option.iter (fun c -> Dct_graph.Closure.remove_node c `Exact id) t.closure;
+    Option.iter (fun o -> Dct_graph.Cycle_oracle.remove_node o `Exact id) t.oracle;
     Hashtbl.remove t.txns id;
     drop_entity_entries t id ~tombstone:false;
     drop_deps t id;
@@ -289,7 +304,9 @@ let was_deleted t id = Hashtbl.mem t.deleted id
 let deleted_txns t =
   Hashtbl.fold (fun id () acc -> Intset.add id acc) t.deleted Intset.empty
 
-let closure t = t.closure
+let oracle t = t.oracle
+
+let closure t = Option.bind t.oracle Dct_graph.Cycle_oracle.closure
 
 let forget_txn_record t id =
   if mem_txn t id then begin
@@ -310,7 +327,7 @@ let delete_with_bypass t ti =
         (fun s -> if p <> s then Digraph.add_arc t.g ~src:p ~dst:s)
         ss)
     ps;
-  Option.iter (fun c -> Dct_graph.Closure.remove_node c `Bypass ti) t.closure;
+  Option.iter (fun o -> Dct_graph.Cycle_oracle.remove_node o `Bypass ti) t.oracle;
   forget_txn_record t ti;
   Hashtbl.replace t.deleted ti ()
 

@@ -14,13 +14,20 @@
 
 type t
 
-val create : ?with_closure:bool -> unit -> t
-(** With [with_closure] (default false) a transitive closure is
-    maintained alongside the graph — the paper's §3 remark: cycle checks
-    become reachability-row probes, and safe deletion is just erasing
-    the node from the closure.  Aborts force a closure rebuild, so the
-    engine choice is a genuine trade-off (benchmarked in the ablation
-    suite). *)
+val create :
+  ?with_closure:bool -> ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> t
+(** Without either option, cycle checks fall back to a DFS on the plain
+    graph.  [oracle] selects a maintained cycle-detection backend:
+    [Closure] (the §3 remark — reachability-row probes, safe deletion is
+    erasing the node, aborts recompute affected rows), [Topo]
+    (Pearce–Kelly incremental topological order — near-free checks on
+    sparse graphs, rebuild-free deletion) or [Checked] (both in
+    lock-step, raising {!Dct_graph.Cycle_oracle.Disagreement} on any
+    divergence).  [with_closure:true] (default false) is the historical
+    spelling of [~oracle:Closure] and is kept for compatibility; when
+    both are given, [oracle] wins.  All backends are
+    decision-equivalent, so the choice is a cost profile, not a
+    semantics (benchmarked in the oracle sweep). *)
 
 val copy : t -> t
 (** Deep copy — used by the test oracles that replay continuations on
@@ -97,6 +104,14 @@ val graph : t -> Dct_graph.Digraph.t
 
 val add_arc : t -> src:int -> dst:int -> unit
 
+val reaches : t -> src:int -> dst:int -> bool
+(** [true] iff a non-empty path [src ⇝ dst] exists — answered by the
+    oracle when one is maintained, by DFS otherwise. *)
+
+val reaches_any : t -> src:int -> dsts:Dct_graph.Intset.t -> bool
+(** Does [src] reach some member of [dsts]?  One oracle probe / clipped
+    search rather than [|dsts|] independent queries. *)
+
 val would_cycle : t -> into:int -> sources:Dct_graph.Intset.t -> bool
 (** Would adding the arcs [s -> into] for every [s] in [sources] close a
     cycle?  (True iff some source is reachable from [into], or [into]
@@ -122,10 +137,14 @@ val deleted_txns : t -> Dct_graph.Intset.t
 (** All ids ever deleted through the reduction — the auditor's record of
     what the policy has forgotten. *)
 
+val oracle : t -> Dct_graph.Cycle_oracle.t option
+(** The maintained cycle-detection oracle, when one was requested at
+    {!create} — read-only use (the invariant checker verifies it against
+    the graph). *)
+
 val closure : t -> Dct_graph.Closure.t option
-(** The maintained transitive closure, when the state was created
-    [~with_closure:true] — read-only use (the invariant checker verifies
-    it against the graph). *)
+(** The maintained transitive closure, when the selected oracle keeps
+    one ([Closure] or [Checked] backends) — read-only use. *)
 
 val is_acyclic : t -> bool
 

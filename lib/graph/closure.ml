@@ -7,6 +7,8 @@ type t = {
 let create () =
   { g = Digraph.create (); desc = Hashtbl.create 64; anc = Hashtbl.create 64 }
 
+let graph t = t.g
+
 let copy t =
   let dup tbl =
     let out = Hashtbl.create (Hashtbl.length tbl) in
@@ -71,17 +73,6 @@ let add_arc t ~src ~dst =
     end
   end
 
-let rebuild t =
-  Hashtbl.reset t.desc;
-  Hashtbl.reset t.anc;
-  Digraph.iter_nodes
-    (fun v ->
-      let dv = row t.desc v in
-      Intset.iter (fun w -> Bitset.add dv w) (Traversal.reachable t.g `Fwd v);
-      let av = row t.anc v in
-      Intset.iter (fun w -> Bitset.add av w) (Traversal.reachable t.g `Bwd v))
-    t.g
-
 let remove_node t mode v =
   if Digraph.mem_node t.g v then
     match mode with
@@ -102,8 +93,27 @@ let remove_node t mode v =
         Hashtbl.iter (fun _ b -> Bitset.remove b v) t.desc;
         Hashtbl.iter (fun _ b -> Bitset.remove b v) t.anc
     | `Exact ->
+        (* Only rows that mention [v] can change: reachability between
+           two nodes is affected only if some witness path ran through
+           [v], in which case v was a descendant of one and an ancestor
+           of the other.  Recompute exactly those rows instead of the
+           whole closure (the seed behaviour rebuilt everything). *)
+        let affected tbl =
+          Hashtbl.fold
+            (fun u b acc -> if u <> v && Bitset.mem b v then u :: acc else acc)
+            tbl []
+        in
+        let up = affected t.desc and down = affected t.anc in
         Digraph.remove_node t.g v;
-        rebuild t
+        Hashtbl.remove t.desc v;
+        Hashtbl.remove t.anc v;
+        let refresh tbl dir u =
+          let b = Bitset.create () in
+          Intset.iter (fun w -> Bitset.add b w) (Traversal.reachable t.g dir u);
+          Hashtbl.replace tbl u b
+        in
+        List.iter (refresh t.desc `Fwd) up;
+        List.iter (refresh t.anc `Bwd) down
 
 let check_against t g =
   Intset.equal (nodes t) (Digraph.nodes g)

@@ -12,11 +12,18 @@
       so the closure of the reduced graph is obtained by just erasing the
       node's row and column;
     - [`Exact] — plain removal (used when a transaction {e aborts}): paths
-      through the node vanish, which forces a recomputation. *)
+      through the node vanish, which forces a recomputation of the rows
+      that mentioned the node (ancestors' descendant rows, descendants'
+      ancestor rows — unrelated rows are untouched). *)
 
 type t
 
 val create : unit -> t
+
+val graph : t -> Digraph.t
+(** The closure's own arc graph (explicit arcs plus bypass arcs from
+    [`Bypass] removals).  Callers must not mutate it directly; it exists
+    so oracles can extract witness paths. *)
 
 val copy : t -> t
 (** Independent deep copy. *)

@@ -1,0 +1,235 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val copy : t -> t
+  val add_node : t -> int -> unit
+  val mem_node : t -> int -> bool
+  val nodes : t -> Intset.t
+  val add_arc : t -> src:int -> dst:int -> unit
+  val remove_node : t -> [ `Bypass | `Exact ] -> int -> unit
+  val reaches : t -> src:int -> dst:int -> bool
+  val reaches_any : t -> src:int -> dsts:Intset.t -> bool
+  val would_cycle : t -> src:int -> dst:int -> bool
+  val cycle_witness : t -> src:int -> dst:int -> int list option
+  val check_against : t -> Digraph.t -> bool
+end
+
+module Closure_backend : S with type t = Closure.t = struct
+  include Closure
+
+  let name = "closure"
+
+  let reaches_any t ~src ~dsts =
+    Intset.exists (fun d -> Closure.reaches t ~src ~dst:d) dsts
+
+  let cycle_witness t ~src ~dst =
+    if src = dst then if Closure.mem_node t src then Some [ src ] else None
+    else if Closure.reaches t ~src:dst ~dst:src then
+      Traversal.find_path (Closure.graph t) ~src:dst ~dst:src
+    else None
+end
+
+module Topo_backend : S with type t = Topo_order.t = struct
+  include Topo_order
+
+  let name = "topo"
+end
+
+type backend = Closure | Topo | Checked
+
+let all = [ Closure; Topo; Checked ]
+
+let backend_name = function
+  | Closure -> "closure"
+  | Topo -> "topo"
+  | Checked -> "checked"
+
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "closure" | "bitset" -> Ok Closure
+  | "topo" | "pk" | "pearce-kelly" -> Ok Topo
+  | "checked" | "both" -> Ok Checked
+  | other ->
+      Error
+        (Printf.sprintf "unknown oracle %S (expected closure|topo|checked)"
+           other)
+
+exception Disagreement of string
+
+let () =
+  Printexc.register_printer (function
+    | Disagreement m -> Some (Printf.sprintf "Cycle_oracle.Disagreement: %s" m)
+    | _ -> None)
+
+let disagree fmt = Printf.ksprintf (fun m -> raise (Disagreement m)) fmt
+
+type t =
+  | Closure_o of Closure.t
+  | Topo_o of Topo_order.t
+  | Checked_o of Closure.t * Topo_order.t
+
+let create = function
+  | Closure -> Closure_o (Closure_backend.create ())
+  | Topo -> Topo_o (Topo_backend.create ())
+  | Checked -> Checked_o (Closure_backend.create (), Topo_backend.create ())
+
+let backend = function
+  | Closure_o _ -> Closure
+  | Topo_o _ -> Topo
+  | Checked_o _ -> Checked
+
+let name t = backend_name (backend t)
+
+let copy = function
+  | Closure_o c -> Closure_o (Closure_backend.copy c)
+  | Topo_o o -> Topo_o (Topo_backend.copy o)
+  | Checked_o (c, o) ->
+      Checked_o (Closure_backend.copy c, Topo_backend.copy o)
+
+(* [Checked] compares every boolean answer; [agree] is the single
+   funnel so each divergence names the operation and both verdicts. *)
+let agree op a b =
+  if a <> b then disagree "%s: closure says %b, topo says %b" op a b;
+  a
+
+let add_node t v =
+  match t with
+  | Closure_o c -> Closure_backend.add_node c v
+  | Topo_o o -> Topo_backend.add_node o v
+  | Checked_o (c, o) ->
+      Closure_backend.add_node c v;
+      Topo_backend.add_node o v
+
+let mem_node t v =
+  match t with
+  | Closure_o c -> Closure_backend.mem_node c v
+  | Topo_o o -> Topo_backend.mem_node o v
+  | Checked_o (c, o) ->
+      agree
+        (Printf.sprintf "mem_node %d" v)
+        (Closure_backend.mem_node c v)
+        (Topo_backend.mem_node o v)
+
+let nodes = function
+  | Closure_o c -> Closure_backend.nodes c
+  | Topo_o o -> Topo_backend.nodes o
+  | Checked_o (c, o) ->
+      let nc = Closure_backend.nodes c and no = Topo_backend.nodes o in
+      if not (Intset.equal nc no) then
+        disagree "nodes: closure has %s, topo has %s"
+          (Format.asprintf "%a" Intset.pp nc)
+          (Format.asprintf "%a" Intset.pp no);
+      nc
+
+let add_arc t ~src ~dst =
+  match t with
+  | Closure_o c -> Closure_backend.add_arc c ~src ~dst
+  | Topo_o o -> Topo_backend.add_arc o ~src ~dst
+  | Checked_o (c, o) ->
+      let safe =
+        not
+          (agree
+             (Printf.sprintf "would_cycle before add_arc %d -> %d" src dst)
+             (Closure_backend.would_cycle c ~src ~dst)
+             (Topo_backend.would_cycle o ~src ~dst))
+      in
+      if not safe then
+        disagree "add_arc %d -> %d: both backends report a cycle-closing arc \
+                  (caller broke the pre-condition)"
+          src dst;
+      Closure_backend.add_arc c ~src ~dst;
+      Topo_backend.add_arc o ~src ~dst
+
+let remove_node t mode v =
+  match t with
+  | Closure_o c -> Closure_backend.remove_node c mode v
+  | Topo_o o -> Topo_backend.remove_node o mode v
+  | Checked_o (c, o) ->
+      Closure_backend.remove_node c mode v;
+      Topo_backend.remove_node o mode v
+
+let reaches t ~src ~dst =
+  match t with
+  | Closure_o c -> Closure_backend.reaches c ~src ~dst
+  | Topo_o o -> Topo_backend.reaches o ~src ~dst
+  | Checked_o (c, o) ->
+      agree
+        (Printf.sprintf "reaches %d -> %d" src dst)
+        (Closure_backend.reaches c ~src ~dst)
+        (Topo_backend.reaches o ~src ~dst)
+
+let reaches_any t ~src ~dsts =
+  match t with
+  | Closure_o c -> Closure_backend.reaches_any c ~src ~dsts
+  | Topo_o o -> Topo_backend.reaches_any o ~src ~dsts
+  | Checked_o (c, o) ->
+      agree
+        (Format.asprintf "reaches_any %d -> %a" src Intset.pp dsts)
+        (Closure_backend.reaches_any c ~src ~dsts)
+        (Topo_backend.reaches_any o ~src ~dsts)
+
+let would_cycle t ~src ~dst =
+  match t with
+  | Closure_o c -> Closure_backend.would_cycle c ~src ~dst
+  | Topo_o o -> Topo_backend.would_cycle o ~src ~dst
+  | Checked_o (c, o) ->
+      agree
+        (Printf.sprintf "would_cycle %d -> %d" src dst)
+        (Closure_backend.would_cycle c ~src ~dst)
+        (Topo_backend.would_cycle o ~src ~dst)
+
+(* A witness must be a genuine path [dst ⇝ src] over the arcs the
+   backend itself maintains. *)
+let witness_is_path g ~src ~dst = function
+  | [] -> false
+  | [ v ] -> v = src && v = dst
+  | first :: _ as path ->
+      first = dst
+      &&
+      let rec arcs = function
+        | a :: (b :: _ as rest) ->
+            Digraph.mem_arc g ~src:a ~dst:b && arcs rest
+        | [ last ] -> last = src
+        | [] -> false
+      in
+      arcs path
+
+let cycle_witness t ~src ~dst =
+  match t with
+  | Closure_o c -> Closure_backend.cycle_witness c ~src ~dst
+  | Topo_o o -> Topo_backend.cycle_witness o ~src ~dst
+  | Checked_o (c, o) -> (
+      let wc = Closure_backend.cycle_witness c ~src ~dst in
+      let wo = Topo_backend.cycle_witness o ~src ~dst in
+      match (wc, wo) with
+      | None, None -> None
+      | Some pc, Some po ->
+          if not (witness_is_path (Closure.graph c) ~src ~dst pc) then
+            disagree "cycle_witness %d -> %d: closure produced a bogus path"
+              src dst;
+          if not (witness_is_path (Topo_order.graph o) ~src ~dst po) then
+            disagree "cycle_witness %d -> %d: topo produced a bogus path" src
+              dst;
+          Some pc
+      | Some _, None | None, Some _ ->
+          disagree "cycle_witness %d -> %d: closure says %s, topo says %s" src
+            dst
+            (if wc = None then "safe" else "cycle")
+            (if wo = None then "safe" else "cycle"))
+
+let check_against t g =
+  match t with
+  | Closure_o c -> Closure_backend.check_against c g
+  | Topo_o o -> Topo_backend.check_against o g
+  | Checked_o (c, o) ->
+      Closure_backend.check_against c g && Topo_backend.check_against o g
+
+let closure = function
+  | Closure_o c | Checked_o (c, _) -> Some c
+  | Topo_o _ -> None
+
+let topo = function
+  | Topo_o o | Checked_o (_, o) -> Some o
+  | Closure_o _ -> None

@@ -1,0 +1,151 @@
+type t = {
+  g : Digraph.t;
+  ord : (int, int) Hashtbl.t; (* node -> rank, unique *)
+  mutable next : int;         (* next fresh rank *)
+}
+
+let create () = { g = Digraph.create (); ord = Hashtbl.create 64; next = 0 }
+
+let copy t =
+  { g = Digraph.copy t.g; ord = Hashtbl.copy t.ord; next = t.next }
+
+let graph t = t.g
+
+let rank t v = Hashtbl.find t.ord v
+
+let mem_node t v = Digraph.mem_node t.g v
+
+let nodes t = Digraph.nodes t.g
+
+let add_node t v =
+  if not (Digraph.mem_node t.g v) then begin
+    Digraph.add_node t.g v;
+    Hashtbl.replace t.ord v t.next;
+    t.next <- t.next + 1
+  end
+
+(* Forward DFS from [start] over nodes with rank <= [ub].  Nodes of rank
+   exactly [ub] terminate a path (only the arc source can hold it, ranks
+   being unique), so the affected region never leaks past the source. *)
+exception Hit
+
+let clipped_forward t start ub ~stop_at =
+  let visited = ref Intset.empty in
+  let rec go v =
+    visited := Intset.add v !visited;
+    Intset.iter
+      (fun w ->
+        if w = stop_at then raise Hit;
+        if rank t w < ub && not (Intset.mem w !visited) then go w)
+      (Digraph.succs t.g v)
+  in
+  go start;
+  !visited
+
+let clipped_backward t start lb =
+  let visited = ref Intset.empty in
+  let rec go v =
+    visited := Intset.add v !visited;
+    Intset.iter
+      (fun w -> if rank t w > lb && not (Intset.mem w !visited) then go w)
+      (Digraph.preds t.g v)
+  in
+  go start;
+  !visited
+
+(* Reassign the pooled old ranks of both regions: the backward region
+   keeps its relative order, followed by the forward region in its
+   relative order (Pearce-Kelly's affected-region permutation). *)
+let reorder t delta_b delta_f =
+  let by_rank vs =
+    List.sort (fun a b -> compare (rank t a) (rank t b)) (Intset.elements vs)
+  in
+  let l = by_rank delta_b @ by_rank delta_f in
+  let slots = List.sort compare (List.map (rank t) l) in
+  List.iter2 (fun v p -> Hashtbl.replace t.ord v p) l slots
+
+let add_arc t ~src ~dst =
+  if src = dst then
+    invalid_arg (Printf.sprintf "Topo_order.add_arc: self-loop on %d" src);
+  add_node t src;
+  add_node t dst;
+  if not (Digraph.mem_arc t.g ~src ~dst) then begin
+    let ox = rank t src and oy = rank t dst in
+    if oy < ox then begin
+      (match clipped_forward t dst ox ~stop_at:src with
+      | exception Hit ->
+          invalid_arg
+            (Printf.sprintf "Topo_order.add_arc: %d -> %d closes a cycle" src
+               dst)
+      | delta_f ->
+          let delta_b = clipped_backward t src oy in
+          reorder t delta_b delta_f)
+    end;
+    Digraph.add_arc t.g ~src ~dst
+  end
+
+let reaches t ~src ~dst =
+  mem_node t src && mem_node t dst && src <> dst
+  && rank t src < rank t dst
+  &&
+  let bound = rank t dst in
+  match clipped_forward t src bound ~stop_at:dst with
+  | exception Hit -> true
+  | _ -> false
+
+let reaches_any t ~src ~dsts =
+  mem_node t src
+  && (not (Intset.is_empty dsts))
+  &&
+  (* One clipped search: stop as soon as any member is visited.  The
+     clip bound is the largest rank among present targets. *)
+  let bound =
+    Intset.fold
+      (fun d acc -> if mem_node t d then max acc (rank t d) else acc)
+      dsts (-1)
+  in
+  bound > rank t src
+  &&
+  let visited = ref Intset.empty in
+  let rec go v =
+    visited := Intset.add v !visited;
+    Intset.iter
+      (fun w ->
+        if Intset.mem w dsts then raise Hit;
+        if rank t w < bound && not (Intset.mem w !visited) then go w)
+      (Digraph.succs t.g v)
+  in
+  match go src with exception Hit -> true | () -> false
+
+let would_cycle t ~src ~dst = src = dst || reaches t ~src:dst ~dst:src
+
+let cycle_witness t ~src ~dst =
+  if src = dst then if mem_node t src then Some [ src ] else None
+  else if not (mem_node t src && mem_node t dst) then None
+  else Traversal.find_path t.g ~src:dst ~dst:src
+
+let remove_node t mode v =
+  if Digraph.mem_node t.g v then begin
+    (match mode with
+    | `Bypass ->
+        (* D(G, v): every pred-to-succ path survives via a bypass arc.
+           rank p < rank v < rank s already holds, so no reordering. *)
+        let ps = Digraph.preds t.g v and ss = Digraph.succs t.g v in
+        Digraph.remove_node t.g v;
+        Intset.iter
+          (fun p ->
+            Intset.iter
+              (fun s -> if p <> s then Digraph.add_arc t.g ~src:p ~dst:s)
+              ss)
+          ps
+    | `Exact -> Digraph.remove_node t.g v);
+    Hashtbl.remove t.ord v
+  end
+
+let check_invariant t =
+  Intset.for_all (fun v -> Hashtbl.mem t.ord v) (Digraph.nodes t.g)
+  && Digraph.fold_arcs
+       (fun ~src ~dst acc -> acc && rank t src < rank t dst)
+       t.g true
+
+let check_against t g = Digraph.equal t.g g && check_invariant t

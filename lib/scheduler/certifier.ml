@@ -1,6 +1,5 @@
 module Intset = Dct_graph.Intset
 module Digraph = Dct_graph.Digraph
-module Traversal = Dct_graph.Traversal
 module Access = Dct_txn.Access
 module Step = Dct_txn.Step
 module Transaction = Dct_txn.Transaction
@@ -15,8 +14,8 @@ type t = {
   mutable deleted : int;
 }
 
-let create () =
-  { gs = Gs.create (); steps = 0; committed = 0; aborted = 0; deleted = 0 }
+let create ?oracle () =
+  { gs = Gs.create ?oracle (); steps = 0; committed = 0; aborted = 0; deleted = 0 }
 
 let copy t =
   {
@@ -71,9 +70,7 @@ let certify t txn =
   let conflict_cycle =
     (not (Intset.is_empty (Intset.inter targets sources)))
     || Intset.exists
-         (fun target ->
-           let reach = Traversal.reachable g `Fwd target in
-           not (Intset.is_empty (Intset.inter reach sources)))
+         (fun target -> Gs.reaches_any t.gs ~src:target ~dsts:sources)
          targets
   in
   if conflict_cycle then begin
@@ -128,8 +125,8 @@ let stats t =
     delayed_now = 0;
   }
 
-let handle () =
-  let t = create () in
+let handle ?oracle () =
+  let t = create ?oracle () in
   {
     Scheduler_intf.name = "certifier";
     step = step t;

@@ -28,7 +28,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> t
+(** [oracle] selects the cycle-check backend used at certification time
+    (default: plain DFS on the conflict graph). *)
 
 val copy : t -> t
 (** Deep copy — lets the generic safety oracle
@@ -41,7 +43,8 @@ val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 
 val graph_state : t -> Dct_deletion.Graph_state.t
 val stats : t -> Scheduler_intf.stats
-val handle : unit -> Scheduler_intf.handle
+val handle :
+  ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> Scheduler_intf.handle
 
 (**/**)
 

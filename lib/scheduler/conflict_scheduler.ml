@@ -17,9 +17,10 @@ type t = {
   mutable log : (int * Intset.t) list;
 }
 
-let create ?(policy = Policy.No_deletion) ?store ?wal ?(with_closure = false) () =
+let create ?(policy = Policy.No_deletion) ?store ?wal ?(with_closure = false)
+    ?oracle () =
   {
-    gs = Gs.create ~with_closure ();
+    gs = Gs.create ~with_closure ?oracle ();
     policy;
     store;
     wal;
@@ -127,5 +128,5 @@ let handle_of t =
     aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
   }
 
-let handle ?policy ?store ?wal ?with_closure () =
-  handle_of (create ?policy ?store ?wal ?with_closure ())
+let handle ?policy ?store ?wal ?with_closure ?oracle () =
+  handle_of (create ?policy ?store ?wal ?with_closure ?oracle ())

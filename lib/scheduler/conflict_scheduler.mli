@@ -15,6 +15,7 @@ val create :
   ?store:Dct_kv.Store.t ->
   ?wal:Dct_kv.Wal.t ->
   ?with_closure:bool ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
   unit ->
   t
 (** [policy] defaults to [No_deletion].  When [store] is given, accepted
@@ -23,9 +24,10 @@ val create :
     scheduler journals begin/write/commit/abort records and advances the
     log's low-water mark whenever the deletion policy forgets
     transactions — the log-truncation reading of the paper.
-    [with_closure] switches the cycle-check engine to a maintained
-    transitive closure (the §3 remark) — identical decisions, different
-    cost profile (see the ablation benchmarks). *)
+    [oracle] selects the cycle-check engine
+    ({!Dct_graph.Cycle_oracle.backend}); [with_closure] is the historical
+    spelling of [~oracle:Closure].  Identical decisions either way,
+    different cost profile (see the oracle sweep benchmarks). *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 
@@ -53,6 +55,7 @@ val handle :
   ?store:Dct_kv.Store.t ->
   ?wal:Dct_kv.Wal.t ->
   ?with_closure:bool ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
   unit ->
   Scheduler_intf.handle
 (** A fresh scheduler wrapped for the simulation driver. *)

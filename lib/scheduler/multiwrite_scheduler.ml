@@ -20,9 +20,9 @@ type t = {
   mutable deleted : int;
 }
 
-let create ?(deletion = No_deletion) ?store () =
+let create ?(deletion = No_deletion) ?store ?oracle () =
   {
-    gs = Gs.create ();
+    gs = Gs.create ?oracle ();
     deletion;
     store = Option.value ~default:(Dct_kv.Store.create ()) store;
     steps = 0;
@@ -165,4 +165,4 @@ let handle_of t =
     aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
   }
 
-let handle ?deletion () = handle_of (create ?deletion ())
+let handle ?deletion ?oracle () = handle_of (create ?deletion ?oracle ())

@@ -22,7 +22,13 @@ type deletion_mode =
 
 type t
 
-val create : ?deletion:deletion_mode -> ?store:Dct_kv.Store.t -> unit -> t
+val create :
+  ?deletion:deletion_mode ->
+  ?store:Dct_kv.Store.t ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  unit ->
+  t
+(** [oracle] selects the cycle-check backend (default: plain DFS). *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 (** [Rejected] covers both a cycle-closing step and a cascading abort
@@ -39,4 +45,8 @@ val cascaded_total : t -> int
 val handle_of : t -> Scheduler_intf.handle
 (** Wrap an existing scheduler (callers that also need {!graph_state}). *)
 
-val handle : ?deletion:deletion_mode -> unit -> Scheduler_intf.handle
+val handle :
+  ?deletion:deletion_mode ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  unit ->
+  Scheduler_intf.handle

@@ -1,6 +1,5 @@
 module Intset = Dct_graph.Intset
 module Digraph = Dct_graph.Digraph
-module Traversal = Dct_graph.Traversal
 module Access = Dct_txn.Access
 module Step = Dct_txn.Step
 module Transaction = Dct_txn.Transaction
@@ -21,9 +20,9 @@ type t = {
   mutable exec_log : Step.t list; (* executed data steps, newest first *)
 }
 
-let create ?(use_c4_deletion = false) () =
+let create ?(use_c4_deletion = false) ?oracle () =
   {
-    gs = Gs.create ();
+    gs = Gs.create ?oracle ();
     use_c4 = use_c4_deletion;
     queues = Hashtbl.create 16;
     steps = 0;
@@ -82,7 +81,7 @@ let try_data_step t txn entity mode =
   let targets = future_conflicters t ~txn ~entity ~mode in
   let blocked =
     Intset.exists
-      (fun tk -> tk = txn || Traversal.has_path (Gs.graph t.gs) ~src:tk ~dst:txn)
+      (fun tk -> tk = txn || Gs.reaches t.gs ~src:tk ~dst:txn)
       targets
   in
   if blocked then false
@@ -202,4 +201,5 @@ let handle_of t =
     aborted_txn = (fun _ -> false);
   }
 
-let handle ?use_c4_deletion () = handle_of (create ?use_c4_deletion ())
+let handle ?use_c4_deletion ?oracle () =
+  handle_of (create ?use_c4_deletion ?oracle ())

@@ -17,9 +17,11 @@
 
 type t
 
-val create : ?use_c4_deletion:bool -> unit -> t
+val create :
+  ?use_c4_deletion:bool -> ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> t
 (** [use_c4_deletion] (default false) greedily deletes C4-eligible
-    completed transactions after each completion. *)
+    completed transactions after each completion.  [oracle] selects the
+    cycle-check backend used by the delay test (default: plain DFS). *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 (** [Delayed] means the step is queued inside the scheduler.  Steps must
@@ -43,4 +45,8 @@ val stats : t -> Scheduler_intf.stats
 val handle_of : t -> Scheduler_intf.handle
 (** Wrap an existing scheduler (callers that also need {!graph_state}). *)
 
-val handle : ?use_c4_deletion:bool -> unit -> Scheduler_intf.handle
+val handle :
+  ?use_c4_deletion:bool ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  unit ->
+  Scheduler_intf.handle
