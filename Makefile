@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is a thin wrapper over dune.
 
-.PHONY: all build test oracle-test bench bench-smoke clean
+.PHONY: all build test oracle-test telemetry-test trace-smoke bench bench-smoke bench-latency clean
 
 all: build
 
@@ -15,6 +15,18 @@ test:
 oracle-test:
 	dune build @oracle
 
+# Just the tracing/metrics suite — the tight loop when hacking on the
+# telemetry layer or the scheduler instrumentation.
+telemetry-test:
+	dune build @telemetry
+
+# End-to-end trace round trip: simulate with tracing on, summarize the
+# JSONL, re-feed the decisions to the deletion auditor.
+trace-smoke:
+	dune exec bin/dct.exe -- simulate --model conflict --policy c2 -n 80 \
+	  --oracle checked --trace /tmp/dct-trace-smoke.jsonl --metrics
+	dune exec bin/dct.exe -- trace /tmp/dct-trace-smoke.jsonl --audit
+
 # The full oracle sweep (writes BENCH_oracle.json; minutes).
 bench:
 	dune exec bench/main.exe -- oracle
@@ -23,6 +35,11 @@ bench:
 # emitted BENCH_oracle.json is malformed.
 bench-smoke:
 	dune exec bench/main.exe -- oracle-smoke
+
+# Tiny sweep with per-query latency histograms recorded next to the
+# wall-clock numbers in BENCH_oracle.json.
+bench-latency:
+	dune exec bench/main.exe -- oracle-latency
 
 clean:
 	dune clean

@@ -290,7 +290,7 @@ let run_bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [ex1..ex15|bechamel|oracle|oracle-smoke|all]"
+    "usage: main.exe [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|all]"
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -313,6 +313,7 @@ let () =
   | "bechamel" -> run_bechamel ()
   | "oracle" -> Oracle_sweep.run ~smoke:false ()
   | "oracle-smoke" -> Oracle_sweep.run ~smoke:true ()
+  | "oracle-latency" -> Oracle_sweep.run ~smoke:true ~latency:true ()
   | "all" ->
       E.run_all ();
       run_bechamel ()

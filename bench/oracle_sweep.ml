@@ -107,11 +107,49 @@ let apply o = function
   | Query_any (src, dsts) -> ignore (Oracle.reaches_any o ~src ~dsts)
   | Remove (mode, v) -> Oracle.remove_node o mode v
 
-let replay backend trace =
-  let o = Oracle.create backend in
+let replay ?probe backend trace =
+  let o = Oracle.create ?probe backend in
   let t0 = Sys.time () in
   List.iter (apply o) trace;
   (Sys.time () -. t0, o)
+
+(* Per-query latency recording ([main.exe oracle-latency]): a telemetry
+   probe feeds the shared fixed-bucket histograms, serialized next to
+   wall_seconds.  The extra keys never collide with the substrings
+   [validate] counts. *)
+let probe_into m =
+  Dct_telemetry.Probe.make (fun ~op ~backend ~ns ->
+      Dct_telemetry.Metrics.observe m
+        (Printf.sprintf "oracle.%s.%s" backend op)
+        ns)
+
+let json_of_latency m backend =
+  let module M = Dct_telemetry.Metrics in
+  let prefix = "oracle." ^ Oracle.backend_name backend ^ "." in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun name ->
+      if String.length name > plen && String.sub name 0 plen = prefix then
+        let op = String.sub name plen (String.length name - plen) in
+        let buckets =
+          M.histo_buckets m name
+          |> List.filter (fun (_, c) -> c > 0)
+          |> List.map (fun (b, c) ->
+                 Printf.sprintf "[%s, %d]"
+                   (if b = infinity then "\"inf\"" else Printf.sprintf "%.0f" b)
+                   c)
+        in
+        Some
+          (Printf.sprintf
+             "%S: {\"count\": %d, \"mean_ns\": %.1f, \"p50_ns\": %.1f, \
+              \"p99_ns\": %.1f, \"buckets\": [%s]}"
+             op (M.histo_count m name) (M.histo_mean m name)
+             (M.histo_percentile m name 50.0)
+             (M.histo_percentile m name 99.0)
+             (String.concat ", " buckets))
+      else None)
+    (M.histos m)
+  |> String.concat ", "
 
 (* Replays under [Checked] raise on the first divergence; a clean run
    counts zero disagreements. *)
@@ -142,10 +180,13 @@ let smoke_configs =
     { n = 60; avg_degree = 3; delete_rate = 0.1; abort_rate = 0.05; seed = 11 };
   ]
 
-let json_of_result (backend, wall) =
-  Printf.sprintf "{\"backend\": %S, \"wall_seconds\": %.6f}"
+let json_of_result (backend, wall, latency) =
+  Printf.sprintf "{\"backend\": %S, \"wall_seconds\": %.6f%s}"
     (Oracle.backend_name backend)
     wall
+    (match latency with
+    | None -> ""
+    | Some l -> Printf.sprintf ", \"latency\": {%s}" l)
 
 let json_of_config c ~ops ~results ~disagreements =
   Printf.sprintf
@@ -221,28 +262,43 @@ let validate ~n_configs () =
     err "expected %d wall_seconds entries, found %d" (n_configs * 2) n_walls;
   !errors
 
-let run ~smoke () =
+let run ~smoke ?(latency = false) () =
   let configs = if smoke then smoke_configs else full_configs in
-  Printf.printf "oracle sweep (%d configs)%s\n"
+  Printf.printf "oracle sweep (%d configs)%s%s\n"
     (List.length configs)
-    (if smoke then " [smoke]" else "");
+    (if smoke then " [smoke]" else "")
+    (if latency then " [per-query latency]" else "");
   Printf.printf "%6s %4s %6s %6s %8s %12s %12s %8s\n" "n" "deg" "del" "abort"
     "ops" "closure (s)" "topo (s)" "speedup";
   let failures = ref 0 in
+  let timed backend trace =
+    if not latency then
+      let t, _ = replay backend trace in
+      (t, None)
+    else begin
+      let m = Dct_telemetry.Metrics.create () in
+      let t, _ = replay ~probe:(probe_into m) backend trace in
+      (t, Some (json_of_latency m backend))
+    end
+  in
   let rows =
     List.map
       (fun c ->
         let trace = make_trace c in
         let ops = List.length trace in
-        let t_closure, _ = replay Oracle.Closure trace in
-        let t_topo, _ = replay Oracle.Topo trace in
+        let t_closure, lat_closure = timed Oracle.Closure trace in
+        let t_topo, lat_topo = timed Oracle.Topo trace in
         let disagreements = count_disagreements trace in
         if disagreements > 0 then incr failures;
         Printf.printf "%6d %4d %6.2f %6.2f %8d %12.4f %12.4f %7.1fx\n" c.n
           c.avg_degree c.delete_rate c.abort_rate ops t_closure t_topo
           (if t_topo > 0.0 then t_closure /. t_topo else nan);
         json_of_config c ~ops
-          ~results:[ (Oracle.Closure, t_closure); (Oracle.Topo, t_topo) ]
+          ~results:
+            [
+              (Oracle.Closure, t_closure, lat_closure);
+              (Oracle.Topo, t_topo, lat_topo);
+            ]
           ~disagreements)
       configs
   in

@@ -2,7 +2,11 @@
 
    Subcommands:
      simulate     run a synthetic workload through a scheduler
-                  (--selfcheck validates graph-state invariants per step)
+                  (--selfcheck validates graph-state invariants per step;
+                   --trace/--metrics/--json record and report telemetry)
+     trace        summarize a --trace JSONL file (outcomes, residency,
+                  deletion denials, oracle latency; --audit re-feeds the
+                  decisions to the trace auditor)
      lint         static diagnostics over schedule files (DCT000-DCT007)
      audit        replay a scheduler+policy decision trace and cross-check
                   every deletion against the C1/C2/safety oracles
@@ -68,7 +72,34 @@ let schedule_file =
 (* --- simulate --- *)
 
 let simulate model policy txns entities mpl skew seed long_readers selfcheck
-    oracle =
+    oracle trace metrics_on json =
+  (* "conflict" is the paper's name for the basic-model conflict-graph
+     scheduler. *)
+  let model = if model = "conflict" then "basic" else model in
+  let graph_model =
+    List.mem model [ "basic"; "certify"; "multiwrite"; "predeclared" ]
+  in
+  if (trace <> None || metrics_on) && not graph_model then begin
+    Printf.eprintf
+      "dct: --trace/--metrics are unsupported for model %S (no graph \
+       scheduler to instrument)\n"
+      model;
+    exit 2
+  end;
+  let trace_oc = Option.map open_out trace in
+  let sink =
+    match trace_oc with
+    | Some oc -> Dct_telemetry.Sink.channel oc
+    | None -> Dct_telemetry.Sink.null
+  in
+  let registry =
+    if metrics_on then Some (Dct_telemetry.Metrics.create ()) else None
+  in
+  let tracer =
+    if trace <> None || metrics_on then
+      Dct_telemetry.Tracer.create ?metrics:registry ~sink ()
+    else Dct_telemetry.Tracer.disabled
+  in
   let profile =
     {
       Gen.default with
@@ -85,16 +116,19 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
   let handle, gs, schedule =
     match model with
     | "basic" ->
-        let t = Dct_sched.Conflict_scheduler.create ~policy ?oracle () in
+        let t =
+          Dct_sched.Conflict_scheduler.create ~policy ?oracle ~tracer ()
+        in
         ( Dct_sched.Conflict_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Conflict_scheduler.graph_state t),
           Gen.basic profile )
     | "certify" ->
-        (Dct_sched.Certifier.handle ?oracle (), None, Gen.basic profile)
+        (Dct_sched.Certifier.handle ?oracle ~tracer (), None, Gen.basic profile)
     | "multiwrite" ->
         let t =
           Dct_sched.Multiwrite_scheduler.create
-            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ?oracle ()
+            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ?oracle
+            ~tracer ()
         in
         ( Dct_sched.Multiwrite_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Multiwrite_scheduler.graph_state t),
@@ -102,7 +136,7 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
     | "predeclared" ->
         let t =
           Dct_sched.Predeclared_scheduler.create ~use_c4_deletion:true ?oracle
-            ()
+            ~tracer ()
         in
         ( Dct_sched.Predeclared_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Predeclared_scheduler.graph_state t),
@@ -133,7 +167,7 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
             Some (fun _n _step _outcome -> incr checked) )
   in
   let r =
-    try Dct_sim.Driver.run ?observe handle schedule with
+    try Dct_sim.Driver.run ?observe ~tracer handle schedule with
     | Dct_analysis.Invariant.Violation { context; violations } ->
         Printf.eprintf "selfcheck FAILED %s:\n" context;
         List.iter
@@ -146,31 +180,78 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
         Printf.eprintf "oracle DISAGREEMENT: %s\n" msg;
         exit 1
   in
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Gen.pp_profile profile);
-  (match oracle with
-  | Some b ->
-      Printf.printf "oracle: %s\n" (Dct_graph.Cycle_oracle.backend_name b)
-  | None -> ());
-  if selfcheck then
-    Printf.printf "selfcheck: invariants validated after each of %d steps\n"
-      !checked;
-  Dct_sim.Report.print_table
-    ~headers:[ "metric"; "value" ]
-    [
-      [ "scheduler"; r.Dct_sim.Driver.name ];
-      [ "steps"; string_of_int r.Dct_sim.Driver.steps ];
-      [ "accepted"; string_of_int r.Dct_sim.Driver.accepted ];
-      [ "rejected"; string_of_int r.Dct_sim.Driver.rejected ];
-      [ "delayed"; string_of_int r.Dct_sim.Driver.delayed ];
-      [ "committed"; string_of_int r.Dct_sim.Driver.final.Si.committed_total ];
-      [ "aborted"; string_of_int r.Dct_sim.Driver.final.Si.aborted_total ];
-      [ "deleted"; string_of_int r.Dct_sim.Driver.final.Si.deleted_total ];
-      [ "peak resident"; string_of_int r.Dct_sim.Driver.peak_resident ];
-      [ "mean resident"; Dct_sim.Report.fmt_float r.Dct_sim.Driver.mean_resident ];
-      [ "final resident"; string_of_int r.Dct_sim.Driver.final.Si.resident_txns ];
-      [ "wall (ms)";
-        Dct_sim.Report.fmt_float (r.Dct_sim.Driver.wall_seconds *. 1000.0) ];
-    ];
+  Option.iter close_out trace_oc;
+  if json then begin
+    (* One JSON object of final statistics; the per-outcome keys reuse
+       the [pp_outcome] spellings so they match Decision events and the
+       ["outcome.<o>"] counters. *)
+    let b = Buffer.create 256 in
+    let first = ref true in
+    let field k v =
+      Buffer.add_string b (if !first then "{" else ",");
+      first := false;
+      Buffer.add_string b (Printf.sprintf "%S:%s" k v)
+    in
+    let str k v = field k (Printf.sprintf "%S" v) in
+    let int_f k v = field k (string_of_int v) in
+    let float_f k v = field k (Printf.sprintf "%.6g" v) in
+    str "scheduler" r.Dct_sim.Driver.name;
+    str "model" model;
+    if model = "basic" then str "policy" (Policy.name policy);
+    int_f "steps" r.Dct_sim.Driver.steps;
+    int_f (Si.outcome_name Si.Accepted) r.Dct_sim.Driver.accepted;
+    int_f (Si.outcome_name Si.Rejected) r.Dct_sim.Driver.rejected;
+    int_f (Si.outcome_name Si.Delayed) r.Dct_sim.Driver.delayed;
+    int_f (Si.outcome_name Si.Ignored) r.Dct_sim.Driver.ignored;
+    int_f "committed" r.Dct_sim.Driver.final.Si.committed_total;
+    int_f "aborted" r.Dct_sim.Driver.final.Si.aborted_total;
+    int_f "deleted" r.Dct_sim.Driver.final.Si.deleted_total;
+    int_f "peak_resident" r.Dct_sim.Driver.peak_resident;
+    int_f "peak_arcs" r.Dct_sim.Driver.peak_arcs;
+    float_f "mean_resident" r.Dct_sim.Driver.mean_resident;
+    int_f "final_resident" r.Dct_sim.Driver.final.Si.resident_txns;
+    float_f "wall_ms" (r.Dct_sim.Driver.wall_seconds *. 1000.0);
+    Option.iter
+      (fun m -> field "metrics" (Dct_telemetry.Metrics.to_json m))
+      registry;
+    Buffer.add_char b '}';
+    print_endline (Buffer.contents b)
+  end
+  else begin
+    Printf.printf "workload: %s\n"
+      (Format.asprintf "%a" Gen.pp_profile profile);
+    (match oracle with
+    | Some b ->
+        Printf.printf "oracle: %s\n" (Dct_graph.Cycle_oracle.backend_name b)
+    | None -> ());
+    if selfcheck then
+      Printf.printf "selfcheck: invariants validated after each of %d steps\n"
+        !checked;
+    Dct_sim.Report.print_table
+      ~headers:[ "metric"; "value" ]
+      [
+        [ "scheduler"; r.Dct_sim.Driver.name ];
+        [ "steps"; string_of_int r.Dct_sim.Driver.steps ];
+        [ "accepted"; string_of_int r.Dct_sim.Driver.accepted ];
+        [ "rejected"; string_of_int r.Dct_sim.Driver.rejected ];
+        [ "delayed"; string_of_int r.Dct_sim.Driver.delayed ];
+        [ "committed"; string_of_int r.Dct_sim.Driver.final.Si.committed_total ];
+        [ "aborted"; string_of_int r.Dct_sim.Driver.final.Si.aborted_total ];
+        [ "deleted"; string_of_int r.Dct_sim.Driver.final.Si.deleted_total ];
+        [ "peak resident"; string_of_int r.Dct_sim.Driver.peak_resident ];
+        [ "mean resident";
+          Dct_sim.Report.fmt_float r.Dct_sim.Driver.mean_resident ];
+        [ "final resident";
+          string_of_int r.Dct_sim.Driver.final.Si.resident_txns ];
+        [ "wall (ms)";
+          Dct_sim.Report.fmt_float (r.Dct_sim.Driver.wall_seconds *. 1000.0) ];
+      ];
+    Option.iter
+      (fun m ->
+        print_newline ();
+        print_string (Dct_telemetry.Metrics.render m))
+      registry
+  end;
   0
 
 let simulate_cmd =
@@ -180,8 +261,8 @@ let simulate_cmd =
       & opt string "basic"
       & info [ "m"; "model" ] ~docv:"MODEL"
           ~doc:
-            "Scheduler: basic | certify | multiwrite | predeclared | mvto | \
-             2pl | timestamp.")
+            "Scheduler: basic (alias: conflict) | certify | multiwrite | \
+             predeclared | mvto | 2pl | timestamp.")
   in
   let txns =
     Arg.(value & opt int 200 & info [ "n"; "txns" ] ~doc:"Transactions to run.")
@@ -211,11 +292,249 @@ let simulate_cmd =
              mirrors, closure agreement, no resurrected transactions) \
              after every step; exit 1 on the first violation.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record one JSONL telemetry event per scheduler decision \
+             (steps, outcomes, deletions, oracle queries, residency \
+             checkpoints) to $(docv); summarize with $(b,dct trace).  \
+             Graph models only.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect the metrics registry (outcome counters, deletion \
+             success/denial counters, residency gauges with high-water \
+             marks, oracle latency histograms) and print it after the \
+             run.  Graph models only.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the final statistics as a single machine-parsable \
+             JSON object instead of the table (with --metrics the \
+             registry is embedded under \"metrics\").")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a synthetic workload through a scheduler")
     Term.(
       const simulate $ model $ policy_arg $ txns $ entities $ mpl $ skew $ seed
-      $ long_readers $ selfcheck $ oracle_arg)
+      $ long_readers $ selfcheck $ oracle_arg $ trace_arg $ metrics_arg
+      $ json_arg)
+
+(* --- trace --- *)
+
+let trace_report path audit_on safety_depth =
+  let module E = Dct_telemetry.Event in
+  match Dct_telemetry.Sink.read_file path with
+  | Error e ->
+      Printf.eprintf "dct: trace: %s\n" e;
+      2
+  | Ok events ->
+      let bump tbl key n =
+        Hashtbl.replace tbl key
+          (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      in
+      let sorted tbl =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      in
+      let outcomes = Hashtbl.create 8 in
+      let reasons = Hashtbl.create 8 in
+      (* policy -> (candidates examined, deleted, blocked) *)
+      let deletions = Hashtbl.create 8 in
+      let denials = Hashtbl.create 8 in
+      let oracle = Hashtbl.create 8 in
+      let checkpoints = ref [] in
+      let steps = ref 0 and cycles = ref 0 and restarts = ref 0 in
+      let del_bump policy f =
+        let c, d, b =
+          Option.value ~default:(0, 0, 0) (Hashtbl.find_opt deletions policy)
+        in
+        Hashtbl.replace deletions policy (f (c, d, b))
+      in
+      List.iter
+        (function
+          | E.Step_submitted _ -> incr steps
+          | E.Decision { outcome; reason; _ } ->
+              bump outcomes outcome 1;
+              if reason <> "" then bump reasons (outcome, reason) 1
+          | E.Deletion_attempted { policy; candidates } ->
+              del_bump policy (fun (c, d, b) ->
+                  (c + List.length candidates, d, b))
+          | E.Deletion_ok { policy; deleted } ->
+              del_bump policy (fun (c, d, b) -> (c, d + List.length deleted, b))
+          | E.Deletion_blocked { policy; condition; _ } ->
+              del_bump policy (fun (c, d, b) -> (c, d, b + 1));
+              bump denials (policy, condition) 1
+          | E.Oracle_query { op; backend; ns } ->
+              let key = (backend, op) in
+              let cell =
+                match Hashtbl.find_opt oracle key with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add oracle key r;
+                    r
+              in
+              cell := ns :: !cell
+          | E.Cycle_rejected _ -> incr cycles
+          | E.Restart _ -> incr restarts
+          | E.Checkpoint_stats s -> checkpoints := s :: !checkpoints)
+        events;
+      let checkpoints = List.rev !checkpoints in
+      Printf.printf "trace: %s (%d events, %d steps)\n" path
+        (List.length events) !steps;
+      if Hashtbl.length outcomes > 0 then begin
+        print_newline ();
+        Dct_sim.Report.print_table ~headers:[ "outcome"; "count" ]
+          (List.map
+             (fun (k, v) -> [ k; string_of_int v ])
+             (sorted outcomes))
+      end;
+      if Hashtbl.length reasons > 0 then begin
+        print_newline ();
+        Dct_sim.Report.print_table
+          ~headers:[ "outcome"; "reason"; "count" ]
+          (List.map
+             (fun ((o, r), v) -> [ o; r; string_of_int v ])
+             (sorted reasons))
+      end;
+      if !cycles > 0 then
+        Printf.printf "cycle rejections (with witness): %d\n" !cycles;
+      if !restarts > 0 then Printf.printf "restarts scheduled: %d\n" !restarts;
+      if Hashtbl.length deletions > 0 then begin
+        print_newline ();
+        Dct_sim.Report.print_table
+          ~headers:[ "policy"; "candidates"; "deleted"; "blocked" ]
+          (List.map
+             (fun (p, (c, d, b)) ->
+               [ p; string_of_int c; string_of_int d; string_of_int b ])
+             (sorted deletions));
+        if Hashtbl.length denials > 0 then begin
+          print_newline ();
+          Dct_sim.Report.print_table
+            ~headers:[ "policy"; "blocking condition"; "denials" ]
+            (List.map
+               (fun ((p, c), v) -> [ p; c; string_of_int v ])
+               (sorted denials))
+        end
+      end;
+      (match checkpoints with
+      | [] -> ()
+      | cps ->
+          print_newline ();
+          let n = List.length cps in
+          let hwm =
+            List.fold_left (fun m c -> max m c.E.resident_txns) 0 cps
+          in
+          Printf.printf
+            "residency: %d checkpoints, high-water mark %d resident txns\n" n
+            hwm;
+          (* Cap the timeline at ~20 evenly spaced rows, always keeping
+             the last checkpoint (the post-drain state). *)
+          let stride = (n + 19) / 20 in
+          let rows =
+            List.filteri
+              (fun i _ -> i mod stride = 0 || i = n - 1)
+              cps
+          in
+          if List.length rows < n then
+            Printf.printf "(timeline sampled every %d checkpoints)\n" stride;
+          Dct_sim.Report.print_table
+            ~headers:
+              [ "step"; "resident"; "arcs"; "active"; "committed"; "aborted";
+                "deleted" ]
+            (List.map
+               (fun c ->
+                 [
+                   string_of_int c.E.at_step;
+                   string_of_int c.E.resident_txns;
+                   string_of_int c.E.resident_arcs;
+                   string_of_int c.E.active_txns;
+                   string_of_int c.E.committed;
+                   string_of_int c.E.aborted;
+                   string_of_int c.E.deleted;
+                 ])
+               rows));
+      if Hashtbl.length oracle > 0 then begin
+        print_newline ();
+        let pct p xs = Dct_sim.Metrics.percentile p xs in
+        Dct_sim.Report.print_table
+          ~headers:
+            [ "backend"; "op"; "queries"; "p50 ns"; "p90 ns"; "p99 ns";
+              "max ns" ]
+          (List.map
+             (fun ((bk, op), cell) ->
+               let xs = !cell in
+               [
+                 bk; op;
+                 string_of_int (List.length xs);
+                 Printf.sprintf "%.0f" (pct 50.0 xs);
+                 Printf.sprintf "%.0f" (pct 90.0 xs);
+                 Printf.sprintf "%.0f" (pct 99.0 xs);
+                 Printf.sprintf "%.0f" (pct 100.0 xs);
+               ])
+             (List.sort compare
+                (Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle [])))
+      end;
+      if not audit_on then 0
+      else begin
+        let module A = Dct_analysis.Audit in
+        print_newline ();
+        match A.of_telemetry events with
+        | Error e ->
+            Printf.eprintf "dct: trace: --audit: %s\n" e;
+            2
+        | Ok tr ->
+            let report = A.audit ?safety_depth tr in
+            Format.printf "%a@." (fun ppf r -> A.pp_report ppf r) report;
+            if A.ok report then 0 else 1
+      end
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL telemetry file written by $(b,dct simulate --trace).")
+  in
+  let audit_on =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Rebuild the decision trace from the telemetry events and \
+             cross-check it with the deletion auditor (basic-model \
+             traces only; exit 1 on the first unjustified decision).")
+  in
+  let safety_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "safety-depth" ] ~docv:"D"
+          ~doc:
+            "With --audit, also consult the bounded ground-truth safety \
+             search for deletions failing both condition checks.  \
+             Expensive; keep at most 3.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Summarize a telemetry trace: per-outcome decision counts, \
+          rejection reasons, deletion successes and denial reasons per \
+          policy, residency timeline with high-water mark, and oracle \
+          latency percentiles per backend and operation.  Exits 0 on a \
+          clean summary, 1 on an --audit finding, 2 on unreadable or \
+          malformed input.")
+    Term.(const trace_report $ file $ audit_on $ safety_depth)
 
 (* --- lint --- *)
 
@@ -605,8 +924,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "dct" ~version:"1.0.0" ~doc)
     [
-      simulate_cmd; lint_cmd; audit_cmd; check_cmd; dot_cmd; experiments_cmd;
-      reduce_cover_cmd; reduce_sat_cmd; demo_cmd;
+      simulate_cmd; trace_cmd; lint_cmd; audit_cmd; check_cmd; dot_cmd;
+      experiments_cmd; reduce_cover_cmd; reduce_sat_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

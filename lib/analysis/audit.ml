@@ -42,6 +42,61 @@ let record ?(policy = Policy.No_deletion) ?oracle schedule =
     schedule;
   List.rev !events
 
+(* Rebuild an auditable trace from raw telemetry events (dct trace
+   --audit).  Steps and decisions are paired by the scheduler's step
+   index.  The scheduler runs its deletion policy {e inside} [step], so
+   [Deletion_ok] appears in the stream between [Step_submitted i] and
+   [Decision i]; such deletions are held back and replayed {e after}
+   that step's decision (the state the policy actually saw).  Deletions
+   with no following decision (drain time) trail the last step.  Only
+   basic-model runs can be audited: a "delayed" decision (blocking
+   schedulers) has no Rules.apply counterpart and is reported as an
+   error. *)
+let of_telemetry events =
+  let module E = Dct_telemetry.Event in
+  let decision_of_string = function
+    | "accepted" -> Ok Accepted
+    | "rejected" -> Ok Rejected
+    | "ignored" -> Ok Ignored
+    | "delayed" ->
+        Error "\"delayed\" decisions (blocking schedulers) cannot be audited"
+    | other -> Error (Printf.sprintf "unknown outcome %S" other)
+  in
+  let steps_tbl = Hashtbl.create 64 in
+  let flush pending index acc =
+    List.fold_left
+      (fun acc deleted -> Deletion { index; deleted } :: acc)
+      acc (List.rev pending)
+  in
+  let rec go acc pending last_index = function
+    | [] -> Ok (List.rev (flush pending last_index acc))
+    | E.Step_submitted { index; step } :: rest -> (
+        match Step.of_telemetry step with
+        | Ok s ->
+            Hashtbl.replace steps_tbl index s;
+            go acc pending last_index rest
+        | Error e -> Error (Printf.sprintf "step %d: %s" index e))
+    | E.Decision { index; outcome; _ } :: rest -> (
+        match Hashtbl.find_opt steps_tbl index with
+        | None ->
+            Error
+              (Printf.sprintf "decision at index %d has no submitted step"
+                 index)
+        | Some step -> (
+            match decision_of_string outcome with
+            | Ok decision ->
+                let acc = Decision { index; step; decision } :: acc in
+                go (flush pending index acc) [] index rest
+            | Error e -> Error (Printf.sprintf "decision at index %d: %s" index e)))
+    | E.Deletion_ok { deleted; _ } :: rest ->
+        go acc (Intset.of_list deleted :: pending) last_index rest
+    | ( E.Deletion_attempted _ | E.Deletion_blocked _ | E.Oracle_query _
+      | E.Cycle_rejected _ | E.Restart _ | E.Checkpoint_stats _ )
+      :: rest ->
+        go acc pending last_index rest
+  in
+  go [] [] (-1) events
+
 type finding =
   | Malformed_step of { index : int; step : Step.t; error : string }
   | Decision_mismatch of {

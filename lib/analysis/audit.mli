@@ -48,6 +48,17 @@ val record :
     identical traces).
     @raise Invalid_argument on malformed schedules — lint first. *)
 
+val of_telemetry : Dct_telemetry.Event.t list -> (trace, string) result
+(** Rebuild an auditable trace from a telemetry event stream
+    ([dct trace --audit]): [Step_submitted]/[Decision] pairs (matched by
+    step index) become {!Decision} events, [Deletion_ok] becomes a
+    {!Deletion} anchored {e after} the decision of the step whose
+    processing produced it (the policy runs inside the scheduler's
+    [step], so its events precede that step's [Decision] in the
+    stream); all other events are skipped.  Fails on a decision without
+    its step, an unknown outcome, or a ["delayed"] decision — blocking
+    schedulers cannot be replayed through the basic-model rules. *)
+
 type finding =
   | Malformed_step of { index : int; step : Dct_txn.Step.t; error : string }
   | Decision_mismatch of {

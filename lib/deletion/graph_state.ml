@@ -3,6 +3,8 @@ module Digraph = Dct_graph.Digraph
 module Traversal = Dct_graph.Traversal
 module Access = Dct_txn.Access
 module Transaction = Dct_txn.Transaction
+module Tracer = Dct_telemetry.Tracer
+module Probe = Dct_telemetry.Probe
 
 (* Per-entity access bookkeeping.
 
@@ -34,14 +36,18 @@ type t = {
       (* ids forgotten by the reduction D(G,T) — kept so auditors can
          assert a deleted transaction never reappears in the graph *)
   mutable seq : int;
+  mutable tracer : Tracer.t;
+      (* run-wide tracing handle; [Tracer.disabled] (the default) makes
+         every emission a no-op *)
 }
 
-let create ?(with_closure = false) ?oracle () =
+let create ?(with_closure = false) ?oracle ?(tracer = Tracer.disabled) () =
+  let probe = Tracer.probe tracer in
   let oracle =
     match (oracle, with_closure) with
-    | Some backend, _ -> Some (Dct_graph.Cycle_oracle.create backend)
+    | Some backend, _ -> Some (Dct_graph.Cycle_oracle.create ?probe backend)
     | None, true ->
-        Some (Dct_graph.Cycle_oracle.create Dct_graph.Cycle_oracle.Closure)
+        Some (Dct_graph.Cycle_oracle.create ?probe Dct_graph.Cycle_oracle.Closure)
     | None, false -> None
   in
   {
@@ -54,7 +60,16 @@ let create ?(with_closure = false) ?oracle () =
     aborted = Hashtbl.create 16;
     deleted = Hashtbl.create 16;
     seq = 0;
+    tracer;
   }
+
+let tracer t = t.tracer
+
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  Option.iter
+    (fun o -> Dct_graph.Cycle_oracle.set_probe o (Tracer.probe tracer))
+    t.oracle
 
 let copy t =
   let txns = Hashtbl.create (Hashtbl.length t.txns) in
@@ -80,6 +95,9 @@ let copy t =
     t.einfos;
   {
     g = Digraph.copy t.g;
+    (* Cycle_oracle.copy drops the probe; pairing that with a disabled
+       tracer keeps speculative replays (safety searches, audits,
+       exact-max enumeration) out of the live trace. *)
     oracle = Option.map Dct_graph.Cycle_oracle.copy t.oracle;
     txns;
     einfos;
@@ -88,6 +106,7 @@ let copy t =
     aborted = Hashtbl.copy t.aborted;
     deleted = Hashtbl.copy t.deleted;
     seq = t.seq;
+    tracer = Tracer.disabled;
   }
 
 (* Transactions *)
@@ -219,7 +238,10 @@ let add_arc t ~src ~dst =
 let reaches t ~src ~dst =
   match t.oracle with
   | Some o -> Dct_graph.Cycle_oracle.reaches o ~src ~dst
-  | None -> Traversal.has_path t.g ~src ~dst
+  | None ->
+      (* oracle-less fallback still reports latency, as backend "dfs" *)
+      Probe.obs (Tracer.probe t.tracer) ~op:"reaches" ~backend:"dfs" (fun () ->
+          Traversal.has_path t.g ~src ~dst)
 
 let reaches_any t ~src ~dsts =
   (not (Intset.is_empty dsts))
@@ -227,8 +249,10 @@ let reaches_any t ~src ~dsts =
   match t.oracle with
   | Some o -> Dct_graph.Cycle_oracle.reaches_any o ~src ~dsts
   | None ->
-      let desc = Traversal.reachable t.g `Fwd src in
-      not (Intset.is_empty (Intset.inter desc dsts))
+      Probe.obs (Tracer.probe t.tracer) ~op:"reaches_any" ~backend:"dfs"
+        (fun () ->
+          let desc = Traversal.reachable t.g `Fwd src in
+          not (Intset.is_empty (Intset.inter desc dsts)))
 
 let would_cycle t ~into ~sources =
   (not (Intset.is_empty sources))

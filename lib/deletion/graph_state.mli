@@ -15,7 +15,11 @@
 type t
 
 val create :
-  ?with_closure:bool -> ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> t
+  ?with_closure:bool ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
+  unit ->
+  t
 (** Without either option, cycle checks fall back to a DFS on the plain
     graph.  [oracle] selects a maintained cycle-detection backend:
     [Closure] (the §3 remark — reachability-row probes, safe deletion is
@@ -27,11 +31,22 @@ val create :
     spelling of [~oracle:Closure] and is kept for compatibility; when
     both are given, [oracle] wins.  All backends are
     decision-equivalent, so the choice is a cost profile, not a
-    semantics (benchmarked in the oracle sweep). *)
+    semantics (benchmarked in the oracle sweep).  [tracer] (default
+    {!Dct_telemetry.Tracer.disabled}) is the run-wide telemetry handle:
+    its probe times every oracle query (backend ["dfs"] on the
+    fallback), and the rules/policies emit decision and deletion events
+    through it. *)
 
 val copy : t -> t
 (** Deep copy — used by the test oracles that replay continuations on
-    both the reduced and the unreduced state. *)
+    both the reduced and the unreduced state.  The copy's tracer is
+    {e disabled} and its oracle carries no probe: speculative replays
+    never appear in the live trace. *)
+
+val tracer : t -> Dct_telemetry.Tracer.t
+
+val set_tracer : t -> Dct_telemetry.Tracer.t -> unit
+(** Swap the tracing handle; also re-points the oracle's timing probe. *)
 
 (** {1 Transactions} *)
 

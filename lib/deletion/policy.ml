@@ -1,4 +1,6 @@
 module Intset = Dct_graph.Intset
+module Tracer = Dct_telemetry.Tracer
+module Event = Dct_telemetry.Event
 
 type t =
   | No_deletion
@@ -22,7 +24,7 @@ let delete_all gs set =
   Reduced_graph.delete_set gs set;
   set
 
-let rec run policy gs =
+let rec run_raw policy gs =
   match policy with
   | No_deletion -> Intset.empty
   | Unsafe_commit_time -> delete_all gs (Graph_state.completed_txns gs)
@@ -49,7 +51,66 @@ let rec run policy gs =
       in
       delete_all gs (Max_deletion.exact_weighted ~weight gs)
   | Budget (limit, inner) ->
-      if Graph_state.txn_count gs > limit then run inner gs else Intset.empty
+      if Graph_state.txn_count gs > limit then run_raw inner gs
+      else Intset.empty
+
+(* Which condition stops a surviving candidate from being deleted under
+   this policy — the "reason" attached to Deletion_blocked events.
+   Evaluated before the run (Budget's threshold looks at the resident
+   count the policy saw). *)
+let rec blocking_condition gs = function
+  | No_deletion | Unsafe_commit_time -> None
+  | Noncurrent -> Some "noncurrent"
+  | Greedy_c1 -> Some "c1"
+  | Exact_max | Exact_max_weighted -> Some "c2-max"
+  | Budget (limit, inner) ->
+      if Graph_state.txn_count gs > limit then blocking_condition gs inner
+      else Some "budget"
+
+let run policy gs =
+  let tracer = Graph_state.tracer gs in
+  if (not (Tracer.active tracer)) && Tracer.metrics tracer = None then
+    run_raw policy gs
+  else if policy = No_deletion then run_raw policy gs
+  else begin
+    let pname = name policy in
+    let candidates = Graph_state.completed_txns gs in
+    let condition = blocking_condition gs policy in
+    if not (Intset.is_empty candidates) then begin
+      Tracer.event tracer (fun () ->
+          Event.Deletion_attempted
+            { policy = pname; candidates = Intset.to_sorted_list candidates });
+      Tracer.incr
+        ~by:(Intset.cardinal candidates)
+        tracer
+        (Printf.sprintf "deletion.%s.attempted" pname)
+    end;
+    let deleted = run_raw policy gs in
+    if not (Intset.is_empty deleted) then begin
+      Tracer.event tracer (fun () ->
+          Event.Deletion_ok
+            { policy = pname; deleted = Intset.to_sorted_list deleted });
+      Tracer.incr
+        ~by:(Intset.cardinal deleted)
+        tracer
+        (Printf.sprintf "deletion.%s.deleted" pname)
+    end;
+    (* Candidates that survived the run were examined and refused. *)
+    let blocked = Intset.inter candidates (Graph_state.completed_txns gs) in
+    (match condition with
+    | Some condition when not (Intset.is_empty blocked) ->
+        Tracer.incr
+          ~by:(Intset.cardinal blocked)
+          tracer
+          (Printf.sprintf "deletion.%s.blocked" pname);
+        Intset.iter
+          (fun ti ->
+            Tracer.event tracer (fun () ->
+                Event.Deletion_blocked { policy = pname; txn = ti; condition }))
+          blocked
+    | Some _ | None -> ());
+    deleted
+  end
 
 let all_correct =
   [ No_deletion; Noncurrent; Greedy_c1; Exact_max; Budget (32, Greedy_c1) ]
@@ -65,8 +126,8 @@ let rec of_string s =
   | "none" -> Ok No_deletion
   | "commit" | "commit-time(unsafe)" -> Ok Unsafe_commit_time
   | "noncurrent" -> Ok Noncurrent
-  | "greedy" | "greedy-c1" -> Ok Greedy_c1
-  | "exact" | "exact-max" -> Ok Exact_max
+  | "greedy" | "greedy-c1" | "c1" -> Ok Greedy_c1
+  | "exact" | "exact-max" | "c2" -> Ok Exact_max
   | "exact-weighted" | "exact-max-weighted" -> Ok Exact_max_weighted
   | s when has_prefix ~prefix:"budget:" s -> (
       let rest = String.sub s 7 (String.length s - 7) in

@@ -36,7 +36,12 @@ val name : t -> string
 
 val run : t -> Graph_state.t -> Dct_graph.Intset.t
 (** Apply the policy once (after a step), mutating the state; returns
-    the set of deleted transactions. *)
+    the set of deleted transactions.  When the state carries an active
+    tracer, the run emits [Deletion_attempted] (the completed
+    candidates), [Deletion_ok] and per-candidate [Deletion_blocked]
+    events (condition [c1], [c2-max], [noncurrent] or [budget]), and
+    feeds the ["deletion.<policy>.{attempted,deleted,blocked}"]
+    counters.  Telemetry never changes what is deleted. *)
 
 val all_correct : t list
 (** The correct policies, for sweeps. *)
@@ -45,4 +50,6 @@ val of_string : string -> (t, string) result
 (** Parse ["none" | "commit" | "noncurrent" | "greedy" | "exact" |
     "exact-weighted" | "budget:<n>:<inner>"] — CLI support.  The
     canonical {!name} spellings are accepted too, so
-    [of_string (name p) = Ok p] for every policy (property-tested). *)
+    [of_string (name p) = Ok p] for every policy (property-tested).
+    ["c1"] and ["c2"] are condition-named aliases for [greedy] and
+    [exact]. *)

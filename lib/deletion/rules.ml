@@ -1,7 +1,9 @@
 module Intset = Dct_graph.Intset
+module Traversal = Dct_graph.Traversal
 module Access = Dct_txn.Access
 module Step = Dct_txn.Step
 module Transaction = Dct_txn.Transaction
+module Tracer = Dct_telemetry.Tracer
 
 type outcome = Accepted | Rejected | Ignored
 
@@ -34,6 +36,34 @@ let check_active gs t =
   if not (Graph_state.is_active gs t) then
     malformed "Rules.apply: step of completed transaction T%d" t
 
+(* A path [into ⇝ s] for some arc source [s] — proof that adding
+   [s -> into] closes a cycle.  Computed with a plain DFS on the graph
+   (never through the oracle) so tracing adds no oracle queries and a
+   traced run's probe record matches the untraced run's exactly. *)
+let cycle_witness gs ~into ~sources =
+  if Intset.mem into sources then [ into ]
+  else
+    let g = Graph_state.graph gs in
+    match
+      Intset.fold
+        (fun s acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> Traversal.find_path g ~src:into ~dst:s)
+        sources None
+    with
+    | Some path -> path
+    | None -> []
+
+let trace_rejection gs t ~sources =
+  let tracer = Graph_state.tracer gs in
+  if Tracer.active tracer then begin
+    let witness = cycle_witness gs ~into:t ~sources in
+    Tracer.event tracer (fun () ->
+        Dct_telemetry.Event.Cycle_rejected { txn = t; witness })
+  end;
+  Tracer.incr tracer "rules.cycle_rejected"
+
 let apply gs step =
   let t = Step.txn step in
   if Graph_state.was_aborted gs t then Ignored
@@ -50,6 +80,7 @@ let apply gs step =
         check_active gs t;
         let sources = read_sources gs t x in
         if Graph_state.would_cycle gs ~into:t ~sources then begin
+          trace_rejection gs t ~sources;
           Graph_state.abort_txn gs t;
           Rejected
         end
@@ -62,6 +93,7 @@ let apply gs step =
         check_active gs t;
         let sources = write_sources gs t xs in
         if Graph_state.would_cycle gs ~into:t ~sources then begin
+          trace_rejection gs t ~sources;
           Graph_state.abort_txn gs t;
           Rejected
         end

@@ -1,3 +1,5 @@
+module Probe = Dct_telemetry.Probe
+
 module type S = sig
   type t
 
@@ -65,28 +67,44 @@ let () =
 
 let disagree fmt = Printf.ksprintf (fun m -> raise (Disagreement m)) fmt
 
-type t =
-  | Closure_o of Closure.t
-  | Topo_o of Topo_order.t
-  | Checked_o of Closure.t * Topo_order.t
+type imp =
+  | Closure_i of Closure.t
+  | Topo_i of Topo_order.t
+  | Checked_i of Closure.t * Topo_order.t
 
-let create = function
-  | Closure -> Closure_o (Closure_backend.create ())
-  | Topo -> Topo_o (Topo_backend.create ())
-  | Checked -> Checked_o (Closure_backend.create (), Topo_backend.create ())
+type t = { imp : imp; mutable probe : Probe.t option }
 
-let backend = function
-  | Closure_o _ -> Closure
-  | Topo_o _ -> Topo
-  | Checked_o _ -> Checked
+let create ?probe backend =
+  let imp =
+    match backend with
+    | Closure -> Closure_i (Closure_backend.create ())
+    | Topo -> Topo_i (Topo_backend.create ())
+    | Checked -> Checked_i (Closure_backend.create (), Topo_backend.create ())
+  in
+  { imp; probe }
+
+let backend t =
+  match t.imp with
+  | Closure_i _ -> Closure
+  | Topo_i _ -> Topo
+  | Checked_i _ -> Checked
 
 let name t = backend_name (backend t)
+let set_probe t probe = t.probe <- probe
+let probe t = t.probe
 
-let copy = function
-  | Closure_o c -> Closure_o (Closure_backend.copy c)
-  | Topo_o o -> Topo_o (Topo_backend.copy o)
-  | Checked_o (c, o) ->
-      Checked_o (Closure_backend.copy c, Topo_backend.copy o)
+(* Copies are overwhelmingly speculative (safety searches, audits, the
+   exact-max policy enumeration) — they drop the probe so replayed work
+   never pollutes the latency record of the live oracle. *)
+let copy t =
+  let imp =
+    match t.imp with
+    | Closure_i c -> Closure_i (Closure_backend.copy c)
+    | Topo_i o -> Topo_i (Topo_backend.copy o)
+    | Checked_i (c, o) ->
+        Checked_i (Closure_backend.copy c, Topo_backend.copy o)
+  in
+  { imp; probe = None }
 
 (* [Checked] compares every boolean answer; [agree] is the single
    funnel so each divergence names the operation and both verdicts. *)
@@ -94,28 +112,38 @@ let agree op a b =
   if a <> b then disagree "%s: closure says %b, topo says %b" op a b;
   a
 
+(* Each timed primitive emits exactly one sample per underlying
+   backend: "closure" or "topo" under the single backends, one of each
+   under [Checked] — so per op, a checked run's sample count per
+   backend matches the corresponding single-backend run over the same
+   operation sequence.  [Checked]'s own cross-check overhead (the
+   pre-insert agreement probes in [add_arc]) is deliberately not
+   attributed: it measures the harness, not the backend. *)
+let obs t ~op ~bk f = Probe.obs t.probe ~op ~backend:bk f
+
 let add_node t v =
-  match t with
-  | Closure_o c -> Closure_backend.add_node c v
-  | Topo_o o -> Topo_backend.add_node o v
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c -> Closure_backend.add_node c v
+  | Topo_i o -> Topo_backend.add_node o v
+  | Checked_i (c, o) ->
       Closure_backend.add_node c v;
       Topo_backend.add_node o v
 
 let mem_node t v =
-  match t with
-  | Closure_o c -> Closure_backend.mem_node c v
-  | Topo_o o -> Topo_backend.mem_node o v
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c -> Closure_backend.mem_node c v
+  | Topo_i o -> Topo_backend.mem_node o v
+  | Checked_i (c, o) ->
       agree
         (Printf.sprintf "mem_node %d" v)
         (Closure_backend.mem_node c v)
         (Topo_backend.mem_node o v)
 
-let nodes = function
-  | Closure_o c -> Closure_backend.nodes c
-  | Topo_o o -> Topo_backend.nodes o
-  | Checked_o (c, o) ->
+let nodes t =
+  match t.imp with
+  | Closure_i c -> Closure_backend.nodes c
+  | Topo_i o -> Topo_backend.nodes o
+  | Checked_i (c, o) ->
       let nc = Closure_backend.nodes c and no = Topo_backend.nodes o in
       if not (Intset.equal nc no) then
         disagree "nodes: closure has %s, topo has %s"
@@ -124,10 +152,14 @@ let nodes = function
       nc
 
 let add_arc t ~src ~dst =
-  match t with
-  | Closure_o c -> Closure_backend.add_arc c ~src ~dst
-  | Topo_o o -> Topo_backend.add_arc o ~src ~dst
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c ->
+      obs t ~op:"add_arc" ~bk:"closure" (fun () ->
+          Closure_backend.add_arc c ~src ~dst)
+  | Topo_i o ->
+      obs t ~op:"add_arc" ~bk:"topo" (fun () ->
+          Topo_backend.add_arc o ~src ~dst)
+  | Checked_i (c, o) ->
       let safe =
         not
           (agree
@@ -139,46 +171,72 @@ let add_arc t ~src ~dst =
         disagree "add_arc %d -> %d: both backends report a cycle-closing arc \
                   (caller broke the pre-condition)"
           src dst;
-      Closure_backend.add_arc c ~src ~dst;
-      Topo_backend.add_arc o ~src ~dst
+      obs t ~op:"add_arc" ~bk:"closure" (fun () ->
+          Closure_backend.add_arc c ~src ~dst);
+      obs t ~op:"add_arc" ~bk:"topo" (fun () ->
+          Topo_backend.add_arc o ~src ~dst)
 
 let remove_node t mode v =
-  match t with
-  | Closure_o c -> Closure_backend.remove_node c mode v
-  | Topo_o o -> Topo_backend.remove_node o mode v
-  | Checked_o (c, o) ->
-      Closure_backend.remove_node c mode v;
-      Topo_backend.remove_node o mode v
+  match t.imp with
+  | Closure_i c ->
+      obs t ~op:"remove_node" ~bk:"closure" (fun () ->
+          Closure_backend.remove_node c mode v)
+  | Topo_i o ->
+      obs t ~op:"remove_node" ~bk:"topo" (fun () ->
+          Topo_backend.remove_node o mode v)
+  | Checked_i (c, o) ->
+      obs t ~op:"remove_node" ~bk:"closure" (fun () ->
+          Closure_backend.remove_node c mode v);
+      obs t ~op:"remove_node" ~bk:"topo" (fun () ->
+          Topo_backend.remove_node o mode v)
 
 let reaches t ~src ~dst =
-  match t with
-  | Closure_o c -> Closure_backend.reaches c ~src ~dst
-  | Topo_o o -> Topo_backend.reaches o ~src ~dst
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c ->
+      obs t ~op:"reaches" ~bk:"closure" (fun () ->
+          Closure_backend.reaches c ~src ~dst)
+  | Topo_i o ->
+      obs t ~op:"reaches" ~bk:"topo" (fun () ->
+          Topo_backend.reaches o ~src ~dst)
+  | Checked_i (c, o) ->
       agree
         (Printf.sprintf "reaches %d -> %d" src dst)
-        (Closure_backend.reaches c ~src ~dst)
-        (Topo_backend.reaches o ~src ~dst)
+        (obs t ~op:"reaches" ~bk:"closure" (fun () ->
+             Closure_backend.reaches c ~src ~dst))
+        (obs t ~op:"reaches" ~bk:"topo" (fun () ->
+             Topo_backend.reaches o ~src ~dst))
 
 let reaches_any t ~src ~dsts =
-  match t with
-  | Closure_o c -> Closure_backend.reaches_any c ~src ~dsts
-  | Topo_o o -> Topo_backend.reaches_any o ~src ~dsts
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c ->
+      obs t ~op:"reaches_any" ~bk:"closure" (fun () ->
+          Closure_backend.reaches_any c ~src ~dsts)
+  | Topo_i o ->
+      obs t ~op:"reaches_any" ~bk:"topo" (fun () ->
+          Topo_backend.reaches_any o ~src ~dsts)
+  | Checked_i (c, o) ->
       agree
         (Format.asprintf "reaches_any %d -> %a" src Intset.pp dsts)
-        (Closure_backend.reaches_any c ~src ~dsts)
-        (Topo_backend.reaches_any o ~src ~dsts)
+        (obs t ~op:"reaches_any" ~bk:"closure" (fun () ->
+             Closure_backend.reaches_any c ~src ~dsts))
+        (obs t ~op:"reaches_any" ~bk:"topo" (fun () ->
+             Topo_backend.reaches_any o ~src ~dsts))
 
 let would_cycle t ~src ~dst =
-  match t with
-  | Closure_o c -> Closure_backend.would_cycle c ~src ~dst
-  | Topo_o o -> Topo_backend.would_cycle o ~src ~dst
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c ->
+      obs t ~op:"would_cycle" ~bk:"closure" (fun () ->
+          Closure_backend.would_cycle c ~src ~dst)
+  | Topo_i o ->
+      obs t ~op:"would_cycle" ~bk:"topo" (fun () ->
+          Topo_backend.would_cycle o ~src ~dst)
+  | Checked_i (c, o) ->
       agree
         (Printf.sprintf "would_cycle %d -> %d" src dst)
-        (Closure_backend.would_cycle c ~src ~dst)
-        (Topo_backend.would_cycle o ~src ~dst)
+        (obs t ~op:"would_cycle" ~bk:"closure" (fun () ->
+             Closure_backend.would_cycle c ~src ~dst))
+        (obs t ~op:"would_cycle" ~bk:"topo" (fun () ->
+             Topo_backend.would_cycle o ~src ~dst))
 
 (* A witness must be a genuine path [dst ⇝ src] over the arcs the
    backend itself maintains. *)
@@ -197,10 +255,10 @@ let witness_is_path g ~src ~dst = function
       arcs path
 
 let cycle_witness t ~src ~dst =
-  match t with
-  | Closure_o c -> Closure_backend.cycle_witness c ~src ~dst
-  | Topo_o o -> Topo_backend.cycle_witness o ~src ~dst
-  | Checked_o (c, o) -> (
+  match t.imp with
+  | Closure_i c -> Closure_backend.cycle_witness c ~src ~dst
+  | Topo_i o -> Topo_backend.cycle_witness o ~src ~dst
+  | Checked_i (c, o) -> (
       let wc = Closure_backend.cycle_witness c ~src ~dst in
       let wo = Topo_backend.cycle_witness o ~src ~dst in
       match (wc, wo) with
@@ -220,16 +278,18 @@ let cycle_witness t ~src ~dst =
             (if wo = None then "safe" else "cycle"))
 
 let check_against t g =
-  match t with
-  | Closure_o c -> Closure_backend.check_against c g
-  | Topo_o o -> Topo_backend.check_against o g
-  | Checked_o (c, o) ->
+  match t.imp with
+  | Closure_i c -> Closure_backend.check_against c g
+  | Topo_i o -> Topo_backend.check_against o g
+  | Checked_i (c, o) ->
       Closure_backend.check_against c g && Topo_backend.check_against o g
 
-let closure = function
-  | Closure_o c | Checked_o (c, _) -> Some c
-  | Topo_o _ -> None
+let closure t =
+  match t.imp with
+  | Closure_i c | Checked_i (c, _) -> Some c
+  | Topo_i _ -> None
 
-let topo = function
-  | Topo_o o | Checked_o (_, o) -> Some o
-  | Closure_o _ -> None
+let topo t =
+  match t.imp with
+  | Topo_i o | Checked_i (_, o) -> Some o
+  | Closure_i _ -> None

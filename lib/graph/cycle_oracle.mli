@@ -81,12 +81,28 @@ exception Disagreement of string
 (** {1 Packed oracles} *)
 
 type t
-(** A live oracle instance of some backend. *)
+(** A live oracle instance of some backend, optionally carrying a
+    {!Dct_telemetry.Probe} that times the hot operations ([add_arc],
+    [remove_node], [reaches], [reaches_any], [would_cycle]).  Each
+    timed operation emits one sample per underlying backend
+    (["closure"]/["topo"]; a [Checked] oracle emits both), so latency
+    histograms from a checked run decompose into the two
+    single-backend runs.  No probe, no clock reads. *)
 
-val create : backend -> t
+val create : ?probe:Dct_telemetry.Probe.t -> backend -> t
 val backend : t -> backend
 val name : t -> string
+
+val set_probe : t -> Dct_telemetry.Probe.t option -> unit
+(** Attach or detach the timing probe of a live oracle. *)
+
+val probe : t -> Dct_telemetry.Probe.t option
+
 val copy : t -> t
+(** Deep copy.  The copy carries {e no} probe: copies are speculative
+    (safety searches, audit replays, exact-max enumeration) and must
+    not pollute the live oracle's latency record. *)
+
 val add_node : t -> int -> unit
 val mem_node : t -> int -> bool
 val nodes : t -> Intset.t

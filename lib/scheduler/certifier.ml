@@ -14,8 +14,14 @@ type t = {
   mutable deleted : int;
 }
 
-let create ?oracle () =
-  { gs = Gs.create ?oracle (); steps = 0; committed = 0; aborted = 0; deleted = 0 }
+let create ?oracle ?tracer () =
+  {
+    gs = Gs.create ?oracle ?tracer ();
+    steps = 0;
+    committed = 0;
+    aborted = 0;
+    deleted = 0;
+  }
 
 let copy t =
   {
@@ -125,12 +131,14 @@ let stats t =
     delayed_now = 0;
   }
 
-let handle ?oracle () =
-  let t = create ?oracle () in
-  {
-    Scheduler_intf.name = "certifier";
-    step = step t;
-    stats = (fun () -> stats t);
-    drain = (fun () -> 0);
-    aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
-  }
+let handle ?oracle ?tracer () =
+  let t = create ?oracle ?tracer () in
+  Scheduler_intf.trace_steps ~reject_reason:"certification-conflict-cycle"
+    (Gs.tracer t.gs)
+    {
+      Scheduler_intf.name = "certifier";
+      step = step t;
+      stats = (fun () -> stats t);
+      drain = (fun () -> 0);
+      aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
+    }

@@ -28,9 +28,14 @@
 
 type t
 
-val create : ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> t
+val create :
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
+  unit ->
+  t
 (** [oracle] selects the cycle-check backend used at certification time
-    (default: plain DFS on the conflict graph). *)
+    (default: plain DFS on the conflict graph); [tracer] threads the
+    telemetry handle through the graph state. *)
 
 val copy : t -> t
 (** Deep copy — lets the generic safety oracle
@@ -44,7 +49,10 @@ val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 val graph_state : t -> Dct_deletion.Graph_state.t
 val stats : t -> Scheduler_intf.stats
 val handle :
-  ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> Scheduler_intf.handle
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
+  unit ->
+  Scheduler_intf.handle
 
 (**/**)
 

@@ -18,9 +18,9 @@ type t = {
 }
 
 let create ?(policy = Policy.No_deletion) ?store ?wal ?(with_closure = false)
-    ?oracle () =
+    ?oracle ?tracer () =
   {
-    gs = Gs.create ~with_closure ?oracle ();
+    gs = Gs.create ~with_closure ?oracle ?tracer ();
     policy;
     store;
     wal;
@@ -120,13 +120,14 @@ let collect_garbage t =
 let deleted_log t = List.rev t.log
 
 let handle_of t =
-  {
-    Scheduler_intf.name = Printf.sprintf "sgt/%s" (Policy.name t.policy);
-    step = step t;
-    stats = (fun () -> stats t);
-    drain = (fun () -> 0);
-    aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
-  }
+  Scheduler_intf.trace_steps ~reject_reason:"cycle" (Gs.tracer t.gs)
+    {
+      Scheduler_intf.name = Printf.sprintf "sgt/%s" (Policy.name t.policy);
+      step = step t;
+      stats = (fun () -> stats t);
+      drain = (fun () -> 0);
+      aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
+    }
 
-let handle ?policy ?store ?wal ?with_closure ?oracle () =
-  handle_of (create ?policy ?store ?wal ?with_closure ?oracle ())
+let handle ?policy ?store ?wal ?with_closure ?oracle ?tracer () =
+  handle_of (create ?policy ?store ?wal ?with_closure ?oracle ?tracer ())

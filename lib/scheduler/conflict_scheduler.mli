@@ -16,6 +16,7 @@ val create :
   ?wal:Dct_kv.Wal.t ->
   ?with_closure:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   unit ->
   t
 (** [policy] defaults to [No_deletion].  When [store] is given, accepted
@@ -27,7 +28,10 @@ val create :
     [oracle] selects the cycle-check engine
     ({!Dct_graph.Cycle_oracle.backend}); [with_closure] is the historical
     spelling of [~oracle:Closure].  Identical decisions either way,
-    different cost profile (see the oracle sweep benchmarks). *)
+    different cost profile (see the oracle sweep benchmarks).
+    [tracer] threads the telemetry handle through the graph state and —
+    via {!handle_of} — wraps the step loop with
+    {!Scheduler_intf.trace_steps}; tracing never changes a decision. *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 
@@ -56,6 +60,7 @@ val handle :
   ?wal:Dct_kv.Wal.t ->
   ?with_closure:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   unit ->
   Scheduler_intf.handle
 (** A fresh scheduler wrapped for the simulation driver. *)

@@ -20,9 +20,9 @@ type t = {
   mutable deleted : int;
 }
 
-let create ?(deletion = No_deletion) ?store ?oracle () =
+let create ?(deletion = No_deletion) ?store ?oracle ?tracer () =
   {
-    gs = Gs.create ?oracle ();
+    gs = Gs.create ?oracle ?tracer ();
     deletion;
     store = Option.value ~default:(Dct_kv.Store.create ()) store;
     steps = 0;
@@ -70,25 +70,62 @@ let try_commits t =
       (Gs.completed_txns t.gs)
   done
 
+let committed_candidates t =
+  Intset.filter
+    (fun v -> Gs.state t.gs v = Transaction.Committed)
+    (Gs.completed_txns t.gs)
+
 let run_deletion t =
   match t.deletion with
   | No_deletion -> ()
   | C3_exact cap ->
       if Intset.cardinal (Gs.active_txns t.gs) <= cap then begin
+        let module T = Dct_telemetry.Tracer in
+        let tracer = Gs.tracer t.gs in
+        let candidates0 = committed_candidates t in
+        if not (Intset.is_empty candidates0) then begin
+          T.event tracer (fun () ->
+              Dct_telemetry.Event.Deletion_attempted
+                {
+                  policy = "c3-exact";
+                  candidates = Intset.to_sorted_list candidates0;
+                });
+          T.incr ~by:(Intset.cardinal candidates0) tracer
+            "deletion.c3-exact.attempted"
+        end;
+        let removed = ref Intset.empty in
         let rec loop () =
-          let candidates =
-            Intset.filter
-              (fun v -> Gs.state t.gs v = Transaction.Committed)
-              (Gs.completed_txns t.gs)
-          in
-          match List.find_opt (fun v -> C3.holds t.gs v) (Intset.elements candidates) with
+          match
+            List.find_opt
+              (fun v -> C3.holds t.gs v)
+              (Intset.elements (committed_candidates t))
+          with
           | Some v ->
               Reduced.delete t.gs v;
               t.deleted <- t.deleted + 1;
+              removed := Intset.add v !removed;
               loop ()
           | None -> ()
         in
-        loop ()
+        loop ();
+        if not (Intset.is_empty !removed) then begin
+          T.event tracer (fun () ->
+              Dct_telemetry.Event.Deletion_ok
+                { policy = "c3-exact"; deleted = Intset.to_sorted_list !removed });
+          T.incr ~by:(Intset.cardinal !removed) tracer
+            "deletion.c3-exact.deleted"
+        end;
+        let blocked = Intset.diff candidates0 !removed in
+        if not (Intset.is_empty blocked) then begin
+          T.incr ~by:(Intset.cardinal blocked) tracer
+            "deletion.c3-exact.blocked";
+          Intset.iter
+            (fun v ->
+              T.event tracer (fun () ->
+                  Dct_telemetry.Event.Deletion_blocked
+                    { policy = "c3-exact"; txn = v; condition = "c3" }))
+            blocked
+        end
       end
 
 let step t s =
@@ -157,12 +194,14 @@ let handle_of t =
     | No_deletion -> "multiwrite/none"
     | C3_exact cap -> Printf.sprintf "multiwrite/c3<=%d" cap
   in
-  {
-    Scheduler_intf.name;
-    step = step t;
-    stats = (fun () -> stats t);
-    drain = (fun () -> 0);
-    aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
-  }
+  Scheduler_intf.trace_steps ~reject_reason:"cycle" (Gs.tracer t.gs)
+    {
+      Scheduler_intf.name;
+      step = step t;
+      stats = (fun () -> stats t);
+      drain = (fun () -> 0);
+      aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
+    }
 
-let handle ?deletion ?oracle () = handle_of (create ?deletion ?oracle ())
+let handle ?deletion ?oracle ?tracer () =
+  handle_of (create ?deletion ?oracle ?tracer ())

@@ -26,9 +26,12 @@ val create :
   ?deletion:deletion_mode ->
   ?store:Dct_kv.Store.t ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   unit ->
   t
-(** [oracle] selects the cycle-check backend (default: plain DFS). *)
+(** [oracle] selects the cycle-check backend (default: plain DFS);
+    [tracer] threads the telemetry handle through (C3 deletions are
+    reported as policy ["c3-exact"], refusals as condition ["c3"]). *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 (** [Rejected] covers both a cycle-closing step and a cascading abort
@@ -48,5 +51,6 @@ val handle_of : t -> Scheduler_intf.handle
 val handle :
   ?deletion:deletion_mode ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   unit ->
   Scheduler_intf.handle

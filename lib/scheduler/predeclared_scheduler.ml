@@ -20,9 +20,9 @@ type t = {
   mutable exec_log : Step.t list; (* executed data steps, newest first *)
 }
 
-let create ?(use_c4_deletion = false) ?oracle () =
+let create ?(use_c4_deletion = false) ?oracle ?tracer () =
   {
-    gs = Gs.create ?oracle ();
+    gs = Gs.create ?oracle ?tracer ();
     use_c4 = use_c4_deletion;
     queues = Hashtbl.create 16;
     steps = 0;
@@ -62,6 +62,16 @@ let future_conflicters t ~txn ~entity ~mode =
 
 let run_c4 t =
   if t.use_c4 then begin
+    let module T = Dct_telemetry.Tracer in
+    let tracer = Gs.tracer t.gs in
+    let candidates0 = Gs.completed_txns t.gs in
+    if not (Intset.is_empty candidates0) then begin
+      T.event tracer (fun () ->
+          Dct_telemetry.Event.Deletion_attempted
+            { policy = "c4"; candidates = Intset.to_sorted_list candidates0 });
+      T.incr ~by:(Intset.cardinal candidates0) tracer "deletion.c4.attempted"
+    end;
+    let removed = ref Intset.empty in
     let rec loop () =
       match
         List.find_opt (fun v -> C4.holds t.gs v)
@@ -70,10 +80,27 @@ let run_c4 t =
       | Some v ->
           Reduced.delete t.gs v;
           t.deleted <- t.deleted + 1;
+          removed := Intset.add v !removed;
           loop ()
       | None -> ()
     in
-    loop ()
+    loop ();
+    if not (Intset.is_empty !removed) then begin
+      T.event tracer (fun () ->
+          Dct_telemetry.Event.Deletion_ok
+            { policy = "c4"; deleted = Intset.to_sorted_list !removed });
+      T.incr ~by:(Intset.cardinal !removed) tracer "deletion.c4.deleted"
+    end;
+    let blocked = Intset.diff candidates0 !removed in
+    if not (Intset.is_empty blocked) then begin
+      T.incr ~by:(Intset.cardinal blocked) tracer "deletion.c4.blocked";
+      Intset.iter
+        (fun v ->
+          T.event tracer (fun () ->
+              Dct_telemetry.Event.Deletion_blocked
+                { policy = "c4"; txn = v; condition = "c4" }))
+        blocked
+    end
   end
 
 (* Attempt one data step; [true] if executed, [false] if it must wait. *)
@@ -192,14 +219,16 @@ let stats t =
   }
 
 let handle_of t =
-  {
-    Scheduler_intf.name =
-      (if t.use_c4 then "predeclared/c4" else "predeclared/none");
-    step = step t;
-    stats = (fun () -> stats t);
-    drain = (fun () -> drain t);
-    aborted_txn = (fun _ -> false);
-  }
+  Scheduler_intf.trace_steps ~ignore_reason:"declaration-complete"
+    (Gs.tracer t.gs)
+    {
+      Scheduler_intf.name =
+        (if t.use_c4 then "predeclared/c4" else "predeclared/none");
+      step = step t;
+      stats = (fun () -> stats t);
+      drain = (fun () -> drain t);
+      aborted_txn = (fun _ -> false);
+    }
 
-let handle ?use_c4_deletion ?oracle () =
-  handle_of (create ?use_c4_deletion ?oracle ())
+let handle ?use_c4_deletion ?oracle ?tracer () =
+  handle_of (create ?use_c4_deletion ?oracle ?tracer ())

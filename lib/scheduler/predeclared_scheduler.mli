@@ -18,10 +18,16 @@
 type t
 
 val create :
-  ?use_c4_deletion:bool -> ?oracle:Dct_graph.Cycle_oracle.backend -> unit -> t
+  ?use_c4_deletion:bool ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
+  unit ->
+  t
 (** [use_c4_deletion] (default false) greedily deletes C4-eligible
     completed transactions after each completion.  [oracle] selects the
-    cycle-check backend used by the delay test (default: plain DFS). *)
+    cycle-check backend used by the delay test (default: plain DFS).
+    [tracer] threads the telemetry handle through (C4 deletions are
+    reported as policy ["c4"], refusals as condition ["c4"]). *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 (** [Delayed] means the step is queued inside the scheduler.  Steps must
@@ -48,5 +54,6 @@ val handle_of : t -> Scheduler_intf.handle
 val handle :
   ?use_c4_deletion:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   unit ->
   Scheduler_intf.handle

@@ -56,3 +56,44 @@ type handle = {
           returning [Rejected]; restart harnesses use this to classify
           final outcomes. *)
 }
+
+let outcome_name o = Format.asprintf "%a" pp_outcome o
+
+(** Wrap a handle so every submission emits [Step_submitted] and
+    [Decision] events and bumps the ["outcome.<outcome>"] counters.
+    The reasons are the wrapping scheduler's vocabulary: [reject_reason]
+    for [Rejected] (e.g. ["cycle"]), [delay_reason] for [Delayed],
+    [ignore_reason] for [Ignored].  Returns the handle unchanged for an
+    inert tracer, so the untraced path stays zero-cost.  The wrapped
+    [step] makes the same decisions as the bare one — tracing observes,
+    never steers. *)
+let trace_steps ?(reject_reason = "cycle")
+    ?(delay_reason = "future-conflict-wait")
+    ?(ignore_reason = "already-aborted") tracer h =
+  let module T = Dct_telemetry.Tracer in
+  if (not (T.active tracer)) && T.metrics tracer = None then h
+  else begin
+    let index = ref 0 in
+    let step s =
+      incr index;
+      let i = !index in
+      T.event tracer (fun () ->
+          Dct_telemetry.Event.Step_submitted
+            { index = i; step = Dct_txn.Step.to_telemetry s });
+      let o = h.step s in
+      let outcome = outcome_name o in
+      let reason =
+        match o with
+        | Accepted -> ""
+        | Rejected -> reject_reason
+        | Delayed -> delay_reason
+        | Ignored -> ignore_reason
+      in
+      T.event tracer (fun () ->
+          Dct_telemetry.Event.Decision
+            { index = i; txn = Dct_txn.Step.txn s; outcome; reason });
+      T.incr tracer ("outcome." ^ outcome);
+      o
+    in
+    { h with step }
+  end

@@ -22,7 +22,28 @@ type result = {
   wall_seconds : float;
 }
 
-let run ?(sample_every = 16) ?observe (handle : Si.handle) schedule =
+module Tracer = Dct_telemetry.Tracer
+
+let snapshot_of at_step (st : Si.stats) =
+  {
+    Dct_telemetry.Event.at_step;
+    resident_txns = st.Si.resident_txns;
+    resident_arcs = st.Si.resident_arcs;
+    active_txns = st.Si.active_txns;
+    committed = st.Si.committed_total;
+    aborted = st.Si.aborted_total;
+    deleted = st.Si.deleted_total;
+    delayed = st.Si.delayed_now;
+  }
+
+let checkpoint tracer at_step st =
+  Tracer.event tracer (fun () ->
+      Dct_telemetry.Event.Checkpoint_stats (snapshot_of at_step st));
+  Tracer.gauge tracer "resident_txns" st.Si.resident_txns;
+  Tracer.gauge tracer "resident_arcs" st.Si.resident_arcs
+
+let run ?(sample_every = 16) ?observe ?(tracer = Tracer.disabled)
+    (handle : Si.handle) schedule =
   let accepted = ref 0
   and rejected = ref 0
   and delayed = ref 0
@@ -49,7 +70,14 @@ let run ?(sample_every = 16) ?observe (handle : Si.handle) schedule =
       peak_resident := max !peak_resident st.Si.resident_txns;
       peak_arcs := max !peak_arcs st.Si.resident_arcs;
       resident_sum := !resident_sum + st.Si.resident_txns;
-      if !steps mod sample_every = 0 then
+      (* Gauges follow every step so their high-water marks equal the
+         true residency peaks; checkpoint events follow the sampling
+         cadence. *)
+      Tracer.gauge tracer "resident_txns" st.Si.resident_txns;
+      Tracer.gauge tracer "resident_arcs" st.Si.resident_arcs;
+      if !steps mod sample_every = 0 then begin
+        Tracer.event tracer (fun () ->
+            Dct_telemetry.Event.Checkpoint_stats (snapshot_of !steps st));
         samples :=
           {
             at_step = !steps;
@@ -57,11 +85,14 @@ let run ?(sample_every = 16) ?observe (handle : Si.handle) schedule =
             resident_arcs = st.Si.resident_arcs;
             active_txns = st.Si.active_txns;
           }
-          :: !samples)
+          :: !samples
+      end)
     schedule;
   ignore (handle.Si.drain ());
   let wall_seconds = Sys.time () -. t0 in
   let final = handle.Si.stats () in
+  checkpoint tracer !steps final;
+  Tracer.flush tracer;
   {
     name = handle.Si.name;
     steps = !steps;

@@ -30,14 +30,20 @@ type result = {
 val run :
   ?sample_every:int ->
   ?observe:(int -> Dct_txn.Step.t -> Dct_sched.Scheduler_intf.outcome -> unit) ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   Dct_sched.Scheduler_intf.handle ->
   Dct_txn.Schedule.t ->
   result
 (** [sample_every] defaults to 16 steps.  Residency peaks are tracked at
     every step regardless of the sampling cadence.  [observe] is called
     after every step with the 1-based step number, the step and its
-    outcome — tracing and the [--selfcheck] invariant audit hang off
-    this hook; whatever it raises aborts the run. *)
+    outcome — the [--selfcheck] invariant audit hangs off this hook;
+    whatever it raises aborts the run.  [tracer] (default disabled)
+    receives [Checkpoint_stats] events on the sampling cadence plus a
+    final one after the drain, keeps the ["resident_txns"] /
+    ["resident_arcs"] gauges current at every step (their high-water
+    marks equal the peaks reported here), and is flushed before the
+    driver returns. *)
 
 val run_fresh :
   ?sample_every:int ->

@@ -4,9 +4,14 @@ let mean = function
 
 let mean_int xs = mean (List.map float_of_int xs)
 
+(* Nearest-rank on the sorted sample.  Boundary conventions (pinned in
+   test_sim.ml): p is clamped to [0, 100]; p = 0 answers the minimum,
+   p = 100 the maximum, and on a singleton every p answers the single
+   sample. *)
 let percentile p = function
   | [] -> 0.0
   | xs ->
+      let p = Float.min 100.0 (Float.max 0.0 p) in
       let arr = Array.of_list xs in
       Array.sort compare arr;
       let n = Array.length arr in
@@ -24,16 +29,23 @@ let histogram ~buckets xs =
   | _ ->
       let lo = List.fold_left min infinity xs in
       let hi = List.fold_left max neg_infinity xs in
-      let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0 in
-      let out = Array.init buckets (fun i -> (lo +. (float_of_int i *. width), 0)) in
-      List.iter
-        (fun x ->
-          let i =
-            min (buckets - 1) (int_of_float ((x -. lo) /. width))
-          in
-          let b, c = out.(i) in
-          out.(i) <- (b, c + 1))
-        xs;
-      out
+      if hi = lo then
+        (* A constant sample has no range to split: one degenerate
+           bucket at the value, holding everything (previously this
+           fabricated a width-1.0 range starting at the value). *)
+        [| (lo, List.length xs) |]
+      else begin
+        let width = (hi -. lo) /. float_of_int buckets in
+        let out =
+          Array.init buckets (fun i -> (lo +. (float_of_int i *. width), 0))
+        in
+        List.iter
+          (fun x ->
+            let i = min (buckets - 1) (int_of_float ((x -. lo) /. width)) in
+            let b, c = out.(i) in
+            out.(i) <- (b, c + 1))
+          xs;
+        out
+      end
 
 let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b

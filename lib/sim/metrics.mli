@@ -6,14 +6,18 @@ val mean : float list -> float
 val mean_int : int list -> float
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank on the
-    sorted sample; 0 on the empty list. *)
+(** [percentile p xs]: nearest-rank on the sorted sample; 0 on the
+    empty list.  [p] is clamped to [\[0, 100\]]; [p = 0] answers the
+    minimum, [p = 100] the maximum, and on a singleton every [p]
+    answers the single sample. *)
 
 val max_int_list : int list -> int
 (** 0 on the empty list. *)
 
 val histogram : buckets:int -> float list -> (float * int) array
-(** Equal-width buckets over the sample range: (lower bound, count). *)
+(** Equal-width buckets over the sample range: (lower bound, count).
+    A constant (zero-range) sample yields a single degenerate bucket
+    [(value, n)]; the empty list yields [buckets] empty buckets. *)
 
 val ratio : int -> int -> float
 (** [ratio a b] = a/b as a float, 0 when [b = 0]. *)

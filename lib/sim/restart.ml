@@ -29,7 +29,8 @@ let remap_step offset = function
 
 let origin_of id = id mod retry_stride
 
-let run ?(max_attempts = 4) (handle : Si.handle) schedule =
+let run ?(max_attempts = 4) ?(tracer = Dct_telemetry.Tracer.disabled)
+    (handle : Si.handle) schedule =
   let t0 = Sys.time () in
   (* Full step list per original transaction, in program order. *)
   let steps_of : (int, Step.t list) Hashtbl.t = Hashtbl.create 64 in
@@ -64,6 +65,9 @@ let run ?(max_attempts = 4) (handle : Si.handle) schedule =
           if a <= max_attempts then begin
             Hashtbl.replace attempts_of origin a;
             incr attempts;
+            Dct_telemetry.Tracer.event tracer (fun () ->
+                Dct_telemetry.Event.Restart { txn = origin; attempt = a });
+            Dct_telemetry.Tracer.incr tracer "restart.scheduled";
             Some origin (* needs another attempt *)
           end
           else begin

@@ -26,12 +26,15 @@ val goodput : result -> float
 
 val run :
   ?max_attempts:int ->
+  ?tracer:Dct_telemetry.Tracer.t ->
   Dct_sched.Scheduler_intf.handle ->
   Dct_txn.Schedule.t ->
   result
 (** [max_attempts] counts executions per original transaction (default
     4: one initial try + three retries).  The schedule must be
     basic-model and well-formed; retried transactions keep their step
-    sequence but run under fresh ids appended after the stream. *)
+    sequence but run under fresh ids appended after the stream.
+    [tracer] receives a [Restart] event (original id, attempt number)
+    each time a transaction is re-enqueued. *)
 
 val pp : Format.formatter -> result -> unit

@@ -1,0 +1,314 @@
+type step = { kind : string; txn : int; reads : int list; writes : int list }
+
+type stats_snapshot = {
+  at_step : int;
+  resident_txns : int;
+  resident_arcs : int;
+  active_txns : int;
+  committed : int;
+  aborted : int;
+  deleted : int;
+  delayed : int;
+}
+
+type t =
+  | Step_submitted of { index : int; step : step }
+  | Decision of { index : int; txn : int; outcome : string; reason : string }
+  | Deletion_attempted of { policy : string; candidates : int list }
+  | Deletion_ok of { policy : string; deleted : int list }
+  | Deletion_blocked of { policy : string; txn : int; condition : string }
+  | Oracle_query of { op : string; backend : string; ns : float }
+  | Cycle_rejected of { txn : int; witness : int list }
+  | Restart of { txn : int; attempt : int }
+  | Checkpoint_stats of stats_snapshot
+
+let equal (a : t) (b : t) = a = b
+
+(* --- encoding ----------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let ints xs = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]"
+
+let to_json = function
+  | Step_submitted { index; step } ->
+      Printf.sprintf
+        "{\"ev\":\"step\",\"i\":%d,\"kind\":\"%s\",\"txn\":%d,\"reads\":%s,\"writes\":%s}"
+        index (escape step.kind) step.txn (ints step.reads) (ints step.writes)
+  | Decision { index; txn; outcome; reason } ->
+      Printf.sprintf
+        "{\"ev\":\"decision\",\"i\":%d,\"txn\":%d,\"outcome\":\"%s\",\"reason\":\"%s\"}"
+        index txn (escape outcome) (escape reason)
+  | Deletion_attempted { policy; candidates } ->
+      Printf.sprintf
+        "{\"ev\":\"del_attempt\",\"policy\":\"%s\",\"candidates\":%s}"
+        (escape policy) (ints candidates)
+  | Deletion_ok { policy; deleted } ->
+      Printf.sprintf "{\"ev\":\"del_ok\",\"policy\":\"%s\",\"deleted\":%s}"
+        (escape policy) (ints deleted)
+  | Deletion_blocked { policy; txn; condition } ->
+      Printf.sprintf
+        "{\"ev\":\"del_blocked\",\"policy\":\"%s\",\"txn\":%d,\"condition\":\"%s\"}"
+        (escape policy) txn (escape condition)
+  | Oracle_query { op; backend; ns } ->
+      Printf.sprintf
+        "{\"ev\":\"oracle\",\"op\":\"%s\",\"backend\":\"%s\",\"ns\":%.3f}"
+        (escape op) (escape backend) ns
+  | Cycle_rejected { txn; witness } ->
+      Printf.sprintf "{\"ev\":\"cycle_rejected\",\"txn\":%d,\"witness\":%s}"
+        txn (ints witness)
+  | Restart { txn; attempt } ->
+      Printf.sprintf "{\"ev\":\"restart\",\"txn\":%d,\"attempt\":%d}" txn
+        attempt
+  | Checkpoint_stats s ->
+      Printf.sprintf
+        "{\"ev\":\"checkpoint\",\"i\":%d,\"resident_txns\":%d,\"resident_arcs\":%d,\"active_txns\":%d,\"committed\":%d,\"aborted\":%d,\"deleted\":%d,\"delayed\":%d}"
+        s.at_step s.resident_txns s.resident_arcs s.active_txns s.committed
+        s.aborted s.deleted s.delayed
+
+(* --- decoding ----------------------------------------------------- *)
+
+(* A hand-rolled parser for exactly the flat objects [to_json] emits:
+   string, integer, float and integer-list values.  No dependency on a
+   JSON library (none is vendored); anything outside that grammar is an
+   error, which for a trace file is the right strictness. *)
+
+type field = Fint of int | Ffloat of float | Fstr of string | Fints of int list
+
+exception Bad of string
+
+let parse_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> bad "expected %c, found %c at %d" c c' !pos
+    | None -> bad "expected %c, found end of line" c
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then bad "truncated \\u escape";
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some c when c < 0x80 -> Buffer.add_char buf (Char.chr c)
+              | _ -> bad "unsupported \\u escape %S" hex);
+              go ()
+          | _ -> bad "bad escape")
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    let tok = String.sub line start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Fint i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Ffloat f
+        | None -> bad "bad number %S" tok)
+  in
+  let parse_int_list () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin advance (); [] end
+    else begin
+      let out = ref [] in
+      let rec go () =
+        skip_ws ();
+        (match parse_number () with
+        | Fint i -> out := i :: !out
+        | Ffloat _ -> bad "float in integer list"
+        | _ -> assert false);
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); go ()
+        | Some ']' -> advance ()
+        | _ -> bad "expected , or ] in list"
+      in
+      go ();
+      List.rev !out
+    end
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Fstr (parse_string ())
+    | Some '[' -> Fints (parse_int_list ())
+    | Some _ -> parse_number ()
+    | None -> bad "expected a value"
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  if peek () = Some '}' then advance ()
+  else begin
+    let rec go () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' -> advance (); go ()
+      | Some '}' -> advance ()
+      | _ -> bad "expected , or }"
+    in
+    go ()
+  end;
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage at %d" !pos;
+  List.rev !fields
+
+let geti fields key =
+  match List.assoc_opt key fields with
+  | Some (Fint i) -> i
+  | Some _ -> raise (Bad (Printf.sprintf "field %S is not an integer" key))
+  | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+
+let getf fields key =
+  match List.assoc_opt key fields with
+  | Some (Ffloat f) -> f
+  | Some (Fint i) -> float_of_int i
+  | Some _ -> raise (Bad (Printf.sprintf "field %S is not a number" key))
+  | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+
+let gets fields key =
+  match List.assoc_opt key fields with
+  | Some (Fstr s) -> s
+  | Some _ -> raise (Bad (Printf.sprintf "field %S is not a string" key))
+  | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+
+let getl fields key =
+  match List.assoc_opt key fields with
+  | Some (Fints l) -> l
+  | Some _ -> raise (Bad (Printf.sprintf "field %S is not an int list" key))
+  | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+
+let of_json line =
+  match
+    let fields = parse_fields line in
+    match gets fields "ev" with
+    | "step" ->
+        Step_submitted
+          {
+            index = geti fields "i";
+            step =
+              {
+                kind = gets fields "kind";
+                txn = geti fields "txn";
+                reads = getl fields "reads";
+                writes = getl fields "writes";
+              };
+          }
+    | "decision" ->
+        Decision
+          {
+            index = geti fields "i";
+            txn = geti fields "txn";
+            outcome = gets fields "outcome";
+            reason = gets fields "reason";
+          }
+    | "del_attempt" ->
+        Deletion_attempted
+          { policy = gets fields "policy"; candidates = getl fields "candidates" }
+    | "del_ok" ->
+        Deletion_ok
+          { policy = gets fields "policy"; deleted = getl fields "deleted" }
+    | "del_blocked" ->
+        Deletion_blocked
+          {
+            policy = gets fields "policy";
+            txn = geti fields "txn";
+            condition = gets fields "condition";
+          }
+    | "oracle" ->
+        Oracle_query
+          {
+            op = gets fields "op";
+            backend = gets fields "backend";
+            ns = getf fields "ns";
+          }
+    | "cycle_rejected" ->
+        Cycle_rejected { txn = geti fields "txn"; witness = getl fields "witness" }
+    | "restart" ->
+        Restart { txn = geti fields "txn"; attempt = geti fields "attempt" }
+    | "checkpoint" ->
+        Checkpoint_stats
+          {
+            at_step = geti fields "i";
+            resident_txns = geti fields "resident_txns";
+            resident_arcs = geti fields "resident_arcs";
+            active_txns = geti fields "active_txns";
+            committed = geti fields "committed";
+            aborted = geti fields "aborted";
+            deleted = geti fields "deleted";
+            delayed = geti fields "delayed";
+          }
+    | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
+  with
+  | ev -> Ok ev
+  | exception Bad m -> Error m
+
+let kind = function
+  | Step_submitted _ -> "step"
+  | Decision _ -> "decision"
+  | Deletion_attempted _ -> "del_attempt"
+  | Deletion_ok _ -> "del_ok"
+  | Deletion_blocked _ -> "del_blocked"
+  | Oracle_query _ -> "oracle"
+  | Cycle_rejected _ -> "cycle_rejected"
+  | Restart _ -> "restart"
+  | Checkpoint_stats _ -> "checkpoint"
+
+let pp ppf e = Format.pp_print_string ppf (to_json e)

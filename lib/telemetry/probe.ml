@@ -1,0 +1,16 @@
+type t = { observe : op:string -> backend:string -> ns:float -> unit }
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let observe t ~op ~backend ~ns = t.observe ~op ~backend ~ns
+
+let make observe = { observe }
+
+let obs probe ~op ~backend f =
+  match probe with
+  | None -> f ()
+  | Some p ->
+      let t0 = now_ns () in
+      let r = f () in
+      p.observe ~op ~backend ~ns:(now_ns () -. t0);
+      r

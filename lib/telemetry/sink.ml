@@ -1,0 +1,44 @@
+type t = Null | Memory of Buffer.t | Channel of out_channel
+
+let null = Null
+let memory buf = Memory buf
+let channel oc = Channel oc
+
+let emit t ev =
+  match t with
+  | Null -> ()
+  | Memory buf ->
+      Buffer.add_string buf (Event.to_json ev);
+      Buffer.add_char buf '\n'
+  | Channel oc ->
+      output_string oc (Event.to_json ev);
+      output_char oc '\n'
+
+let flush = function
+  | Null | Memory _ -> ()
+  | Channel oc -> Stdlib.flush oc
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) acc rest
+        else (
+          match Event.of_json line with
+          | Ok ev -> go (lineno + 1) (ev :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" path e)
+        (parse_string s)

@@ -1,0 +1,19 @@
+(** Where emitted events go: nowhere, an in-memory buffer (tests), or
+    an output channel (the [--trace out.jsonl] file).  One JSON line
+    per event; {!parse_string}/{!read_file} invert the encoding,
+    skipping blank lines and failing loudly on the first malformed
+    one. *)
+
+type t = Null | Memory of Buffer.t | Channel of out_channel
+
+val null : t
+val memory : Buffer.t -> t
+val channel : out_channel -> t
+
+val emit : t -> Event.t -> unit
+val flush : t -> unit
+
+val parse_string : string -> (Event.t list, string) result
+(** Parse a JSONL document; errors carry the 1-based line number. *)
+
+val read_file : string -> (Event.t list, string) result

@@ -1,0 +1,36 @@
+type t = {
+  active : bool;
+  sink : Sink.t;
+  metrics : Metrics.t option;
+  probe : Probe.t option;
+}
+
+let disabled = { active = false; sink = Sink.Null; metrics = None; probe = None }
+
+let create ?metrics ?(sink = Sink.Null) () =
+  let probe =
+    Probe.make (fun ~op ~backend ~ns ->
+        Sink.emit sink (Event.Oracle_query { op; backend; ns });
+        match metrics with
+        | Some m -> Metrics.observe m (Printf.sprintf "oracle.%s.%s" backend op) ns
+        | None -> ())
+  in
+  { active = true; sink; metrics; probe = Some probe }
+
+let active t = t.active
+let metrics t = t.metrics
+let probe t = t.probe
+let sink t = t.sink
+
+let event t f = if t.active then Sink.emit t.sink (f ())
+
+let incr ?by t name =
+  match t.metrics with Some m -> Metrics.incr ?by m name | None -> ()
+
+let gauge t name v =
+  match t.metrics with Some m -> Metrics.gauge m name v | None -> ()
+
+let observe t name v =
+  match t.metrics with Some m -> Metrics.observe m name v | None -> ()
+
+let flush t = Sink.flush t.sink

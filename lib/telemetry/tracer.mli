@@ -1,0 +1,39 @@
+(** The run-wide tracing handle threaded through schedulers, graph
+    state, rules and deletion policies.
+
+    Zero-cost when disabled: {!disabled} carries no sink, no metrics
+    and no probe, {!event} takes a thunk so disabled runs never build
+    the event, and components test {!active}/[probe = None] before
+    doing any tracing-only work (witness extraction, candidate
+    classification, clock reads).  Enabling tracing must not change a
+    single scheduler decision — pinned by the metamorphic suite in
+    [test_telemetry.ml]. *)
+
+type t
+
+val disabled : t
+(** The inert tracer: everything is a no-op. *)
+
+val create : ?metrics:Metrics.t -> ?sink:Sink.t -> unit -> t
+(** An active tracer.  [sink] defaults to {!Sink.null} (useful when
+    only the metrics registry is wanted). *)
+
+val active : t -> bool
+
+val event : t -> (unit -> Event.t) -> unit
+(** Emit to the sink; the thunk is not evaluated when disabled. *)
+
+val probe : t -> Probe.t option
+(** The oracle timing probe: emits {!Event.Oracle_query} and feeds the
+    ["oracle.<backend>.<op>"] latency histograms.  [None] when
+    disabled — pass it straight to [Dct_graph.Cycle_oracle.create]. *)
+
+val metrics : t -> Metrics.t option
+val sink : t -> Sink.t
+
+val incr : ?by:int -> t -> string -> unit
+val gauge : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+(** Metric helpers; no-ops without a registry. *)
+
+val flush : t -> unit

@@ -42,3 +42,41 @@ let pp ppf = function
   | Finish t -> Format.fprintf ppf "f(T%d)" t
 
 let to_string s = Format.asprintf "%a" pp s
+
+(* The telemetry [step] record is deliberately flat (kind + int lists)
+   so Dct_telemetry can sit below this library; these two are the
+   lossless bridge. *)
+let to_telemetry s : Dct_telemetry.Event.step =
+  let mk kind txn reads writes = { Dct_telemetry.Event.kind; txn; reads; writes } in
+  match s with
+  | Begin t -> mk "begin" t [] []
+  | Begin_declared (t, a) ->
+      mk "begin_declared" t
+        (Dct_graph.Intset.to_sorted_list (Access.reads a))
+        (Dct_graph.Intset.to_sorted_list (Access.writes a))
+  | Read (t, x) -> mk "read" t [ x ] []
+  | Write (t, xs) -> mk "write" t [] xs
+  | Write_one (t, x) -> mk "write_one" t [] [ x ]
+  | Finish t -> mk "finish" t [] []
+
+let of_telemetry (s : Dct_telemetry.Event.step) =
+  match s.kind with
+  | "begin" -> Ok (Begin s.txn)
+  | "begin_declared" ->
+      Ok
+        (Begin_declared
+           ( s.txn,
+             Access.of_list
+               (List.map (fun x -> (x, Access.Read)) s.reads
+               @ List.map (fun x -> (x, Access.Write)) s.writes) ))
+  | "read" -> (
+      match s.reads with
+      | [ x ] -> Ok (Read (s.txn, x))
+      | _ -> Error "read step must carry exactly one read entity")
+  | "write" -> Ok (Write (s.txn, s.writes))
+  | "write_one" -> (
+      match s.writes with
+      | [ x ] -> Ok (Write_one (s.txn, x))
+      | _ -> Error "write_one step must carry exactly one written entity")
+  | "finish" -> Ok (Finish s.txn)
+  | k -> Error (Printf.sprintf "unknown step kind %S" k)

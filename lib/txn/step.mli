@@ -33,3 +33,12 @@ val completes_basic : t -> bool
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val to_telemetry : t -> Dct_telemetry.Event.step
+(** Flat encoding for trace lines: kind is one of
+    [begin | begin_declared | read | write | write_one | finish]; the
+    accessed entities land in [reads]/[writes]. *)
+
+val of_telemetry : Dct_telemetry.Event.step -> (t, string) result
+(** Inverse of {!to_telemetry}: [of_telemetry (to_telemetry s)] equals
+    [Ok s] up to access-set normalization. *)

@@ -20,11 +20,7 @@ module Gen = Dct_workload.Generator
 
 let check = Alcotest.(check bool)
 
-let outcome_name = function
-  | Si.Accepted -> "accepted"
-  | Si.Rejected -> "rejected"
-  | Si.Delayed -> "delayed"
-  | Si.Ignored -> "ignored"
+let outcome_name = Si.outcome_name
 
 (* One full conflict-scheduler run; the observable decision trace is
    (step outcomes, deletion log, final stats, final graph). *)

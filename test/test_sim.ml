@@ -52,13 +52,28 @@ let test_metrics () =
     (Metrics.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
   Alcotest.(check (float 1e-9)) "p100" 3.0
     (Metrics.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  (* Boundary conventions pinned by the mli: p=0 is the minimum, out-of-
+     range p clamps, a singleton answers the sample for every p. *)
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0
+    (Metrics.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p>100 clamps" 3.0
+    (Metrics.percentile 250.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p<0 clamps" 1.0
+    (Metrics.percentile (-5.0) [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Metrics.percentile 37.0 [ 7.0 ]);
   Alcotest.(check int) "max" 9 (Metrics.max_int_list [ 4; 9; 1 ]);
   Alcotest.(check (float 1e-9)) "ratio" 2.5 (Metrics.ratio 5 2);
   Alcotest.(check (float 1e-9)) "ratio by zero" 0.0 (Metrics.ratio 5 0);
   let h = Metrics.histogram ~buckets:2 [ 0.0; 0.1; 0.9; 1.0 ] in
   Alcotest.(check int) "buckets" 2 (Array.length h);
   Alcotest.(check int) "total count" 4
-    (Array.fold_left (fun acc (_, c) -> acc + c) 0 h)
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 h);
+  (* A constant sample has zero range: one degenerate bucket holding
+     every observation, not [buckets] fabricated width-1 bins. *)
+  let hc = Metrics.histogram ~buckets:4 [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "constant sample: one bucket" 1 (Array.length hc);
+  Alcotest.(check (float 1e-9)) "constant sample: bound" 5.0 (fst hc.(0));
+  Alcotest.(check int) "constant sample: count" 3 (snd hc.(0))
 
 let test_report_table () =
   let s =
