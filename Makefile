@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is a thin wrapper over dune.
 
-.PHONY: all build test oracle-test telemetry-test trace-smoke bench bench-smoke bench-latency clean
+.PHONY: all build test oracle-test telemetry-test engine-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke clean
 
 all: build
 
@@ -19,6 +19,12 @@ oracle-test:
 # telemetry layer or the scheduler instrumentation.
 telemetry-test:
 	dune build @telemetry
+
+# Just the sharded-engine suite (differential vs the single-node
+# scheduler, partitioner/admission/shard units) — the tight loop when
+# hacking on lib/engine.
+engine-test:
+	dune build @engine
 
 # End-to-end trace round trip: simulate with tracing on, summarize the
 # JSONL, re-feed the decisions to the deletion auditor.
@@ -40,6 +46,18 @@ bench-smoke:
 # wall-clock numbers in BENCH_oracle.json.
 bench-latency:
 	dune exec bench/main.exe -- oracle-latency
+
+# The engine sweep: shards x batch x contention through the sharded
+# engine (writes BENCH_engine.json; every configuration also passes the
+# differential against the single-node scheduler, so this doubles as an
+# end-to-end exactness gate).
+bench-engine:
+	dune exec bench/main.exe -- engine
+
+# CI gate: two-config engine sweep, exits non-zero on a differential
+# failure or a malformed BENCH_engine.json.
+bench-engine-smoke:
+	dune exec bench/main.exe -- engine-smoke
 
 clean:
 	dune clean

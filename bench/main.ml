@@ -290,7 +290,8 @@ let run_bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|all]"
+    "usage: main.exe \
+     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|all]"
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -314,6 +315,8 @@ let () =
   | "oracle" -> Oracle_sweep.run ~smoke:false ()
   | "oracle-smoke" -> Oracle_sweep.run ~smoke:true ()
   | "oracle-latency" -> Oracle_sweep.run ~smoke:true ~latency:true ()
+  | "engine" -> Engine_sweep.run ~smoke:false ()
+  | "engine-smoke" -> Engine_sweep.run ~smoke:true ()
   | "all" ->
       E.run_all ();
       run_bechamel ()

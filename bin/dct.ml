@@ -4,6 +4,10 @@
      simulate     run a synthetic workload through a scheduler
                   (--selfcheck validates graph-state invariants per step;
                    --trace/--metrics/--json record and report telemetry)
+     serve        run a shard-affine workload through the online sharded
+                  engine (batched admission, per-shard deletion-policy GC;
+                  --differential cross-checks against the single-node
+                  scheduler step by step)
      trace        summarize a --trace JSONL file (outcomes, residency,
                   deletion denials, oracle latency; --audit re-feeds the
                   decisions to the trace auditor)
@@ -60,8 +64,8 @@ let policy_arg =
     & opt policy_conv Policy.Greedy_c1
     & info [ "p"; "policy" ] ~docv:"POLICY"
         ~doc:
-          "Deletion policy: none | commit | noncurrent | greedy | exact | \
-           budget:<n>:<inner>.")
+          "Deletion policy: none | commit | noncurrent | greedy (alias: c1) \
+           | exact (alias: c2) | exact-weighted | budget:<n>:<inner>.")
 
 let schedule_file =
   Arg.(
@@ -329,15 +333,315 @@ let simulate_cmd =
       $ long_readers $ selfcheck $ oracle_arg $ trace_arg $ metrics_arg
       $ json_arg)
 
+(* --- serve --- *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
+    cross_shard oracle differential trace metrics_on json =
+  let module Eng = Dct_engine.Engine in
+  let partitioner =
+    match Dct_engine.Partitioner.of_string partitioner_spec ~shards with
+    | Ok p -> p
+    | Error e ->
+        Printf.eprintf "dct: serve: %s\n" e;
+        exit 2
+  in
+  let profile =
+    {
+      Gen.default with
+      Gen.n_txns = txns;
+      n_entities = entities;
+      mpl;
+      skew;
+      seed;
+      shards;
+      cross_shard;
+    }
+  in
+  let schedule = Gen.basic profile in
+  let schedule =
+    match steps with None -> schedule | Some n -> take n schedule
+  in
+  let trace_oc = Option.map open_out trace in
+  let sink =
+    match trace_oc with
+    | Some oc -> Dct_telemetry.Sink.channel oc
+    | None -> Dct_telemetry.Sink.null
+  in
+  let registry =
+    if metrics_on then Some (Dct_telemetry.Metrics.create ()) else None
+  in
+  let tracer =
+    if trace <> None || metrics_on then
+      Dct_telemetry.Tracer.create ?metrics:registry ~sink ()
+    else Dct_telemetry.Tracer.disabled
+  in
+  let cfg =
+    Eng.config ~policy ~partitioner ?oracle ~tracer ~shards ~batch ()
+  in
+  let r = Eng.run (Eng.create cfg) schedule in
+  Option.iter close_out trace_oc;
+  let c = r.Eng.coordinator in
+  let throughput =
+    if r.Eng.wall_seconds > 0.0 then
+      float_of_int r.Eng.steps /. r.Eng.wall_seconds
+    else 0.0
+  in
+  if json then begin
+    let b = Buffer.create 512 in
+    let first = ref true in
+    let field k v =
+      Buffer.add_string b (if !first then "{" else ",");
+      first := false;
+      Buffer.add_string b (Printf.sprintf "%S:%s" k v)
+    in
+    let str k v = field k (Printf.sprintf "%S" v) in
+    let int_f k v = field k (string_of_int v) in
+    let float_f k v = field k (Printf.sprintf "%.6g" v) in
+    str "engine" r.Eng.name;
+    int_f "shards" r.Eng.shards;
+    int_f "batch" r.Eng.batch;
+    str "policy" (Policy.name policy);
+    int_f "steps" r.Eng.steps;
+    int_f (Si.outcome_name Si.Accepted) r.Eng.accepted;
+    int_f (Si.outcome_name Si.Rejected) r.Eng.rejected;
+    int_f (Si.outcome_name Si.Ignored) r.Eng.ignored;
+    int_f "committed" r.Eng.committed;
+    int_f "aborted" r.Eng.aborted;
+    int_f "full_batches" r.Eng.full_batches;
+    int_f "ticks" r.Eng.ticks;
+    int_f "coordinator_resident" c.Dct_engine.Coordinator.resident_txns;
+    int_f "coordinator_hwm" c.Dct_engine.Coordinator.resident_hwm;
+    int_f "deleted" c.Dct_engine.Coordinator.deleted_total;
+    int_f "shard_resident_hwm" r.Eng.shard_resident_hwm;
+    int_f "cross_shard_arcs" r.Eng.cross_shard_arcs;
+    int_f "local_arcs" r.Eng.local_arcs;
+    int_f "distributed_txns" r.Eng.distributed_txns;
+    float_f "throughput_steps_per_s" throughput;
+    float_f "wall_ms" (r.Eng.wall_seconds *. 1000.0);
+    field "shard_stats"
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (Array.to_list
+               (Array.mapi
+                  (fun i (s : Dct_engine.Shard.stats) ->
+                    Printf.sprintf
+                      "{\"shard\":%d,\"hosted\":%d,\"resident\":%d,\
+                       \"resident_hwm\":%d,\"committed\":%d,\"aborted\":%d,\
+                       \"deleted_local\":%d,\"deleted_forced\":%d,\
+                       \"wal_retained\":%d,\"wal_truncated\":%d}"
+                      i s.hosted_total s.resident_txns s.resident_hwm
+                      s.committed s.aborted s.deleted_local s.deleted_forced
+                      s.wal_retained s.wal_truncated)
+                  r.Eng.shard_stats))));
+    Option.iter
+      (fun m -> field "metrics" (Dct_telemetry.Metrics.to_json m))
+      registry;
+    Buffer.add_char b '}';
+    print_endline (Buffer.contents b)
+  end
+  else begin
+    Printf.printf "workload: %s\n" (Format.asprintf "%a" Gen.pp_profile profile);
+    Printf.printf "engine: %s\n" r.Eng.name;
+    Dct_sim.Report.print_table
+      ~headers:[ "metric"; "value" ]
+      [
+        [ "steps"; string_of_int r.Eng.steps ];
+        [ "accepted"; string_of_int r.Eng.accepted ];
+        [ "rejected"; string_of_int r.Eng.rejected ];
+        [ "committed"; string_of_int r.Eng.committed ];
+        [ "aborted"; string_of_int r.Eng.aborted ];
+        [ "full batches"; string_of_int r.Eng.full_batches ];
+        [ "ticks"; string_of_int r.Eng.ticks ];
+        [ "coordinator resident";
+          string_of_int c.Dct_engine.Coordinator.resident_txns ];
+        [ "coordinator hwm";
+          string_of_int c.Dct_engine.Coordinator.resident_hwm ];
+        [ "deleted (policy)";
+          string_of_int c.Dct_engine.Coordinator.deleted_total ];
+        [ "shard resident hwm"; string_of_int r.Eng.shard_resident_hwm ];
+        [ "cross-shard arcs"; string_of_int r.Eng.cross_shard_arcs ];
+        [ "local arcs"; string_of_int r.Eng.local_arcs ];
+        [ "distributed txns"; string_of_int r.Eng.distributed_txns ];
+        [ "throughput (steps/s)"; Dct_sim.Report.fmt_float throughput ];
+        [ "wall (ms)";
+          Dct_sim.Report.fmt_float (r.Eng.wall_seconds *. 1000.0) ];
+      ];
+    print_newline ();
+    Dct_sim.Report.print_table
+      ~headers:
+        [ "shard"; "hosted"; "resident"; "hwm"; "committed"; "aborted";
+          "gc local"; "gc forced"; "wal" ]
+      (Array.to_list
+         (Array.mapi
+            (fun i (s : Dct_engine.Shard.stats) ->
+              [
+                string_of_int i;
+                string_of_int s.hosted_total;
+                string_of_int s.resident_txns;
+                string_of_int s.resident_hwm;
+                string_of_int s.committed;
+                string_of_int s.aborted;
+                string_of_int s.deleted_local;
+                string_of_int s.deleted_forced;
+                string_of_int s.wal_retained;
+              ])
+            r.Eng.shard_stats));
+    Option.iter
+      (fun m ->
+        print_newline ();
+        print_string (Dct_telemetry.Metrics.render m))
+      registry
+  end;
+  if not differential then 0
+  else begin
+    let d = Eng.differential ?oracle ~partitioner ~shards ~batch ~policy schedule in
+    if not json then begin
+      print_newline ();
+      Format.printf "%a@." Eng.pp_differential d
+    end;
+    if Eng.differential_ok d then 0
+    else begin
+      Printf.eprintf
+        "dct: serve: differential FAILED (engine diverges from the \
+         single-node scheduler)\n";
+      1
+    end
+  end
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Number of shards.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 16
+      & info [ "b"; "batch" ] ~doc:"Admission batch size (group commit).")
+  in
+  let partitioner_arg =
+    Arg.(
+      value
+      & opt string "hash"
+      & info [ "partitioner" ] ~docv:"SPEC"
+          ~doc:"Data placement: hash | range:<span>.")
+  in
+  let steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "steps" ] ~docv:"S"
+          ~doc:
+            "Submit only the first $(docv) steps of the generated \
+             workload (default: all of it).")
+  in
+  let txns =
+    Arg.(value & opt int 200 & info [ "n"; "txns" ] ~doc:"Transactions to run.")
+  in
+  let entities =
+    Arg.(value & opt int 64 & info [ "e"; "entities" ] ~doc:"Database size.")
+  in
+  let mpl =
+    Arg.(value & opt int 8 & info [ "j"; "mpl" ] ~doc:"Concurrent transactions.")
+  in
+  let skew =
+    Arg.(
+      value
+      & opt string "zipf:0.9"
+      & info [ "skew" ] ~doc:"uniform | zipf:<theta> | hotspot:<frac>:<prob>.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let cross_shard =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "cross-shard" ] ~docv:"P"
+          ~doc:
+            "Probability a shard-affine transaction's key is drawn \
+             outside its home shard (distributed-transaction rate).")
+  in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Re-run the same step sequence through a single-node \
+             conflict-graph scheduler in lock-step and verify identical \
+             accept/reject outcomes, per-shard residency bounded by the \
+             single-node residency, and identical final store contents; \
+             exit 1 on any divergence.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record one JSONL telemetry event per engine decision to \
+             $(docv); the trace has the single-node shape and \
+             $(b,dct trace) (including --audit) consumes it unmodified.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect the metrics registry (outcome counters, per-shard \
+             residency gauges, deletion counters) and print it after the \
+             run.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the report as one machine-parsable JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a workload through the online sharded engine: batched \
+          admission, coordinator-exact decisions, per-shard stores and \
+          WALs, deletion-policy GC at both scopes.")
+    Term.(
+      const serve $ shards $ batch $ policy_arg $ partitioner_arg $ steps
+      $ txns $ entities $ mpl $ skew $ seed $ cross_shard $ oracle_arg
+      $ differential $ trace_arg $ metrics_arg $ json_arg)
+
 (* --- trace --- *)
 
 let trace_report path audit_on safety_depth =
   let module E = Dct_telemetry.Event in
-  match Dct_telemetry.Sink.read_file path with
+  match Dct_telemetry.Sink.read_file_lenient path with
   | Error e ->
       Printf.eprintf "dct: trace: %s\n" e;
       2
-  | Ok events ->
+  | Ok ([], []) ->
+      (* An empty trace is almost always a mistake (wrong file, crashed
+         producer) — refuse rather than print an all-zero summary. *)
+      Printf.eprintf
+        "dct: trace: %s: empty trace (no events; was the file produced \
+         with --trace?)\n"
+        path;
+      2
+  | Ok (events, errors) ->
+      List.iter
+        (fun (lineno, e) ->
+          Printf.eprintf "dct: trace: %s: line %d: %s\n" path lineno e)
+        errors;
+      if events = [] then begin
+        Printf.eprintf
+          "dct: trace: %s: no parseable events (%d malformed lines)\n" path
+          (List.length errors);
+        exit 2
+      end;
+      if errors <> [] then
+        Printf.eprintf
+          "dct: trace: %s: %d malformed lines skipped; summarizing the %d \
+           parseable events\n"
+          path (List.length errors) (List.length events);
       let bump tbl key n =
         Hashtbl.replace tbl key
           (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -484,7 +788,8 @@ let trace_report path audit_on safety_depth =
              (List.sort compare
                 (Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle [])))
       end;
-      if not audit_on then 0
+      let clean = if errors = [] then 0 else 2 in
+      if not audit_on then clean
       else begin
         let module A = Dct_analysis.Audit in
         print_newline ();
@@ -495,7 +800,7 @@ let trace_report path audit_on safety_depth =
         | Ok tr ->
             let report = A.audit ?safety_depth tr in
             Format.printf "%a@." (fun ppf r -> A.pp_report ppf r) report;
-            if A.ok report then 0 else 1
+            if A.ok report then clean else 1
       end
 
 let trace_cmd =
@@ -924,7 +1229,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "dct" ~version:"1.0.0" ~doc)
     [
-      simulate_cmd; trace_cmd; lint_cmd; audit_cmd; check_cmd; dot_cmd;
+      simulate_cmd; serve_cmd; trace_cmd; lint_cmd; audit_cmd; check_cmd; dot_cmd;
       experiments_cmd; reduce_cover_cmd; reduce_sat_cmd; demo_cmd;
     ]
 

@@ -158,5 +158,7 @@ let rec of_string s =
   | _ ->
       Error
         (Printf.sprintf
-           "unknown policy %S (expected none|commit|noncurrent|greedy|exact|exact-weighted|budget:<n>:<inner>)"
+           "unknown policy %S (expected none | commit | noncurrent | greedy \
+            (alias: c1) | exact (alias: c2) | exact-weighted | \
+            budget:<n>:<inner>)"
            s)

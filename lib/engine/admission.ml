@@ -1,0 +1,42 @@
+type t = {
+  batch : int;
+  queue : Dct_txn.Step.t Queue.t;
+  mutable submitted : int;
+  mutable full_batches : int;
+  mutable ticks : int;
+}
+
+let create ~batch =
+  if batch <= 0 then
+    invalid_arg (Printf.sprintf "Admission.create: batch must be positive, got %d" batch);
+  { batch; queue = Queue.create (); submitted = 0; full_batches = 0; ticks = 0 }
+
+let batch_size t = t.batch
+
+let drain t =
+  let out = ref [] in
+  while not (Queue.is_empty t.queue) do
+    out := Queue.pop t.queue :: !out
+  done;
+  List.rev !out
+
+let submit t step =
+  t.submitted <- t.submitted + 1;
+  Queue.push step t.queue;
+  if Queue.length t.queue >= t.batch then begin
+    t.full_batches <- t.full_batches + 1;
+    Some (drain t)
+  end
+  else None
+
+let tick t =
+  if Queue.is_empty t.queue then []
+  else begin
+    t.ticks <- t.ticks + 1;
+    drain t
+  end
+
+let pending t = Queue.length t.queue
+let submitted t = t.submitted
+let full_batches t = t.full_batches
+let ticks t = t.ticks

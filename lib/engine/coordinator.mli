@@ -1,0 +1,56 @@
+(** The engine's serializability authority.
+
+    The coordinator owns the one structure sharding cannot split without
+    losing exactness: the global conflict graph.  A serialization cycle
+    can thread through several shards using only arcs that are each
+    local to one shard (T1 -> T2 over an entity of shard A, T2 -> T1
+    over an entity of shard B: both shard graphs stay acyclic while the
+    global graph is cyclic), so accept/reject must be answered against
+    the union of all conflicts.  The coordinator answers it with exactly
+    the machinery of the single-node scheduler — {!Dct_deletion.Rules}
+    over a global {!Dct_deletion.Graph_state} — which is what makes the
+    engine's differential guarantee structural: for the same step
+    sequence, the engine's outcomes {e are} the single-node SGT
+    scheduler's outcomes, shard count notwithstanding.
+
+    The coordinator graph is kept small the paper's way: the configured
+    deletion policy runs against it as GC, and every deletion is
+    broadcast so shards forget at least as fast
+    ({!Shard.apply_global_deletions}).
+
+    The coordinator's graph state carries the engine's tracer, so an
+    engine trace has the same shape as a single-node [dct simulate
+    --trace] run and [dct trace] (including [--audit]) consumes it
+    unmodified. *)
+
+type t
+
+val create :
+  policy:Dct_deletion.Policy.t ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
+  unit ->
+  t
+
+val decide : t -> Dct_txn.Step.t -> Dct_deletion.Rules.outcome
+(** Apply Rules 1-3 to the global graph — the engine's only
+    accept/reject path. *)
+
+val collect_garbage : t -> Dct_graph.Intset.t
+(** One GC round of the configured policy on the global graph; the
+    returned set must be broadcast to the shards. *)
+
+val graph_state : t -> Dct_deletion.Graph_state.t
+(** Read-only: the differential harness and invariant checks probe it. *)
+
+val policy : t -> Dct_deletion.Policy.t
+
+type stats = {
+  resident_txns : int;
+  resident_arcs : int;
+  active_txns : int;
+  resident_hwm : int;
+  deleted_total : int;
+}
+
+val stats : t -> stats

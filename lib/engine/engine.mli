@@ -1,0 +1,152 @@
+(** The online transaction-processing engine: partitioned data, batched
+    admission, coordinator-exact serializability, deletion-policy GC.
+
+    Composition (see [docs/engine.md] for the full picture):
+
+    {v
+     submit --> Admission (batch B) --> per step: Coordinator.decide
+                                           |  accepted   |  rejected
+                                           v             v
+                                   owning Shard(s)   hosting Shards
+                                   mirror accesses,  abort + undo
+                                   arcs, store, WAL
+                                           |
+                              Coordinator GC -> broadcast deletions
+                              batch end: per-shard local GC
+    v}
+
+    Guarantees, asserted by the differential suite ([test_engine.ml]):
+    - {e Exactness}: the outcome of every submitted step equals the
+      single-node SGT scheduler's outcome on the same (merged) step
+      sequence — the coordinator {e is} that scheduler.  Batching
+      changes when work happens, never what is decided.
+    - {e Residency}: each shard's resident-transaction count never
+      exceeds the single-node scheduler's at the same step (broadcast
+      GC gives <=; local GC usually does strictly better).
+    - {e Data}: each entity's value in its owning shard's store equals
+      the single-node store's.
+
+    Basic-model steps only ([Begin]/[Read]/final [Write]); multi-write
+    and predeclared engines are future work. *)
+
+type config = {
+  shards : int;
+  batch : int;
+  policy : Dct_deletion.Policy.t;
+  partitioner : Partitioner.t;
+  oracle : Dct_graph.Cycle_oracle.backend option;
+      (** Backend for the {e coordinator}'s graph.  Shards always use
+          the default DFS — their graphs are small by construction. *)
+  tracer : Dct_telemetry.Tracer.t;
+}
+
+val config :
+  ?policy:Dct_deletion.Policy.t ->
+  ?partitioner:Partitioner.t ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?tracer:Dct_telemetry.Tracer.t ->
+  shards:int ->
+  batch:int ->
+  unit ->
+  config
+(** Defaults: policy [Greedy_c1], hash partitioner over [shards], no
+    oracle, disabled tracer.
+    @raise Invalid_argument if [shards <= 0], [batch <= 0], or the
+    partitioner's shard count differs from [shards]. *)
+
+type t
+
+val create : config -> t
+
+val submit : t -> Dct_txn.Step.t -> unit
+(** Queue a step; processes a full batch synchronously when this step
+    fills one. *)
+
+val tick : t -> unit
+(** Flush and process the pending partial batch (the group-commit
+    timer). *)
+
+val steps_processed : t -> int
+
+val shard_count : t -> int
+val shard : t -> int -> Shard.t
+val coordinator : t -> Coordinator.t
+val partitioner : t -> Partitioner.t
+
+val shard_residents : t -> int array
+(** Current resident-transaction count per shard. *)
+
+(** {1 Reports} *)
+
+type report = {
+  name : string;
+  shards : int;
+  batch : int;
+  steps : int;
+  accepted : int;
+  rejected : int;
+  ignored : int;
+  committed : int;
+  aborted : int;
+  submitted : int;
+  full_batches : int;
+  ticks : int;
+  coordinator : Coordinator.stats;
+  shard_stats : Shard.stats array;
+  shard_resident_hwm : int;  (** max over shards of the per-shard HWM *)
+  cross_shard_arcs : int;
+      (** conflict arcs with an endpoint hosted on more than one shard —
+          the arcs only the coordinator graph can see in full *)
+  local_arcs : int;
+  distributed_txns : int;  (** transactions that touched >= 2 shards *)
+  wall_seconds : float;
+}
+
+val run :
+  ?on_step:(int -> Dct_txn.Step.t -> Dct_sched.Scheduler_intf.outcome -> unit) ->
+  t ->
+  Dct_txn.Step.t list ->
+  report
+(** Submit every step, tick the final partial batch, run a last GC
+    round, flush the tracer and report.  [on_step] fires immediately
+    after each step is {e decided} (its argument is the 1-based global
+    step index) — the differential harness runs the reference scheduler
+    in lock-step from it. *)
+
+val report : t -> wall_seconds:float -> report
+
+(** {1 Differential mode} *)
+
+type differential_report = {
+  d_steps : int;
+  d_shards : int;
+  outcome_mismatches : (int * string * string) list;
+      (** (step index, engine outcome, single-node outcome) *)
+  residency_violations : (int * int * int * int) list;
+      (** (step index, shard, shard resident, single-node resident) *)
+  store_mismatches : (int * int * int) list;
+      (** (entity, engine value, single-node value) *)
+  committed_engine : int;
+  committed_single : int;
+  aborted_engine : int;
+  aborted_single : int;
+  engine_shard_peak : int;
+  single_peak : int;
+}
+
+val differential :
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?partitioner:Partitioner.t ->
+  shards:int ->
+  batch:int ->
+  policy:Dct_deletion.Policy.t ->
+  Dct_txn.Step.t list ->
+  differential_report
+(** Run the engine and a fresh single-node SGT scheduler (same policy)
+    over the same step sequence in lock-step and compare: per-step
+    outcomes, per-shard residency against single-node residency at the
+    same step, and final store contents entity by entity. *)
+
+val differential_ok : differential_report -> bool
+
+val pp_differential : Format.formatter -> differential_report -> unit

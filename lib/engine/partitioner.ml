@@ -1,0 +1,50 @@
+type strategy = Hash | Range of int
+
+type t = { strategy : strategy; shards : int }
+
+let check_shards shards =
+  if shards <= 0 then
+    invalid_arg (Printf.sprintf "Partitioner: shards must be positive, got %d" shards)
+
+let hash ~shards =
+  check_shards shards;
+  { strategy = Hash; shards }
+
+let range ~shards ~span =
+  check_shards shards;
+  if span <= 0 then
+    invalid_arg (Printf.sprintf "Partitioner: span must be positive, got %d" span);
+  { strategy = Range span; shards }
+
+let shards t = t.shards
+
+(* [e mod n] folded to [0, n): OCaml's mod keeps the dividend's sign. *)
+let positive_mod e n =
+  let m = e mod n in
+  if m < 0 then m + n else m
+
+let shard_of t entity =
+  match t.strategy with
+  | Hash -> positive_mod entity t.shards
+  | Range span -> positive_mod (entity / span) t.shards
+
+let spec t =
+  match t.strategy with
+  | Hash -> "hash"
+  | Range span -> Printf.sprintf "range:%d" span
+
+let of_string s ~shards =
+  if shards <= 0 then
+    Error (Printf.sprintf "shards must be positive, got %d" shards)
+  else
+    match String.lowercase_ascii s with
+    | "hash" | "mod" -> Ok { strategy = Hash; shards }
+    | s when String.length s > 6 && String.sub s 0 6 = "range:" -> (
+        let rest = String.sub s 6 (String.length s - 6) in
+        match int_of_string_opt rest with
+        | Some span when span > 0 -> Ok { strategy = Range span; shards }
+        | Some span -> Error (Printf.sprintf "range span must be positive, got %d" span)
+        | None -> Error (Printf.sprintf "bad range span %S" rest))
+    | _ -> Error (Printf.sprintf "unknown partitioner %S (expected hash | range:<span>)" s)
+
+let pp ppf t = Format.fprintf ppf "%s/%d" (spec t) t.shards

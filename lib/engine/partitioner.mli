@@ -1,0 +1,37 @@
+(** Data-item placement: which shard owns which entity.
+
+    The engine partitions {e entities}, not transactions — a transaction
+    is hosted on every shard holding an entity it touches.  Placement is
+    pure and total, so any component (engine, workload generator, bench
+    harness) can agree on ownership without coordination.
+
+    Two strategies:
+    - [hash] — modulo placement, [entity mod shards].  Matches the
+      generator's shard-affinity option ({!Dct_workload.Generator}),
+      which draws keys congruent to a transaction's home shard.
+    - [range] — contiguous stripes of [span] entities,
+      [(entity / span) mod shards] — the classic range-partitioned
+      layout where neighbouring keys colocate. *)
+
+type t
+
+val hash : shards:int -> t
+(** [entity mod shards].  @raise Invalid_argument if [shards <= 0]. *)
+
+val range : shards:int -> span:int -> t
+(** [(entity / span) mod shards].  @raise Invalid_argument if
+    [shards <= 0] or [span <= 0]. *)
+
+val shards : t -> int
+
+val shard_of : t -> int -> int
+(** Owning shard of an entity, in [\[0, shards)].  Total — negative
+    entities are folded into range. *)
+
+val spec : t -> string
+(** Round-trips through {!of_string}: ["hash"] or ["range:<span>"]. *)
+
+val of_string : string -> shards:int -> (t, string) result
+(** Parse ["hash" | "range:<span>"] (case-insensitive). *)
+
+val pp : Format.formatter -> t -> unit

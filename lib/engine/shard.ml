@@ -1,0 +1,174 @@
+module Intset = Dct_graph.Intset
+module Digraph = Dct_graph.Digraph
+module Gs = Dct_deletion.Graph_state
+module Policy = Dct_deletion.Policy
+module Access = Dct_txn.Access
+module Transaction = Dct_txn.Transaction
+module Store = Dct_kv.Store
+module Wal = Dct_kv.Wal
+
+type t = {
+  id : int;
+  gs : Gs.t;
+  store : Store.t;
+  wal : Wal.t;
+  policy : Policy.t;
+  mutable last_arcs : (int * int) list;
+  mutable resident_hwm : int;
+  mutable hosted_total : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable deleted_local : int;
+  mutable deleted_forced : int;
+}
+
+(* Shard graph states are projections kept for GC and accounting; they
+   carry no tracer so the engine's trace is exactly the coordinator's
+   (single-node-shaped) trace. *)
+let create ~id ~policy ?oracle () =
+  {
+    id;
+    gs = Gs.create ?oracle ();
+    store = Store.create ();
+    wal = Wal.create ();
+    policy;
+    last_arcs = [];
+    resident_hwm = 0;
+    hosted_total = 0;
+    committed = 0;
+    aborted = 0;
+    deleted_local = 0;
+    deleted_forced = 0;
+  }
+
+let id t = t.id
+let graph_state t = t.gs
+let store t = t.store
+let wal t = t.wal
+let hosts t txn = Gs.mem_txn t.gs txn
+let last_arcs t = t.last_arcs
+
+let note_residency t =
+  t.resident_hwm <- max t.resident_hwm (Gs.txn_count t.gs)
+
+let host t txn =
+  if not (Gs.mem_txn t.gs txn) then begin
+    Gs.begin_txn t.gs txn;
+    t.hosted_total <- t.hosted_total + 1;
+    ignore (Wal.append t.wal (Wal.Begin { txn }));
+    note_residency t
+  end
+
+let truncate_log t =
+  ignore (Wal.truncate_to t.wal ~resident:(fun txn -> Gs.mem_txn t.gs txn))
+
+(* Local arcs are always safe to add: the coordinator accepted the step,
+   so no global path [txn ~> src] exists, and local connectivity (real
+   arcs are a subset of global ones; bypass arcs only preserve existing
+   local paths) is a subset of global connectivity. *)
+let add_arcs t ~into sources =
+  Intset.iter
+    (fun src ->
+      Gs.add_arc t.gs ~src ~dst:into;
+      t.last_arcs <- (src, into) :: t.last_arcs)
+    sources
+
+let apply_read t ~txn ~entity =
+  t.last_arcs <- [];
+  host t txn;
+  let sources = Intset.remove txn (Gs.present_writers t.gs ~entity) in
+  add_arcs t ~into:txn sources;
+  Gs.record_access t.gs ~txn ~entity ~mode:Access.Read;
+  ignore (Store.read t.store ~entity ~reader:txn)
+
+let apply_write t ~txn ~entities ~value =
+  t.last_arcs <- [];
+  host t txn;
+  let sources =
+    List.fold_left
+      (fun acc entity ->
+        Intset.union acc (Gs.present_accessors t.gs ~entity))
+      Intset.empty entities
+    |> Intset.remove txn
+  in
+  add_arcs t ~into:txn sources;
+  List.iter
+    (fun entity ->
+      Gs.record_access t.gs ~txn ~entity ~mode:Access.Write;
+      Store.write t.store ~entity ~writer:txn ~value;
+      ignore (Wal.append t.wal (Wal.Write { txn; entity; value })))
+    entities
+
+let complete t txn =
+  if Gs.mem_txn t.gs txn && Gs.is_active t.gs txn then begin
+    Gs.set_state t.gs txn Transaction.Committed;
+    t.committed <- t.committed + 1;
+    ignore (Wal.append t.wal (Wal.Commit { txn }))
+  end
+
+let abort t txn =
+  if Gs.mem_txn t.gs txn then begin
+    Gs.abort_txn t.gs txn;
+    Store.undo_writes t.store ~txn;
+    t.aborted <- t.aborted + 1;
+    ignore (Wal.append t.wal (Wal.Abort { txn }));
+    truncate_log t
+  end
+
+let forget_from_store t deleted =
+  Intset.iter (fun txn -> Store.forget_txn t.store ~txn) deleted
+
+let collect_garbage t =
+  let deleted = Policy.run t.policy t.gs in
+  if not (Intset.is_empty deleted) then begin
+    t.deleted_local <- t.deleted_local + Intset.cardinal deleted;
+    forget_from_store t deleted;
+    truncate_log t
+  end;
+  deleted
+
+let apply_global_deletions t global =
+  let applied =
+    Intset.filter
+      (fun txn -> Gs.mem_txn t.gs txn && Gs.is_completed t.gs txn)
+      global
+  in
+  if not (Intset.is_empty applied) then begin
+    Intset.iter (fun txn -> Gs.delete_with_bypass t.gs txn) applied;
+    t.deleted_forced <- t.deleted_forced + Intset.cardinal applied;
+    forget_from_store t applied;
+    truncate_log t
+  end;
+  applied
+
+type stats = {
+  resident_txns : int;
+  resident_arcs : int;
+  active_txns : int;
+  resident_hwm : int;
+  hosted_total : int;
+  committed : int;
+  aborted : int;
+  deleted_local : int;
+  deleted_forced : int;
+  store_versions : int;
+  wal_retained : int;
+  wal_truncated : int;
+}
+
+let stats t =
+  note_residency t;
+  {
+    resident_txns = Gs.txn_count t.gs;
+    resident_arcs = Digraph.arc_count (Gs.graph t.gs);
+    active_txns = Intset.cardinal (Gs.active_txns t.gs);
+    resident_hwm = t.resident_hwm;
+    hosted_total = t.hosted_total;
+    committed = t.committed;
+    aborted = t.aborted;
+    deleted_local = t.deleted_local;
+    deleted_forced = t.deleted_forced;
+    store_versions = Store.total_versions t.store;
+    wal_retained = Wal.length t.wal;
+    wal_truncated = Wal.truncated t.wal;
+  }

@@ -18,27 +18,46 @@ let flush = function
   | Null | Memory _ -> ()
   | Channel oc -> Stdlib.flush oc
 
-let parse_string s =
+(* [Event.of_json] reports malformed input as [Error _]; the extra
+   [try] is a backstop so a parser defect surfaces as a per-line error
+   instead of killing the whole summary. *)
+let parse_line line =
+  try Event.of_json line with
+  | exn -> Error ("parser raised " ^ Printexc.to_string exn)
+
+let parse_string_lenient s =
   let lines = String.split_on_char '\n' s in
-  let rec go lineno acc = function
-    | [] -> Ok (List.rev acc)
+  let rec go lineno events errors = function
+    | [] -> (List.rev events, List.rev errors)
     | line :: rest ->
         let line = String.trim line in
-        if line = "" then go (lineno + 1) acc rest
+        if line = "" then go (lineno + 1) events errors rest
         else (
-          match Event.of_json line with
-          | Ok ev -> go (lineno + 1) (ev :: acc) rest
-          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+          match parse_line line with
+          | Ok ev -> go (lineno + 1) (ev :: events) errors rest
+          | Error e -> go (lineno + 1) events ((lineno, e) :: errors) rest)
   in
-  go 1 [] lines
+  go 1 [] [] lines
 
-let read_file path =
+let parse_string s =
+  match parse_string_lenient s with
+  | events, [] -> Ok events
+  | _, (lineno, e) :: _ -> Error (Printf.sprintf "line %d: %s" lineno e)
+
+let with_file_contents path f =
   match open_in_bin path with
   | exception Sys_error e -> Error e
   | ic ->
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
+      f s
+
+let read_file path =
+  with_file_contents path (fun s ->
       Result.map_error
         (fun e -> Printf.sprintf "%s: %s" path e)
-        (parse_string s)
+        (parse_string s))
+
+let read_file_lenient path =
+  with_file_contents path (fun s -> Ok (parse_string_lenient s))

@@ -17,3 +17,14 @@ val parse_string : string -> (Event.t list, string) result
 (** Parse a JSONL document; errors carry the 1-based line number. *)
 
 val read_file : string -> (Event.t list, string) result
+
+val parse_string_lenient : string -> Event.t list * (int * string) list
+(** Like {!parse_string} but collect {e every} malformed line as a
+    [(1-based line number, message)] pair instead of stopping at the
+    first — the shape a trace summarizer wants for truncated or
+    corrupted files.  Blank lines are still skipped; an event parser
+    that raises is caught and reported as that line's error. *)
+
+val read_file_lenient : string -> (Event.t list * (int * string) list, string) result
+(** {!parse_string_lenient} over a file; [Error] only for I/O failures
+    (unreadable path), never for malformed content. *)

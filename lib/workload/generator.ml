@@ -15,6 +15,8 @@ type profile = {
   long_readers : int;
   long_reader_step : float;
   seed : int;
+  shards : int;
+  cross_shard : float;
 }
 
 let default =
@@ -32,6 +34,8 @@ let default =
     long_readers = 0;
     long_reader_step = 0.05;
     seed = 42;
+    shards = 1;
+    cross_shard = 0.1;
   }
 
 let pp_profile ppf p =
@@ -39,7 +43,9 @@ let pp_profile ppf p =
     "txns=%d entities=%d mpl=%d reads=%d..%d writes=%d..%d ro=%.2f skew=%s \
      long=%d seed=%d"
     p.n_txns p.n_entities p.mpl p.reads_min p.reads_max p.writes_min
-    p.writes_max p.read_only_fraction p.skew p.long_readers p.seed
+    p.writes_max p.read_only_fraction p.skew p.long_readers p.seed;
+  if p.shards > 1 then
+    Format.fprintf ppf " shards=%d cross=%.2f" p.shards p.cross_shard
 
 (* A planned transaction: the entities it will read, in order, and the
    entities of its final write set. *)
@@ -63,9 +69,28 @@ let dedup l =
       end)
     l
 
-let make_plan p dist rng =
+(* Shard affinity (engine workloads): each transaction has a home shard
+   (its id mod [shards], the same modulo placement as
+   [Dct_engine.Partitioner.hash]) and its keys are folded into that
+   shard's congruence class — except, with probability [cross_shard],
+   a key is drawn unconstrained, modelling a distributed transaction.
+   With [shards <= 1] the sampler is exactly the historical one and
+   consumes exactly the same PRNG draws, so legacy profiles reproduce
+   their schedules bit for bit. *)
+let home_of p txn = if p.shards <= 1 then 0 else txn mod p.shards
+
+let sample_key p dist rng ~home =
+  let e = Zipf.sample dist rng in
+  if p.shards <= 1 then e
+  else if Prng.bool rng ~p:p.cross_shard then e
+  else begin
+    let aligned = e - (e mod p.shards) + home in
+    if aligned < p.n_entities then aligned else aligned - p.shards
+  end
+
+let make_plan p dist rng ~home =
   let n_reads = range rng p.reads_min p.reads_max in
-  let reads = dedup (List.init n_reads (fun _ -> Zipf.sample dist rng)) in
+  let reads = dedup (List.init n_reads (fun _ -> sample_key p dist rng ~home)) in
   let writes =
     if Prng.bool rng ~p:p.read_only_fraction then []
     else begin
@@ -75,7 +100,7 @@ let make_plan p dist rng =
         (List.init n_writes (fun _ ->
              if Array.length reads_arr > 0 && Prng.bool rng ~p:p.write_from_reads
              then Prng.choose rng reads_arr
-             else Zipf.sample dist rng))
+             else sample_key p dist rng ~home))
     end
   in
   { reads; writes }
@@ -84,6 +109,8 @@ let make_plan p dist rng =
    list (excluding Begin); long readers read one entity at a time and
    complete only after every regular transaction has. *)
 let interleave p ~begin_step ~render ~finish_long =
+  if p.shards > 1 && p.shards > p.n_entities then
+    invalid_arg "Generator: shards must not exceed n_entities";
   let rng = Prng.create ~seed:p.seed in
   let dist = dist_of p in
   let steps = ref [] in
@@ -98,12 +125,18 @@ let interleave p ~begin_step ~render ~finish_long =
   List.iter
     (fun t ->
       let plan =
-        { reads = List.init 64 (fun _ -> Zipf.sample dist rng); writes = [] }
+        {
+          reads =
+            List.init 64 (fun _ -> sample_key p dist rng ~home:(home_of p t));
+          writes = [];
+        }
       in
       emit (begin_step t plan))
     long_ids;
   let long_arr = Array.of_list long_ids in
-  let long_read t = emit (Step.Read (t, Zipf.sample dist rng)) in
+  let long_read t =
+    emit (Step.Read (t, sample_key p dist rng ~home:(home_of p t)))
+  in
   (* Regular slots. *)
   let slots = Queue.create () in
   let started = ref 0 in
@@ -111,7 +144,7 @@ let interleave p ~begin_step ~render ~finish_long =
     if !started < p.n_txns then begin
       incr started;
       let t = fresh_txn () in
-      let plan = make_plan p dist rng in
+      let plan = make_plan p dist rng ~home:(home_of p t) in
       emit (begin_step t plan);
       Queue.push (t, ref (render t plan)) slots
     end

@@ -24,11 +24,23 @@ type profile = {
   long_readers : int;          (** extra always-active readers, completing last *)
   long_reader_step : float;    (** probability a given step goes to a long reader *)
   seed : int;
+  shards : int;
+      (** shard-affine key placement for engine workloads: each
+          transaction's home shard is its id mod [shards] (the engine's
+          hash placement), and its keys are folded into the home shard's
+          congruence class.  [<= 1] disables affinity — and leaves the
+          PRNG draw sequence exactly as before, so legacy profiles keep
+          their schedules. *)
+  cross_shard : float;
+      (** probability a key of a shard-affine transaction is drawn
+          unconstrained instead (a distributed transaction's remote
+          access); only meaningful with [shards > 1] *)
 }
 
 val default : profile
 (** 200 txns, 64 entities, mpl 8, 2–6 reads, 1–3 writes, 10% read-only,
-    zipf:0.9, no long readers, seed 42. *)
+    zipf:0.9, no long readers, seed 42, shards 1 (affinity off),
+    cross_shard 0.1. *)
 
 val basic : profile -> Dct_txn.Schedule.t
 val multiwrite : profile -> Dct_txn.Schedule.t

@@ -109,6 +109,68 @@ let test_sink_round_trip () =
   | Ok _ -> Alcotest.fail "malformed line accepted"
   | Error _ -> ()
 
+(* Lenient parsing: every malformed line is reported with its 1-based
+   line number; the parseable events still come back.  This is what
+   [dct trace] runs on, so truncated or corrupted trace files summarize
+   instead of dying (exercised end to end on test/corpus/trace/). *)
+let test_sink_lenient_parse () =
+  let good1 = E.to_json (E.Step_submitted { index = 1; step = Step.to_telemetry (Step.Begin 1) }) in
+  let good2 = E.to_json (E.Decision { index = 1; txn = 1; outcome = "accepted"; reason = "" }) in
+  let doc =
+    String.concat "\n"
+      [
+        good1;
+        "{\"ev\":\"decision\",\"i\":2,\"txn\":1,\"outcome\":\"acce";  (* mid-write truncation *)
+        "";                                                           (* blank: skipped, but counted for numbering *)
+        good2;
+        "not json at all";
+      ]
+  in
+  let events, errors = Sink.parse_string_lenient doc in
+  Alcotest.(check int) "both good events survive" 2 (List.length events);
+  Alcotest.(check (list int)) "error line numbers" [ 2; 5 ] (List.map fst errors);
+  List.iter
+    (fun (_, msg) -> check "error message non-empty" true (msg <> ""))
+    errors;
+  (* The strict parser still reports the first error... *)
+  (match Sink.parse_string doc with
+  | Ok _ -> Alcotest.fail "strict parser accepted a malformed document"
+  | Error msg ->
+      check "strict error carries line 2" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:"));
+  (* ...and an all-good document parses identically both ways. *)
+  let clean = good1 ^ "\n" ^ good2 ^ "\n" in
+  match (Sink.parse_string clean, Sink.parse_string_lenient clean) with
+  | Ok strict, (lenient, []) ->
+      check "strict = lenient on clean input" true
+        (List.for_all2 E.equal strict lenient)
+  | _ -> Alcotest.fail "clean document failed to parse"
+
+(* The corpus files drive the CLI behaviour: a truncated trace
+   summarizes what it can and exits 2; an empty trace is a clear error,
+   not an all-zero report. *)
+let dct_exe =
+  (* In the sandbox the test binary runs from _build/default/test. *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/dct.exe"
+
+let run_dct args =
+  let cmd = Filename.quote_command dct_exe args in
+  Sys.command (cmd ^ " >/dev/null 2>&1")
+
+let test_trace_cli_corpus () =
+  if not (Sys.file_exists dct_exe) then
+    Alcotest.skip ()
+  else begin
+    Alcotest.(check int)
+      "truncated corpus trace exits 2"
+      2
+      (run_dct [ "trace"; "corpus/trace/truncated.jsonl" ]);
+    Alcotest.(check int)
+      "empty corpus trace exits 2"
+      2
+      (run_dct [ "trace"; "corpus/trace/empty.jsonl" ])
+  end
+
 (* --- metrics registry --- *)
 
 let test_metrics_registry () =
@@ -300,6 +362,10 @@ let () =
           Alcotest.test_case "event json round-trip" `Quick test_json_round_trip;
           Alcotest.test_case "step conversion round-trip" `Quick test_step_round_trip;
           Alcotest.test_case "sink round-trip" `Quick test_sink_round_trip;
+          Alcotest.test_case "lenient parse collects per-line errors" `Quick
+            test_sink_lenient_parse;
+          Alcotest.test_case "trace CLI on truncated/empty corpus" `Quick
+            test_trace_cli_corpus;
         ] );
       ( "metrics",
         [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );

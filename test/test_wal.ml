@@ -115,6 +115,76 @@ let test_pp () =
        (Wal.Write { txn = 1; entity = 2; value = 7 })
     = "WRITE T1 e2 := 7")
 
+(* Crash-recovery property: whatever point a crash truncates the log at
+   — including between the Write records of one transaction's atomic
+   write group — replaying the surviving prefix yields a
+   prefix-consistent store: exactly the writes of transactions whose
+   Commit survived, in log order, and nothing of transactions whose
+   commit (or any later record) was lost. *)
+let prop_truncated_replay_prefix_consistent =
+  QCheck.Test.make ~count:100 ~name:"wal: mid-write truncation replays to a prefix-consistent store"
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (seed, cut_raw) ->
+      let wal = Wal.create () in
+      let sched = Cs.create ~policy:Policy.No_deletion ~wal () in
+      let schedule =
+        Gen.basic
+          {
+            Gen.default with
+            Gen.n_txns = 30;
+            n_entities = 8;
+            mpl = 4;
+            seed = 1000 + seed;
+          }
+      in
+      List.iter (fun s -> ignore (Cs.step sched s)) schedule;
+      let full = Wal.records wal in
+      let n = List.length full in
+      if n = 0 then true
+      else begin
+        (* The crash keeps the first [cut] records; [cut_raw] is folded
+           so every prefix length (0 included) is reachable. *)
+        let cut = cut_raw mod (n + 1) in
+        let surviving = Wal.create () in
+        List.iteri
+          (fun i (_lsn, r) -> if i < cut then ignore (Wal.append surviving r))
+          full;
+        let recovered = Store.create () in
+        Wal.replay surviving ~into:recovered;
+        (* Reference model, computed independently of [replay]: commits
+           that survived, then their writes in log order. *)
+        let committed = Hashtbl.create 16 in
+        List.iteri
+          (fun i (_lsn, r) ->
+            match r with
+            | Wal.Commit { txn } when i < cut -> Hashtbl.replace committed txn ()
+            | _ -> ())
+          full;
+        let expected = Hashtbl.create 16 in
+        let entities = ref [] in
+        List.iteri
+          (fun i (_lsn, r) ->
+            match r with
+            | Wal.Write { txn; entity; value }
+              when i < cut && Hashtbl.mem committed txn ->
+                if not (Hashtbl.mem expected entity) then
+                  entities := entity :: !entities;
+                Hashtbl.replace expected entity value
+            | _ -> ())
+          full;
+        List.for_all
+          (fun entity ->
+            Store.peek recovered ~entity = Hashtbl.find expected entity)
+          !entities
+        && (* and nothing beyond the prefix leaked in: every touched
+              entity of the recovered store is either expected or still
+              at the initial value *)
+        Intset.for_all
+          (fun entity ->
+            Hashtbl.mem expected entity || Store.peek recovered ~entity = 0)
+          (Store.entities recovered)
+      end)
+
 let () =
   Alcotest.run "wal"
     [
@@ -130,5 +200,6 @@ let () =
           Alcotest.test_case "recovery equivalence" `Quick
             test_recovery_equivalence;
           Alcotest.test_case "record printing" `Quick test_pp;
+          QCheck_alcotest.to_alcotest prop_truncated_replay_prefix_consistent;
         ] );
     ]

@@ -181,6 +181,86 @@ let test_read_only_fraction () =
   check "all writes empty" true
     (List.for_all (function Step.Write (_, xs) -> xs = [] | _ -> true) s)
 
+(* Shard affinity: per-transaction accesses grouped by the hash
+   partition class (entity mod shards) against the transaction's home
+   shard (txn mod shards). *)
+let shard_access_split ~shards schedule =
+  let home = ref 0 and away = ref 0 in
+  List.iter
+    (fun step ->
+      let txn = Step.txn step in
+      List.iter
+        (fun (entity, _mode) ->
+          if entity mod shards = txn mod shards then incr home else incr away)
+        (Step.accesses step))
+    schedule;
+  (!home, !away)
+
+let test_shard_affinity_strict () =
+  (* cross_shard = 0: every access of every transaction stays in its
+     home shard's congruence class. *)
+  let p =
+    {
+      Gen.default with
+      Gen.n_txns = 200;
+      n_entities = 64;
+      shards = 4;
+      cross_shard = 0.0;
+    }
+  in
+  let home, away = shard_access_split ~shards:4 (Gen.basic p) in
+  check "some accesses" true (home > 0);
+  Alcotest.(check int) "no escaped keys" 0 away
+
+let test_shard_affinity_cross_rate () =
+  (* cross_shard = 0.5 with 4 shards: an escaped key lands off-home 3/4
+     of the time, so the expected off-home fraction is 0.5 * 3/4 =
+     0.375.  Assert a generous band around it. *)
+  let p =
+    {
+      Gen.default with
+      Gen.n_txns = 400;
+      n_entities = 64;
+      shards = 4;
+      cross_shard = 0.5;
+    }
+  in
+  let home, away = shard_access_split ~shards:4 (Gen.basic p) in
+  let frac = float_of_int away /. float_of_int (home + away) in
+  check
+    (Printf.sprintf "off-home fraction %.3f within [0.25, 0.50]" frac)
+    true
+    (frac > 0.25 && frac < 0.50)
+
+let test_shard_affinity_preserves_legacy_stream () =
+  (* The sharding knobs must not disturb unsharded profiles: shards = 1
+     consumes exactly the PRNG draws the pre-sharding generator did, so
+     the schedule for a given seed is unchanged regardless of the
+     cross_shard setting. *)
+  let base = { Gen.default with Gen.n_txns = 100; seed = 9 } in
+  let a = Gen.basic { base with Gen.shards = 1; cross_shard = 0.0 } in
+  let b = Gen.basic { base with Gen.shards = 1; cross_shard = 0.9 } in
+  check "shards=1 stream independent of cross_shard" true (a = b)
+
+let test_shard_affinity_entity_range () =
+  let p =
+    {
+      Gen.default with
+      Gen.n_txns = 200;
+      n_entities = 30;  (* not a multiple of shards: alignment must clamp *)
+      shards = 4;
+      cross_shard = 0.2;
+    }
+  in
+  let ok = ref true in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun (entity, _) -> if entity < 0 || entity >= 30 then ok := false)
+        (Step.accesses step))
+    (Gen.basic p);
+  check "aligned keys stay in [0, n_entities)" true !ok
+
 let () =
   Alcotest.run "workload"
     [
@@ -209,5 +289,15 @@ let () =
           Alcotest.test_case "multiwrite shape" `Quick test_multiwrite_shape;
           Alcotest.test_case "predeclared shape" `Quick test_predeclared_shape;
           Alcotest.test_case "read-only fraction" `Quick test_read_only_fraction;
+        ] );
+      ( "shard-affinity",
+        [
+          Alcotest.test_case "strict affinity" `Quick test_shard_affinity_strict;
+          Alcotest.test_case "cross-shard rate" `Quick
+            test_shard_affinity_cross_rate;
+          Alcotest.test_case "legacy stream preserved" `Quick
+            test_shard_affinity_preserves_legacy_stream;
+          Alcotest.test_case "entity range with clamping" `Quick
+            test_shard_affinity_entity_range;
         ] );
     ]
