@@ -1,8 +1,13 @@
 # Convenience entry points; everything below is a thin wrapper over dune.
 
-.PHONY: all build test oracle-test telemetry-test engine-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke clean
+.PHONY: all check build test oracle-test telemetry-test engine-test gc-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-policy bench-policy-smoke clean
 
 all: build
+
+# The default gate: full build, full test suite, and the smoke sweeps
+# that double as end-to-end differential checks (oracle backends,
+# sharded engine, deletability index).
+check: build test bench-smoke bench-engine-smoke bench-policy-smoke
 
 build:
 	dune build
@@ -25,6 +30,13 @@ telemetry-test:
 # hacking on lib/engine.
 engine-test:
 	dune build @engine
+
+# Just the deletability-index suite (holds_fast/index metamorphic
+# properties, policy x scheduler x backend equivalence, the engine
+# differential under the checked index) — the tight loop when hacking
+# on the GC fast path.
+gc-test:
+	dune build @gc
 
 # End-to-end trace round trip: simulate with tracing on, summarize the
 # JSONL, re-feed the decisions to the deletion auditor.
@@ -58,6 +70,18 @@ bench-engine:
 # failure or a malformed BENCH_engine.json.
 bench-engine-smoke:
 	dune exec bench/main.exe -- engine-smoke
+
+# The policy/GC sweep: n x contention x policy with and without the
+# deletability index (writes BENCH_policy.json with per-GC-call latency
+# histograms; enforces the >= 5x incremental speedup on the n >= 1000
+# pinned-resident rows and zero checked-mode divergences).
+bench-policy:
+	dune exec bench/main.exe -- policy
+
+# CI gate: two-config policy sweep, exits non-zero on a divergence or a
+# malformed BENCH_policy.json.
+bench-policy-smoke:
+	dune exec bench/main.exe -- policy-smoke
 
 clean:
 	dune clean

@@ -67,6 +67,25 @@ let policy_arg =
           "Deletion policy: none | commit | noncurrent | greedy (alias: c1) \
            | exact (alias: c2) | exact-weighted | budget:<n>:<inner>.")
 
+let gc_index_conv =
+  let module D = Dct_deletion.Deletability_index in
+  let parse s = Result.map_error (fun e -> `Msg e) (D.mode_of_string s) in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (D.mode_name m))
+
+let gc_index_arg =
+  Arg.(
+    value
+    & opt (some gc_index_conv) None
+    & info [ "gc-index" ] ~docv:"INDEX"
+        ~doc:
+          "Deletability-index backend for the deletion policy's GC \
+           decisions: naive (re-evaluate C1/C4 from scratch every round \
+           — the reference), incremental (serve verdicts from a \
+           mutation-hooked cache, re-checking only dirty tight \
+           neighbourhoods) or checked (run both in lock-step and fail on \
+           the first divergence, mirroring --oracle checked).  Graph \
+           models only.")
+
 let schedule_file =
   Arg.(
     required
@@ -76,7 +95,7 @@ let schedule_file =
 (* --- simulate --- *)
 
 let simulate model policy txns entities mpl skew seed long_readers selfcheck
-    oracle trace metrics_on json =
+    oracle gc_index trace metrics_on json =
   (* "conflict" is the paper's name for the basic-model conflict-graph
      scheduler. *)
   let model = if model = "conflict" then "basic" else model in
@@ -87,6 +106,13 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
     Printf.eprintf
       "dct: --trace/--metrics are unsupported for model %S (no graph \
        scheduler to instrument)\n"
+      model;
+    exit 2
+  end;
+  if gc_index <> None && not graph_model then begin
+    Printf.eprintf
+      "dct: --gc-index is unsupported for model %S (no deletion policy to \
+       index)\n"
       model;
     exit 2
   end;
@@ -121,18 +147,21 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
     match model with
     | "basic" ->
         let t =
-          Dct_sched.Conflict_scheduler.create ~policy ?oracle ~tracer ()
+          Dct_sched.Conflict_scheduler.create ~policy ?oracle ~tracer
+            ?gc_index ()
         in
         ( Dct_sched.Conflict_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Conflict_scheduler.graph_state t),
           Gen.basic profile )
     | "certify" ->
-        (Dct_sched.Certifier.handle ?oracle ~tracer (), None, Gen.basic profile)
+        ( Dct_sched.Certifier.handle ?oracle ~tracer ?gc_index (),
+          None,
+          Gen.basic profile )
     | "multiwrite" ->
         let t =
           Dct_sched.Multiwrite_scheduler.create
             ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ?oracle
-            ~tracer ()
+            ~tracer ?gc_index ()
         in
         ( Dct_sched.Multiwrite_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Multiwrite_scheduler.graph_state t),
@@ -140,7 +169,7 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
     | "predeclared" ->
         let t =
           Dct_sched.Predeclared_scheduler.create ~use_c4_deletion:true ?oracle
-            ~tracer ()
+            ~tracer ?gc_index ()
         in
         ( Dct_sched.Predeclared_scheduler.handle_of t,
           Some (fun () -> Dct_sched.Predeclared_scheduler.graph_state t),
@@ -182,6 +211,9 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
         exit 1
     | Dct_graph.Cycle_oracle.Disagreement msg ->
         Printf.eprintf "oracle DISAGREEMENT: %s\n" msg;
+        exit 1
+    | Dct_deletion.Deletability_index.Divergence msg ->
+        Printf.eprintf "gc-index DIVERGENCE: %s\n" msg;
         exit 1
   in
   Option.iter close_out trace_oc;
@@ -227,6 +259,11 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
     (match oracle with
     | Some b ->
         Printf.printf "oracle: %s\n" (Dct_graph.Cycle_oracle.backend_name b)
+    | None -> ());
+    (match gc_index with
+    | Some m ->
+        Printf.printf "gc-index: %s\n"
+          (Dct_deletion.Deletability_index.mode_name m)
     | None -> ());
     if selfcheck then
       Printf.printf "selfcheck: invariants validated after each of %d steps\n"
@@ -330,8 +367,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a synthetic workload through a scheduler")
     Term.(
       const simulate $ model $ policy_arg $ txns $ entities $ mpl $ skew $ seed
-      $ long_readers $ selfcheck $ oracle_arg $ trace_arg $ metrics_arg
-      $ json_arg)
+      $ long_readers $ selfcheck $ oracle_arg $ gc_index_arg $ trace_arg
+      $ metrics_arg $ json_arg)
 
 (* --- serve --- *)
 
@@ -341,7 +378,7 @@ let rec take n = function
   | x :: tl -> x :: take (n - 1) tl
 
 let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
-    cross_shard oracle differential trace metrics_on json =
+    cross_shard oracle gc_index differential trace metrics_on json =
   let module Eng = Dct_engine.Engine in
   let partitioner =
     match Dct_engine.Partitioner.of_string partitioner_spec ~shards with
@@ -381,9 +418,14 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
     else Dct_telemetry.Tracer.disabled
   in
   let cfg =
-    Eng.config ~policy ~partitioner ?oracle ~tracer ~shards ~batch ()
+    Eng.config ~policy ~partitioner ?oracle ~tracer ?gc_index ~shards ~batch ()
   in
-  let r = Eng.run (Eng.create cfg) schedule in
+  let r =
+    try Eng.run (Eng.create cfg) schedule with
+    | Dct_deletion.Deletability_index.Divergence msg ->
+        Printf.eprintf "gc-index DIVERGENCE: %s\n" msg;
+        exit 1
+  in
   Option.iter close_out trace_oc;
   let c = r.Eng.coordinator in
   let throughput =
@@ -499,7 +541,10 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
   end;
   if not differential then 0
   else begin
-    let d = Eng.differential ?oracle ~partitioner ~shards ~batch ~policy schedule in
+    let d =
+      Eng.differential ?oracle ~partitioner ?gc_index ~shards ~batch ~policy
+        schedule
+    in
     if not json then begin
       print_newline ();
       Format.printf "%a@." Eng.pp_differential d
@@ -608,7 +653,7 @@ let serve_cmd =
     Term.(
       const serve $ shards $ batch $ policy_arg $ partitioner_arg $ steps
       $ txns $ entities $ mpl $ skew $ seed $ cross_shard $ oracle_arg
-      $ differential $ trace_arg $ metrics_arg $ json_arg)
+      $ gc_index_arg $ differential $ trace_arg $ metrics_arg $ json_arg)
 
 (* --- trace --- *)
 
@@ -655,6 +700,10 @@ let trace_report path audit_on safety_depth =
       let deletions = Hashtbl.create 8 in
       let denials = Hashtbl.create 8 in
       let oracle = Hashtbl.create 8 in
+      (* GC rounds are probe observations too (op = "gc", backend = the
+         deletability-index mode); they get their own section rather
+         than a row in the oracle table. *)
+      let gc = Hashtbl.create 4 in
       let checkpoints = ref [] in
       let steps = ref 0 and cycles = ref 0 and restarts = ref 0 in
       let del_bump policy f =
@@ -678,13 +727,15 @@ let trace_report path audit_on safety_depth =
               del_bump policy (fun (c, d, b) -> (c, d, b + 1));
               bump denials (policy, condition) 1
           | E.Oracle_query { op; backend; ns } ->
-              let key = (backend, op) in
+              let tbl, key =
+                if op = "gc" then (gc, (backend, op)) else (oracle, (backend, op))
+              in
               let cell =
-                match Hashtbl.find_opt oracle key with
+                match Hashtbl.find_opt tbl key with
                 | Some r -> r
                 | None ->
                     let r = ref [] in
-                    Hashtbl.add oracle key r;
+                    Hashtbl.add tbl key r;
                     r
               in
               cell := ns :: !cell
@@ -767,9 +818,9 @@ let trace_report path audit_on safety_depth =
                    string_of_int c.E.deleted;
                  ])
                rows));
+      let pct p xs = Dct_sim.Metrics.percentile p xs in
       if Hashtbl.length oracle > 0 then begin
         print_newline ();
-        let pct p xs = Dct_sim.Metrics.percentile p xs in
         Dct_sim.Report.print_table
           ~headers:
             [ "backend"; "op"; "queries"; "p50 ns"; "p90 ns"; "p99 ns";
@@ -787,6 +838,26 @@ let trace_report path audit_on safety_depth =
                ])
              (List.sort compare
                 (Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle [])))
+      end;
+      if Hashtbl.length gc > 0 then begin
+        print_newline ();
+        Printf.printf "gc (per-call latency by deletability-index backend):\n";
+        Dct_sim.Report.print_table
+          ~headers:
+            [ "gc index"; "calls"; "p50 ns"; "p90 ns"; "p99 ns"; "max ns" ]
+          (List.map
+             (fun ((bk, _op), cell) ->
+               let xs = !cell in
+               [
+                 bk;
+                 string_of_int (List.length xs);
+                 Printf.sprintf "%.0f" (pct 50.0 xs);
+                 Printf.sprintf "%.0f" (pct 90.0 xs);
+                 Printf.sprintf "%.0f" (pct 99.0 xs);
+                 Printf.sprintf "%.0f" (pct 100.0 xs);
+               ])
+             (List.sort compare
+                (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gc [])))
       end;
       let clean = if errors = [] then 0 else 2 in
       if not audit_on then clean
@@ -835,10 +906,11 @@ let trace_cmd =
        ~doc:
          "Summarize a telemetry trace: per-outcome decision counts, \
           rejection reasons, deletion successes and denial reasons per \
-          policy, residency timeline with high-water mark, and oracle \
-          latency percentiles per backend and operation.  Exits 0 on a \
-          clean summary, 1 on an --audit finding, 2 on unreadable or \
-          malformed input.")
+          policy, residency timeline with high-water mark, oracle \
+          latency percentiles per backend and operation, and per-call \
+          GC latency percentiles per deletability-index backend.  Exits \
+          0 on a clean summary, 1 on an --audit finding, 2 on unreadable \
+          or malformed input.")
     Term.(const trace_report $ file $ audit_on $ safety_depth)
 
 (* --- lint --- *)
@@ -1018,7 +1090,9 @@ let check condition path names =
       List.iter
         (fun name ->
           let id = txn_id env name in
-          let ok = Dct_deletion.Condition_c1.holds gs id in
+          (* boolean verdict via the short-circuiting check; [witnesses]
+             below still uses the enumerating path for the explanation *)
+          let ok = Dct_deletion.Condition_c1.holds_fast gs id in
           Printf.printf "%s: %s\n" name (if ok then "deletable (C1 holds)" else "not deletable");
           if not ok && Gs.is_completed gs id then
             List.iter

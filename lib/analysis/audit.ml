@@ -131,7 +131,8 @@ let sequential_c1_order gs set =
     Intset.is_empty set
     || (not (Hashtbl.mem failed (Intset.elements set)))
        &&
-       let candidates = Intset.filter (C1.holds gs) set in
+       let memo = Hashtbl.create 8 in
+       let candidates = Intset.filter (C1.holds_fast ~memo gs) set in
        let ok =
          Intset.exists
            (fun ti ->

@@ -167,8 +167,8 @@ let checked_apply gs step =
     gs;
   outcome
 
-let checked_policy_run policy gs =
-  let deleted = Policy.run policy gs in
+let checked_policy_run ?index policy gs =
+  let deleted = Policy.run ?index policy gs in
   check_exn
     ~context:
       (Format.asprintf "after policy %s deleted %a" (Policy.name policy)

@@ -43,8 +43,12 @@ val checked_apply :
     @raise Violation naming the step as context. *)
 
 val checked_policy_run :
-  Dct_deletion.Policy.t -> Dct_deletion.Graph_state.t -> Dct_graph.Intset.t
-(** {!Dct_deletion.Policy.run} followed by {!check_exn}. *)
+  ?index:Dct_deletion.Deletability_index.t ->
+  Dct_deletion.Policy.t ->
+  Dct_deletion.Graph_state.t ->
+  Dct_graph.Intset.t
+(** {!Dct_deletion.Policy.run} followed by {!check_exn}; [index] is
+    passed through to the policy. *)
 
 val selfcheck_handle :
   gs:(unit -> Dct_deletion.Graph_state.t) ->

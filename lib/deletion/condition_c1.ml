@@ -38,7 +38,78 @@ let holds gs ti =
   && Graph_state.is_completed gs ti
   && witnesses gs ti = []
 
-let eligible gs = Intset.filter (holds gs) (Graph_state.completed_txns gs)
+(* Per-entity (writers, readers) tallies over a discharger set.  Because
+   an access set stores only the strongest mode per entity, each member
+   contributes exactly one tally per entity it touched — which makes
+   excluding the candidate itself pure arithmetic (see {!counts_cover})
+   instead of a per-(candidate, predecessor) set rebuild. *)
+type counts = (int, int * int) Hashtbl.t
+
+let cover_counts gs cts : counts =
+  let h = Hashtbl.create 16 in
+  Intset.iter
+    (fun tk ->
+      Access.iter
+        (fun ~entity ~mode ->
+          let w, r =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt h entity)
+          in
+          match mode with
+          | Access.Write -> Hashtbl.replace h entity (w + 1, r)
+          | Access.Read -> Hashtbl.replace h entity (w, r + 1))
+        (Graph_state.accesses gs tk))
+    cts;
+  h
+
+(* Is the candidate's obligation (entity, mode) covered by the tally set
+   minus the candidate itself?  The candidate is always a member (it is
+   a completed tight successor of each of its own active tight
+   predecessors) and contributes exactly one tally at exactly [mode]'s
+   strength, so "someone else at least as strong" is a count >= 2. *)
+let counts_cover (counts : counts) ~entity ~mode =
+  let w, r = Option.value ~default:(0, 0) (Hashtbl.find_opt counts entity) in
+  match mode with Access.Write -> w >= 2 | Access.Read -> w + r >= 2
+
+exception Uncovered
+
+let holds_fast ?memo gs ti =
+  Graph_state.mem_txn gs ti
+  && Graph_state.is_completed gs ti
+  &&
+  let acc_i = Graph_state.accesses gs ti in
+  let atp = Tightness.active_tight_predecessors gs ti in
+  let counts_of tj =
+    let build () =
+      cover_counts gs (Tightness.completed_tight_successors gs tj)
+    in
+    match memo with
+    | None -> build ()
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl tj with
+        | Some c -> c
+        | None ->
+            let c = build () in
+            Hashtbl.replace tbl tj c;
+            c)
+  in
+  try
+    Intset.iter
+      (fun tj ->
+        let counts = counts_of tj in
+        Access.iter
+          (fun ~entity ~mode ->
+            if not (counts_cover counts ~entity ~mode) then raise Uncovered)
+          acc_i)
+      atp;
+    true
+  with Uncovered -> false
+
+let eligible gs =
+  (* Candidates sharing an active tight predecessor share its tally set:
+     one memo per call keeps the naive path at one coverage build per
+     predecessor instead of one per (candidate, predecessor) pair. *)
+  let memo = Hashtbl.create 16 in
+  Intset.filter (fun ti -> holds_fast ~memo gs ti) (Graph_state.completed_txns gs)
 
 let noncurrent gs ti =
   let entities = Access.entities (Graph_state.accesses gs ti) in

@@ -23,8 +23,35 @@ val witnesses : Graph_state.t -> int -> (int * int) list
     strength.  Empty iff {!holds}.  These are the "witnesses" of the
     paper's a·e irreducibility argument. *)
 
+type counts
+(** Per-entity (writer, reader) tallies over a discharger set — a
+    candidate-independent summary of one predecessor's completed tight
+    successors, built once and queried per obligation. *)
+
+val cover_counts : Graph_state.t -> Dct_graph.Intset.t -> counts
+(** Tally the {e full} completed-tight-successor set of a predecessor,
+    candidate included. *)
+
+val counts_cover : counts -> entity:int -> mode:Dct_txn.Access.mode -> bool
+(** Is the obligation covered by the tallied set {e minus the candidate
+    itself}?  Sound only when the candidate is a member of the tallied
+    set (always true for its own active tight predecessors): the
+    candidate contributes exactly one tally at exactly the obligation's
+    strength, so cover-by-someone-else is a count [>= 2]. *)
+
+val holds_fast :
+  ?memo:(int, counts) Hashtbl.t -> Graph_state.t -> int -> bool
+(** Decision-identical to {!holds} but short-circuits on the first
+    uncovered obligation and tests coverage by counting rather than by
+    building per-(candidate, predecessor) access-set unions.  [memo]
+    shares predecessor tallies across calls {e against the same
+    unmodified state} — pass one table per {!eligible}-style sweep,
+    never across mutations.  Use {!holds}/{!witnesses} when the actual
+    violating pairs matter (audit, adversarial construction). *)
+
 val eligible : Graph_state.t -> Dct_graph.Intset.t
-(** All completed transactions satisfying C1 — the paper's set [M]. *)
+(** All completed transactions satisfying C1 — the paper's set [M].
+    Computed with {!holds_fast} and a per-call predecessor memo. *)
 
 val noncurrent : Graph_state.t -> int -> bool
 (** Corollary 1's sufficient condition: no access of the transaction

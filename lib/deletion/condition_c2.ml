@@ -9,16 +9,27 @@ let violations gs n =
   in
   if not ok then
     invalid_arg "Condition_c2: set contains absent or uncompleted transactions";
+  (* Members of [n] share predecessors; the discharger cover of [tj]
+     depends only on [(tj, n)], so build it once per predecessor. *)
+  let cover_memo = Hashtbl.create 16 in
+  let cover_of tj =
+    match Hashtbl.find_opt cover_memo tj with
+    | Some c -> c
+    | None ->
+        let dischargers =
+          Intset.diff (Tightness.completed_tight_successors gs tj) n
+        in
+        let c = Condition_c1.coverage gs dischargers in
+        Hashtbl.replace cover_memo tj c;
+        c
+  in
   Intset.fold
     (fun ti acc ->
       let acc_i = Graph_state.accesses gs ti in
       let atp = Tightness.active_tight_predecessors gs ti in
       Intset.fold
         (fun tj acc ->
-          let dischargers =
-            Intset.diff (Tightness.completed_tight_successors gs tj) n
-          in
-          let cover = Condition_c1.coverage gs dischargers in
+          let cover = cover_of tj in
           Access.fold
             (fun ~entity ~mode acc ->
               let covered =
@@ -47,7 +58,23 @@ type requirements = {
          but then Ti fails C1 and is not a candidate. *)
 }
 
-let prepare gs ~candidates =
+let prepare ?index gs ~candidates =
+  (* Candidates share predecessors: resolve each predecessor's
+     discharger set once per call — from the deletability index's
+     persistent cache when one is attached, recomputed otherwise. *)
+  let cts_memo = Hashtbl.create 16 in
+  let cts_of tj =
+    match Hashtbl.find_opt cts_memo tj with
+    | Some s -> s
+    | None ->
+        let s =
+          match index with
+          | Some idx -> Deletability_index.completed_tight_successors idx tj
+          | None -> Tightness.completed_tight_successors gs tj
+        in
+        Hashtbl.replace cts_memo tj s;
+        s
+  in
   let by_candidate = Hashtbl.create (Intset.cardinal candidates) in
   Intset.iter
     (fun ti ->
@@ -55,7 +82,7 @@ let prepare gs ~candidates =
       let reqs =
         Intset.fold
           (fun tj reqs ->
-            let cts = Tightness.completed_tight_successors gs tj in
+            let cts = cts_of tj in
             Access.fold
               (fun ~entity ~mode reqs ->
                 let dischargers =

@@ -30,7 +30,15 @@ val violations : Graph_state.t -> Dct_graph.Intset.t -> (int * int * int) list
 
 type requirements
 
-val prepare : Graph_state.t -> candidates:Dct_graph.Intset.t -> requirements
+val prepare :
+  ?index:Deletability_index.t ->
+  Graph_state.t ->
+  candidates:Dct_graph.Intset.t ->
+  requirements
+(** [index] lets the flattening reuse the deletability index's cached
+    per-predecessor discharger sets instead of recomputing the tight
+    cones; the result is identical.  Either way, each predecessor's set
+    is resolved at most once per call. *)
 
 val feasible : requirements -> Dct_graph.Intset.t -> bool
 (** Same answer as {!holds} for any [N ⊆ candidates] (property-tested

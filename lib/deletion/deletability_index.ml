@@ -1,0 +1,327 @@
+module Intset = Dct_graph.Intset
+module Traversal = Dct_graph.Traversal
+
+exception Divergence of string
+
+type mode = Naive | Incremental | Checked
+
+let mode_name = function
+  | Naive -> "naive"
+  | Incremental -> "incremental"
+  | Checked -> "checked"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "naive" -> Ok Naive
+  | "incremental" | "incr" -> Ok Incremental
+  | "checked" -> Ok Checked
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown gc-index %S (expected naive | incremental | checked)" s)
+
+type cond = C1 | C4
+
+let cond_name = function C1 -> "c1" | C4 -> "c4"
+
+type stats = {
+  mutable refreshes : int;
+  mutable full_rebuilds : int;
+  mutable rechecks : int;
+  mutable region_nodes : int;
+}
+
+type t = {
+  gs : Graph_state.t;
+  mode : mode;
+  cond : cond;
+  verdicts : (int, bool) Hashtbl.t; (* completed txn -> cached verdict *)
+  mutable eligible_set : Intset.t; (* { ti | verdicts(ti) } *)
+  covs : (int, Condition_c1.counts) Hashtbl.t;
+      (* predecessor -> coverage tallies of its completed tight
+         successors; doubles as the {!Condition_c1.holds_fast} memo *)
+  cts_cache : (int, Intset.t) Hashtbl.t;
+      (* predecessor -> completed tight successors, for C2 [prepare] *)
+  current_of : (int, Intset.t) Hashtbl.t; (* entity -> current accessors *)
+  refcount : (int, int) Hashtbl.t; (* txn -> #entities it is current on *)
+  mutable dirty : Intset.t; (* seed txns whose neighbourhood changed *)
+  mutable dirty_entities : Intset.t; (* entities with stale accessor sets *)
+  mutable all_dirty : bool; (* full rebuild pending (initial state) *)
+  stats : stats;
+}
+
+let mode t = t.mode
+let cond t = t.cond
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation: translate graph mutations into dirty seeds.
+
+   The C1 verdict of a candidate [ti] depends only on its active tight
+   predecessors [tj], and for each such [tj] on the accesses of [tj]'s
+   completed tight successors.  Tight paths pass through completed
+   intermediates only, so:
+
+   - an arc whose destination is still {e active} cannot create, extend
+     or re-cover any tight path — active nodes are never intermediates
+     and never discharge coverage.  The arc's effect is deferred to the
+     destination's later [State_changed] (commit), whose expansion sees
+     the arc.  This is what makes per-step arcs free for the index.
+   - an access recorded by an {e active} transaction changes no C1
+     verdict either (only completed successors' accesses cover, and
+     obligations belong to completed candidates), but it does move the
+     entity's current-accessor set, so it dirties the entity only.
+
+   C4 tight paths pass through {e anything} and clause (2) covers with
+   {e active} members' declared accesses, so for a C4 index every arc
+   and every access seeds normally. *)
+
+let on_mutation t (m : Graph_state.mutation) =
+  match m with
+  | Graph_state.Txn_began _ -> () (* fresh node, no arcs: no verdict moves *)
+  | Graph_state.Dependency_added _ -> () (* deps feed C3 only, never indexed *)
+  | Graph_state.Arc_added { src; dst } -> (
+      match t.cond with
+      | C1 ->
+          if Graph_state.is_completed t.gs dst then
+            t.dirty <- Intset.add src (Intset.add dst t.dirty)
+      | C4 -> t.dirty <- Intset.add src (Intset.add dst t.dirty))
+  | Graph_state.Access_recorded { txn; entity; _ } -> (
+      t.dirty_entities <- Intset.add entity t.dirty_entities;
+      match t.cond with
+      | C1 ->
+          (* only ever completed on exotic direct driving; schedulers
+             record accesses for active transactions exclusively *)
+          if Graph_state.is_completed t.gs txn then
+            t.dirty <- Intset.add txn t.dirty
+      | C4 -> t.dirty <- Intset.add txn t.dirty)
+  | Graph_state.State_changed id -> t.dirty <- Intset.add id t.dirty
+  | Graph_state.Txn_removed { txn; preds; succs; entities; _ } ->
+      Hashtbl.remove t.verdicts txn;
+      Hashtbl.remove t.covs txn;
+      Hashtbl.remove t.cts_cache txn;
+      Hashtbl.remove t.refcount txn;
+      t.eligible_set <- Intset.remove txn t.eligible_set;
+      (* The node is gone; seed its surviving neighbours instead.  A
+         neighbour removed before the next refresh re-seeds its own
+         neighbours in turn (inductive frontier), so chains of deletions
+         stay covered.  Bypass arcs preserve pred⇝succ connectivity, so
+         expanding from the endpoints reaches everything the removed
+         node's own cones reached. *)
+      t.dirty <-
+        Intset.union (Intset.union preds succs) (Intset.remove txn t.dirty);
+      t.dirty_entities <- Intset.union entities t.dirty_entities
+
+(* ------------------------------------------------------------------ *)
+(* Refresh *)
+
+let through t =
+  match t.cond with
+  | C1 -> fun v -> Graph_state.is_completed t.gs v
+  | C4 -> fun _ -> true
+
+let cts_of t tj =
+  match Hashtbl.find_opt t.cts_cache tj with
+  | Some s -> s
+  | None ->
+      let s = Tightness.completed_tight_successors t.gs tj in
+      Hashtbl.replace t.cts_cache tj s;
+      s
+
+let bump t tbl ti by =
+  ignore t;
+  let n = Option.value ~default:0 (Hashtbl.find_opt tbl ti) in
+  Hashtbl.replace tbl ti (n + by)
+
+let refresh_entity t e =
+  let cur = Graph_state.current_accessors t.gs ~entity:e in
+  let old =
+    Option.value ~default:Intset.empty (Hashtbl.find_opt t.current_of e)
+  in
+  Intset.iter
+    (fun ti -> if not (Intset.mem ti cur) then bump t t.refcount ti (-1))
+    old;
+  Intset.iter
+    (fun ti -> if not (Intset.mem ti old) then bump t t.refcount ti 1)
+    cur;
+  Hashtbl.replace t.current_of e cur
+
+let check t ti =
+  t.stats.rechecks <- t.stats.rechecks + 1;
+  match t.cond with
+  | C1 -> Condition_c1.holds_fast ~memo:t.covs t.gs ti
+  | C4 -> Condition_c4.holds t.gs ti
+
+let recheck t ti =
+  let v = check t ti in
+  Hashtbl.replace t.verdicts ti v;
+  t.eligible_set <-
+    (if v then Intset.add ti t.eligible_set
+     else Intset.remove ti t.eligible_set)
+
+let rebuild t =
+  t.stats.full_rebuilds <- t.stats.full_rebuilds + 1;
+  Hashtbl.reset t.verdicts;
+  Hashtbl.reset t.covs;
+  Hashtbl.reset t.cts_cache;
+  Hashtbl.reset t.current_of;
+  Hashtbl.reset t.refcount;
+  t.eligible_set <- Intset.empty;
+  Intset.iter (fun ti -> recheck t ti) (Graph_state.completed_txns t.gs);
+  Intset.iter (fun e -> refresh_entity t e) (Graph_state.entities t.gs);
+  t.dirty <- Intset.empty;
+  t.dirty_entities <- Intset.empty;
+  t.all_dirty <- false
+
+let refresh t =
+  if t.mode = Naive then ()
+  else if t.all_dirty then rebuild t
+  else begin
+    if not (Intset.is_empty t.dirty_entities) then begin
+      let es = t.dirty_entities in
+      t.dirty_entities <- Intset.empty;
+      Intset.iter (refresh_entity t) es
+    end;
+    if not (Intset.is_empty t.dirty) then begin
+      t.stats.refreshes <- t.stats.refreshes + 1;
+      let seeds = t.dirty in
+      t.dirty <- Intset.empty;
+      let pass = through t in
+      let g = Graph_state.graph t.gs in
+      (* Stage 1: the region — both tight cones of every (surviving)
+         seed.  Verdicts of completed members may have moved; coverage
+         tallies of every member are suspect. *)
+      let region =
+        Intset.fold
+          (fun s acc ->
+            if not (Graph_state.mem_txn t.gs s) then acc
+            else
+              Intset.add s
+                (Intset.union acc
+                   (Intset.union
+                      (Traversal.reachable ~through:pass g `Bwd s)
+                      (Traversal.reachable ~through:pass g `Fwd s))))
+          seeds Intset.empty
+      in
+      t.stats.region_nodes <- t.stats.region_nodes + Intset.cardinal region;
+      Intset.iter
+        (fun v ->
+          Hashtbl.remove t.covs v;
+          Hashtbl.remove t.cts_cache v)
+        region;
+      (* Stage 2: candidates to re-check — completed members of the
+         region, plus the completed forward cone of every {e active}
+         member: those actives are the predecessors whose discharger
+         sets changed, and each of their completed tight successors owes
+         its verdict to them even when it lies outside the region. *)
+      let candidates =
+        ref (Intset.filter (Graph_state.is_completed t.gs) region)
+      in
+      Intset.iter
+        (fun v ->
+          if Graph_state.is_active t.gs v then
+            let cone =
+              match t.cond with
+              | C1 -> cts_of t v
+              | C4 ->
+                  Intset.filter
+                    (Graph_state.is_completed t.gs)
+                    (Traversal.reachable ~through:(fun _ -> true) g `Fwd v)
+            in
+            candidates := Intset.union !candidates cone)
+        region;
+      Intset.iter (fun ti -> recheck t ti) !candidates
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let naive_eligible t =
+  match t.cond with
+  | C1 -> Condition_c1.eligible t.gs
+  | C4 -> Condition_c4.eligible t.gs
+
+let eligible t =
+  match t.mode with
+  | Naive -> naive_eligible t
+  | Incremental ->
+      refresh t;
+      t.eligible_set
+  | Checked ->
+      refresh t;
+      let reference = naive_eligible t in
+      if not (Intset.equal reference t.eligible_set) then
+        raise
+          (Divergence
+             (Format.asprintf
+                "eligible(%s): incremental %a <> naive %a" (cond_name t.cond)
+                Intset.pp t.eligible_set Intset.pp reference));
+      t.eligible_set
+
+let refcount_noncurrent t ti =
+  match Hashtbl.find_opt t.refcount ti with None -> true | Some n -> n = 0
+
+let noncurrent t ti =
+  match t.mode with
+  | Naive -> Condition_c1.noncurrent t.gs ti
+  | Incremental ->
+      refresh t;
+      refcount_noncurrent t ti
+  | Checked ->
+      refresh t;
+      let inc = refcount_noncurrent t ti in
+      let reference = Condition_c1.noncurrent t.gs ti in
+      if inc <> reference then
+        raise
+          (Divergence
+             (Printf.sprintf "noncurrent(T%d): incremental %b <> naive %b" ti
+                inc reference));
+      inc
+
+let completed_tight_successors t tj =
+  match t.mode with
+  | Naive -> Tightness.completed_tight_successors t.gs tj
+  | Incremental ->
+      refresh t;
+      cts_of t tj
+  | Checked ->
+      refresh t;
+      let cached = cts_of t tj in
+      let reference = Tightness.completed_tight_successors t.gs tj in
+      if not (Intset.equal cached reference) then
+        raise
+          (Divergence
+             (Format.asprintf "cts(T%d): cached %a <> naive %a" tj Intset.pp
+                cached Intset.pp reference));
+      cached
+
+let stats t =
+  [
+    ("refreshes", t.stats.refreshes);
+    ("full_rebuilds", t.stats.full_rebuilds);
+    ("rechecks", t.stats.rechecks);
+    ("region_nodes", t.stats.region_nodes);
+  ]
+
+let attach ?(cond = C1) mode gs =
+  let t =
+    {
+      gs;
+      mode;
+      cond;
+      verdicts = Hashtbl.create 64;
+      eligible_set = Intset.empty;
+      covs = Hashtbl.create 64;
+      cts_cache = Hashtbl.create 64;
+      current_of = Hashtbl.create 64;
+      refcount = Hashtbl.create 64;
+      dirty = Intset.empty;
+      dirty_entities = Intset.empty;
+      all_dirty = true;
+      stats = { refreshes = 0; full_rebuilds = 0; rechecks = 0; region_nodes = 0 };
+    }
+  in
+  (match mode with
+  | Naive -> () (* pure delegation: no subscription, no cached state *)
+  | Incremental | Checked -> Graph_state.on_mutation gs (on_mutation t));
+  t

@@ -20,6 +20,25 @@ type einfo = {
   mutable tombstone_write_seq : int;
 }
 
+(* Structural change notifications for incremental consumers (the
+   deletability index).  Removal events carry the neighbourhood captured
+   {e before} the node left the graph — the subscriber has no other way
+   to learn which survivors were adjacent. *)
+type mutation =
+  | Txn_began of int
+  | Arc_added of { src : int; dst : int }
+  | Access_recorded of { txn : int; entity : int; mode : Access.mode }
+  | State_changed of int
+  | Dependency_added of { dependent : int; on_ : int }
+  | Txn_removed of {
+      txn : int;
+      reduction : bool; (* true: D(G,T) deletion with bypass; false: abort *)
+      preds : Intset.t;
+      succs : Intset.t;
+      entities : Intset.t;
+      deps : Intset.t; (* providers and dependents, both directions *)
+    }
+
 type t = {
   g : Digraph.t;
   oracle : Dct_graph.Cycle_oracle.t option;
@@ -39,6 +58,9 @@ type t = {
   mutable tracer : Tracer.t;
       (* run-wide tracing handle; [Tracer.disabled] (the default) makes
          every emission a no-op *)
+  mutable hooks : (mutation -> unit) list;
+      (* mutation subscribers, notified after the state change lands;
+         empty for every state without an attached index *)
 }
 
 let create ?(with_closure = false) ?oracle ?(tracer = Tracer.disabled) () =
@@ -61,9 +83,15 @@ let create ?(with_closure = false) ?oracle ?(tracer = Tracer.disabled) () =
     deleted = Hashtbl.create 16;
     seq = 0;
     tracer;
+    hooks = [];
   }
 
 let tracer t = t.tracer
+
+let on_mutation t f = t.hooks <- t.hooks @ [ f ]
+
+let notify t m =
+  match t.hooks with [] -> () | hs -> List.iter (fun f -> f m) hs
 
 let set_tracer t tracer =
   t.tracer <- tracer;
@@ -107,6 +135,10 @@ let copy t =
     deleted = Hashtbl.copy t.deleted;
     seq = t.seq;
     tracer = Tracer.disabled;
+    (* Hooks are not copied: an index subscribed to the original would
+       otherwise see (and corrupt itself on) the replica's speculative
+       mutations.  Re-attach explicitly if the copy needs one. *)
+    hooks = [];
   }
 
 (* Transactions *)
@@ -118,13 +150,16 @@ let begin_txn ?declared t id =
     invalid_arg (Printf.sprintf "Graph_state.begin_txn: T%d already present" id);
   Hashtbl.replace t.txns id (Transaction.create ?declared id);
   Digraph.add_node t.g id;
-  Option.iter (fun o -> Dct_graph.Cycle_oracle.add_node o id) t.oracle
+  Option.iter (fun o -> Dct_graph.Cycle_oracle.add_node o id) t.oracle;
+  notify t (Txn_began id)
 
 let txn t id = Hashtbl.find t.txns id
 
 let state t id = (txn t id).Transaction.state
 
-let set_state t id s = (txn t id).Transaction.state <- s
+let set_state t id s =
+  (txn t id).Transaction.state <- s;
+  notify t (State_changed id)
 
 let accesses t id = (txn t id).Transaction.accesses
 
@@ -164,7 +199,8 @@ let record_access t ~txn:id ~entity ~mode =
   t.seq <- t.seq + 1;
   let info = einfo t entity in
   info.history <- (id, mode, t.seq) :: info.history;
-  if mode = Access.Write then info.last_write_seq <- t.seq
+  if mode = Access.Write then info.last_write_seq <- t.seq;
+  notify t (Access_recorded { txn = id; entity; mode })
 
 let collect_history t entity p =
   match Hashtbl.find_opt t.einfos entity with
@@ -204,7 +240,8 @@ let add_to_set tbl key v =
 let add_dependency t ~dependent ~on_ =
   if dependent <> on_ then begin
     add_to_set t.deps dependent on_;
-    add_to_set t.rev_deps on_ dependent
+    add_to_set t.rev_deps on_ dependent;
+    notify t (Dependency_added { dependent; on_ })
   end
 
 let direct_deps t id =
@@ -233,7 +270,8 @@ let graph t = t.g
 
 let add_arc t ~src ~dst =
   Digraph.add_arc t.g ~src ~dst;
-  Option.iter (fun o -> Dct_graph.Cycle_oracle.add_arc o ~src ~dst) t.oracle
+  Option.iter (fun o -> Dct_graph.Cycle_oracle.add_arc o ~src ~dst) t.oracle;
+  notify t (Arc_added { src; dst })
 
 let reaches t ~src ~dst =
   match t.oracle with
@@ -308,14 +346,37 @@ let drop_deps t id =
   | None -> ());
   Hashtbl.remove t.rev_deps id
 
+(* Neighbourhood snapshot for Txn_removed, taken while the node is still
+   in the graph; [None] when nobody is listening. *)
+let removal_payload t id ~reduction =
+  match t.hooks with
+  | [] -> None
+  | _ ->
+      let deps =
+        Intset.union (direct_deps t id)
+          (Option.value ~default:Intset.empty (Hashtbl.find_opt t.rev_deps id))
+      in
+      Some
+        (Txn_removed
+           {
+             txn = id;
+             reduction;
+             preds = Digraph.preds t.g id;
+             succs = Digraph.succs t.g id;
+             entities = Access.entities (accesses t id);
+             deps;
+           })
+
 let abort_txn t id =
   if mem_txn t id then begin
+    let payload = removal_payload t id ~reduction:false in
     Digraph.remove_node t.g id;
     Option.iter (fun o -> Dct_graph.Cycle_oracle.remove_node o `Exact id) t.oracle;
     Hashtbl.remove t.txns id;
     drop_entity_entries t id ~tombstone:false;
     drop_deps t id;
-    Hashtbl.replace t.aborted id ()
+    Hashtbl.replace t.aborted id ();
+    Option.iter (notify t) payload
   end
 
 let was_aborted t id = Hashtbl.mem t.aborted id
@@ -343,6 +404,7 @@ let forget_txn_record t id =
    through it with bypass arcs, in both the graph and (cheaply) the
    closure.  Exposed through Reduced_graph.delete. *)
 let delete_with_bypass t ti =
+  let payload = removal_payload t ti ~reduction:true in
   let ps = Digraph.preds t.g ti and ss = Digraph.succs t.g ti in
   Digraph.remove_node t.g ti;
   Intset.iter
@@ -353,7 +415,8 @@ let delete_with_bypass t ti =
     ps;
   Option.iter (fun o -> Dct_graph.Cycle_oracle.remove_node o `Bypass ti) t.oracle;
   forget_txn_record t ti;
-  Hashtbl.replace t.deleted ti ()
+  Hashtbl.replace t.deleted ti ();
+  Option.iter (notify t) payload
 
 let check_invariants t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in

@@ -14,6 +14,34 @@
 
 type t
 
+(** Structural change notifications for incremental consumers (the
+    {!Deletability_index}).  Fired {e after} the state change lands.
+    [Txn_removed] snapshots the node's neighbourhood {e before} removal
+    (a subscriber cannot recover it afterwards); [reduction] is [true]
+    for a bypass deletion by the policy and [false] for an abort.  Note
+    the bypass arcs materialised by a reduction do {e not} fire
+    [Arc_added] — they are implied by the removal's [preds]×[succs]. *)
+type mutation =
+  | Txn_began of int
+  | Arc_added of { src : int; dst : int }
+  | Access_recorded of { txn : int; entity : int; mode : Dct_txn.Access.mode }
+  | State_changed of int
+  | Dependency_added of { dependent : int; on_ : int }
+  | Txn_removed of {
+      txn : int;
+      reduction : bool;
+      preds : Dct_graph.Intset.t;
+      succs : Dct_graph.Intset.t;
+      entities : Dct_graph.Intset.t;
+      deps : Dct_graph.Intset.t;
+    }
+
+val on_mutation : t -> (mutation -> unit) -> unit
+(** Subscribe to mutations, in registration order.  Subscribers must not
+    mutate the state from inside the callback.  {!copy} drops all
+    subscriptions (a replica's speculative mutations would otherwise
+    corrupt an index attached to the original). *)
+
 val create :
   ?with_closure:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->

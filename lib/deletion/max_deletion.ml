@@ -18,9 +18,14 @@ let greedy ?(order = `Ascending) gs =
   in
   loop Intset.empty
 
-let exact gs =
-  let candidates = Condition_c1.eligible gs in
-  let reqs = Condition_c2.prepare gs ~candidates in
+let candidates_of ?index gs =
+  match index with
+  | Some idx -> Deletability_index.eligible idx
+  | None -> Condition_c1.eligible gs
+
+let exact ?index gs =
+  let candidates = candidates_of ?index gs in
+  let reqs = Condition_c2.prepare ?index gs ~candidates in
   let elems = Array.of_list (Intset.to_sorted_list candidates) in
   let k = Array.length elems in
   let best = ref Intset.empty in
@@ -41,14 +46,14 @@ let exact gs =
 
 let exact_size gs = Intset.cardinal (exact gs)
 
-let exact_weighted ~weight gs =
-  let candidates = Condition_c1.eligible gs in
+let exact_weighted ?index ~weight gs =
+  let candidates = candidates_of ?index gs in
   Intset.iter
     (fun ti ->
       if weight ti <= 0 then
         invalid_arg "Max_deletion.exact_weighted: weights must be positive")
     candidates;
-  let reqs = Condition_c2.prepare gs ~candidates in
+  let reqs = Condition_c2.prepare ?index gs ~candidates in
   (* Heaviest first so good bounds appear early. *)
   let elems =
     List.sort

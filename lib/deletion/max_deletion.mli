@@ -17,15 +17,21 @@ val greedy : ?order:[ `Ascending | `Descending ] -> Graph_state.t -> Dct_graph.I
     set; the input state is not modified.  [order] picks which eligible
     id goes first ([`Ascending] by default — deterministic). *)
 
-val exact : Graph_state.t -> Dct_graph.Intset.t
+val exact : ?index:Deletability_index.t -> Graph_state.t -> Dct_graph.Intset.t
 (** A maximum-cardinality safe subset (ties broken towards smaller
     ids).  Exponential worst case; intended for analysis and for the
-    Theorem 5 experiments, not for the hot path. *)
+    Theorem 5 experiments, not for the hot path.  [index] serves the
+    candidate set and the C2 discharger sets from the maintained cache
+    (identical result). *)
 
 val exact_size : Graph_state.t -> int
 (** [Intset.cardinal (exact gs)] without materialising the set twice. *)
 
-val exact_weighted : weight:(int -> int) -> Graph_state.t -> Dct_graph.Intset.t
+val exact_weighted :
+  ?index:Deletability_index.t ->
+  weight:(int -> int) ->
+  Graph_state.t ->
+  Dct_graph.Intset.t
 (** A maximum-{e weight} safe subset, for non-uniform reclamation value
     (e.g. [weight ti = cardinality of ti's access set] approximates
     freed memory).  Weights must be positive.  Same branch-and-bound,

@@ -1,6 +1,7 @@
 module Intset = Dct_graph.Intset
 module Tracer = Dct_telemetry.Tracer
 module Event = Dct_telemetry.Event
+module Probe = Dct_telemetry.Probe
 
 type t =
   | No_deletion
@@ -24,18 +25,30 @@ let delete_all gs set =
   Reduced_graph.delete_set gs set;
   set
 
-let rec run_raw policy gs =
+let rec run_raw ?index policy gs =
   match policy with
   | No_deletion -> Intset.empty
   | Unsafe_commit_time -> delete_all gs (Graph_state.completed_txns gs)
   | Noncurrent ->
-      delete_all gs
-        (Intset.filter (Condition_c1.noncurrent gs) (Graph_state.completed_txns gs))
+      let noncurrent =
+        match index with
+        | Some idx -> fun ti -> Deletability_index.noncurrent idx ti
+        | None -> Condition_c1.noncurrent gs
+      in
+      delete_all gs (Intset.filter noncurrent (Graph_state.completed_txns gs))
   | Greedy_c1 ->
       (* Delete in place, re-evaluating eligibility after each removal
-         (deleting one transaction can disable another's C1). *)
+         (deleting one transaction can disable another's C1).  With an
+         index this becomes a worklist: each deletion dirties only the
+         removed node's tight neighbourhood, and the next [eligible]
+         re-checks exactly that region. *)
+      let eligible () =
+        match index with
+        | Some idx -> Deletability_index.eligible idx
+        | None -> Condition_c1.eligible gs
+      in
       let rec loop deleted =
-        let m = Condition_c1.eligible gs in
+        let m = eligible () in
         if Intset.is_empty m then deleted
         else begin
           let ti = Intset.min_elt m in
@@ -44,14 +57,14 @@ let rec run_raw policy gs =
         end
       in
       loop Intset.empty
-  | Exact_max -> delete_all gs (Max_deletion.exact gs)
+  | Exact_max -> delete_all gs (Max_deletion.exact ?index gs)
   | Exact_max_weighted ->
       let weight ti =
         max 1 (Dct_txn.Access.cardinal (Graph_state.accesses gs ti))
       in
-      delete_all gs (Max_deletion.exact_weighted ~weight gs)
+      delete_all gs (Max_deletion.exact_weighted ?index ~weight gs)
   | Budget (limit, inner) ->
-      if Graph_state.txn_count gs > limit then run_raw inner gs
+      if Graph_state.txn_count gs > limit then run_raw ?index inner gs
       else Intset.empty
 
 (* Which condition stops a surviving candidate from being deleted under
@@ -67,11 +80,15 @@ let rec blocking_condition gs = function
       if Graph_state.txn_count gs > limit then blocking_condition gs inner
       else Some "budget"
 
-let run policy gs =
+let gc_backend = function
+  | None -> "naive"
+  | Some idx -> Deletability_index.mode_name (Deletability_index.mode idx)
+
+let run ?index policy gs =
   let tracer = Graph_state.tracer gs in
   if (not (Tracer.active tracer)) && Tracer.metrics tracer = None then
-    run_raw policy gs
-  else if policy = No_deletion then run_raw policy gs
+    run_raw ?index policy gs
+  else if policy = No_deletion then run_raw ?index policy gs
   else begin
     let pname = name policy in
     let candidates = Graph_state.completed_txns gs in
@@ -85,7 +102,12 @@ let run policy gs =
         tracer
         (Printf.sprintf "deletion.%s.attempted" pname)
     end;
-    let deleted = run_raw policy gs in
+    let deleted =
+      (* one gc observation per policy run: the latency the sweeps and
+         the [dct trace] gc table attribute per index backend *)
+      Probe.obs (Tracer.probe tracer) ~op:"gc" ~backend:(gc_backend index)
+        (fun () -> run_raw ?index policy gs)
+    in
     if not (Intset.is_empty deleted) then begin
       Tracer.event tracer (fun () ->
           Event.Deletion_ok

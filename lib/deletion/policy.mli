@@ -34,14 +34,25 @@ type t =
 
 val name : t -> string
 
-val run : t -> Graph_state.t -> Dct_graph.Intset.t
+val run :
+  ?index:Deletability_index.t -> t -> Graph_state.t -> Dct_graph.Intset.t
 (** Apply the policy once (after a step), mutating the state; returns
     the set of deleted transactions.  When the state carries an active
     tracer, the run emits [Deletion_attempted] (the completed
     candidates), [Deletion_ok] and per-candidate [Deletion_blocked]
-    events (condition [c1], [c2-max], [noncurrent] or [budget]), and
-    feeds the ["deletion.<policy>.{attempted,deleted,blocked}"]
-    counters.  Telemetry never changes what is deleted. *)
+    events (condition [c1], [c2-max], [noncurrent] or [budget]), feeds
+    the ["deletion.<policy>.{attempted,deleted,blocked}"] counters, and
+    times the whole call as one ["gc"] probe observation attributed to
+    the index backend (["naive"] without one).  Telemetry never changes
+    what is deleted.
+
+    [index] must be a {!Deletability_index.t} attached to {e this}
+    state; eligibility/noncurrency queries are then answered from the
+    maintained cache — [Greedy_c1] becomes a worklist re-checking only
+    each deletion's tight neighbourhood, [Noncurrent] reads per-entity
+    refcounts, [Exact_max*] reuses cached discharger sets.  Decisions
+    are identical with and without (metamorphic-tested); a [Checked]
+    index raises {!Deletability_index.Divergence} on any mismatch. *)
 
 val all_correct : t list
 (** The correct policies, for sweeps. *)

@@ -3,16 +3,20 @@ module Digraph = Dct_graph.Digraph
 module Gs = Dct_deletion.Graph_state
 module Rules = Dct_deletion.Rules
 module Policy = Dct_deletion.Policy
+module Dindex = Dct_deletion.Deletability_index
 
 type t = {
   gs : Gs.t;
   policy : Policy.t;
+  index : Dindex.t option;
   mutable resident_hwm : int;
   mutable deleted_total : int;
 }
 
-let create ~policy ?oracle ?tracer () =
-  { gs = Gs.create ?oracle ?tracer (); policy; resident_hwm = 0; deleted_total = 0 }
+let create ~policy ?oracle ?tracer ?gc_index () =
+  let gs = Gs.create ?oracle ?tracer () in
+  let index = Option.map (fun mode -> Dindex.attach mode gs) gc_index in
+  { gs; policy; index; resident_hwm = 0; deleted_total = 0 }
 
 let note_residency t =
   t.resident_hwm <- max t.resident_hwm (Gs.txn_count t.gs)
@@ -23,7 +27,7 @@ let decide t step =
   outcome
 
 let collect_garbage t =
-  let deleted = Policy.run t.policy t.gs in
+  let deleted = Policy.run ?index:t.index t.policy t.gs in
   t.deleted_total <- t.deleted_total + Intset.cardinal deleted;
   deleted
 

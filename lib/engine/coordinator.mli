@@ -29,8 +29,12 @@ val create :
   policy:Dct_deletion.Policy.t ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   t
+(** [gc_index] attaches a {!Dct_deletion.Deletability_index} to the
+    global graph, serving every {!collect_garbage} round from the
+    maintained cache (same deletions; [Checked] raises on divergence). *)
 
 val decide : t -> Dct_txn.Step.t -> Dct_deletion.Rules.outcome
 (** Apply Rules 1-3 to the global graph — the engine's only

@@ -16,10 +16,11 @@ type config = {
   partitioner : Partitioner.t;
   oracle : Dct_graph.Cycle_oracle.backend option;
   tracer : Tracer.t;
+  gc_index : Dct_deletion.Deletability_index.mode option;
 }
 
 let config ?(policy = Policy.Greedy_c1) ?partitioner ?oracle
-    ?(tracer = Tracer.disabled) ~shards ~batch () =
+    ?(tracer = Tracer.disabled) ?gc_index ~shards ~batch () =
   if shards <= 0 then invalid_arg "Dct_engine.config: shards must be positive";
   if batch <= 0 then invalid_arg "Dct_engine.config: batch must be positive";
   let partitioner =
@@ -30,7 +31,7 @@ let config ?(policy = Policy.Greedy_c1) ?partitioner ?oracle
         p
     | None -> Partitioner.hash ~shards
   in
-  { shards; batch; policy; partitioner; oracle; tracer }
+  { shards; batch; policy; partitioner; oracle; tracer; gc_index }
 
 type t = {
   cfg : config;
@@ -58,9 +59,10 @@ let create cfg =
     cfg;
     coordinator =
       Coordinator.create ~policy:cfg.policy ?oracle:cfg.oracle
-        ~tracer:cfg.tracer ();
+        ~tracer:cfg.tracer ?gc_index:cfg.gc_index ();
     shards =
-      Array.init cfg.shards (fun id -> Shard.create ~id ~policy:cfg.policy ());
+      Array.init cfg.shards (fun id ->
+          Shard.create ~id ~policy:cfg.policy ?gc_index:cfg.gc_index ());
     admission = Admission.create ~batch:cfg.batch;
     hosting = Hashtbl.create 64;
     steps = 0;
@@ -330,11 +332,11 @@ type differential_report = {
   single_peak : int;
 }
 
-let differential ?oracle ?partitioner ~shards ~batch ~policy steps =
-  let cfg = config ~policy ?partitioner ?oracle ~shards ~batch () in
+let differential ?oracle ?partitioner ?gc_index ~shards ~batch ~policy steps =
+  let cfg = config ~policy ?partitioner ?oracle ?gc_index ~shards ~batch () in
   let eng : t = create cfg in
   let single_store = Store.create () in
-  let single = Cs.create ~policy ~store:single_store () in
+  let single = Cs.create ~policy ~store:single_store ?gc_index () in
   let outcome_mismatches = ref [] in
   let residency_violations = ref [] in
   let single_peak = ref 0 in

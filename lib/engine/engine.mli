@@ -38,6 +38,10 @@ type config = {
       (** Backend for the {e coordinator}'s graph.  Shards always use
           the default DFS — their graphs are small by construction. *)
   tracer : Dct_telemetry.Tracer.t;
+  gc_index : Dct_deletion.Deletability_index.mode option;
+      (** Deletability-index backend for {e both} the coordinator's
+          global GC and every shard's local GC ([None] = naive
+          re-evaluation, the reference path). *)
 }
 
 val config :
@@ -45,12 +49,13 @@ val config :
   ?partitioner:Partitioner.t ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   shards:int ->
   batch:int ->
   unit ->
   config
 (** Defaults: policy [Greedy_c1], hash partitioner over [shards], no
-    oracle, disabled tracer.
+    oracle, disabled tracer, no deletability index.
     @raise Invalid_argument if [shards <= 0], [batch <= 0], or the
     partitioner's shard count differs from [shards]. *)
 
@@ -137,6 +142,7 @@ type differential_report = {
 val differential :
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?partitioner:Partitioner.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   shards:int ->
   batch:int ->
   policy:Dct_deletion.Policy.t ->
@@ -145,7 +151,10 @@ val differential :
 (** Run the engine and a fresh single-node SGT scheduler (same policy)
     over the same step sequence in lock-step and compare: per-step
     outcomes, per-shard residency against single-node residency at the
-    same step, and final store contents entity by entity. *)
+    same step, and final store contents entity by entity.  [gc_index]
+    applies to every GC site on both sides (coordinator, shards, and
+    the reference scheduler), so [Checked] turns this into a
+    differential over the index as well. *)
 
 val differential_ok : differential_report -> bool
 

@@ -2,6 +2,7 @@ module Intset = Dct_graph.Intset
 module Digraph = Dct_graph.Digraph
 module Gs = Dct_deletion.Graph_state
 module Policy = Dct_deletion.Policy
+module Dindex = Dct_deletion.Deletability_index
 module Access = Dct_txn.Access
 module Transaction = Dct_txn.Transaction
 module Store = Dct_kv.Store
@@ -13,6 +14,9 @@ type t = {
   store : Store.t;
   wal : Wal.t;
   policy : Policy.t;
+  index : Dindex.t option;
+      (* per-shard index over the projected graph — projections are
+         small, so dirty regions are too (the sharded sweet spot) *)
   mutable last_arcs : (int * int) list;
   mutable resident_hwm : int;
   mutable hosted_total : int;
@@ -25,13 +29,16 @@ type t = {
 (* Shard graph states are projections kept for GC and accounting; they
    carry no tracer so the engine's trace is exactly the coordinator's
    (single-node-shaped) trace. *)
-let create ~id ~policy ?oracle () =
+let create ~id ~policy ?oracle ?gc_index () =
+  let gs = Gs.create ?oracle () in
+  let index = Option.map (fun mode -> Dindex.attach mode gs) gc_index in
   {
     id;
-    gs = Gs.create ?oracle ();
+    gs;
     store = Store.create ();
     wal = Wal.create ();
     policy;
+    index;
     last_arcs = [];
     resident_hwm = 0;
     hosted_total = 0;
@@ -119,7 +126,7 @@ let forget_from_store t deleted =
   Intset.iter (fun txn -> Store.forget_txn t.store ~txn) deleted
 
 let collect_garbage t =
-  let deleted = Policy.run t.policy t.gs in
+  let deleted = Policy.run ?index:t.index t.policy t.gs in
   if not (Intset.is_empty deleted) then begin
     t.deleted_local <- t.deleted_local + Intset.cardinal deleted;
     forget_from_store t deleted;

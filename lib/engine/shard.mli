@@ -32,8 +32,14 @@ val create :
   id:int ->
   policy:Dct_deletion.Policy.t ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   t
+(** [gc_index] attaches a per-shard {!Dct_deletion.Deletability_index}
+    to the local projection, serving local GC from the maintained cache.
+    Projections are small, so dirty regions are too; broadcast deletions
+    ({!apply_global_deletions}) go through the hooked removal path and
+    keep the index consistent. *)
 
 val id : t -> int
 val graph_state : t -> Dct_deletion.Graph_state.t

@@ -5,27 +5,31 @@ module Step = Dct_txn.Step
 module Transaction = Dct_txn.Transaction
 module Gs = Dct_deletion.Graph_state
 module Policy = Dct_deletion.Policy
+module Dindex = Dct_deletion.Deletability_index
 
 type t = {
   gs : Gs.t;
+  index : Dindex.t option;
   mutable steps : int;
   mutable committed : int;
   mutable aborted : int;
   mutable deleted : int;
 }
 
-let create ?oracle ?tracer () =
-  {
-    gs = Gs.create ?oracle ?tracer ();
-    steps = 0;
-    committed = 0;
-    aborted = 0;
-    deleted = 0;
-  }
+let create ?oracle ?tracer ?gc_index () =
+  let gs = Gs.create ?oracle ?tracer () in
+  let index = Option.map (fun mode -> Dindex.attach mode gs) gc_index in
+  { gs; index; steps = 0; committed = 0; aborted = 0; deleted = 0 }
 
 let copy t =
+  let gs = Gs.copy t.gs in
+  (* Gs.copy drops mutation subscriptions, so the replica re-attaches a
+     fresh index in the same mode (rebuilt on its first query) instead
+     of sharing the original's — which would go stale immediately. *)
+  let index = Option.map (fun i -> Dindex.attach (Dindex.mode i) gs) t.index in
   {
-    gs = Gs.copy t.gs;
+    gs;
+    index;
     steps = t.steps;
     committed = t.committed;
     aborted = t.aborted;
@@ -108,7 +112,9 @@ let unsafe_step_with_policy t policy s =
           xs;
         if certify t txn then begin
           t.committed <- t.committed + 1;
-          t.deleted <- t.deleted + Intset.cardinal (Policy.run policy t.gs);
+          t.deleted <-
+            t.deleted
+            + Intset.cardinal (Policy.run ?index:t.index policy t.gs);
           Scheduler_intf.Accepted
         end
         else begin
@@ -131,8 +137,8 @@ let stats t =
     delayed_now = 0;
   }
 
-let handle ?oracle ?tracer () =
-  let t = create ?oracle ?tracer () in
+let handle ?oracle ?tracer ?gc_index () =
+  let t = create ?oracle ?tracer ?gc_index () in
   Scheduler_intf.trace_steps ~reject_reason:"certification-conflict-cycle"
     (Gs.tracer t.gs)
     {

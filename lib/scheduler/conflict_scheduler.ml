@@ -4,10 +4,12 @@ module Step = Dct_txn.Step
 module Gs = Dct_deletion.Graph_state
 module Rules = Dct_deletion.Rules
 module Policy = Dct_deletion.Policy
+module Dindex = Dct_deletion.Deletability_index
 
 type t = {
   gs : Gs.t;
   policy : Policy.t;
+  index : Dindex.t option;
   store : Dct_kv.Store.t option;
   wal : Dct_kv.Wal.t option;
   mutable steps : int;
@@ -18,10 +20,13 @@ type t = {
 }
 
 let create ?(policy = Policy.No_deletion) ?store ?wal ?(with_closure = false)
-    ?oracle ?tracer () =
+    ?oracle ?tracer ?gc_index () =
+  let gs = Gs.create ~with_closure ?oracle ?tracer () in
+  let index = Option.map (fun mode -> Dindex.attach mode gs) gc_index in
   {
-    gs = Gs.create ~with_closure ?oracle ?tracer ();
+    gs;
     policy;
+    index;
     store;
     wal;
     steps = 0;
@@ -69,7 +74,7 @@ let step t s =
       log t (Dct_kv.Wal.Abort { txn = Step.txn s });
       (* An abort removes an active transaction, which can only enlarge
          the eligible set — give the policy a chance right away. *)
-      let deleted = Policy.run t.policy t.gs in
+      let deleted = Policy.run ?index:t.index t.policy t.gs in
       if not (Intset.is_empty deleted) then begin
         t.deleted <- t.deleted + Intset.cardinal deleted;
         t.log <- (t.steps, deleted) :: t.log
@@ -89,7 +94,7 @@ let step t s =
       | Step.Read _ | Step.Begin_declared _ | Step.Write_one _ | Step.Finish _
         -> ());
       if Step.completes_basic s then t.committed <- t.committed + 1;
-      let deleted = Policy.run t.policy t.gs in
+      let deleted = Policy.run ?index:t.index t.policy t.gs in
       if not (Intset.is_empty deleted) then begin
         t.deleted <- t.deleted + Intset.cardinal deleted;
         t.log <- (t.steps, deleted) :: t.log;
@@ -109,7 +114,7 @@ let stats t =
   }
 
 let collect_garbage t =
-  let deleted = Policy.run t.policy t.gs in
+  let deleted = Policy.run ?index:t.index t.policy t.gs in
   if not (Intset.is_empty deleted) then begin
     t.deleted <- t.deleted + Intset.cardinal deleted;
     t.log <- (t.steps, deleted) :: t.log;
@@ -129,5 +134,6 @@ let handle_of t =
       aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
     }
 
-let handle ?policy ?store ?wal ?with_closure ?oracle ?tracer () =
-  handle_of (create ?policy ?store ?wal ?with_closure ?oracle ?tracer ())
+let handle ?policy ?store ?wal ?with_closure ?oracle ?tracer ?gc_index () =
+  handle_of
+    (create ?policy ?store ?wal ?with_closure ?oracle ?tracer ?gc_index ())

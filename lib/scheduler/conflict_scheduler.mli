@@ -17,6 +17,7 @@ val create :
   ?with_closure:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   t
 (** [policy] defaults to [No_deletion].  When [store] is given, accepted
@@ -31,7 +32,12 @@ val create :
     different cost profile (see the oracle sweep benchmarks).
     [tracer] threads the telemetry handle through the graph state and —
     via {!handle_of} — wraps the step loop with
-    {!Scheduler_intf.trace_steps}; tracing never changes a decision. *)
+    {!Scheduler_intf.trace_steps}; tracing never changes a decision.
+    [gc_index] attaches a {!Dct_deletion.Deletability_index} to the
+    graph state and serves every policy run from it — same deletions,
+    different cost profile; [Checked] raises
+    {!Dct_deletion.Deletability_index.Divergence} on any mismatch with
+    the naive reference (see [docs/gc.md]). *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 
@@ -61,6 +67,7 @@ val handle :
   ?with_closure:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   Scheduler_intf.handle
 (** A fresh scheduler wrapped for the simulation driver. *)

@@ -6,12 +6,23 @@ module Transaction = Dct_txn.Transaction
 module Gs = Dct_deletion.Graph_state
 module C3 = Dct_deletion.Condition_c3
 module Reduced = Dct_deletion.Reduced_graph
+module Dindex = Dct_deletion.Deletability_index
 
 type deletion_mode = No_deletion | C3_exact of int
 
 type t = {
   gs : Gs.t;
   deletion : deletion_mode;
+  gc_index : Dindex.mode option;
+      (* C3 is deliberately NOT incrementally indexable: its verdict
+         ranges over dependency closures [M⁺], and a dependency edge far
+         outside any tight neighbourhood can flip alive-filtering for a
+         candidate, so no arc-bounded dirty region is sound (docs/gc.md
+         has the counterexample shape).  [Incremental] therefore runs
+         the naive decision; [Checked] additionally cross-checks
+         {!C3.quick_reject} (the polynomial necessary test) against
+         {!C3.holds} (the exponential exact one) on every candidate —
+         the two-implementation differential this model does admit. *)
   store : Dct_kv.Store.t;
   mutable steps : int;
   mutable committed : int;
@@ -20,10 +31,11 @@ type t = {
   mutable deleted : int;
 }
 
-let create ?(deletion = No_deletion) ?store ?oracle ?tracer () =
+let create ?(deletion = No_deletion) ?store ?oracle ?tracer ?gc_index () =
   {
     gs = Gs.create ?oracle ?tracer ();
     deletion;
+    gc_index;
     store = Option.value ~default:(Dct_kv.Store.create ()) store;
     steps = 0;
     committed = 0;
@@ -94,11 +106,21 @@ let run_deletion t =
             "deletion.c3-exact.attempted"
         end;
         let removed = ref Intset.empty in
+        let holds v =
+          let ok = C3.holds t.gs v in
+          (if t.gc_index = Some Dindex.Checked && C3.quick_reject t.gs v && ok
+           then
+             raise
+               (Dindex.Divergence
+                  (Printf.sprintf
+                     "c3(T%d): quick_reject claims failure but exact \
+                      enumeration holds"
+                     v)));
+          ok
+        in
         let rec loop () =
           match
-            List.find_opt
-              (fun v -> C3.holds t.gs v)
-              (Intset.elements (committed_candidates t))
+            List.find_opt holds (Intset.elements (committed_candidates t))
           with
           | Some v ->
               Reduced.delete t.gs v;
@@ -107,7 +129,12 @@ let run_deletion t =
               loop ()
           | None -> ()
         in
-        loop ();
+        let backend =
+          match t.gc_index with
+          | None -> "naive"
+          | Some m -> Dindex.mode_name m
+        in
+        Dct_telemetry.Probe.obs (T.probe tracer) ~op:"gc" ~backend loop;
         if not (Intset.is_empty !removed) then begin
           T.event tracer (fun () ->
               Dct_telemetry.Event.Deletion_ok
@@ -203,5 +230,5 @@ let handle_of t =
       aborted_txn = (fun txn -> Gs.was_aborted t.gs txn);
     }
 
-let handle ?deletion ?oracle ?tracer () =
-  handle_of (create ?deletion ?oracle ?tracer ())
+let handle ?deletion ?oracle ?tracer ?gc_index () =
+  handle_of (create ?deletion ?oracle ?tracer ?gc_index ())

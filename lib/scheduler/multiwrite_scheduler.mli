@@ -27,11 +27,20 @@ val create :
   ?store:Dct_kv.Store.t ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   t
 (** [oracle] selects the cycle-check backend (default: plain DFS);
     [tracer] threads the telemetry handle through (C3 deletions are
-    reported as policy ["c3-exact"], refusals as condition ["c3"]). *)
+    reported as policy ["c3-exact"], refusals as condition ["c3"]).
+    [gc_index]: C3 is {e not} incrementally indexable — its verdict
+    ranges over dependency closures, which no tight-neighbourhood dirty
+    region bounds (docs/gc.md) — so [Incremental] runs the naive
+    decision (gc latency is still attributed to the chosen backend) and
+    [Checked] cross-checks [quick_reject] against the exact enumeration
+    on every candidate, raising
+    {!Dct_deletion.Deletability_index.Divergence} if the polynomial
+    necessary test ever contradicts it. *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 (** [Rejected] covers both a cycle-closing step and a cascading abort
@@ -52,5 +61,6 @@ val handle :
   ?deletion:deletion_mode ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   Scheduler_intf.handle

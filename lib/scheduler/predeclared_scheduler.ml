@@ -6,12 +6,14 @@ module Transaction = Dct_txn.Transaction
 module Gs = Dct_deletion.Graph_state
 module C4 = Dct_deletion.Condition_c4
 module Reduced = Dct_deletion.Reduced_graph
+module Dindex = Dct_deletion.Deletability_index
 
 type pending = { entity : int; mode : Access.mode }
 
 type t = {
   gs : Gs.t;
   use_c4 : bool;
+  index : Dindex.t option; (* C4-flavoured deletability index *)
   queues : (int, pending Queue.t) Hashtbl.t; (* txn -> delayed steps, FIFO *)
   mutable steps : int;
   mutable committed : int;
@@ -20,10 +22,17 @@ type t = {
   mutable exec_log : Step.t list; (* executed data steps, newest first *)
 }
 
-let create ?(use_c4_deletion = false) ?oracle ?tracer () =
+let create ?(use_c4_deletion = false) ?oracle ?tracer ?gc_index () =
+  let gs = Gs.create ?oracle ?tracer () in
+  let index =
+    if use_c4_deletion then
+      Option.map (fun mode -> Dindex.attach ~cond:Dindex.C4 mode gs) gc_index
+    else None
+  in
   {
-    gs = Gs.create ?oracle ?tracer ();
+    gs;
     use_c4 = use_c4_deletion;
+    index;
     queues = Hashtbl.create 16;
     steps = 0;
     committed = 0;
@@ -72,11 +81,19 @@ let run_c4 t =
       T.incr ~by:(Intset.cardinal candidates0) tracer "deletion.c4.attempted"
     end;
     let removed = ref Intset.empty in
+    (* Smallest C4-eligible id first, repeatedly — the naive scan and
+       the index agree on this pick by construction. *)
+    let next () =
+      match t.index with
+      | Some idx ->
+          let m = Dindex.eligible idx in
+          if Intset.is_empty m then None else Some (Intset.min_elt m)
+      | None ->
+          List.find_opt (fun v -> C4.holds t.gs v)
+            (Intset.elements (Gs.completed_txns t.gs))
+    in
     let rec loop () =
-      match
-        List.find_opt (fun v -> C4.holds t.gs v)
-          (Intset.elements (Gs.completed_txns t.gs))
-      with
+      match next () with
       | Some v ->
           Reduced.delete t.gs v;
           t.deleted <- t.deleted + 1;
@@ -84,7 +101,12 @@ let run_c4 t =
           loop ()
       | None -> ()
     in
-    loop ();
+    let backend =
+      match t.index with
+      | None -> "naive"
+      | Some idx -> Dindex.mode_name (Dindex.mode idx)
+    in
+    Dct_telemetry.Probe.obs (T.probe tracer) ~op:"gc" ~backend loop;
     if not (Intset.is_empty !removed) then begin
       T.event tracer (fun () ->
           Dct_telemetry.Event.Deletion_ok
@@ -230,5 +252,5 @@ let handle_of t =
       aborted_txn = (fun _ -> false);
     }
 
-let handle ?use_c4_deletion ?oracle ?tracer () =
-  handle_of (create ?use_c4_deletion ?oracle ?tracer ())
+let handle ?use_c4_deletion ?oracle ?tracer ?gc_index () =
+  handle_of (create ?use_c4_deletion ?oracle ?tracer ?gc_index ())

@@ -21,13 +21,18 @@ val create :
   ?use_c4_deletion:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   t
 (** [use_c4_deletion] (default false) greedily deletes C4-eligible
     completed transactions after each completion.  [oracle] selects the
     cycle-check backend used by the delay test (default: plain DFS).
     [tracer] threads the telemetry handle through (C4 deletions are
-    reported as policy ["c4"], refusals as condition ["c4"]). *)
+    reported as policy ["c4"], refusals as condition ["c4"]).
+    [gc_index] (only meaningful with [use_c4_deletion]) maintains the
+    C4 verdicts incrementally — C4 tight paths run through active
+    nodes too, so every arc seeds the dirty set, but re-checks still
+    stay inside the changed region. *)
 
 val step : t -> Dct_txn.Step.t -> Scheduler_intf.outcome
 (** [Delayed] means the step is queued inside the scheduler.  Steps must
@@ -55,5 +60,6 @@ val handle :
   ?use_c4_deletion:bool ->
   ?oracle:Dct_graph.Cycle_oracle.backend ->
   ?tracer:Dct_telemetry.Tracer.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
   unit ->
   Scheduler_intf.handle

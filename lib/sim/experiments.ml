@@ -51,7 +51,7 @@ let ex1_example1 ?(oc = stdout) () =
     [
       name;
       Dct_txn.Transaction.state_to_string (Gs.state e.Gallery.gs1 t);
-      yn (Gs.is_completed e.gs1 t && C1.holds e.gs1 t);
+      yn (Gs.is_completed e.gs1 t && C1.holds_fast e.gs1 t);
       yn (Gs.is_completed e.gs1 t && C1.noncurrent e.gs1 t);
     ]
   in
@@ -63,7 +63,7 @@ let ex1_example1 ?(oc = stdout) () =
   let gs = Gs.copy e.gs1 in
   Reduced.delete gs e.t3;
   Printf.fprintf oc "after deleting T3, T2 deletable: %s   (paper: no)\n"
-    (yn (C1.holds gs e.t2))
+    (yn (C1.holds_fast gs e.t2))
 
 let ex2_lemma1 ?(oc = stdout) () =
   Report.section ~oc "EX2  Lemma 1 (no active predecessor => forever safe)";
@@ -76,7 +76,7 @@ let ex2_lemma1 ?(oc = stdout) () =
         if Intset.is_empty (Dct_deletion.Tightness.active_tight_predecessors gs ti)
         then begin
           incr vacuous;
-          assert (C1.holds gs ti);
+          assert (C1.holds_fast gs ti);
           if !oracle_checked < 10 then begin
             incr oracle_checked;
             assert (Safety.search ~depth:2 gs ~deleted:(Intset.singleton ti) = None)
@@ -106,7 +106,7 @@ let ex3_theorem1 ?(oc = stdout) () =
     let fresh_txn = 100_000 and fresh_entity = 100_000 in
     Intset.iter
       (fun ti ->
-        if C1.holds gs ti then begin
+        if C1.holds_fast gs ti then begin
           incr eligible_total;
           if
             !eligible_oracle_ok < 15
@@ -150,10 +150,10 @@ let ex4_corollary1 ?(oc = stdout) () =
     Intset.iter
       (fun ti ->
         incr completed;
-        if C1.holds gs ti then incr eligible;
+        if C1.holds_fast gs ti then incr eligible;
         if C1.noncurrent gs ti then begin
           incr noncurrent;
-          if C1.holds gs ti then incr noncurrent_and_c1
+          if C1.holds_fast gs ti then incr noncurrent_and_c1
         end)
       (Gs.completed_txns gs)
   done;

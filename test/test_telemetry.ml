@@ -171,6 +171,46 @@ let test_trace_cli_corpus () =
       (run_dct [ "trace"; "corpus/trace/empty.jsonl" ])
   end
 
+(* The gc section of [dct trace]: per-call GC latency percentiles keyed
+   by deletability-index backend, split out of the oracle table (the
+   probe reports GC rounds as op = "gc").  The corpus latencies are
+   fixed, so the whole section is pinned byte for byte. *)
+let test_trace_cli_gc_section () =
+  if not (Sys.file_exists dct_exe) then Alcotest.skip ()
+  else begin
+    let out = Filename.temp_file "dct_gc_trace" ".out" in
+    let cmd =
+      Filename.quote_command dct_exe [ "trace"; "corpus/trace/gc.jsonl" ]
+    in
+    let code = Sys.command (cmd ^ " > " ^ Filename.quote out ^ " 2>/dev/null") in
+    Alcotest.(check int) "gc corpus trace exits 0" 0 code;
+    let ic = open_in out in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    Sys.remove out;
+    let expected =
+      String.concat "\n"
+        [
+          "gc (per-call latency by deletability-index backend):";
+          "gc index     calls  p50 ns  p90 ns  p99 ns  max ns";
+          "-----------  -----  ------  ------  ------  ------";
+          "incremental  4      500     2000    2000    2000";
+          "naive        4      2000    8000    8000    8000";
+          "";
+        ]
+    in
+    let contains ~needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check "gc section pinned" true (contains ~needle:expected text);
+    (* and the gc rows must NOT leak into the oracle table *)
+    check "oracle table keeps only real oracle ops" false
+      (contains ~needle:"naive    gc" text)
+  end
+
 (* --- metrics registry --- *)
 
 let test_metrics_registry () =
@@ -296,6 +336,11 @@ let oracle_op_counts backend schedule =
   let tbl = Hashtbl.create 16 in
   List.iter
     (function
+      (* op = "gc" is the deletion policy's GC probe, attributed to the
+         deletability-index backend, not to the cycle oracle — it shows
+         up identically whatever oracle runs, so keep it out of the
+         per-oracle attribution counts. *)
+      | E.Oracle_query { op = "gc"; _ } -> ()
       | E.Oracle_query { op; backend; _ } ->
           let k = (backend, op) in
           Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
@@ -366,6 +411,8 @@ let () =
             test_sink_lenient_parse;
           Alcotest.test_case "trace CLI on truncated/empty corpus" `Quick
             test_trace_cli_corpus;
+          Alcotest.test_case "trace CLI gc section (pinned corpus output)"
+            `Quick test_trace_cli_gc_section;
         ] );
       ( "metrics",
         [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
