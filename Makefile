@@ -1,13 +1,13 @@
 # Convenience entry points; everything below is a thin wrapper over dune.
 
-.PHONY: all check build test oracle-test telemetry-test engine-test gc-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-policy bench-policy-smoke clean
+.PHONY: all check build test oracle-test telemetry-test engine-test gc-test check-hist trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-policy bench-policy-smoke bench-check bench-check-smoke clean
 
 all: build
 
 # The default gate: full build, full test suite, and the smoke sweeps
 # that double as end-to-end differential checks (oracle backends,
-# sharded engine, deletability index).
-check: build test bench-smoke bench-engine-smoke bench-policy-smoke
+# sharded engine, deletability index, history checker).
+check: build test bench-smoke bench-engine-smoke bench-policy-smoke check-hist bench-check-smoke
 
 build:
 	dune build
@@ -37,6 +37,12 @@ engine-test:
 # on the GC fast path.
 gc-test:
 	dune build @gc
+
+# Just the history-checker suite (scheduler-accepted differential,
+# mutation harness, streaming-vs-closure QCheck property, pinned
+# corpus/check/ runs) — the tight loop when hacking on lib/check.
+check-hist:
+	dune build @check-hist
 
 # End-to-end trace round trip: simulate with tracing on, summarize the
 # JSONL, re-feed the decisions to the deletion auditor.
@@ -82,6 +88,18 @@ bench-policy:
 # malformed BENCH_policy.json.
 bench-policy-smoke:
 	dune exec bench/main.exe -- policy-smoke
+
+# The history-checker sweep: streaming throughput by level and trace
+# size, including a 10^6-event end-to-end JSONL row (writes
+# BENCH_check.json; enforces the >= 100k events/s atomicity bar and
+# flat residency gauges).
+bench-check:
+	dune exec bench/main.exe -- check
+
+# CI gate: tiny check sweep, exits non-zero on a residency growth, a
+# checked-mode divergence, or a malformed BENCH_check.json.
+bench-check-smoke:
+	dune exec bench/main.exe -- check-smoke
 
 clean:
 	dune clean

@@ -291,7 +291,7 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|policy|policy-smoke|all]"
+     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|policy|policy-smoke|check|check-smoke|all]"
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -319,6 +319,8 @@ let () =
   | "engine-smoke" -> Engine_sweep.run ~smoke:true ()
   | "policy" -> Policy_sweep.run ~smoke:false ()
   | "policy-smoke" -> Policy_sweep.run ~smoke:true ()
+  | "check" -> Check_sweep.run ~smoke:false ()
+  | "check-smoke" -> Check_sweep.run ~smoke:true ()
   | "all" ->
       E.run_all ();
       run_bechamel ()

@@ -11,10 +11,12 @@
      trace        summarize a --trace JSONL file (outcomes, residency,
                   deletion denials, oracle latency; --audit re-feeds the
                   decisions to the trace auditor)
-     lint         static diagnostics over schedule files (DCT000-DCT007)
+     lint         static diagnostics over schedule files (DCT000-DCT009)
      audit        replay a scheduler+policy decision trace and cross-check
                   every deletion against the C1/C2/safety oracles
-     check        evaluate C1/C2/C4 on a schedule file
+     check        FILE: streaming serializability/atomicity checker over a
+                  history (.sched or telemetry JSONL; --level, --checked,
+                  --json); -s FILE: evaluate C1/C2/C4 on a schedule
      dot          print the conflict graph of a schedule file as DOT
      experiments  print the EX1-EX11 experiment tables
      reduce-cover emit the Theorem 5 schedule for a Set Cover instance
@@ -657,12 +659,16 @@ let serve_cmd =
 
 (* --- trace --- *)
 
-let trace_report path audit_on safety_depth =
+let trace_report path audit_on safety_depth strict =
   let module E = Dct_telemetry.Event in
   match Dct_telemetry.Sink.read_file_lenient path with
   | Error e ->
       Printf.eprintf "dct: trace: %s\n" e;
       2
+  | Ok (_, (lineno, e) :: _) when strict ->
+      Printf.eprintf "dct: trace: %s: line %d: %s\n" path lineno e;
+      Printf.eprintf "dct: trace: stopping at first malformed line (--strict)\n";
+      1
   | Ok ([], []) ->
       (* An empty trace is almost always a mistake (wrong file, crashed
          producer) — refuse rather than print an all-zero summary. *)
@@ -859,7 +865,9 @@ let trace_report path audit_on safety_depth =
              (List.sort compare
                 (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gc [])))
       end;
-      let clean = if errors = [] then 0 else 2 in
+      (* Malformed lines poison the summary's accounting: succeed only
+         on a fully parseable trace. *)
+      let clean = if errors = [] then 0 else 1 in
       if not audit_on then clean
       else begin
         let module A = Dct_analysis.Audit in
@@ -901,6 +909,14 @@ let trace_cmd =
              search for deletions failing both condition checks.  \
              Expensive; keep at most 3.")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Stop at the first malformed line instead of skipping and \
+             summarizing the parseable remainder.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
@@ -909,9 +925,9 @@ let trace_cmd =
           policy, residency timeline with high-water mark, oracle \
           latency percentiles per backend and operation, and per-call \
           GC latency percentiles per deletability-index backend.  Exits \
-          0 on a clean summary, 1 on an --audit finding, 2 on unreadable \
-          or malformed input.")
-    Term.(const trace_report $ file $ audit_on $ safety_depth)
+          0 on a clean summary, 1 on malformed lines or an --audit \
+          finding, 2 on unreadable or empty input.")
+    Term.(const trace_report $ file $ audit_on $ safety_depth $ strict)
 
 (* --- lint --- *)
 
@@ -950,7 +966,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Static diagnostics over schedule files (codes DCT000-DCT007). \
+         "Static diagnostics over schedule files (codes DCT000-DCT009). \
           Exits 0 when clean, 1 on findings, 2 on I/O errors."
        ~man:
          [
@@ -1075,7 +1091,8 @@ let txn_name env id =
   Option.value ~default:(string_of_int id)
     (Dct_txn.Symtab.name env.Dct_txn.Parse.txns id)
 
-let check condition path names =
+(* Condition mode (-s): evaluate C1/C2/C4/max on a schedule file. *)
+let check_conditions condition path names =
   let lazy_basic = lazy (load_basic_state path) in
   let env_gs () = Lazy.force lazy_basic in
   (match (condition, names) with
@@ -1154,6 +1171,81 @@ let check condition path names =
   | c, _ -> Printf.ksprintf failwith "bad combination: condition %S" c);
   0
 
+(* History mode (positional FILE): the streaming checker. *)
+let check_history path level oracle checked json metrics_on =
+  let module C = Dct_check.Checker in
+  let registry =
+    if metrics_on then Some (Dct_telemetry.Metrics.create ()) else None
+  in
+  let tracer =
+    match registry with
+    | Some m -> Dct_telemetry.Tracer.create ~metrics:m ()
+    | None -> Dct_telemetry.Tracer.disabled
+  in
+  let oracle = Option.value ~default:Dct_graph.Cycle_oracle.Topo oracle in
+  match C.check_file ~oracle ~tracer ~checked ~level path with
+  | Error e ->
+      Printf.eprintf "dct: check: %s\n" e;
+      2
+  | Ok (report, stats) ->
+      if json then begin
+        let j = C.to_json ~stats report in
+        let j =
+          match registry with
+          | Some m ->
+              String.sub j 0 (String.length j - 1)
+              ^ ",\"metrics\":" ^ Dct_telemetry.Metrics.to_json m ^ "}"
+          | None -> j
+        in
+        print_endline j
+      end
+      else begin
+        let module H = Dct_check.History in
+        Printf.printf "check: %s (%s, %d lines%s)\n" path
+          (H.format_name stats.H.fmt)
+          stats.H.lines
+          (if stats.H.bad_lines > 0 then
+             Printf.sprintf ", %d unparseable skipped" stats.H.bad_lines
+           else "");
+        (match stats.H.adapter with
+        | Some a when a.H.foreign > 0 || a.H.deferred > 0 || a.H.undecided > 0
+          ->
+            Printf.printf
+              "adapter: %d events, %d steps, %d foreign skipped, %d deferred \
+               dropped, %d undecided\n"
+              a.H.events a.H.steps a.H.foreign a.H.deferred a.H.undecided
+        | _ -> ());
+        let named sym id prefix =
+          Option.value
+            ~default:(Printf.sprintf "%s%d" prefix id)
+            (Dct_txn.Symtab.name sym id)
+        in
+        let txn_name, entity_name =
+          match stats.H.env with
+          | Some env ->
+              ( Some (fun id -> named env.Dct_txn.Parse.txns id "T"),
+                Some (fun id -> named env.Dct_txn.Parse.entities id "e") )
+          | None -> (None, None)
+        in
+        print_string (C.render ?txn_name ?entity_name report);
+        Option.iter
+          (fun m ->
+            print_newline ();
+            print_string (Dct_telemetry.Metrics.render m))
+          registry
+      end;
+      if C.passed report then 0 else 1
+
+let check condition schedule args level oracle checked json metrics_on =
+  match (schedule, args) with
+  | Some path, names -> check_conditions condition path names
+  | None, [ file ] -> check_history file level oracle checked json metrics_on
+  | None, _ ->
+      Printf.eprintf
+        "dct: check: pass one history FILE (checker mode) or -s SCHEDULE \
+         with transaction names (condition mode)\n";
+      2
+
 let check_cmd =
   let condition =
     Arg.(
@@ -1161,15 +1253,91 @@ let check_cmd =
       & opt string "c1"
       & info [ "c"; "condition" ] ~docv:"COND"
           ~doc:
-            "c1 (one txn or all), c2 (a set), max (best subset), or c4 \
-             (predeclared schedules with bd steps).")
+            "Condition mode: c1 (one txn or all), c2 (a set), max (best \
+             subset), or c4 (predeclared schedules with bd steps).")
   in
-  let names =
-    Arg.(value & pos_all string [] & info [] ~docv:"TXN" ~doc:"Transaction names.")
+  let schedule =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Condition mode: evaluate deletion conditions on this schedule \
+             file instead of checking a history.")
+  in
+  let args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ARG"
+          ~doc:
+            "A history file (checker mode) or transaction names \
+             (condition mode).")
+  in
+  let level_conv =
+    let module V = Dct_check.Violation in
+    let parse s = Result.map_error (fun e -> `Msg e) (V.level_of_string s) in
+    Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (V.level_name l))
+  in
+  let level =
+    Arg.(
+      value
+      & opt level_conv Dct_check.Violation.Serializable
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:
+            "What to check the history against: atomicity (dirty \
+             reads/writes, lost updates — the vector-clock analysis), rc \
+             (read committed), ra (read atomic / fractured reads), causal \
+             (unstable reads, causal cycles) or ser (conflict-graph \
+             serializability of the committed projection).  Levels are \
+             not cumulative: each runs exactly its own analysis.")
+  in
+  let checked =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "With --level ser: cross-check the streaming verdict against \
+             the exact bitset-closure conflict graph on the first ops \
+             (abort-free prefix, capped); any divergence fails the run.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"One JSON object: summary, file statistics, witnesses.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect and report check.* counters and oracle latency \
+             histograms.")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Evaluate deletion conditions on a schedule file")
-    Term.(const check $ condition $ schedule_file $ names)
+    (Cmd.info "check"
+       ~doc:
+         "Check a transaction history (schedule text or telemetry JSONL, \
+          sniffed) for consistency violations, streaming; or, with -s, \
+          evaluate the paper's deletion conditions on a schedule file.  \
+          Checker mode exits 0 when the history passes, 1 on violations \
+          or a --checked divergence, 2 on unreadable input."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Checker mode normalizes the input into one stream of \
+              begin/read/write/commit/abort operations — native schedules \
+              get their commit points derived per transaction model, \
+              telemetry traces are adapted by pairing step submissions \
+              with decisions (foreign event kinds and unparseable JSONL \
+              lines are counted and skipped, never fatal) — and runs one \
+              analysis over it in O(1) amortized time per operation with \
+              memory linear in live transactions.  See docs/check.md.";
+         ])
+    Term.(
+      const check $ condition $ schedule $ args $ level $ oracle_arg $ checked
+      $ json $ metrics_arg)
 
 (* --- dot --- *)
 

@@ -18,6 +18,8 @@ let code_descriptions =
     ("DCT005", "access-outside-declaration: access outside the predeclared set");
     ("DCT006", "entity-never-read: entity written but never read");
     ("DCT007", "duplicate-begin: BEGIN of an already-active transaction");
+    ("DCT008", "empty-commit: transaction completes with zero operations");
+    ("DCT009", "read-never-written: read of an entity no transaction writes");
   ]
 
 (* The transaction-model flavour a step belongs to, used by DCT004. *)
@@ -68,6 +70,7 @@ let check ~env (steps : Parse.located list) =
   let emit f = out := f :: !out in
   let txns : (int, txn_status) Hashtbl.t = Hashtbl.create 16 in
   let entity_reads : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let entity_first_read : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let entity_first_write : (int, int) Hashtbl.t = Hashtbl.create 16 in
   (* Opening of a transaction that was never begun: report DCT001 once,
      then track it anyway so one typo does not cascade. *)
@@ -135,7 +138,10 @@ let check ~env (steps : Parse.located list) =
   let record_access st line t x ~mode =
     st.performed <- Access.add st.performed ~entity:x ~mode;
     (match mode with
-    | Access.Read -> Hashtbl.replace entity_reads x ()
+    | Access.Read ->
+        Hashtbl.replace entity_reads x ();
+        if not (Hashtbl.mem entity_first_read x) then
+          Hashtbl.replace entity_first_read x line
     | Access.Write ->
         if not (Hashtbl.mem entity_first_write x) then
           Hashtbl.replace entity_first_write x line);
@@ -200,11 +206,20 @@ let check ~env (steps : Parse.located list) =
   (* End-of-file checks. *)
   Hashtbl.iter
     (fun t st ->
-      if st.completed_at = None then
-        emit
-          (finding "DCT003" Warning st.begin_line
-             "%s begun here but never completes (no final write / finish)"
-             (txn_name t)))
+      match st.completed_at with
+      | None ->
+          emit
+            (finding "DCT003" Warning st.begin_line
+               "%s begun here but never completes (no final write / finish)"
+               (txn_name t))
+      | Some at ->
+          (* A completed transaction that touched nothing is legal (a
+             read-only final write commits it) but almost always a typo:
+             its steps went to some other name. *)
+          if Access.is_empty st.performed then
+            emit
+              (finding "DCT008" Warning at
+                 "%s completes here with zero operations" (txn_name t)))
     txns;
   Hashtbl.iter
     (fun x line ->
@@ -214,6 +229,15 @@ let check ~env (steps : Parse.located list) =
              "entity %s is written but never read by any transaction"
              (entity_name x)))
     entity_first_write;
+  Hashtbl.iter
+    (fun x line ->
+      if not (Hashtbl.mem entity_first_write x) then
+        emit
+          (finding "DCT009" Warning line
+             "entity %s is read but never written by any transaction \
+              (every read observes the initial version)"
+             (entity_name x)))
+    entity_first_read;
   (* Cross-transaction model mixing: the scheduler for one model raises
      on steps of another.  Classify each transaction by the flavour of
      its first flavoured step and compare across the schedule. *)

@@ -24,7 +24,13 @@
     - [DCT006] [entity-never-read] — an entity is written but never read
       anywhere in the schedule ({e warning}: dead writes);
     - [DCT007] [duplicate-begin] — BEGIN of an already-active
-      transaction. *)
+      transaction;
+    - [DCT008] [empty-commit] — a transaction completes having performed
+      zero operations ({e warning}: legal — a bare final write commits —
+      but usually its steps went to a mistyped name);
+    - [DCT009] [read-never-written] — an entity is read somewhere but no
+      transaction ever writes it ({e warning}: every such read observes
+      the initial version; dual of [DCT006]). *)
 
 type severity = Error | Warning
 

@@ -1,0 +1,155 @@
+module H = History
+module V = Violation
+
+type read_rec = { rv : int;  (** version clock observed *) r_at : int; r_line : int }
+
+type ent = {
+  mutable version : int;  (** commit clock of the last committed write *)
+  mutable version_writer : int;  (** -1 for the initial version *)
+  mutable version_at : int;  (** op index of the committing write *)
+  mutable version_line : int;
+  mutable dirty : (int * int * int) option;  (** live writer, op index, line *)
+}
+
+type txn_state = {
+  reads : (int, read_rec) Hashtbl.t;
+  writes : (int, int * int) Hashtbl.t;  (** entity -> first write (at, line) *)
+}
+
+type t = {
+  on_violation : V.t -> unit;
+  mutable clock : int;
+  entities : (int, ent) Hashtbl.t;
+  txns : (int, txn_state) Hashtbl.t;
+  mutable nviol : int;
+}
+
+let create ~on_violation () =
+  {
+    on_violation;
+    clock = 0;
+    entities = Hashtbl.create 256;
+    txns = Hashtbl.create 64;
+    nviol = 0;
+  }
+
+let live t = Hashtbl.length t.txns
+let violations t = t.nviol
+
+let ent t x =
+  match Hashtbl.find_opt t.entities x with
+  | Some e -> e
+  | None ->
+      let e =
+        { version = 0; version_writer = -1; version_at = 0; version_line = 0;
+          dirty = None }
+      in
+      Hashtbl.replace t.entities x e;
+      e
+
+let state t tx =
+  match Hashtbl.find_opt t.txns tx with
+  | Some st -> st
+  | None ->
+      let st = { reads = Hashtbl.create 8; writes = Hashtbl.create 8 } in
+      Hashtbl.replace t.txns tx st;
+      st
+
+let report t v =
+  t.nviol <- t.nviol + 1;
+  t.on_violation v
+
+let opref at line what = { V.at; line; what }
+
+let dirty_violation t kind ~who ~writer ~entity ~wat ~wline ~at ~line ~what =
+  report t
+    {
+      V.level = V.kind_level kind;
+      kind;
+      txns = [ writer; who ];
+      entity = Some entity;
+      ops =
+        [ opref wat wline (Printf.sprintf "w T%d e%d (uncommitted)" writer entity);
+          opref at line what ];
+      message =
+        Printf.sprintf "T%d %s e%d while T%d holds an uncommitted write of it"
+          who
+          (if kind = V.Dirty_read then "reads" else "overwrites")
+          entity writer;
+    }
+
+let feed t { H.index = at; line; op } =
+  match op with
+  | H.Begin tx -> ignore (state t tx)
+  | H.Read (tx, x) ->
+      let st = state t tx in
+      let e = ent t x in
+      (match e.dirty with
+      | Some (u, wat, wline) when u <> tx ->
+          dirty_violation t V.Dirty_read ~who:tx ~writer:u ~entity:x ~wat
+            ~wline ~at ~line ~what:(Printf.sprintf "r T%d e%d" tx x)
+      | _ -> ());
+      if not (Hashtbl.mem st.reads x) then
+        Hashtbl.replace st.reads x { rv = e.version; r_at = at; r_line = line }
+  | H.Write (tx, x) ->
+      let st = state t tx in
+      let e = ent t x in
+      (match e.dirty with
+      | Some (u, wat, wline) when u <> tx ->
+          dirty_violation t V.Dirty_write ~who:tx ~writer:u ~entity:x ~wat
+            ~wline ~at ~line ~what:(Printf.sprintf "w T%d e%d" tx x)
+      | _ -> ());
+      e.dirty <- Some (tx, at, line);
+      if not (Hashtbl.mem st.writes x) then
+        Hashtbl.replace st.writes x (at, line)
+  | H.Commit tx ->
+      let st = state t tx in
+      t.clock <- t.clock + 1;
+      Hashtbl.iter
+        (fun x (wat, wline) ->
+          let e = ent t x in
+          (match Hashtbl.find_opt st.reads x with
+          | Some r when r.rv < e.version ->
+              (* The snapshot T read is older than the version it now
+                 overwrites: the intervening commit's update is lost. *)
+              report t
+                {
+                  V.level = V.Atomicity;
+                  kind = V.Lost_update;
+                  txns = [ tx; e.version_writer ];
+                  entity = Some x;
+                  ops =
+                    [ opref r.r_at r.r_line
+                        (Printf.sprintf "r T%d e%d (version %d)" tx x r.rv);
+                      opref e.version_at e.version_line
+                        (Printf.sprintf "w T%d e%d (commits version %d)"
+                           e.version_writer x e.version);
+                      opref at line (Printf.sprintf "c T%d" tx) ];
+                  message =
+                    Printf.sprintf
+                      "T%d commits a write of e%d over a version it read \
+                       before T%d's intervening commit"
+                      tx x e.version_writer;
+                }
+          | _ -> ());
+          e.version <- t.clock;
+          e.version_writer <- tx;
+          e.version_at <- wat;
+          e.version_line <- wline;
+          match e.dirty with
+          | Some (u, _, _) when u = tx -> e.dirty <- None
+          | _ -> ())
+        st.writes;
+      Hashtbl.remove t.txns tx
+  | H.Abort tx ->
+      (match Hashtbl.find_opt t.txns tx with
+      | None -> ()
+      | Some st ->
+          Hashtbl.iter
+            (fun x _ ->
+              let e = ent t x in
+              match e.dirty with
+              | Some (u, _, _) when u = tx -> e.dirty <- None
+              | _ -> ())
+            st.writes);
+      Hashtbl.remove t.txns tx

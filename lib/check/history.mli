@@ -1,0 +1,110 @@
+(** History front-end: normalize native schedules and telemetry JSONL
+    into one stream of read/write/begin/commit/abort operations.
+
+    The checker analyses never see steps or events — only {!lop}s, so a
+    history produced by [dct simulate --trace], one written by a foreign
+    system in the telemetry JSONL dialect, and a hand-written [.sched]
+    file all flow through the same code.
+
+    {2 Commit derivation}
+
+    The native formats carry no explicit commit markers; completion is
+    derived per transaction model exactly as the schedulers do:
+
+    - basic model: the final atomic [Write] commits (its writes are
+      emitted, then [Commit]);
+    - multi-write model: [Finish] commits (the paper defers the real
+      commit until dependencies resolve; the checker treats completion
+      as the commit point, which is the conservative reading);
+    - predeclared model: the transaction commits once every declared
+      access has been performed at declared strength (mirroring the
+      linter and the predeclared scheduler).
+
+    {2 Telemetry adaptation}
+
+    A telemetry stream pairs [Step_submitted] with [Decision] events.
+    The adapter buffers submitted steps until their decision arrives
+    (memory linear in in-flight steps): [accepted] decisions release
+    the step's operations, [rejected] aborts the transaction,
+    [ignored] drops the step, [delayed] drops it too (see
+    {!adapter_stats.deferred}).  Everything else — deletion events,
+    oracle samples, checkpoints, unknown outcomes, and (at the file
+    layer) lines that do not parse as events at all — is tolerated and
+    counted, never fatal: foreign traces may interleave event kinds
+    this repo has never seen. *)
+
+type op =
+  | Begin of int
+  | Read of int * int  (** [Read (t, x)] *)
+  | Write of int * int
+  | Commit of int
+  | Abort of int
+
+type lop = { index : int; line : int; op : op }
+(** [index] is the 1-based position in the normalized stream; [line]
+    the 1-based source line (0 when synthesized). *)
+
+val txn : op -> int
+val op_to_string : op -> string
+val pp_op : Format.formatter -> op -> unit
+
+val of_schedule : Dct_txn.Schedule.t -> lop list
+(** Take a schedule at face value: every step applies, nothing aborts.
+    A step of a never-begun transaction gets a synthesized [Begin]. *)
+
+(** {1 Streaming telemetry adapter} *)
+
+type adapter
+
+type adapter_stats = {
+  events : int;  (** events fed *)
+  steps : int;  (** [Step_submitted] events seen *)
+  foreign : int;  (** skipped: other event kinds, unknown step kinds or
+                      outcomes, decisions without a matching step *)
+  deferred : int;
+      (** steps whose decision was [delayed]: the scheduler executes
+          them at a later retry the trace does not record, so their
+          true conflict-order position is unknown.  They are dropped —
+          dropping operations can mask an anomaly but never fabricate
+          one, while releasing them in submission order would invent
+          conflicts that never happened. *)
+  undecided : int;  (** steps still awaiting a decision (final only) *)
+}
+
+val adapter : unit -> adapter
+
+val feed_event : adapter -> ?line:int -> Dct_telemetry.Event.t -> lop list
+(** Operations released by this event, stream order.  Indices are
+    assigned by the adapter. *)
+
+val adapter_stats : adapter -> adapter_stats
+(** [undecided] is only meaningful after the last event. *)
+
+val of_events : Dct_telemetry.Event.t list -> lop list * adapter_stats
+
+(** {1 Files} *)
+
+type format = Sched | Jsonl
+
+val format_name : format -> string
+
+val sniff : string -> format
+(** Guess from content: a first non-blank line starting with [{] is
+    JSONL, anything else the schedule text format. *)
+
+type file_stats = {
+  fmt : format;
+  lines : int;
+  bad_lines : int;  (** JSONL lines that parse as no known event *)
+  adapter : adapter_stats option;  (** [Some] for [Jsonl] *)
+  env : Dct_txn.Parse.env option;  (** [Some] for [Sched]: the symbol
+                                       table, for name rendering *)
+}
+
+val iter_file : string -> f:(lop -> unit) -> (file_stats, string) result
+(** Stream a history file through [f] one operation at a time — the
+    file is never materialized, so a 10^6-event trace costs constant
+    memory here.  [Error] for I/O problems and for [.sched] parse
+    errors (lint the file instead); JSONL lines that fail to parse are
+    counted in [bad_lines] and skipped (the lenient foreign-trace
+    contract). *)

@@ -1,0 +1,122 @@
+module H = History
+
+let reindex ops =
+  List.mapi (fun i (l : H.lop) -> { l with H.index = i + 1 }) ops
+
+let fresh_txn ops =
+  1
+  + List.fold_left (fun m (l : H.lop) -> max m (H.txn l.H.op)) (-1) ops
+
+let mk op = { H.index = 0; line = 0; op }
+
+(* The write–commit windows: a [Write (t, x)] such that [Commit t]
+   appears strictly later.  Returns the position just after the write,
+   with the entity. *)
+let first_dirty_window ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let commit_at = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (l : H.lop) ->
+      match l.H.op with
+      | H.Commit tx ->
+          if not (Hashtbl.mem commit_at tx) then Hashtbl.replace commit_at tx i
+      | _ -> ())
+    arr;
+  let rec find i =
+    if i >= n then None
+    else
+      match arr.(i).H.op with
+      | H.Write (tx, x) -> (
+          match Hashtbl.find_opt commit_at tx with
+          | Some c when c > i -> Some (i + 1, x)
+          | _ -> find (i + 1))
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let insert_at pos extra ops =
+  let rec go i = function
+    | [] -> if i = pos then extra else []
+    | l :: rest ->
+        if i = pos then extra @ (l :: rest) else l :: go (i + 1) rest
+  in
+  reindex (go 0 ops)
+
+let inject_dirty_read ops =
+  match first_dirty_window ops with
+  | None -> None
+  | Some (pos, x) ->
+      let u = fresh_txn ops in
+      Some (insert_at pos [ mk (H.Begin u); mk (H.Read (u, x)) ] ops)
+
+let inject_dirty_write ops =
+  match first_dirty_window ops with
+  | None -> None
+  | Some (pos, x) ->
+      let u = fresh_txn ops in
+      Some (insert_at pos [ mk (H.Begin u); mk (H.Write (u, x)) ] ops)
+
+let inject_lost_update ops =
+  (* Need at least one committed write: some [Write (t, x)] with a
+     [Commit t] later (any model the front-end emits satisfies this for
+     every committed writer). *)
+  match first_dirty_window ops with
+  | None -> None
+  | Some (_, x) ->
+      let u = fresh_txn ops in
+      Some
+        (reindex
+           ((mk (H.Begin u) :: mk (H.Read (u, x)) :: ops)
+           @ [ mk (H.Write (u, x)); mk (H.Commit u) ]))
+
+let inject_conflict_cycle ops =
+  let u = fresh_txn ops in
+  let v = u + 1 in
+  let e =
+    1
+    + List.fold_left
+        (fun m (l : H.lop) ->
+          match l.H.op with
+          | H.Read (_, x) | H.Write (_, x) -> max m x
+          | _ -> m)
+        (-1) ops
+  in
+  (* u reads e, v reads e+1, then each writes the other's entity:
+     rw arcs u -> v (on e+1) and v -> u (on e). *)
+  Some
+    (reindex
+       (ops
+       @ [ mk (H.Begin u); mk (H.Begin v);
+           mk (H.Read (u, e)); mk (H.Read (v, e + 1));
+           mk (H.Write (u, e + 1)); mk (H.Write (v, e));
+           mk (H.Commit u); mk (H.Commit v) ]))
+
+(* --- generic mutators ---------------------------------------------- *)
+
+let swap ~at ops =
+  let arr = Array.of_list ops in
+  if at < 0 || at + 1 >= Array.length arr then None
+  else
+    let a = arr.(at) and b = arr.(at + 1) in
+    if H.txn a.H.op = H.txn b.H.op then None
+    else begin
+      arr.(at) <- b;
+      arr.(at + 1) <- a;
+      Some (reindex (Array.to_list arr))
+    end
+
+let drop ~at ops =
+  if at < 0 || at >= List.length ops then None
+  else Some (reindex (List.filteri (fun i _ -> i <> at) ops))
+
+let duplicate ~at ops =
+  let arr = Array.of_list ops in
+  if at < 0 || at >= Array.length arr then None
+  else
+    Some
+      (reindex
+         (List.concat_map
+            (fun i ->
+              if i = at then [ arr.(i); arr.(i) ] else [ arr.(i) ])
+            (List.init (Array.length arr) Fun.id)))

@@ -1,0 +1,54 @@
+(** The mutation harness of the differential suite: controlled edits of
+    a normalized operation stream.
+
+    Two families:
+
+    - {e targeted injectors} splice a known anomaly into a clean
+      history — each is guaranteed-detectable by construction at its
+      level (the 100%-detection acceptance bar): a dirty read/write is
+      inserted inside somebody's write–commit window, a lost update
+      brackets the whole history (read version 0 first, commit a write
+      of the same entity last).
+    - {e generic mutators} (swap / drop / duplicate) perturb the stream
+      without aiming at a specific anomaly; the differential tests run
+      the streaming checker and the exact closure reference on the
+      result and require {e equal} verdicts, whatever they are.
+
+    All functions return [None] when the history offers no applicable
+    site; [Some ops] is reindexed (indices 1..n, lines preserved). *)
+
+val reindex : History.lop list -> History.lop list
+
+val fresh_txn : History.lop list -> int
+(** An id greater than every transaction mentioned. *)
+
+(** {1 Targeted injectors} *)
+
+val inject_dirty_read : History.lop list -> History.lop list option
+(** Insert a read by a fresh transaction between someone's [Write] and
+    their later [Commit].  Detected at [atomicity] and [rc]. *)
+
+val inject_dirty_write : History.lop list -> History.lop list option
+(** Same site, inserting a write.  Detected at [atomicity] and [rc]. *)
+
+val inject_lost_update : History.lop list -> History.lop list option
+(** A fresh transaction reads an entity before every other operation
+    and commits a write of it after every other operation; any
+    committed write of that entity in between makes the update lost.
+    Detected at [atomicity]. *)
+
+val inject_conflict_cycle : History.lop list -> History.lop list option
+(** Append two fresh committed transactions in rw–rw opposition on two
+    fresh entities — a 2-cycle in the conflict graph.  Detected at
+    [ser]. *)
+
+(** {1 Generic mutators} *)
+
+val swap : at:int -> History.lop list -> History.lop list option
+(** Swap the operations at positions [at] and [at + 1] (0-based); [None]
+    when out of range or the two belong to the same transaction (such a
+    swap is a session-order edit, not an interleaving change). *)
+
+val drop : at:int -> History.lop list -> History.lop list option
+
+val duplicate : at:int -> History.lop list -> History.lop list option

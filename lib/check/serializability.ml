@@ -1,0 +1,629 @@
+module H = History
+module V = Violation
+module O = Dct_graph.Cycle_oracle
+
+let opref at line what = { V.at; line; what }
+
+(* ------------------------------------------------------------------ *)
+(* Reads-from engine: Read_committed / Read_atomic / Causal.           *)
+(*                                                                     *)
+(* Reads-from is derived: a read observes the last committed version   *)
+(* of its entity (versions are stamped by a global commit clock).      *)
+(* Dirty accesses are flagged at rc level; ra retains committed write  *)
+(* sets and cross-checks every read pair of a live transaction for     *)
+(* fractured observations; causal keeps the reads-from order acyclic   *)
+(* on a transitive closure and flags version instability.              *)
+(* ------------------------------------------------------------------ *)
+
+type rf_read = {
+  mutable seen_writer : int;  (** last observed version's writer, -1 initial *)
+  mutable seen_clock : int;
+  first_at : int;
+  first_line : int;
+}
+
+type rf_ent = {
+  mutable version : int;
+  mutable version_writer : int;
+  mutable version_at : int;
+  mutable version_line : int;
+  mutable rf_dirty : (int * int * int) option;  (** writer, at, line (rc) *)
+}
+
+type rf_txn = {
+  rf_reads : (int, rf_read) Hashtbl.t;
+  rf_writes : (int, int * int) Hashtbl.t;  (** entity -> first (at, line) *)
+  linked : (int, unit) Hashtbl.t;  (** writers with a wr arc to us (causal) *)
+}
+
+type rf = {
+  rf_level : V.level;  (** Read_committed | Read_atomic | Causal *)
+  rf_on : V.t -> unit;
+  mutable rf_clock : int;
+  rf_entities : (int, rf_ent) Hashtbl.t;
+  rf_txns : (int, rf_txn) Hashtbl.t;
+  wsets : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** committed writer -> write set (ra, causal) *)
+  wr : Dct_graph.Closure.t;  (** reads-from order (causal) *)
+  wr_slots : (int, int) Hashtbl.t;
+      (** txn -> closure node id.  The closure's bitset rows are as
+          wide as the largest id present, so feeding it ever-growing
+          transaction ids makes every query O(n) in stream length even
+          when the resident set is tiny.  Slots are recycled on
+          retirement, keeping row width at the resident size. *)
+  mutable wr_free : int list;  (** recycled slot ids *)
+  mutable wr_next : int;
+  pins : (int, int) Hashtbl.t;
+      (** committed writer -> (entities whose current version is his)
+          + (live readers' slots that observed him): while positive he
+          can still be named by a future check, so his write set and
+          closure node must stay (ra, causal) *)
+  mutable rf_nviol : int;
+}
+
+let rf_create ~level ~on_violation =
+  {
+    rf_level = level;
+    rf_on = on_violation;
+    rf_clock = 0;
+    rf_entities = Hashtbl.create 256;
+    rf_txns = Hashtbl.create 64;
+    wsets = Hashtbl.create 64;
+    wr = Dct_graph.Closure.create ();
+    wr_slots = Hashtbl.create 64;
+    wr_free = [];
+    wr_next = 0;
+    pins = Hashtbl.create 64;
+    rf_nviol = 0;
+  }
+
+let wr_slot t tx =
+  match Hashtbl.find_opt t.wr_slots tx with
+  | Some s -> s
+  | None ->
+      let s =
+        match t.wr_free with
+        | s :: tl ->
+            t.wr_free <- tl;
+            s
+        | [] ->
+            let s = t.wr_next in
+            t.wr_next <- s + 1;
+            s
+      in
+      Hashtbl.replace t.wr_slots tx s;
+      s
+
+let wr_drop t mode tx =
+  match Hashtbl.find_opt t.wr_slots tx with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove t.wr_slots tx;
+      if Dct_graph.Closure.mem_node t.wr s then
+        Dct_graph.Closure.remove_node t.wr mode s;
+      t.wr_free <- s :: t.wr_free
+
+(* A committed writer with no pins can never be consulted again — no
+   entity's current version is his (no new outgoing reads-from arc,
+   no [wrote] check against a current version) and no live reader
+   remembers observing him (no [wrote] check against a stale slot).
+   Retire him: drop the write set and bypass the closure node, exactly
+   the ser engine's pin-count GC.  Tracking is only needed at the
+   levels that keep per-writer state. *)
+let rf_tracks_pins t = t.rf_level = V.Read_atomic || t.rf_level = V.Causal
+
+let rf_retire t u =
+  if not (Hashtbl.mem t.rf_txns u) then begin
+    Hashtbl.remove t.wsets u;
+    Hashtbl.remove t.pins u;
+    if t.rf_level = V.Causal then wr_drop t `Bypass u
+  end
+
+let rf_pin t u =
+  if u >= 0 && rf_tracks_pins t then
+    Hashtbl.replace t.pins u
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins u))
+
+let rf_unpin t u =
+  if u >= 0 && rf_tracks_pins t then
+    match Hashtbl.find_opt t.pins u with
+    | Some n when n > 1 -> Hashtbl.replace t.pins u (n - 1)
+    | Some _ ->
+        Hashtbl.remove t.pins u;
+        rf_retire t u
+    | None -> ()
+
+let rf_ent t x =
+  match Hashtbl.find_opt t.rf_entities x with
+  | Some e -> e
+  | None ->
+      let e =
+        { version = 0; version_writer = -1; version_at = 0; version_line = 0;
+          rf_dirty = None }
+      in
+      Hashtbl.replace t.rf_entities x e;
+      e
+
+let rf_state t tx =
+  match Hashtbl.find_opt t.rf_txns tx with
+  | Some st -> st
+  | None ->
+      let st =
+        { rf_reads = Hashtbl.create 8; rf_writes = Hashtbl.create 8;
+          linked = Hashtbl.create 8 }
+      in
+      Hashtbl.replace t.rf_txns tx st;
+      st
+
+let rf_report t v =
+  t.rf_nviol <- t.rf_nviol + 1;
+  t.rf_on v
+
+let wrote t u x =
+  match Hashtbl.find_opt t.wsets u with
+  | None -> false
+  | Some ws -> Hashtbl.mem ws x
+
+let rf_feed t { H.index = at; line; op } =
+  match op with
+  | H.Begin tx -> ignore (rf_state t tx)
+  | H.Read (tx, x) -> (
+      let st = rf_state t tx in
+      let e = rf_ent t x in
+      match t.rf_level with
+      | V.Read_committed -> (
+          match e.rf_dirty with
+          | Some (u, wat, wline) when u <> tx ->
+              rf_report t
+                {
+                  V.level = V.Read_committed;
+                  kind = V.Dirty_read;
+                  txns = [ u; tx ];
+                  entity = Some x;
+                  ops =
+                    [ opref wat wline
+                        (Printf.sprintf "w T%d e%d (uncommitted)" u x);
+                      opref at line (Printf.sprintf "r T%d e%d" tx x) ];
+                  message =
+                    Printf.sprintf
+                      "T%d reads e%d while T%d holds an uncommitted write of it"
+                      tx x u;
+                }
+          | _ -> ())
+      | V.Read_atomic ->
+          (* The new read observes version (e.version_writer, e.version).
+             Against every earlier read of this transaction: if one side
+             observed writer u and the other side's entity is also in
+             u's committed write set but was observed from an older
+             version, the atomic write set of u was seen fractured. *)
+          let u = e.version_writer and cu = e.version in
+          Hashtbl.iter
+            (fun y (r : rf_read) ->
+              if y <> x then begin
+                let fractured =
+                  (u >= 0 && r.seen_writer <> u && r.seen_clock < cu
+                   && wrote t u y)
+                  || (r.seen_writer >= 0 && u <> r.seen_writer
+                      && cu < r.seen_clock && wrote t r.seen_writer x)
+                in
+                if fractured then
+                  let w, wx, wy =
+                    if u >= 0 && r.seen_writer <> u && r.seen_clock < cu
+                       && wrote t u y
+                    then (u, x, y)
+                    else (r.seen_writer, y, x)
+                  in
+                  rf_report t
+                    {
+                      V.level = V.Read_atomic;
+                      kind = V.Fractured_read;
+                      txns = [ tx; w ];
+                      entity = Some wx;
+                      ops =
+                        [ opref r.first_at r.first_line
+                            (Printf.sprintf "r T%d e%d" tx y);
+                          opref at line (Printf.sprintf "r T%d e%d" tx x) ];
+                      message =
+                        Printf.sprintf
+                          "T%d observes T%d's atomic write set partially: \
+                           it sees T%d's e%d but an older e%d"
+                          tx w w wx wy;
+                    }
+              end)
+            st.rf_reads;
+          (match Hashtbl.find_opt st.rf_reads x with
+          | None ->
+              rf_pin t u;
+              Hashtbl.replace st.rf_reads x
+                { seen_writer = u; seen_clock = cu; first_at = at;
+                  first_line = line }
+          | Some r ->
+              rf_pin t u;
+              rf_unpin t r.seen_writer;
+              r.seen_writer <- u;
+              r.seen_clock <- cu)
+      | V.Causal -> (
+          let u = e.version_writer in
+          (match Hashtbl.find_opt st.rf_reads x with
+          | None ->
+              rf_pin t u;
+              Hashtbl.replace st.rf_reads x
+                { seen_writer = u; seen_clock = e.version; first_at = at;
+                  first_line = line }
+          | Some r ->
+              rf_pin t u;
+              rf_unpin t r.seen_writer;
+              if r.seen_clock <> e.version then
+                rf_report t
+                  {
+                    V.level = V.Causal;
+                    kind = V.Unstable_read;
+                    txns = [ tx ];
+                    entity = Some x;
+                    ops =
+                      [ opref r.first_at r.first_line
+                          (Printf.sprintf "r T%d e%d (version %d)" tx x
+                             r.seen_clock);
+                        opref at line
+                          (Printf.sprintf "r T%d e%d (version %d)" tx x
+                             e.version) ];
+                    message =
+                      Printf.sprintf
+                        "T%d observes two different versions of e%d \
+                         (unstable snapshot)"
+                        tx x;
+                  };
+              r.seen_writer <- u;
+              r.seen_clock <- e.version);
+          if u >= 0 && u <> tx && not (Hashtbl.mem st.linked u) then begin
+            Hashtbl.replace st.linked u ();
+            let su = wr_slot t u and stx = wr_slot t tx in
+            if Dct_graph.Closure.would_cycle t.wr ~src:su ~dst:stx then
+              rf_report t
+                {
+                  V.level = V.Causal;
+                  kind = V.Causal_cycle;
+                  txns = [ u; tx ];
+                  entity = Some x;
+                  ops = [ opref at line (Printf.sprintf "r T%d e%d" tx x) ];
+                  message =
+                    Printf.sprintf
+                      "reads-from arc T%d -> T%d closes a cycle in the \
+                       causal order"
+                      u tx;
+                }
+            else Dct_graph.Closure.add_arc t.wr ~src:su ~dst:stx
+          end)
+      | V.Atomicity | V.Serializable -> assert false)
+  | H.Write (tx, x) -> (
+      let st = rf_state t tx in
+      let e = rf_ent t x in
+      (match t.rf_level with
+      | V.Read_committed -> (
+          match e.rf_dirty with
+          | Some (u, wat, wline) when u <> tx ->
+              rf_report t
+                {
+                  V.level = V.Read_committed;
+                  kind = V.Dirty_write;
+                  txns = [ u; tx ];
+                  entity = Some x;
+                  ops =
+                    [ opref wat wline
+                        (Printf.sprintf "w T%d e%d (uncommitted)" u x);
+                      opref at line (Printf.sprintf "w T%d e%d" tx x) ];
+                  message =
+                    Printf.sprintf
+                      "T%d overwrites e%d while T%d holds an uncommitted \
+                       write of it"
+                      tx x u;
+                }
+          | _ -> ())
+      | _ -> ());
+      e.rf_dirty <- Some (tx, at, line);
+      if not (Hashtbl.mem st.rf_writes x) then
+        Hashtbl.replace st.rf_writes x (at, line))
+  | H.Commit tx -> (
+      match Hashtbl.find_opt t.rf_txns tx with
+      | None -> ()
+      | Some st ->
+          t.rf_clock <- t.rf_clock + 1;
+          if
+            (t.rf_level = V.Read_atomic || t.rf_level = V.Causal)
+            && Hashtbl.length st.rf_writes > 0
+          then begin
+            let ws = Hashtbl.create (Hashtbl.length st.rf_writes) in
+            Hashtbl.iter (fun x _ -> Hashtbl.replace ws x ()) st.rf_writes;
+            Hashtbl.replace t.wsets tx ws
+          end;
+          Hashtbl.iter
+            (fun x (wat, wline) ->
+              let e = rf_ent t x in
+              let old_writer = e.version_writer in
+              rf_pin t tx;
+              e.version <- t.rf_clock;
+              e.version_writer <- tx;
+              e.version_at <- wat;
+              e.version_line <- wline;
+              rf_unpin t old_writer;
+              match e.rf_dirty with
+              | Some (u, _, _) when u = tx -> e.rf_dirty <- None
+              | _ -> ())
+            st.rf_writes;
+          (* the committing reader's slots die with him *)
+          Hashtbl.iter
+            (fun _ (r : rf_read) -> rf_unpin t r.seen_writer)
+            st.rf_reads;
+          Hashtbl.remove t.rf_txns tx;
+          if rf_tracks_pins t && not (Hashtbl.mem t.pins tx) then
+            rf_retire t tx)
+  | H.Abort tx ->
+      (match Hashtbl.find_opt t.rf_txns tx with
+      | None -> ()
+      | Some st ->
+          Hashtbl.iter
+            (fun x _ ->
+              let e = rf_ent t x in
+              match e.rf_dirty with
+              | Some (u, _, _) when u = tx -> e.rf_dirty <- None
+              | _ -> ())
+            st.rf_writes;
+          Hashtbl.iter
+            (fun _ (r : rf_read) -> rf_unpin t r.seen_writer)
+            st.rf_reads;
+          if t.rf_level = V.Causal then wr_drop t `Exact tx);
+      Hashtbl.remove t.rf_txns tx
+
+(* ------------------------------------------------------------------ *)
+(* Conflict-graph engine: Serializable.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-entity slot: last writer and the readers since that write.  Each
+   slot reference pins its transaction in the graph; when a completed
+   transaction's pin count hits zero it is retired with the paper's
+   bypass removal, so graph size tracks live + pinned transactions. *)
+type slot = { mutable writer : int; mutable readers : (int, unit) Hashtbl.t }
+
+type pending = {
+  pv : V.t;
+  mutable waiting : int;  (** participants not yet committed *)
+  mutable dead : bool;  (** a participant aborted: void *)
+}
+
+type ser = {
+  ser_on : V.t -> unit;
+  oracle : O.t;
+  slots : (int, slot) Hashtbl.t;
+  pins : (int, int) Hashtbl.t;
+  active : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** live txn -> entities touched (for abort cleanup) *)
+  committed : (int, unit) Hashtbl.t;  (** committed, still in the graph *)
+  by_txn : (int, pending list ref) Hashtbl.t;
+      (** live participant -> pendings awaiting it *)
+  mutable pendings : pending list;
+  mutable resident : int;
+  mutable ser_nviol : int;
+}
+
+let ser_create ?(oracle = O.Topo) ?probe ~on_violation () =
+  {
+    ser_on = on_violation;
+    oracle = O.create ?probe oracle;
+    slots = Hashtbl.create 256;
+    pins = Hashtbl.create 64;
+    active = Hashtbl.create 64;
+    committed = Hashtbl.create 64;
+    by_txn = Hashtbl.create 16;
+    pendings = [];
+    resident = 0;
+    ser_nviol = 0;
+  }
+
+let slot t x =
+  match Hashtbl.find_opt t.slots x with
+  | Some s -> s
+  | None ->
+      let s = { writer = -1; readers = Hashtbl.create 4 } in
+      Hashtbl.replace t.slots x s;
+      s
+
+let ensure_node t tx =
+  if not (O.mem_node t.oracle tx) then begin
+    O.add_node t.oracle tx;
+    t.resident <- t.resident + 1
+  end
+
+let ensure_active t tx =
+  ensure_node t tx;
+  if not (Hashtbl.mem t.active tx) then
+    Hashtbl.replace t.active tx (Hashtbl.create 8)
+
+let touch t tx x =
+  match Hashtbl.find_opt t.active tx with
+  | None -> ()
+  | Some es -> Hashtbl.replace es x ()
+
+let retire t tx =
+  if Hashtbl.mem t.committed tx then begin
+    Hashtbl.remove t.committed tx;
+    O.remove_node t.oracle `Bypass tx;
+    t.resident <- t.resident - 1
+  end
+
+let pin t tx =
+  Hashtbl.replace t.pins tx
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins tx))
+
+let unpin t tx =
+  match Hashtbl.find_opt t.pins tx with
+  | None -> ()
+  | Some 1 ->
+      Hashtbl.remove t.pins tx;
+      retire t tx
+  | Some n -> Hashtbl.replace t.pins tx (n - 1)
+
+let confirm t p =
+  if not p.dead then begin
+    t.ser_nviol <- t.ser_nviol + 1;
+    t.ser_on p.pv
+  end
+
+(* A conflict arc u -> t.  If reachability already orders u before t the
+   arc adds nothing; if t already reaches u the arc would close a cycle:
+   record the witness as pending, confirmed once every transaction on
+   the path has committed. *)
+let edge t ~at ~line ~entity ~what u tx =
+  if u <> tx then begin
+    ensure_node t u;
+    ensure_node t tx;
+    if not (O.reaches t.oracle ~src:u ~dst:tx) then
+      if O.would_cycle t.oracle ~src:u ~dst:tx then begin
+        let path =
+          match O.cycle_witness t.oracle ~src:u ~dst:tx with
+          | Some p -> p  (* tx ⇝ u *)
+          | None -> [ tx; u ]
+        in
+        let pv =
+          {
+            V.level = V.Serializable;
+            kind = V.Conflict_cycle;
+            txns = path;
+            entity = Some entity;
+            ops = [ opref at line what ];
+            message =
+              Printf.sprintf
+                "conflict arc T%d -> T%d closes a cycle (%s)" u tx
+                (String.concat " -> "
+                   (List.map (Printf.sprintf "T%d") (path @ [ List.hd path ])));
+          }
+        in
+        let p = { pv; waiting = 0; dead = false } in
+        List.iter
+          (fun v ->
+            if Hashtbl.mem t.active v then begin
+              p.waiting <- p.waiting + 1;
+              let l =
+                match Hashtbl.find_opt t.by_txn v with
+                | Some l -> l
+                | None ->
+                    let l = ref [] in
+                    Hashtbl.replace t.by_txn v l;
+                    l
+              in
+              l := p :: !l
+            end)
+          path;
+        t.pendings <- p :: t.pendings;
+        if p.waiting = 0 then confirm t p
+      end
+      else O.add_arc t.oracle ~src:u ~dst:tx
+  end
+
+let ser_feed t { H.index = at; line; op } =
+  match op with
+  | H.Begin tx -> ensure_active t tx
+  | H.Read (tx, x) ->
+      ensure_active t tx;
+      touch t tx x;
+      let s = slot t x in
+      if s.writer >= 0 && s.writer <> tx then
+        edge t ~at ~line ~entity:x
+          ~what:(Printf.sprintf "r T%d e%d" tx x)
+          s.writer tx;
+      if not (Hashtbl.mem s.readers tx) then begin
+        Hashtbl.replace s.readers tx ();
+        pin t tx
+      end
+  | H.Write (tx, x) ->
+      ensure_active t tx;
+      touch t tx x;
+      let s = slot t x in
+      let what = Printf.sprintf "w T%d e%d" tx x in
+      if s.writer >= 0 && s.writer <> tx then
+        edge t ~at ~line ~entity:x ~what s.writer tx;
+      Hashtbl.iter
+        (fun r () -> if r <> tx then edge t ~at ~line ~entity:x ~what r tx)
+        s.readers;
+      (* The slot now references only tx: release old pins, take one. *)
+      if s.writer >= 0 then unpin t s.writer;
+      Hashtbl.iter (fun r () -> unpin t r) s.readers;
+      Hashtbl.reset s.readers;
+      s.writer <- tx;
+      pin t tx
+  | H.Commit tx -> (
+      match Hashtbl.find_opt t.active tx with
+      | None -> ()
+      | Some _ ->
+          Hashtbl.remove t.active tx;
+          Hashtbl.replace t.committed tx ();
+          (match Hashtbl.find_opt t.by_txn tx with
+          | None -> ()
+          | Some l ->
+              Hashtbl.remove t.by_txn tx;
+              List.iter
+                (fun p ->
+                  p.waiting <- p.waiting - 1;
+                  if p.waiting = 0 then confirm t p)
+                !l);
+          if not (Hashtbl.mem t.pins tx) then retire t tx)
+  | H.Abort tx -> (
+      match Hashtbl.find_opt t.active tx with
+      | None -> ()
+      | Some es ->
+          Hashtbl.remove t.active tx;
+          (match Hashtbl.find_opt t.by_txn tx with
+          | None -> ()
+          | Some l ->
+              Hashtbl.remove t.by_txn tx;
+              List.iter (fun p -> p.dead <- true) !l);
+          Hashtbl.iter
+            (fun x () ->
+              match Hashtbl.find_opt t.slots x with
+              | None -> ()
+              | Some s ->
+                  if s.writer = tx then s.writer <- -1;
+                  if Hashtbl.mem s.readers tx then
+                    Hashtbl.remove s.readers tx)
+            es;
+          Hashtbl.remove t.pins tx;
+          if O.mem_node t.oracle tx then begin
+            O.remove_node t.oracle `Exact tx;
+            t.resident <- t.resident - 1
+          end)
+
+let ser_finish t =
+  (* Participants still running at end of stream never aborted: take the
+     pending witnesses at face value, oldest first. *)
+  List.iter (fun p -> if p.waiting > 0 then confirm t p)
+    (List.rev t.pendings);
+  t.pendings <- []
+
+(* ------------------------------------------------------------------ *)
+
+type t = Rf of rf | Ser of ser
+
+let create ?oracle ?probe ~level ~on_violation () =
+  match level with
+  | V.Atomicity ->
+      invalid_arg "Serializability.create: use the Atomicity analysis"
+  | V.Read_committed | V.Read_atomic | V.Causal ->
+      Rf (rf_create ~level ~on_violation)
+  | V.Serializable -> Ser (ser_create ?oracle ?probe ~on_violation ())
+
+let feed t lop =
+  match t with Rf r -> rf_feed r lop | Ser s -> ser_feed s lop
+
+let finish = function Rf _ -> () | Ser s -> ser_finish s
+
+let live = function
+  | Rf r -> Hashtbl.length r.rf_txns
+  | Ser s -> Hashtbl.length s.active
+
+let resident = function
+  | Rf r ->
+      (* live transactions plus the committed writers still pinned by a
+         current version or a live reader's slot (ra/causal) *)
+      Hashtbl.length r.rf_txns + Hashtbl.length r.pins
+  | Ser s -> s.resident
+
+let violations = function Rf r -> r.rf_nviol | Ser s -> s.ser_nviol

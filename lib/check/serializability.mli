@@ -1,0 +1,59 @@
+(** Streaming consistency-level analyses — the Biswas–Enea reductions.
+
+    One engine per family, selected by [level]:
+
+    - [Read_committed] — no reads or overwrites of uncommitted data.
+      Polynomial (linear here): per-entity dirty-writer tracking.
+    - [Read_atomic] — committed write sets must be observed atomically.
+      Reads-from is derived as "the last committed version at read
+      time"; a fractured read is a transaction observing entity [x]
+      from writer [u] and entity [y] from a writer older than [u]
+      although [u] wrote [y] too.  Polynomial: committed write sets are
+      retained (memory linear in committed writes).
+    - [Causal] — each transaction's view must be a stable causal
+      snapshot: reading two different versions of one entity is an
+      unstable read, and the (session ∪ reads-from) order must stay
+      acyclic (checked incrementally on a transitive {!Dct_graph.Closure};
+      with derived reads-from the cycle check is a guard that foreign
+      traces with explicit aborts can still trip).
+    - [Serializable] — the conflict graph of the committed projection
+      must be acyclic.  Arcs are derived online from per-entity last
+      writer/reader slots and fed to a pluggable
+      {!Dct_graph.Cycle_oracle} backend; completed transactions
+      referenced by no entity slot are retired with the paper's
+      path-preserving [`Bypass] removal, so residency tracks live
+      transactions plus pinned completed ones, not history length.  A
+      would-be cycle is reported once every transaction on its witness
+      path has committed (an abort of any of them voids it) — so
+      histories with aborts never produce false positives.
+
+    Violations stream through [on_violation]; for [Serializable] the
+    confirmation may happen at a later commit or at {!finish}. *)
+
+type t
+
+val create :
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?probe:Dct_telemetry.Probe.t ->
+  level:Violation.level ->
+  on_violation:(Violation.t -> unit) ->
+  unit ->
+  t
+(** [oracle] (default [Topo]) and [probe] apply to the [Serializable]
+    engine.  @raise Invalid_argument for [level = Atomicity] — that
+    analysis lives in {!Atomicity}. *)
+
+val feed : t -> History.lop -> unit
+
+val finish : t -> unit
+(** Flush pending serializability witnesses: participants still active
+    at end of stream are taken at face value (they never aborted). *)
+
+val live : t -> int
+(** Live (begun, not completed) transactions. *)
+
+val resident : t -> int
+(** Memory proxy: conflict-graph nodes for [Serializable], live
+    transactions otherwise. *)
+
+val violations : t -> int

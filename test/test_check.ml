@@ -1,0 +1,403 @@
+(* The history checker's differential suite.
+
+   Four pillars:
+
+   1. every scheduler-accepted history passes [ser].  The basic
+      conflict scheduler additionally passes every level (it rejects a
+      conflicting step at submission, so no transaction ever observes
+      an anomaly).  The certifier is optimistic: a doomed transaction
+      legally observes fractured or unstable reads before the commit
+      certification aborts it, and the checker flags eagerly at access
+      — so certify is asserted at [atomicity]/[rc] (atomic basic-model
+      writes leave nothing dirty to read) and [ser] only.  Multiwrite
+      and predeclared histories expose intermediate writes by design,
+      so only the serializability of the committed projection is a
+      theorem there;
+   2. the mutation harness: each targeted injector's anomaly is
+      detected at its level on 100% of the runs;
+   3. a QCheck property: on abort-free histories (face-value generated
+      schedules plus random swap/drop/duplicate noise) the streaming
+      [ser] verdict — under both the [Closure] and [Topo] backends —
+      equals the exact full-conflict-graph closure verdict, and
+      checked mode reports no divergence;
+   4. the corpus under [corpus/check/] through the installed binary:
+      pinned violations, pinned exit codes, foreign-event and
+      bad-line tolerance. *)
+
+module H = Dct_check.History
+module C = Dct_check.Checker
+module M = Dct_check.Mutation
+module V = Dct_check.Violation
+module Gen = Dct_workload.Generator
+module Prng = Dct_workload.Prng
+module Sink = Dct_telemetry.Sink
+module Tracer = Dct_telemetry.Tracer
+
+let check = Alcotest.(check bool)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- accepted histories, via the real schedulers and telemetry --- *)
+
+let profile seed =
+  { Gen.default with Gen.n_txns = 60; n_entities = 16; mpl = 6; seed }
+
+type model = Basic | Certify | Multiwrite | Predeclared
+
+let model_name = function
+  | Basic -> "basic"
+  | Certify -> "certify"
+  | Multiwrite -> "multiwrite"
+  | Predeclared -> "predeclared"
+
+(* Run a generated workload through the actual scheduler with the
+   telemetry sink capturing the trace, then adapt the trace back into
+   a normalized history — the checker sees exactly what a [dct
+   simulate --trace] consumer would. *)
+let accepted_ops model prof =
+  let buf = Buffer.create 8192 in
+  let tracer = Tracer.create ~sink:(Sink.memory buf) () in
+  let handle, schedule =
+    match model with
+    | Basic ->
+        let t =
+          Dct_sched.Conflict_scheduler.create
+            ~policy:Dct_deletion.Policy.Greedy_c1 ~tracer ()
+        in
+        (Dct_sched.Conflict_scheduler.handle_of t, Gen.basic prof)
+    | Certify -> (Dct_sched.Certifier.handle ~tracer (), Gen.basic prof)
+    | Multiwrite ->
+        let t =
+          Dct_sched.Multiwrite_scheduler.create
+            ~deletion:(Dct_sched.Multiwrite_scheduler.C3_exact 8) ~tracer ()
+        in
+        (Dct_sched.Multiwrite_scheduler.handle_of t, Gen.multiwrite prof)
+    | Predeclared ->
+        let t =
+          Dct_sched.Predeclared_scheduler.create ~use_c4_deletion:true ~tracer
+            ()
+        in
+        (Dct_sched.Predeclared_scheduler.handle_of t, Gen.predeclared prof)
+  in
+  ignore (Dct_sim.Driver.run ~tracer handle schedule);
+  Tracer.flush tracer;
+  match Sink.parse_string (Buffer.contents buf) with
+  | Error e -> Alcotest.fail ("trace did not round-trip: " ^ e)
+  | Ok events ->
+      let ops, stats = H.of_events events in
+      Alcotest.(check int)
+        (model_name model ^ " no undecided steps")
+        0 stats.H.undecided;
+      ops
+
+let seeds = [ 1; 7; 42 ]
+
+let test_accepted_pass () =
+  List.iter
+    (fun seed ->
+      let prof = profile seed in
+      (* basic: every level; certify: the levels its optimistic
+         protocol guarantees (see the header comment) *)
+      List.iter
+        (fun (model, levels) ->
+          let ops = accepted_ops model prof in
+          check
+            (Printf.sprintf "%s seed %d has ops" (model_name model) seed)
+            true
+            (List.length ops > 0);
+          List.iter
+            (fun level ->
+              let r = C.check_ops ~checked:true ~level ops in
+              if not (C.passed r) then
+                Alcotest.failf "%s seed %d fails %s:\n%s" (model_name model)
+                  seed (V.level_name level) (C.render r))
+            levels)
+        [
+          (Basic, V.all_levels);
+          (Certify, [ V.Atomicity; V.Read_committed; V.Serializable ]);
+        ];
+      (* multiwrite and predeclared: intermediate writes are visible,
+         so only the serializability of the committed projection is a
+         theorem; assert it under both oracles and checked mode *)
+      List.iter
+        (fun model ->
+          let ops = accepted_ops model prof in
+          List.iter
+            (fun oracle ->
+              let r =
+                C.check_ops ~oracle ~checked:true ~level:V.Serializable ops
+              in
+              if not (C.passed r) then
+                Alcotest.failf "%s seed %d fails ser:\n%s" (model_name model)
+                  seed (C.render r))
+            [ Dct_graph.Cycle_oracle.Closure; Dct_graph.Cycle_oracle.Topo ])
+        [ Multiwrite; Predeclared ])
+    seeds
+
+(* --- targeted injectors: 100% detection at the matching level --- *)
+
+let has_kind k r =
+  List.exists (fun v -> v.V.kind = k) r.C.violations
+
+let test_mutations_detected () =
+  List.iter
+    (fun seed ->
+      let ops = accepted_ops Basic (profile seed) in
+      let must name = function
+        | Some m -> m
+        | None -> Alcotest.failf "seed %d: no site for %s" seed name
+      in
+      let dr = must "dirty read" (M.inject_dirty_read ops) in
+      check
+        (Printf.sprintf "seed %d dirty read at atomicity" seed)
+        true
+        (has_kind V.Dirty_read (C.check_ops ~level:V.Atomicity dr));
+      check
+        (Printf.sprintf "seed %d dirty read at rc" seed)
+        true
+        (has_kind V.Dirty_read (C.check_ops ~level:V.Read_committed dr));
+      let dw = must "dirty write" (M.inject_dirty_write ops) in
+      check
+        (Printf.sprintf "seed %d dirty write at atomicity" seed)
+        true
+        (has_kind V.Dirty_write (C.check_ops ~level:V.Atomicity dw));
+      check
+        (Printf.sprintf "seed %d dirty write at rc" seed)
+        true
+        (has_kind V.Dirty_write (C.check_ops ~level:V.Read_committed dw));
+      let lu = must "lost update" (M.inject_lost_update ops) in
+      check
+        (Printf.sprintf "seed %d lost update at atomicity" seed)
+        true
+        (has_kind V.Lost_update (C.check_ops ~level:V.Atomicity lu));
+      let cc = must "conflict cycle" (M.inject_conflict_cycle ops) in
+      check
+        (Printf.sprintf "seed %d conflict cycle at ser" seed)
+        true
+        ((C.check_ops ~level:V.Serializable cc).C.total > 0))
+    seeds
+
+(* injected histories must remain verdict-consistent with the exact
+   reference — an injector that confused the two engines would make
+   the 100%-detection bar meaningless *)
+let test_injected_consistent () =
+  List.iter
+    (fun seed ->
+      let ops = accepted_ops Basic (profile seed) in
+      List.iter
+        (fun (name, inj) ->
+          match inj ops with
+          | None -> ()
+          | Some m ->
+              let exact = C.exact_ser_verdict m in
+              let stream = C.streaming_ser_verdict m in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d %s: streaming = exact" seed name)
+                exact stream)
+        [
+          ("dirty read", M.inject_dirty_read);
+          ("dirty write", M.inject_dirty_write);
+          ("lost update", M.inject_lost_update);
+          ("conflict cycle", M.inject_conflict_cycle);
+        ])
+    seeds
+
+(* --- QCheck: streaming ser == exact closure on abort-free noise --- *)
+
+let gen_history =
+  QCheck.make ~print:(fun ops ->
+      String.concat "; "
+        (List.map (fun (l : H.lop) -> H.op_to_string l.H.op) ops))
+  @@ QCheck.Gen.map
+       (fun (seed, which, noise) ->
+         let prof =
+           {
+             (profile seed) with
+             Gen.n_txns = 12 + (seed mod 9);
+             n_entities = 5;
+             mpl = 4;
+           }
+         in
+         let schedule =
+           match which mod 3 with
+           | 0 -> Gen.basic prof
+           | 1 -> Gen.multiwrite prof
+           | _ -> Gen.predeclared prof
+         in
+         (* face value: abort-free by construction, which is exactly
+            the regime where streaming and exact verdicts must agree *)
+         let ops = ref (H.of_schedule schedule) in
+         let rng = Prng.create ~seed:(noise + 1) in
+         for _ = 1 to Prng.int rng 4 do
+           let n = List.length !ops in
+           if n > 1 then begin
+             let at = Prng.int rng (n - 1) in
+             let mutate =
+               match Prng.int rng 3 with
+               | 0 -> M.swap ~at
+               | 1 -> M.drop ~at
+               | _ -> M.duplicate ~at
+             in
+             match mutate !ops with Some m -> ops := m | None -> ()
+           end
+         done;
+         !ops)
+       QCheck.Gen.(triple (int_bound 10_000) (int_bound 2) (int_bound 10_000))
+
+let prop_ser_differential =
+  QCheck.Test.make ~count:150 ~name:"streaming ser == exact closure"
+    gen_history (fun ops ->
+      let exact = C.exact_ser_verdict ops in
+      let via_closure =
+        C.streaming_ser_verdict ~oracle:Dct_graph.Cycle_oracle.Closure ops
+      in
+      let via_topo =
+        C.streaming_ser_verdict ~oracle:Dct_graph.Cycle_oracle.Topo ops
+      in
+      let r = C.check_ops ~checked:true ~level:V.Serializable ops in
+      if r.C.divergence <> None then
+        QCheck.Test.fail_reportf "checked mode diverged: %s"
+          (Option.get r.C.divergence);
+      if via_closure <> exact then
+        QCheck.Test.fail_reportf "closure backend %b, exact %b" via_closure
+          exact;
+      if via_topo <> exact then
+        QCheck.Test.fail_reportf "topo backend %b, exact %b" via_topo exact;
+      (r.C.total > 0) = exact)
+
+(* --- the checker front-ends agree with each other --- *)
+
+let test_front_ends_agree () =
+  let text = "b T1\nr T1 x\nb T2\nr T2 x\nw T2 x\nw T1 x\n" in
+  let env = Dct_txn.Parse.create_env () in
+  let schedule = Dct_txn.Parse.parse_exn env text in
+  let via_schedule = C.check_schedule ~level:V.Atomicity schedule in
+  let via_ops =
+    C.check_ops ~level:V.Atomicity (H.of_schedule schedule)
+  in
+  Alcotest.(check int) "same totals" via_schedule.C.total via_ops.C.total;
+  Alcotest.(check int) "one lost update" 1 via_ops.C.total;
+  check "kind" true (has_kind V.Lost_update via_ops)
+
+(* --- the corpus, through the binary --- *)
+
+let dct_exe = Filename.concat (Filename.concat ".." "bin") "dct.exe"
+
+let run_check args =
+  let out = Filename.temp_file "dct_check" ".out" in
+  let code = Sys.command (Filename.quote_command dct_exe ~stdout:out args) in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in_noerr ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let corpus f = Filename.concat (Filename.concat "corpus" "check") f
+
+let test_corpus_lost_update () =
+  if not (Sys.file_exists dct_exe) then Alcotest.skip ()
+  else begin
+    let code, out = run_check [ "check"; corpus "lost_update.sched" ] in
+    (* default level is ser *)
+    Alcotest.(check int) "ser exits 1" 1 code;
+    check "conflict cycle pinned" true
+      (contains ~sub:"conflict-cycle: conflict arc T1 -> T0 closes a cycle" out);
+    let code, out =
+      run_check
+        [ "check"; corpus "lost_update.sched"; "--level"; "atomicity" ]
+    in
+    Alcotest.(check int) "atomicity exits 1" 1 code;
+    check "lost update pinned" true
+      (contains
+         ~sub:
+           "lost-update: T0 commits a write of e0 over a version it read"
+         out);
+    check "witness pinned" true
+      (contains ~sub:"#2 (line 5) r T0 e0 (version 0)" out);
+    let code, _ =
+      run_check [ "check"; corpus "lost_update.sched"; "--level"; "rc" ]
+    in
+    Alcotest.(check int) "rc exits 0 (nothing dirty)" 0 code;
+    let code, out =
+      run_check
+        [ "check"; corpus "lost_update.sched"; "--checked"; "--json" ]
+    in
+    Alcotest.(check int) "checked json exits 1" 1 code;
+    check "json violations" true (contains ~sub:"\"violations\":1" out);
+    check "json checked the full prefix" true
+      (contains ~sub:"\"checked_ops\":8" out);
+    check "no divergence key absent means agreement" true
+      (not (contains ~sub:"divergence" out))
+  end
+
+let test_corpus_foreign () =
+  if not (Sys.file_exists dct_exe) then Alcotest.skip ()
+  else begin
+    let code, out =
+      run_check [ "check"; corpus "foreign.jsonl"; "--level"; "atomicity" ]
+    in
+    Alcotest.(check int) "atomicity exits 1" 1 code;
+    check "bad lines counted, not fatal" true
+      (contains ~sub:"2 unparseable skipped" out);
+    check "foreign events counted, not fatal" true
+      (contains ~sub:"3 foreign skipped" out);
+    check "dirty read pinned" true
+      (contains
+         ~sub:"dirty-read: T2 reads e3 while T1 holds an uncommitted write"
+         out);
+    check "witness lines point at the source" true
+      (contains ~sub:"#2 (line 4) w T1 e3 (uncommitted)" out);
+    (* the unconfirmed txn never commits: T1 is live at end *)
+    check "live txn visible" true (contains ~sub:"1 live" out);
+    let code, _ =
+      run_check [ "check"; corpus "foreign.jsonl"; "--level"; "ser" ]
+    in
+    Alcotest.(check int) "ser exits 0 (no committed cycle)" 0 code;
+    let code, out = run_check [ "check"; corpus "foreign.jsonl"; "--json" ] in
+    Alcotest.(check int) "json ser exits 0" 0 code;
+    check "json stats" true
+      (contains ~sub:"\"bad_lines\":2" out && contains ~sub:"\"foreign\":3" out)
+  end
+
+let test_cli_missing_file () =
+  if not (Sys.file_exists dct_exe) then Alcotest.skip ()
+  else
+    let code, _ = run_check [ "check"; "corpus/check/no_such_file.sched" ] in
+    Alcotest.(check int) "unreadable exits 2" 2 code
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_ser_differential ] in
+  Alcotest.run "check"
+    [
+      ( "accepted",
+        [
+          Alcotest.test_case "scheduler histories pass" `Slow
+            test_accepted_pass;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "injected anomalies detected" `Quick
+            test_mutations_detected;
+          Alcotest.test_case "injected histories verdict-consistent" `Quick
+            test_injected_consistent;
+        ] );
+      ("differential", qsuite);
+      ( "front-ends",
+        [ Alcotest.test_case "schedule == ops" `Quick test_front_ends_agree ]
+      );
+      ( "corpus",
+        [
+          Alcotest.test_case "lost_update.sched pinned" `Quick
+            test_corpus_lost_update;
+          Alcotest.test_case "foreign.jsonl pinned" `Quick test_corpus_foreign;
+          Alcotest.test_case "missing file exits 2" `Quick
+            test_cli_missing_file;
+        ] );
+    ]

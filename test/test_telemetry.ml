@@ -147,8 +147,9 @@ let test_sink_lenient_parse () =
   | _ -> Alcotest.fail "clean document failed to parse"
 
 (* The corpus files drive the CLI behaviour: a truncated trace
-   summarizes what it can and exits 2; an empty trace is a clear error,
-   not an all-zero report. *)
+   summarizes what it can but exits 1 (malformed lines are a finding,
+   not a success), --strict refuses it outright, and an empty trace is
+   a clear error, not an all-zero report. *)
 let dct_exe =
   (* In the sandbox the test binary runs from _build/default/test. *)
   Filename.concat (Filename.dirname Sys.executable_name) "../bin/dct.exe"
@@ -162,9 +163,17 @@ let test_trace_cli_corpus () =
     Alcotest.skip ()
   else begin
     Alcotest.(check int)
-      "truncated corpus trace exits 2"
-      2
+      "truncated corpus trace exits 1"
+      1
       (run_dct [ "trace"; "corpus/trace/truncated.jsonl" ]);
+    Alcotest.(check int)
+      "truncated corpus trace exits 1 under --strict"
+      1
+      (run_dct [ "trace"; "--strict"; "corpus/trace/truncated.jsonl" ]);
+    Alcotest.(check int)
+      "clean corpus trace exits 0 under --strict"
+      0
+      (run_dct [ "trace"; "--strict"; "corpus/trace/gc.jsonl" ]);
     Alcotest.(check int)
       "empty corpus trace exits 2"
       2
