@@ -291,7 +291,7 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|policy|policy-smoke|check|check-smoke|all]"
+     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|engine-par|engine-par-smoke|policy|policy-smoke|check|check-smoke|all]"
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -317,6 +317,8 @@ let () =
   | "oracle-latency" -> Oracle_sweep.run ~smoke:true ~latency:true ()
   | "engine" -> Engine_sweep.run ~smoke:false ()
   | "engine-smoke" -> Engine_sweep.run ~smoke:true ()
+  | "engine-par" -> Engine_sweep.run_par ~smoke:false ()
+  | "engine-par-smoke" -> Engine_sweep.run_par ~smoke:true ()
   | "policy" -> Policy_sweep.run ~smoke:false ()
   | "policy-smoke" -> Policy_sweep.run ~smoke:true ()
   | "check" -> Check_sweep.run ~smoke:false ()

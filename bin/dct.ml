@@ -380,8 +380,10 @@ let rec take n = function
   | x :: tl -> x :: take (n - 1) tl
 
 let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
-    cross_shard oracle gc_index differential trace metrics_on json =
+    cross_shard oracle gc_index domains replay differential trace metrics_on
+    json =
   let module Eng = Dct_engine.Engine in
+  let module Par = Dct_engine.Parallel in
   let partitioner =
     match Dct_engine.Partitioner.of_string partitioner_spec ~shards with
     | Ok p -> p
@@ -422,10 +424,41 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
   let cfg =
     Eng.config ~policy ~partitioner ?oracle ~tracer ?gc_index ~shards ~batch ()
   in
+  (* --replay always wins (it is single-threaded anyway); --domains > 1
+     selects one applier domain per shard, falling back to the
+     sequential engine on a single-core host per the determinism
+     contract — domains there are OS threads and can only add noise. *)
+  let parallel_mode =
+    match replay with
+    | Some interleaving_seed -> Some (Par.Replay interleaving_seed)
+    | None ->
+        if domains > 1 then
+          if Par.available_domains () = 1 then begin
+            Printf.eprintf
+              "dct: serve: single-core host: --domains %d falls back to \
+               the sequential engine (use --replay SEED for the \
+               deterministic interleaving simulator)\n"
+              domains;
+            None
+          end
+          else Some Par.Domains
+        else None
+  in
+  let par_info = ref None in
   let r =
-    try Eng.run (Eng.create cfg) schedule with
+    try
+      match parallel_mode with
+      | None -> Eng.run (Eng.create cfg) schedule
+      | Some mode ->
+          let pr = Par.run ~mode cfg schedule in
+          par_info := Some pr;
+          pr.Par.base
+    with
     | Dct_deletion.Deletability_index.Divergence msg ->
         Printf.eprintf "gc-index DIVERGENCE: %s\n" msg;
+        exit 1
+    | Par.Shard_failure (shard, msg) ->
+        Printf.eprintf "dct: serve: shard %d domain failed: %s\n" shard msg;
         exit 1
   in
   Option.iter close_out trace_oc;
@@ -449,6 +482,13 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
     str "engine" r.Eng.name;
     int_f "shards" r.Eng.shards;
     int_f "batch" r.Eng.batch;
+    (match !par_info with
+    | Some (pr : Par.report) ->
+        int_f "domains" pr.Par.domains;
+        str "mode" pr.Par.mode;
+        int_f "barriers" pr.Par.barriers;
+        field "lockstep" (string_of_bool pr.Par.lockstep)
+    | None -> str "mode" "sequential");
     str "policy" (Policy.name policy);
     int_f "steps" r.Eng.steps;
     int_f (Si.outcome_name Si.Accepted) r.Eng.accepted;
@@ -491,6 +531,12 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
   else begin
     Printf.printf "workload: %s\n" (Format.asprintf "%a" Gen.pp_profile profile);
     Printf.printf "engine: %s\n" r.Eng.name;
+    (match !par_info with
+    | Some (pr : Par.report) ->
+        Printf.printf "parallel: %s, %d applier domain(s), %d barriers%s\n"
+          pr.Par.mode pr.Par.domains pr.Par.barriers
+          (if pr.Par.lockstep then ", lock-step (telemetry on)" else "")
+    | None -> ());
     Dct_sim.Report.print_table
       ~headers:[ "metric"; "value" ]
       [
@@ -543,21 +589,39 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
   end;
   if not differential then 0
   else begin
-    let d =
-      Eng.differential ?oracle ~partitioner ?gc_index ~shards ~batch ~policy
-        schedule
-    in
-    if not json then begin
-      print_newline ();
-      Format.printf "%a@." Eng.pp_differential d
-    end;
-    if Eng.differential_ok d then 0
-    else begin
-      Printf.eprintf
-        "dct: serve: differential FAILED (engine diverges from the \
-         single-node scheduler)\n";
-      1
-    end
+    match parallel_mode with
+    | Some mode ->
+        let d =
+          Par.differential ~mode ?oracle ~partitioner ?gc_index ~shards ~batch
+            ~policy schedule
+        in
+        if not json then begin
+          print_newline ();
+          Format.printf "%a@." Par.pp_differential d
+        end;
+        if Par.differential_ok d then 0
+        else begin
+          Printf.eprintf
+            "dct: serve: differential FAILED (parallel engine diverges from \
+             the single-node scheduler or the sequential engine)\n";
+          1
+        end
+    | None ->
+        let d =
+          Eng.differential ?oracle ~partitioner ?gc_index ~shards ~batch
+            ~policy schedule
+        in
+        if not json then begin
+          print_newline ();
+          Format.printf "%a@." Eng.pp_differential d
+        end;
+        if Eng.differential_ok d then 0
+        else begin
+          Printf.eprintf
+            "dct: serve: differential FAILED (engine diverges from the \
+             single-node scheduler)\n";
+          1
+        end
   end
 
 let serve_cmd =
@@ -610,6 +674,29 @@ let serve_cmd =
             "Probability a shard-affine transaction's key is drawn \
              outside its home shard (distributed-transaction rate).")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "$(docv) > 1 runs the parallel engine: one OCaml domain per \
+             shard applying commands behind the sequential coordinator. \
+             Decision traces are identical to the sequential engine's by \
+             construction. Falls back to the sequential engine (with a \
+             note) on a single-core host or with $(docv) = 1.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Run the parallel engine's protocol in the deterministic \
+             single-threaded interleaving simulator, with $(docv) \
+             choosing which shard advances between coordinator sends. \
+             Every seed must produce identical results; overrides \
+             --domains.")
+  in
   let differential =
     Arg.(
       value & flag
@@ -618,8 +705,10 @@ let serve_cmd =
             "Re-run the same step sequence through a single-node \
              conflict-graph scheduler in lock-step and verify identical \
              accept/reject outcomes, per-shard residency bounded by the \
-             single-node residency, and identical final store contents; \
-             exit 1 on any divergence.")
+             single-node residency, and identical final store contents \
+             (under --domains/--replay additionally: identical deletion \
+             rounds, per-shard state, and telemetry trace vs the \
+             sequential engine); exit 1 on any divergence.")
   in
   let trace_arg =
     Arg.(
@@ -655,7 +744,8 @@ let serve_cmd =
     Term.(
       const serve $ shards $ batch $ policy_arg $ partitioner_arg $ steps
       $ txns $ entities $ mpl $ skew $ seed $ cross_shard $ oracle_arg
-      $ gc_index_arg $ differential $ trace_arg $ metrics_arg $ json_arg)
+      $ gc_index_arg $ domains_arg $ replay_arg $ differential $ trace_arg
+      $ metrics_arg $ json_arg)
 
 (* --- trace --- *)
 

@@ -1,19 +1,30 @@
 type t = {
   batch : int;
+  mutex : Mutex.t;
   queue : Dct_txn.Step.t Queue.t;
   mutable submitted : int;
   mutable full_batches : int;
   mutable ticks : int;
+  mutable posted_batches : int;
 }
 
 let create ~batch =
   if batch <= 0 then
     invalid_arg (Printf.sprintf "Admission.create: batch must be positive, got %d" batch);
-  { batch; queue = Queue.create (); submitted = 0; full_batches = 0; ticks = 0 }
+  {
+    batch;
+    mutex = Mutex.create ();
+    queue = Queue.create ();
+    submitted = 0;
+    full_batches = 0;
+    ticks = 0;
+    posted_batches = 0;
+  }
 
 let batch_size t = t.batch
 
-let drain t =
+(* Callers hold the mutex. *)
+let drain_locked t =
   let out = ref [] in
   while not (Queue.is_empty t.queue) do
     out := Queue.pop t.queue :: !out
@@ -21,22 +32,49 @@ let drain t =
   List.rev !out
 
 let submit t step =
-  t.submitted <- t.submitted + 1;
-  Queue.push step t.queue;
-  if Queue.length t.queue >= t.batch then begin
-    t.full_batches <- t.full_batches + 1;
-    Some (drain t)
-  end
-  else None
+  Mutex.protect t.mutex (fun () ->
+      t.submitted <- t.submitted + 1;
+      Queue.push step t.queue;
+      if Queue.length t.queue >= t.batch then begin
+        t.full_batches <- t.full_batches + 1;
+        Some (drain_locked t)
+      end
+      else None)
+
+let post t step =
+  Mutex.protect t.mutex (fun () ->
+      t.submitted <- t.submitted + 1;
+      Queue.push step t.queue)
+
+let post_batch t steps =
+  if steps <> [] then
+    Mutex.protect t.mutex (fun () ->
+        List.iter (fun s -> Queue.push s t.queue) steps;
+        t.submitted <- t.submitted + List.length steps;
+        t.posted_batches <- t.posted_batches + 1)
+
+let take_batch t =
+  Mutex.protect t.mutex (fun () ->
+      if Queue.length t.queue < t.batch then None
+      else begin
+        t.full_batches <- t.full_batches + 1;
+        let out = ref [] in
+        for _ = 1 to t.batch do
+          out := Queue.pop t.queue :: !out
+        done;
+        Some (List.rev !out)
+      end)
 
 let tick t =
-  if Queue.is_empty t.queue then []
-  else begin
-    t.ticks <- t.ticks + 1;
-    drain t
-  end
+  Mutex.protect t.mutex (fun () ->
+      if Queue.is_empty t.queue then []
+      else begin
+        t.ticks <- t.ticks + 1;
+        drain_locked t
+      end)
 
-let pending t = Queue.length t.queue
-let submitted t = t.submitted
-let full_batches t = t.full_batches
-let ticks t = t.ticks
+let pending t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+let submitted t = Mutex.protect t.mutex (fun () -> t.submitted)
+let full_batches t = Mutex.protect t.mutex (fun () -> t.full_batches)
+let ticks t = Mutex.protect t.mutex (fun () -> t.ticks)
+let posted_batches t = Mutex.protect t.mutex (fun () -> t.posted_batches)

@@ -1,0 +1,61 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+  mutable pushed : int;
+  mutable batches : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    closed = false;
+    pushed = 0;
+    batches = 0;
+  }
+
+let push t x =
+  Mutex.protect t.mutex (fun () ->
+      if t.closed then invalid_arg "Mailbox.push: closed";
+      Queue.push x t.q;
+      t.pushed <- t.pushed + 1;
+      Condition.signal t.nonempty)
+
+let push_batch t xs =
+  if xs <> [] then
+    Mutex.protect t.mutex (fun () ->
+        if t.closed then invalid_arg "Mailbox.push_batch: closed";
+        List.iter (fun x -> Queue.push x t.q) xs;
+        t.pushed <- t.pushed + List.length xs;
+        t.batches <- t.batches + 1;
+        Condition.signal t.nonempty)
+
+(* Callers hold the mutex. *)
+let drain_locked t =
+  let out = ref [] in
+  while not (Queue.is_empty t.q) do
+    out := Queue.pop t.q :: !out
+  done;
+  List.rev !out
+
+let drain t = Mutex.protect t.mutex (fun () -> drain_locked t)
+
+let drain_wait t =
+  Mutex.protect t.mutex (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      drain_locked t)
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = Mutex.protect t.mutex (fun () -> t.closed)
+let pending t = Mutex.protect t.mutex (fun () -> Queue.length t.q)
+let pushed t = Mutex.protect t.mutex (fun () -> t.pushed)
+let batches t = Mutex.protect t.mutex (fun () -> t.batches)

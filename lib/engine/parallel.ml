@@ -1,0 +1,835 @@
+module Intset = Dct_graph.Intset
+module Gs = Dct_deletion.Graph_state
+module Policy = Dct_deletion.Policy
+module Rules = Dct_deletion.Rules
+module Step = Dct_txn.Step
+module Store = Dct_kv.Store
+module Wal = Dct_kv.Wal
+module Si = Dct_sched.Scheduler_intf
+module Cs = Dct_sched.Conflict_scheduler
+module Tracer = Dct_telemetry.Tracer
+module Event = Dct_telemetry.Event
+module Metrics = Dct_telemetry.Metrics
+
+exception Shard_failure of int * string
+
+let available_domains () = Domain.recommended_domain_count ()
+
+type mode = Domains | Replay of int
+
+let mode_name = function
+  | Domains -> "domains"
+  | Replay seed -> Printf.sprintf "replay:%d" seed
+
+(* ------------------------------------------------------------------ *)
+(* The wire protocol                                                   *)
+
+type cmd =
+  | Read of { txn : int; entity : int }
+  | Write of { txn : int; entities : int list; value : int }
+  | Complete of { txn : int }
+  | Abort of { txn : int }
+  | Delete of { txns : Intset.t }
+  | Collect
+  | Barrier of { id : int }
+
+type ack =
+  | Ack of {
+      shard_id : int;
+      barrier : int;
+      arcs : (int * int) list;
+      stats : Shard.stats;
+    }
+  | Failed of { shard_id : int; error : string }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (test-only)                                         *)
+
+module Fault = struct
+  type t = {
+    mutable drop_broadcast : (int * int) option;
+    mutable reorder_batch : (int * int) option;
+    mutable broadcasts : int;
+    mutable dropped : int;
+    mutable reordered : int;
+  }
+
+  let create () =
+    {
+      drop_broadcast = None;
+      reorder_batch = None;
+      broadcasts = 0;
+      dropped = 0;
+      reordered = 0;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The shard worker: one per shard, in either executor                 *)
+
+type worker_state = {
+  sh : Shard.t;
+  mutable w_arcs : (int * int) list; (* reversed; since the last barrier *)
+  wm : Metrics.t option; (* strictly domain-local; merged at join *)
+}
+
+let worker_incr st name =
+  match st.wm with Some m -> Metrics.incr m name | None -> ()
+
+let apply_cmd st ~emit = function
+  | Read { txn; entity } ->
+      Shard.apply_read st.sh ~txn ~entity;
+      st.w_arcs <- List.rev_append (Shard.last_arcs st.sh) st.w_arcs;
+      worker_incr st "par.cmds"
+  | Write { txn; entities; value } ->
+      Shard.apply_write st.sh ~txn ~entities ~value;
+      st.w_arcs <- List.rev_append (Shard.last_arcs st.sh) st.w_arcs;
+      worker_incr st "par.cmds"
+  | Complete { txn } ->
+      Shard.complete st.sh txn;
+      worker_incr st "par.cmds"
+  | Abort { txn } ->
+      Shard.abort st.sh txn;
+      worker_incr st "par.cmds"
+  | Delete { txns } ->
+      ignore (Shard.apply_global_deletions st.sh txns);
+      worker_incr st "par.cmds"
+  | Collect ->
+      ignore (Shard.collect_garbage st.sh);
+      worker_incr st "par.gc_runs"
+  | Barrier { id } ->
+      let stats = Shard.stats st.sh in
+      (match st.wm with
+      | Some m -> Metrics.gauge m "par.shard.resident" stats.Shard.resident_txns
+      | None -> ());
+      emit
+        (Ack
+           {
+             shard_id = Shard.id st.sh;
+             barrier = id;
+             arcs = List.rev st.w_arcs;
+             stats;
+           });
+      st.w_arcs <- []
+
+(* ------------------------------------------------------------------ *)
+(* Executors: real domains, or a seeded single-threaded simulation     *)
+
+type executor = {
+  send : int -> cmd list -> unit;
+  await : int -> ack list; (* exactly one ack per shard, any order *)
+  shutdown : unit -> unit; (* after this, shard state is safely readable *)
+}
+
+(* Bucket acks by barrier id; raise on a worker failure. *)
+let make_awaiter ~shards ~(pump : unit -> ack list) =
+  let buffered : (int, ack list) Hashtbl.t = Hashtbl.create 8 in
+  let bucket = function
+    | Failed { shard_id; error } -> raise (Shard_failure (shard_id, error))
+    | Ack a as ack ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt buffered a.barrier) in
+        Hashtbl.replace buffered a.barrier (ack :: prev)
+  in
+  fun id ->
+    let ready () =
+      match Hashtbl.find_opt buffered id with
+      | Some acks when List.length acks = shards -> Some acks
+      | _ -> None
+    in
+    let rec go () =
+      match ready () with
+      | Some acks ->
+          Hashtbl.remove buffered id;
+          acks
+      | None ->
+          (match pump () with
+          | [] -> raise (Shard_failure (-1, "ack channel closed early"))
+          | acks -> List.iter bucket acks);
+          go ()
+    in
+    go ()
+
+let domains_executor ~metrics (worker_shards : Shard.t array) =
+  let n = Array.length worker_shards in
+  let inboxes = Array.init n (fun _ -> Mailbox.create ()) in
+  let acks : ack Mailbox.t = Mailbox.create () in
+  let registries =
+    Array.init n (fun _ -> if metrics then Some (Metrics.create ()) else None)
+  in
+  let domains =
+    Array.mapi
+      (fun i sh ->
+        Domain.spawn (fun () ->
+            let st = { sh; w_arcs = []; wm = registries.(i) } in
+            let emit a = Mailbox.push acks a in
+            try
+              let running = ref true in
+              while !running do
+                match Mailbox.drain_wait inboxes.(i) with
+                | [] -> running := false
+                | cmds -> List.iter (apply_cmd st ~emit) cmds
+              done
+            with exn ->
+              emit (Failed { shard_id = i; error = Printexc.to_string exn })))
+      worker_shards
+  in
+  let await = make_awaiter ~shards:n ~pump:(fun () -> Mailbox.drain_wait acks) in
+  let shutdown () =
+    Array.iter Mailbox.close inboxes;
+    Array.iter Domain.join domains;
+    Mailbox.close acks
+  in
+  (registries, { send = (fun i cmds -> Mailbox.push_batch inboxes.(i) cmds); await; shutdown })
+
+(* The seeded replay executor runs the identical protocol on the
+   calling domain, interleaving shard progress in a PRNG-chosen order
+   between coordinator actions.  The protocol is deterministic by
+   construction — shard state is a pure function of the shard's command
+   stream, and the coordinator only reads acks at barrier points — so
+   every seed must produce byte-identical results; the test suite
+   asserts exactly that, which is what makes parallel runs replayable
+   and differentially checkable without multi-core hardware. *)
+let replay_executor ~seed ~metrics (worker_shards : Shard.t array) =
+  let n = Array.length worker_shards in
+  let rng = Random.State.make [| 0x9e3779b9; seed |] in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let pending_acks : ack Queue.t = Queue.create () in
+  let registries =
+    Array.init n (fun _ -> if metrics then Some (Metrics.create ()) else None)
+  in
+  let states =
+    Array.mapi (fun i sh -> { sh; w_arcs = []; wm = registries.(i) }) worker_shards
+  in
+  let emit a = Queue.push a pending_acks in
+  let advance i =
+    if Queue.is_empty queues.(i) then false
+    else begin
+      apply_cmd states.(i) ~emit (Queue.pop queues.(i));
+      true
+    end
+  in
+  (* Scheduling noise: after each send, advance a few random shards a
+     few random commands — the simulated preemption. *)
+  let jitter () =
+    for _ = 1 to Random.State.int rng 4 do
+      let i = Random.State.int rng n in
+      let k = 1 + Random.State.int rng 3 in
+      for _ = 1 to k do
+        ignore (advance i)
+      done
+    done
+  in
+  let send i cmds =
+    List.iter (fun c -> Queue.push c queues.(i)) cmds;
+    jitter ()
+  in
+  let pump () =
+    (* Drain ready acks; if none, run randomly-chosen shards with work
+       until one appears. *)
+    let collect () =
+      let out = ref [] in
+      while not (Queue.is_empty pending_acks) do
+        out := Queue.pop pending_acks :: !out
+      done;
+      List.rev !out
+    in
+    let rec go () =
+      match collect () with
+      | [] ->
+          let movable =
+            Array.to_list (Array.init n Fun.id)
+            |> List.filter (fun i -> not (Queue.is_empty queues.(i)))
+          in
+          (match movable with
+          | [] -> [] (* nothing queued anywhere: protocol bug, surfaced by awaiter *)
+          | _ ->
+              let i = List.nth movable (Random.State.int rng (List.length movable)) in
+              ignore (advance i);
+              go ())
+      | acks -> acks
+    in
+    go ()
+  in
+  let await = make_awaiter ~shards:n ~pump in
+  let shutdown () =
+    (* Run every shard dry. *)
+    Array.iteri (fun i _ -> while advance i do () done) queues
+  in
+  (registries, { send; await; shutdown })
+
+(* ------------------------------------------------------------------ *)
+(* The parallel coordinator                                            *)
+
+type report = {
+  base : Engine.report;
+  domains : int;
+  mode : string;
+  barriers : int;
+  lockstep : bool;
+  final_shards : Shard.t array;
+      (* inert after shutdown: safe for post-mortem inspection *)
+}
+
+let run ?(mode = Domains) ?fault ?on_decision ?on_barrier ?on_deletion
+    (cfg : Engine.config) steps =
+  let shards_n = cfg.Engine.shards in
+  let tr = cfg.Engine.tracer in
+  (* Telemetry forces lock-step barriers: the coordinator waits for the
+     batch it just sent before emitting the checkpoint, so per-shard
+     gauges (and the whole trace) are byte-identical to the sequential
+     engine's.  Without telemetry the coordinator pipelines one batch
+     deep: it decides batch [b+1] while the shard domains apply batch
+     [b]. *)
+  let metrics_on = Tracer.metrics tr <> None in
+  let lockstep = Tracer.active tr || metrics_on in
+  let coordinator =
+    Coordinator.create ~policy:cfg.Engine.policy ?oracle:cfg.Engine.oracle
+      ~tracer:tr ?gc_index:cfg.Engine.gc_index ()
+  in
+  let worker_shards =
+    Array.init shards_n (fun id ->
+        Shard.create ~id ~policy:cfg.Engine.policy ?gc_index:cfg.Engine.gc_index ())
+  in
+  let registries, exec =
+    match mode with
+    | Domains -> domains_executor ~metrics:metrics_on worker_shards
+    | Replay seed -> replay_executor ~seed ~metrics:metrics_on worker_shards
+  in
+  let admission = Admission.create ~batch:cfg.Engine.batch in
+  let hosting : (int, Intset.t) Hashtbl.t = Hashtbl.create 64 in
+  let hosting_of txn =
+    try Hashtbl.find hosting txn with Not_found -> Intset.empty
+  in
+  let steps_count = ref 0 in
+  let accepted = ref 0 and rejected = ref 0 and ignored = ref 0 in
+  let committed = ref 0 and aborted = ref 0 in
+  let cross_shard_arcs = ref 0 and local_arcs = ref 0 in
+  let distributed_txns = ref 0 in
+  let buffers = Array.make shards_n [] in
+  let buffer i c = buffers.(i) <- c :: buffers.(i) in
+  let sends = Array.make shards_n 0 in
+  let barrier_id = ref 0 in
+  let reaped = ref 0 in
+  let barrier_step : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_shard_stats : Shard.stats option array = Array.make shards_n None in
+  let owner entity = Partitioner.shard_of cfg.Engine.partitioner entity in
+  let note_hosting txn shard_id =
+    let prev = hosting_of txn in
+    if not (Intset.mem shard_id prev) then begin
+      let now = Intset.add shard_id prev in
+      Hashtbl.replace hosting txn now;
+      if Intset.cardinal now = 2 then incr distributed_txns
+    end
+  in
+  (* Classification happens when the arcs come back in a barrier ack,
+     not at decision time — an arc's spread is read off the hosting
+     table as of the barrier, so counts can differ slightly from the
+     sequential engine's per-step classification (never the decisions). *)
+  let classify_arcs arcs =
+    List.iter
+      (fun (src, dst) ->
+        let spread = Intset.union (hosting_of src) (hosting_of dst) in
+        if Intset.cardinal spread > 1 then incr cross_shard_arcs
+        else incr local_arcs)
+      arcs
+  in
+  let handle_acks id acks =
+    let step_at =
+      match Hashtbl.find_opt barrier_step id with Some s -> s | None -> 0
+    in
+    let acks =
+      List.sort
+        (fun a b ->
+          match (a, b) with
+          | Ack x, Ack y -> compare x.shard_id y.shard_id
+          | _ -> 0)
+        acks
+    in
+    List.iter
+      (function
+        | Failed { shard_id; error } -> raise (Shard_failure (shard_id, error))
+        | Ack a ->
+            classify_arcs a.arcs;
+            last_shard_stats.(a.shard_id) <- Some a.stats;
+            (match on_barrier with
+            | Some f ->
+                f ~step:step_at ~shard:a.shard_id
+                  ~resident:a.stats.Shard.resident_txns
+            | None -> ()))
+      acks;
+    reaped := max !reaped id
+  in
+  let flush_buffers () =
+    incr barrier_id;
+    let id = !barrier_id in
+    Hashtbl.replace barrier_step id !steps_count;
+    for i = 0 to shards_n - 1 do
+      let cmds = List.rev buffers.(i) in
+      buffers.(i) <- [];
+      let cmds =
+        match fault with
+        | Some (f : Fault.t) when f.Fault.reorder_batch = Some (sends.(i), i) ->
+            f.Fault.reordered <- f.Fault.reordered + 1;
+            List.rev cmds
+        | _ -> cmds
+      in
+      exec.send i (cmds @ [ Barrier { id } ]);
+      sends.(i) <- sends.(i) + 1
+    done;
+    id
+  in
+  let broadcast_deletions deleted =
+    if not (Intset.is_empty deleted) then begin
+      let ordinal =
+        match fault with
+        | Some f ->
+            let o = f.Fault.broadcasts in
+            f.Fault.broadcasts <- o + 1;
+            o
+        | None -> 0
+      in
+      for i = 0 to shards_n - 1 do
+        let drop =
+          match fault with
+          | Some f when f.Fault.drop_broadcast = Some (ordinal, i) ->
+              f.Fault.dropped <- f.Fault.dropped + 1;
+              true
+          | _ -> false
+        in
+        if not drop then buffer i (Delete { txns = deleted })
+      done;
+      Intset.iter (fun txn -> Hashtbl.remove hosting txn) deleted;
+      match on_deletion with
+      | Some f -> f !steps_count deleted
+      | None -> ()
+    end
+  in
+  let route_accepted ~index step =
+    match step with
+    | Step.Begin _ | Step.Begin_declared _ -> ()
+    | Step.Read (txn, entity) ->
+        let s = owner entity in
+        buffer s (Read { txn; entity });
+        note_hosting txn s
+    | Step.Write (txn, entities) ->
+        let by_shard = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun e ->
+            let s = owner e in
+            match Hashtbl.find_opt by_shard s with
+            | Some slice -> slice := e :: !slice
+            | None ->
+                Hashtbl.add by_shard s (ref [ e ]);
+                order := s :: !order)
+          entities;
+        List.iter
+          (fun s ->
+            let slice = List.rev !(Hashtbl.find by_shard s) in
+            buffer s (Write { txn; entities = slice; value = index });
+            note_hosting txn s)
+          (List.rev !order);
+        incr committed;
+        Intset.iter (fun s -> buffer s (Complete { txn })) (hosting_of txn)
+    | Step.Write_one _ | Step.Finish _ ->
+        invalid_arg "Dct_engine.Parallel: basic-model steps only"
+  in
+  let route_reject step =
+    let txn = Step.txn step in
+    Intset.iter (fun s -> buffer s (Abort { txn })) (hosting_of txn);
+    Hashtbl.remove hosting txn
+  in
+  let process_step step =
+    incr steps_count;
+    let index = !steps_count in
+    Tracer.event tr (fun () ->
+        Event.Step_submitted { index; step = Step.to_telemetry step });
+    let outcome = Coordinator.decide coordinator step in
+    let si, reason =
+      match outcome with
+      | Rules.Accepted -> (Si.Accepted, "")
+      | Rules.Rejected -> (Si.Rejected, "cycle")
+      | Rules.Ignored -> (Si.Ignored, "already-aborted")
+    in
+    let outcome_name = Si.outcome_name si in
+    Tracer.event tr (fun () ->
+        Event.Decision { index; txn = Step.txn step; outcome = outcome_name; reason });
+    Tracer.incr tr ("outcome." ^ outcome_name);
+    (match outcome with
+    | Rules.Accepted ->
+        incr accepted;
+        route_accepted ~index step;
+        broadcast_deletions (Coordinator.collect_garbage coordinator)
+    | Rules.Rejected ->
+        incr rejected;
+        incr aborted;
+        route_reject step;
+        broadcast_deletions (Coordinator.collect_garbage coordinator)
+    | Rules.Ignored -> incr ignored);
+    (match on_decision with Some f -> f index step si | None -> ());
+    si
+  in
+  let checkpoint () =
+    if Tracer.active tr || metrics_on then begin
+      let c : Coordinator.stats = Coordinator.stats coordinator in
+      Tracer.event tr (fun () ->
+          Event.Checkpoint_stats
+            {
+              at_step = !steps_count;
+              resident_txns = c.resident_txns;
+              resident_arcs = c.resident_arcs;
+              active_txns = c.active_txns;
+              committed = !committed;
+              aborted = !aborted;
+              deleted = c.deleted_total;
+              delayed = 0;
+            });
+      Tracer.gauge tr "resident_txns" c.resident_txns;
+      Tracer.gauge tr "resident_arcs" c.resident_arcs;
+      Array.iteri
+        (fun i stats ->
+          match stats with
+          | Some (s : Shard.stats) ->
+              Tracer.gauge tr
+                (Printf.sprintf "engine.shard%d.resident_txns" i)
+                s.Shard.resident_txns
+          | None -> ())
+        last_shard_stats
+    end
+  in
+  let process_batch batch =
+    List.iter (fun s -> ignore (process_step s)) batch;
+    for i = 0 to shards_n - 1 do
+      buffer i Collect
+    done;
+    let id = flush_buffers () in
+    if lockstep then begin
+      handle_acks id (exec.await id);
+      checkpoint ()
+    end
+    else if id > 1 then handle_acks (id - 1) (exec.await (id - 1))
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun s ->
+      match Admission.submit admission s with
+      | None -> ()
+      | Some batch -> process_batch batch)
+    steps;
+  (match Admission.tick admission with [] -> () | batch -> process_batch batch);
+  (* End of input: one last global GC round (broadcast included) and a
+     local round per shard — the same epilogue as the sequential
+     engine's [run]. *)
+  broadcast_deletions (Coordinator.collect_garbage coordinator);
+  for i = 0 to shards_n - 1 do
+    buffer i Collect
+  done;
+  let final_id = flush_buffers () in
+  for id = !reaped + 1 to final_id do
+    handle_acks id (exec.await id)
+  done;
+  exec.shutdown ();
+  (* Fold the per-domain registries into the run's registry — safe now:
+     the domains are joined. *)
+  (match Tracer.metrics tr with
+  | Some into ->
+      Array.iter
+        (function Some m -> Metrics.merge ~into m | None -> ())
+        registries
+  | None -> ());
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  checkpoint ();
+  Tracer.flush tr;
+  let shard_stats = Array.map Shard.stats worker_shards in
+  let shard_resident_hwm =
+    Array.fold_left
+      (fun acc (s : Shard.stats) -> max acc s.Shard.resident_hwm)
+      0 shard_stats
+  in
+  let base : Engine.report =
+    {
+      Engine.name =
+        Printf.sprintf "engine-par/%s/%s/%s/s%d-b%d" (mode_name mode)
+          (Policy.name cfg.Engine.policy)
+          (Partitioner.spec cfg.Engine.partitioner)
+          shards_n cfg.Engine.batch;
+      shards = shards_n;
+      batch = cfg.Engine.batch;
+      steps = !steps_count;
+      accepted = !accepted;
+      rejected = !rejected;
+      ignored = !ignored;
+      committed = !committed;
+      aborted = !aborted;
+      submitted = Admission.submitted admission;
+      full_batches = Admission.full_batches admission;
+      ticks = Admission.ticks admission;
+      coordinator = Coordinator.stats coordinator;
+      shard_stats;
+      shard_resident_hwm;
+      cross_shard_arcs = !cross_shard_arcs;
+      local_arcs = !local_arcs;
+      distributed_txns = !distributed_txns;
+      wall_seconds;
+    }
+  in
+  {
+    base;
+    domains = (match mode with Domains -> shards_n | Replay _ -> 1);
+    mode = mode_name mode;
+    barriers = final_id;
+    lockstep;
+    final_shards = worker_shards;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Differential mode                                                   *)
+
+type differential_report = {
+  d_steps : int;
+  d_shards : int;
+  d_mode : string;
+  outcome_mismatches : (int * string * string) list;
+  deletion_mismatches : (int * string * string) list;
+  residency_violations : (int * int * int * int) list;
+  store_mismatches : (int * int * int) list;
+  shard_divergences : (int * string) list;
+  trace_divergence : string option;
+  committed_par : int;
+  committed_single : int;
+  aborted_par : int;
+  aborted_single : int;
+}
+
+let set_to_string s =
+  "{" ^ String.concat "," (List.map string_of_int (Intset.to_sorted_list s)) ^ "}"
+
+(* Traces must be byte-identical {e modulo wall-clock fields}: oracle
+   events carry an ["ns"] timing that no scheduler controls.  Scrub it
+   to a placeholder before comparing. *)
+let scrub_timings line =
+  let b = Buffer.create (String.length line) in
+  let n = String.length line in
+  let key = "\"ns\":" in
+  let klen = String.length key in
+  let i = ref 0 in
+  while !i < n do
+    if !i + klen <= n && String.sub line !i klen = key then begin
+      Buffer.add_string b key;
+      Buffer.add_char b '_';
+      i := !i + klen;
+      while
+        !i < n
+        && (match line.[!i] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b line.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* First line where the two JSONL traces differ (timings scrubbed). *)
+let first_trace_divergence a b =
+  if String.equal a b then None
+  else
+    let la = List.map scrub_timings (String.split_on_char '\n' a)
+    and lb = List.map scrub_timings (String.split_on_char '\n' b) in
+    let rec go n = function
+      | [], [] -> None (* differed only in scrubbed timing fields *)
+      | x :: _, [] -> Some (Printf.sprintf "line %d: par has %S, seq ended" n x)
+      | [], y :: _ -> Some (Printf.sprintf "line %d: seq has %S, par ended" n y)
+      | x :: xs, y :: ys ->
+          if String.equal x y then go (n + 1) (xs, ys)
+          else Some (Printf.sprintf "line %d: par %S vs seq %S" n x y)
+    in
+    go 1 (la, lb)
+
+let differential ?(mode = Domains) ?fault ?oracle ?partitioner ?gc_index ~shards
+    ~batch ~policy steps =
+  let partitioner =
+    match partitioner with Some p -> p | None -> Partitioner.hash ~shards
+  in
+  (* Reference 1: the single-node SGT scheduler, driven in lock-step
+     from the parallel coordinator's decision callback. *)
+  let single_store = Store.create () in
+  let single = Cs.create ~policy ~store:single_store ?gc_index () in
+  let outcome_mismatches = ref [] in
+  let residency_violations = ref [] in
+  let single_resident = ref [||] in
+  let n_steps = List.length steps in
+  single_resident := Array.make (n_steps + 1) 0;
+  let on_decision index step par_outcome =
+    let single_outcome = Cs.step single step in
+    if par_outcome <> single_outcome then
+      outcome_mismatches :=
+        (index, Si.outcome_name par_outcome, Si.outcome_name single_outcome)
+        :: !outcome_mismatches;
+    let st = Cs.stats single in
+    if index <= n_steps then !single_resident.(index) <- st.Si.resident_txns
+  in
+  let on_barrier ~step ~shard ~resident =
+    (* The shard just ran its local GC; the sequential engine's
+       guarantee is per-shard residency <= single-node residency at the
+       same step, sampled here at batch boundaries. *)
+    if step >= 1 && step <= n_steps && resident > !single_resident.(step) then
+      residency_violations :=
+        (step, shard, resident, !single_resident.(step)) :: !residency_violations
+  in
+  let par_deletions = ref [] in
+  let on_deletion step set = par_deletions := (step, set) :: !par_deletions in
+  let par_buf = Buffer.create 4096 in
+  let par_tracer =
+    Tracer.create ~sink:(Dct_telemetry.Sink.locked (Dct_telemetry.Sink.memory par_buf)) ()
+  in
+  let par_cfg =
+    Engine.config ~policy ~partitioner ?oracle ?gc_index ~tracer:par_tracer
+      ~shards ~batch ()
+  in
+  let par =
+    run ~mode ?fault ~on_decision ~on_barrier ~on_deletion par_cfg steps
+  in
+  (* Reference 2: the sequential engine of PR 4 on its own copy of the
+     same configuration — final shard states must agree byte for byte
+     (graph residents, stores, WALs, counters), and so must the traces. *)
+  let seq_buf = Buffer.create 4096 in
+  let seq_tracer =
+    Tracer.create ~sink:(Dct_telemetry.Sink.memory seq_buf) ()
+  in
+  let seq_cfg =
+    Engine.config ~policy ~partitioner ?oracle ?gc_index ~tracer:seq_tracer
+      ~shards ~batch ()
+  in
+  let seq_eng = Engine.create seq_cfg in
+  let (_ : Engine.report) = Engine.run seq_eng steps in
+  (* Deletions: the parallel coordinator's non-empty GC rounds must
+     match the single-node scheduler's deleted log, step for step. *)
+  let deletion_mismatches = ref [] in
+  let rec cmp_deletions i par sgl =
+    match (par, sgl) with
+    | [], [] -> ()
+    | (ps, pset) :: pr, (ss, sset) :: sr ->
+        if ps <> ss || not (Intset.equal pset sset) then
+          deletion_mismatches :=
+            ( i,
+              Printf.sprintf "step %d %s" ps (set_to_string pset),
+              Printf.sprintf "step %d %s" ss (set_to_string sset) )
+            :: !deletion_mismatches
+        else ();
+        cmp_deletions (i + 1) pr sr
+    | (ps, pset) :: pr, [] ->
+        deletion_mismatches :=
+          (i, Printf.sprintf "step %d %s" ps (set_to_string pset), "(none)")
+          :: !deletion_mismatches;
+        cmp_deletions (i + 1) pr []
+    | [], (ss, sset) :: sr ->
+        deletion_mismatches :=
+          (i, "(none)", Printf.sprintf "step %d %s" ss (set_to_string sset))
+          :: !deletion_mismatches;
+        cmp_deletions (i + 1) [] sr
+  in
+  cmp_deletions 0 (List.rev !par_deletions) (Cs.deleted_log single);
+  (* Stores: each entity's value in its owning shard equals the
+     single-node store's. *)
+  let store_mismatches = ref [] in
+  Intset.iter
+    (fun entity ->
+      let expected = Store.peek single_store ~entity in
+      let sh = par.final_shards.(Partitioner.shard_of partitioner entity) in
+      let got = Store.peek (Shard.store sh) ~entity in
+      if got <> expected then
+        store_mismatches := (entity, got, expected) :: !store_mismatches)
+    (Store.entities single_store);
+  (* Shard-by-shard against the sequential engine. *)
+  let shard_divergences = ref [] in
+  for i = 0 to shards - 1 do
+    let diverge fmt =
+      Printf.ksprintf (fun m -> shard_divergences := (i, m) :: !shard_divergences) fmt
+    in
+    let psh = par.final_shards.(i) in
+    let ssh = Engine.shard seq_eng i in
+    let pres = Gs.all_txns (Shard.graph_state psh) in
+    let sres = Gs.all_txns (Shard.graph_state ssh) in
+    if not (Intset.equal pres sres) then
+      diverge "resident txns %s vs seq %s" (set_to_string pres)
+        (set_to_string sres);
+    let pent = Store.entities (Shard.store psh) in
+    let sent = Store.entities (Shard.store ssh) in
+    if not (Intset.equal pent sent) then
+      diverge "store entities %s vs seq %s" (set_to_string pent)
+        (set_to_string sent)
+    else
+      Intset.iter
+        (fun entity ->
+          let got = Store.peek (Shard.store psh) ~entity in
+          let expected = Store.peek (Shard.store ssh) ~entity in
+          if got <> expected then
+            diverge "store[%d] = %d vs seq %d" entity got expected)
+        pent;
+    let ps : Shard.stats = Shard.stats psh in
+    let ss : Shard.stats = Shard.stats ssh in
+    if ps.Shard.committed <> ss.Shard.committed then
+      diverge "committed %d vs seq %d" ps.Shard.committed ss.Shard.committed;
+    if ps.Shard.aborted <> ss.Shard.aborted then
+      diverge "aborted %d vs seq %d" ps.Shard.aborted ss.Shard.aborted;
+    if ps.Shard.deleted_local <> ss.Shard.deleted_local then
+      diverge "deleted_local %d vs seq %d" ps.Shard.deleted_local
+        ss.Shard.deleted_local;
+    if ps.Shard.deleted_forced <> ss.Shard.deleted_forced then
+      diverge "deleted_forced %d vs seq %d" ps.Shard.deleted_forced
+        ss.Shard.deleted_forced;
+    if ps.Shard.hosted_total <> ss.Shard.hosted_total then
+      diverge "hosted %d vs seq %d" ps.Shard.hosted_total ss.Shard.hosted_total;
+    if not (Wal.records (Shard.wal psh) = Wal.records (Shard.wal ssh)) then
+      diverge "wal records differ (par %d vs seq %d retained)"
+        (Wal.length (Shard.wal psh))
+        (Wal.length (Shard.wal ssh))
+  done;
+  let single_stats = Cs.stats single in
+  {
+    d_steps = par.base.Engine.steps;
+    d_shards = shards;
+    d_mode = par.mode;
+    outcome_mismatches = List.rev !outcome_mismatches;
+    deletion_mismatches = List.rev !deletion_mismatches;
+    residency_violations = List.rev !residency_violations;
+    store_mismatches = List.rev !store_mismatches;
+    shard_divergences = List.rev !shard_divergences;
+    trace_divergence =
+      first_trace_divergence (Buffer.contents par_buf) (Buffer.contents seq_buf);
+    committed_par = par.base.Engine.committed;
+    committed_single = single_stats.Si.committed_total;
+    aborted_par = par.base.Engine.aborted;
+    aborted_single = single_stats.Si.aborted_total;
+  }
+
+let differential_ok d =
+  d.outcome_mismatches = []
+  && d.deletion_mismatches = []
+  && d.residency_violations = []
+  && d.store_mismatches = []
+  && d.shard_divergences = []
+  && d.trace_divergence = None
+  && d.committed_par = d.committed_single
+  && d.aborted_par = d.aborted_single
+
+let pp_differential ppf d =
+  Format.fprintf ppf
+    "@[<v>parallel differential (%s): %d steps over %d shards@ \
+     outcome mismatches: %d@ deletion mismatches: %d@ \
+     residency violations: %d@ store mismatches: %d@ \
+     shard divergences: %d@ trace: %s@ \
+     committed: par %d / single %d@ aborted: par %d / single %d@]"
+    d.d_mode d.d_steps d.d_shards
+    (List.length d.outcome_mismatches)
+    (List.length d.deletion_mismatches)
+    (List.length d.residency_violations)
+    (List.length d.store_mismatches)
+    (List.length d.shard_divergences)
+    (match d.trace_divergence with None -> "identical" | Some m -> m)
+    d.committed_par d.committed_single d.aborted_par d.aborted_single

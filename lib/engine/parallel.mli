@@ -1,0 +1,170 @@
+(** Truly parallel engine: one OCaml 5 domain per shard.
+
+    The decision path is unchanged from {!Engine} — the coordinator
+    stays the {e only} decision-maker and runs the single-node SGT rules
+    sequentially, so the decision trace is identical to the single-node
+    scheduler's by construction (the Janus partitioned-commit shape:
+    one sequencer, parallel appliers).  What moves off the coordinator's
+    domain is everything the decision does {e not} depend on: per-shard
+    graph-projection updates, store writes, WAL appends, local
+    deletion-policy GC, and broadcast-deletion application.
+
+    Protocol: the coordinator buffers per-shard {!cmd} batches while
+    deciding; at every admission-batch boundary it appends a [Collect]
+    (the shard-local GC round) and a numbered [Barrier], then flushes
+    each shard's batch atomically into that shard's mailbox.  Shards
+    answer each barrier with one {!ack} carrying their conflict arcs
+    since the previous barrier and a stats snapshot.  Cross-shard arc
+    classification and telemetry gauges are driven entirely from acks.
+
+    Determinism contract: a shard's state is a pure function of its
+    command stream, and the coordinator reads acks only at barriers —
+    so the run's observable results are independent of domain
+    scheduling.  {!Replay} mode {e exercises} that contract: it runs the
+    identical protocol single-threaded, with a seeded PRNG choosing
+    which shard advances between coordinator actions.  Every seed must
+    (and, per the test suite, does) produce byte-identical results,
+    which is what makes parallel runs replayable and differentially
+    checkable without multi-core hardware.
+
+    Pipelining: normally the coordinator decides batch [b+1] while the
+    shards apply batch [b] (pipeline depth 1).  When tracing or metrics
+    are on it degrades to lock-step — await the barrier, then emit the
+    checkpoint — so the trace is byte-identical to the sequential
+    engine's.
+
+    Single-core fallback: when [available_domains () = 1] (or the CLI is
+    passed [--domains 1]), callers should prefer {!Replay} or the
+    sequential {!Engine}; [Domains] mode still works (domains are OS
+    threads) but cannot speed anything up. *)
+
+exception Shard_failure of int * string
+(** A shard domain died: [(shard_id, description)].  Raised by the
+    coordinator rather than deadlocking on a barrier that can never be
+    answered. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+(** How shard appliers are driven. *)
+type mode =
+  | Domains  (** one [Domain.t] per shard, mailbox-fed *)
+  | Replay of int
+      (** seeded deterministic interleaving simulator on the calling
+          domain; the seed jitters shard progress between sends *)
+
+val mode_name : mode -> string
+
+(** Commands on the coordinator→shard wire.  [value] and the barrier
+    [id] are fixed by the decision sequence, never by scheduling. *)
+type cmd =
+  | Read of { txn : int; entity : int }
+  | Write of { txn : int; entities : int list; value : int }
+  | Complete of { txn : int }
+  | Abort of { txn : int }
+  | Delete of { txns : Dct_graph.Intset.t }  (** broadcast GC batch *)
+  | Collect  (** run the shard-local deletion policy *)
+  | Barrier of { id : int }
+
+type ack =
+  | Ack of {
+      shard_id : int;
+      barrier : int;
+      arcs : (int * int) list;
+          (** conflict arcs recorded since the previous barrier, in
+              application order *)
+      stats : Shard.stats;
+    }
+  | Failed of { shard_id : int; error : string }
+
+(** Test-only fault hooks on the coordinator's send path, for the
+    mutation checks: each injected fault must make the differential
+    suite fail, or the suite is not actually sensitive to the
+    protocol. *)
+module Fault : sig
+  type t = {
+    mutable drop_broadcast : (int * int) option;
+        (** [(n, shard)]: the [n]-th (0-based) broadcast-GC round is
+            not delivered to [shard] *)
+    mutable reorder_batch : (int * int) option;
+        (** [(n, shard)]: the [n]-th (0-based) batch flushed to
+            [shard] has its commands (not the barrier) reversed *)
+    mutable broadcasts : int;  (** broadcast rounds seen *)
+    mutable dropped : int;  (** messages actually dropped *)
+    mutable reordered : int;  (** batches actually reordered *)
+  }
+
+  val create : unit -> t
+end
+
+type report = {
+  base : Engine.report;  (** same shape as the sequential engine's *)
+  domains : int;  (** applier domains spawned (1 under [Replay]) *)
+  mode : string;
+  barriers : int;
+  lockstep : bool;  (** true when telemetry forced lock-step barriers *)
+  final_shards : Shard.t array;
+      (** inert after shutdown: safe for post-mortem inspection *)
+}
+
+val run :
+  ?mode:mode ->
+  ?fault:Fault.t ->
+  ?on_decision:(int -> Dct_txn.Step.t -> Dct_sched.Scheduler_intf.outcome -> unit) ->
+  ?on_barrier:(step:int -> shard:int -> resident:int -> unit) ->
+  ?on_deletion:(int -> Dct_graph.Intset.t -> unit) ->
+  Engine.config ->
+  Dct_txn.Step.t list ->
+  report
+(** Run the workload to completion.  [on_decision] fires after each
+    decided step (the lock-step hook the differential uses);
+    [on_barrier] after each barrier ack, with the shard's resident count
+    at that admission-batch boundary; [on_deletion] on each non-empty
+    broadcast round with the coordinator's step count.
+    @raise Shard_failure if an applier dies. *)
+
+(** {1 Differential mode}
+
+    Three-way check: the parallel engine against (1) the single-node
+    SGT scheduler, decision by decision, deletion round by deletion
+    round; and (2) the sequential {!Engine} on the same configuration,
+    shard state by shard state — residents, stores, WALs, counters —
+    plus byte-equality of the two JSONL traces. *)
+
+type differential_report = {
+  d_steps : int;
+  d_shards : int;
+  d_mode : string;
+  outcome_mismatches : (int * string * string) list;
+      (** (step, parallel outcome, single-node outcome) *)
+  deletion_mismatches : (int * string * string) list;
+      (** (round, parallel round, single-node round) *)
+  residency_violations : (int * int * int * int) list;
+      (** (step, shard, shard resident, single-node resident) *)
+  store_mismatches : (int * int * int) list;
+      (** (entity, parallel value, single-node value) *)
+  shard_divergences : (int * string) list;
+      (** (shard, description) vs the sequential engine *)
+  trace_divergence : string option;
+      (** first differing JSONL line vs the sequential engine, if any *)
+  committed_par : int;
+  committed_single : int;
+  aborted_par : int;
+  aborted_single : int;
+}
+
+val differential :
+  ?mode:mode ->
+  ?fault:Fault.t ->
+  ?oracle:Dct_graph.Cycle_oracle.backend ->
+  ?partitioner:Partitioner.t ->
+  ?gc_index:Dct_deletion.Deletability_index.mode ->
+  shards:int ->
+  batch:int ->
+  policy:Dct_deletion.Policy.t ->
+  Dct_txn.Step.t list ->
+  differential_report
+
+val differential_ok : differential_report -> bool
+
+val pp_differential : Format.formatter -> differential_report -> unit

@@ -112,6 +112,38 @@ let histo_buckets t name =
           ( (if i < Array.length bounds then bounds.(i) else infinity),
             h.counts.(i) ))
 
+(* Fold a per-domain registry into an aggregate one.  Counters and
+   histogram buckets are additive; gauges keep the maximum of both
+   values and both high-water marks (a per-domain gauge is a residency
+   sample, and the merged registry answers "how high did any domain
+   get"). *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find_opt into.counters name with
+      | Some dst -> dst := !dst + !r
+      | None -> Hashtbl.replace into.counters name (ref !r))
+    src.counters;
+  Hashtbl.iter
+    (fun name (g : gauge) ->
+      match Hashtbl.find_opt into.gauges name with
+      | Some dst ->
+          dst.value <- max dst.value g.value;
+          dst.hwm <- max dst.hwm g.hwm
+      | None -> Hashtbl.replace into.gauges name { value = g.value; hwm = g.hwm })
+    src.gauges;
+  Hashtbl.iter
+    (fun name (h : histo) ->
+      match Hashtbl.find_opt into.histos name with
+      | Some dst ->
+          dst.n <- dst.n + h.n;
+          dst.sum <- dst.sum +. h.sum;
+          Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts
+      | None ->
+          Hashtbl.replace into.histos name
+            { n = h.n; sum = h.sum; counts = Array.copy h.counts })
+    src.histos
+
 let sorted_keys tbl =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
 

@@ -1,10 +1,21 @@
-type t = Null | Memory of Buffer.t | Channel of out_channel
+type t =
+  | Null
+  | Memory of Buffer.t
+  | Channel of out_channel
+  | Locked of locked
+
+and locked = { mutex : Mutex.t; inner : t }
 
 let null = Null
 let memory buf = Memory buf
 let channel oc = Channel oc
 
-let emit t ev =
+let locked = function
+  | Null -> Null (* nothing to protect *)
+  | Locked _ as t -> t
+  | t -> Locked { mutex = Mutex.create (); inner = t }
+
+let rec emit t ev =
   match t with
   | Null -> ()
   | Memory buf ->
@@ -13,10 +24,13 @@ let emit t ev =
   | Channel oc ->
       output_string oc (Event.to_json ev);
       output_char oc '\n'
+  | Locked { mutex; inner } ->
+      Mutex.protect mutex (fun () -> emit inner ev)
 
-let flush = function
+let rec flush = function
   | Null | Memory _ -> ()
   | Channel oc -> Stdlib.flush oc
+  | Locked { mutex; inner } -> Mutex.protect mutex (fun () -> flush inner)
 
 (* [Event.of_json] reports malformed input as [Error _]; the extra
    [try] is a backstop so a parser defect surfaces as a per-line error

@@ -4,11 +4,25 @@
     skipping blank lines and failing loudly on the first malformed
     one. *)
 
-type t = Null | Memory of Buffer.t | Channel of out_channel
+type t =
+  | Null
+  | Memory of Buffer.t
+  | Channel of out_channel
+  | Locked of locked
+      (** Mutex-serialized wrapper: whole JSONL lines, never interleaved
+          mid-record — required whenever more than one domain can emit
+          (e.g. [dct serve --trace --domains N>1]). *)
+
+and locked = { mutex : Mutex.t; inner : t }
 
 val null : t
 val memory : Buffer.t -> t
 val channel : out_channel -> t
+
+val locked : t -> t
+(** Wrap a sink so concurrent {!emit}s from multiple domains serialize
+    on a mutex (one full event line at a time).  Idempotent; [Null]
+    stays [Null].  {!flush} takes the same lock. *)
 
 val emit : t -> Event.t -> unit
 val flush : t -> unit

@@ -1,0 +1,606 @@
+(* The parallel engine's contracts:
+
+   - DIFFERENTIAL MATRIX (the tentpole guarantee, extended to domains):
+     seed x shard-count x batch-size x policy — 240 runs through the
+     seeded-interleaving replay executor — asserting byte-identical
+     decision traces, deletion rounds, final stores and per-shard state
+     against both the single-node SGT scheduler and the sequential
+     engine.  A smaller matrix runs through real Domain.spawn appliers;
+     the large real-domain matrix skips (and says so) on single-core
+     runners, where Replay mode carries the guarantee.
+
+   - REPLAY DETERMINISM: every interleaving seed produces identical
+     results — the property that makes parallel runs replayable.
+
+   - MPSC ADMISSION LINEARIZABILITY (QCheck): concurrent producer
+     domains with random batch boundaries; the drained order is an
+     interleaving preserving each producer's submission order, and a
+     post_batch burst is never interleaved.
+
+   - MUTATION CHECKS: a dropped broadcast-GC message and a reordered
+     cross-shard batch (test-only Coordinator fault hooks) must each
+     make the differential fail — pinned here as expected-failure
+     cases, or the suite is not sensitive to the protocol.
+
+   - LOCKED SINK: concurrent emitters through Sink.locked can never
+     interleave JSONL mid-record (the --trace under --domains fix),
+     plus Metrics.merge arithmetic. *)
+
+module Par = Dct_engine.Parallel
+module Eng = Dct_engine.Engine
+module Admission = Dct_engine.Admission
+module Mailbox = Dct_engine.Mailbox
+module Shard = Dct_engine.Shard
+module Policy = Dct_deletion.Policy
+module Step = Dct_txn.Step
+module Gen = Dct_workload.Generator
+module Sink = Dct_telemetry.Sink
+module Event = Dct_telemetry.Event
+module Metrics = Dct_telemetry.Metrics
+module Store = Dct_kv.Store
+module Intset = Dct_graph.Intset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let workload ?(txns = 60) ?(entities = 24) ?(mpl = 6) ?(theta = 0.8)
+    ?(shards = 1) ?(cross = 0.1) seed =
+  Gen.basic
+    {
+      Gen.default with
+      Gen.n_txns = txns;
+      n_entities = entities;
+      mpl;
+      skew = (if theta <= 0.0 then "uniform" else Printf.sprintf "zipf:%.2f" theta);
+      shards;
+      cross_shard = cross;
+      seed;
+    }
+
+(* --- the replay differential matrix: >= 200 parallel runs --- *)
+
+let profiles =
+  (* (txns, entities, mpl, theta, cross) *)
+  [
+    (40, 16, 4, 0.0, 0.1);
+    (60, 24, 6, 0.5, 0.1);
+    (60, 24, 6, 0.9, 0.3);
+    (60, 32, 8, 0.99, 0.1);
+    (80, 16, 8, 0.8, 0.5);
+    (80, 48, 4, 0.6, 0.2);
+    (100, 24, 10, 0.9, 0.1);
+    (100, 64, 6, 0.7, 0.4);
+    (120, 32, 8, 0.95, 0.2);
+    (120, 24, 12, 0.5, 0.3);
+  ]
+
+let run_matrix ~mode_of ~shard_counts ~batches ~policies ~label =
+  let runs = ref 0 in
+  let failures = ref [] in
+  List.iteri
+    (fun i (txns, entities, mpl, theta, cross) ->
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun batch ->
+              List.iter
+                (fun policy ->
+                  incr runs;
+                  let seed = 1000 + (i * 7) in
+                  let steps =
+                    workload ~txns ~entities ~mpl ~theta ~shards ~cross seed
+                  in
+                  let d =
+                    Par.differential ~mode:(mode_of !runs) ~shards ~batch
+                      ~policy steps
+                  in
+                  if not (Par.differential_ok d) then
+                    failures :=
+                      Format.asprintf
+                        "%s profile %d shards %d batch %d %s:@\n%a" label i
+                        shards batch (Policy.name policy) Par.pp_differential
+                        d
+                      :: !failures)
+                policies)
+            batches)
+        shard_counts)
+    profiles;
+  (!runs, List.rev !failures)
+
+let test_replay_matrix () =
+  let runs, failures =
+    run_matrix
+      ~mode_of:(fun i -> Par.Replay (i * 31))
+      ~shard_counts:[ 1; 2; 4; 8 ]
+      ~batches:[ 4; 16 ]
+      ~policies:[ Policy.Noncurrent; Policy.Greedy_c1; Policy.Exact_max ]
+      ~label:"replay"
+  in
+  check ("at least 200 runs, got " ^ string_of_int runs) true (runs >= 200);
+  match failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%d of %d replay runs diverged; first:@\n%s"
+        (List.length failures) runs f
+
+(* A small real-domain sanity matrix that runs everywhere: domains are
+   OS threads even on one core, so the protocol (mailboxes, barriers,
+   joins) is exercised; only the speedup needs real cores. *)
+let test_domains_sanity () =
+  let runs, failures =
+    run_matrix
+      ~mode_of:(fun _ -> Par.Domains)
+      ~shard_counts:[ 2; 4 ] ~batches:[ 8 ]
+      ~policies:[ Policy.Greedy_c1 ] ~label:"domains"
+  in
+  check_int "20 domain runs" 20 runs;
+  match failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%d of %d domain runs diverged; first:@\n%s"
+        (List.length failures) runs f
+
+let test_domains_matrix () =
+  if Par.available_domains () = 1 then begin
+    print_endline
+      "  [skip] single-core runner: the full real-domain matrix needs \
+       multiple cores; Replay mode carries the differential guarantee \
+       here (the domains sanity matrix above still exercised \
+       Domain.spawn).";
+    Alcotest.skip ()
+  end
+  else begin
+    let runs, failures =
+      run_matrix
+        ~mode_of:(fun _ -> Par.Domains)
+        ~shard_counts:[ 1; 2; 4; 8 ]
+        ~batches:[ 4; 16 ]
+        ~policies:[ Policy.Noncurrent; Policy.Greedy_c1; Policy.Exact_max ]
+        ~label:"domains"
+    in
+    check ("at least 200 domain runs, got " ^ string_of_int runs) true
+      (runs >= 200);
+    match failures with
+    | [] -> ()
+    | f :: _ ->
+        Alcotest.failf "%d of %d domain runs diverged; first:@\n%s"
+          (List.length failures) runs f
+  end
+
+(* --- replay determinism: the interleaving seed is unobservable --- *)
+
+let snapshot_of_report (r : Par.report) =
+  let shard_snap sh =
+    let stats = Shard.stats sh in
+    let store =
+      Intset.to_sorted_list (Store.entities (Shard.store sh))
+      |> List.map (fun e -> (e, Store.peek (Shard.store sh) ~entity:e))
+    in
+    (stats, store)
+  in
+  ( r.Par.base.Eng.steps,
+    r.Par.base.Eng.accepted,
+    r.Par.base.Eng.rejected,
+    r.Par.base.Eng.committed,
+    r.Par.base.Eng.aborted,
+    r.Par.barriers,
+    Array.to_list (Array.map shard_snap r.Par.final_shards) )
+
+let test_replay_seed_invariance () =
+  let steps = workload ~txns:100 ~entities:32 ~mpl:8 ~theta:0.9 ~shards:4
+      ~cross:0.4 77 in
+  let run_with seed =
+    let cfg = Eng.config ~policy:Policy.Greedy_c1 ~shards:4 ~batch:8 () in
+    snapshot_of_report (Par.run ~mode:(Par.Replay seed) cfg steps)
+  in
+  let reference = run_with 0 in
+  List.iter
+    (fun seed ->
+      check
+        (Printf.sprintf "seed %d produces identical results" seed)
+        true
+        (run_with seed = reference))
+    [ 1; 7; 42; 1234; 99991 ]
+
+(* And the Domains schedule is equally unobservable: a real-domain run
+   lands on the same snapshot as every replay. *)
+let test_domains_match_replay () =
+  let steps = workload ~txns:80 ~entities:24 ~mpl:8 ~theta:0.9 ~shards:3
+      ~cross:0.3 31 in
+  let cfg () = Eng.config ~policy:Policy.Greedy_c1 ~shards:3 ~batch:8 () in
+  let via_domains =
+    snapshot_of_report (Par.run ~mode:Par.Domains (cfg ()) steps)
+  in
+  let via_replay =
+    snapshot_of_report (Par.run ~mode:(Par.Replay 5) (cfg ()) steps)
+  in
+  check "domains == replay" true (via_domains = via_replay)
+
+(* --- QCheck: MPSC admission linearizability under producer domains --- *)
+
+(* Each producer posts its bursts (size 1 via post, else post_batch) of
+   tagged steps [Read (producer, seq)]; a consumer drains concurrently
+   with take_batch + a final tick.  The concatenated drain order must
+   be an interleaving that preserves each producer's submission order,
+   with every burst contiguous. *)
+let run_mpsc ~batch ~(bursts : int list list) =
+  let t = Admission.create ~batch in
+  let done_count = Atomic.make 0 in
+  let n_producers = List.length bursts in
+  let producers =
+    List.mapi
+      (fun p sizes ->
+        Domain.spawn (fun () ->
+            let seq = ref 0 in
+            List.iter
+              (fun size ->
+                let items =
+                  List.init size (fun k -> Step.Read (p, !seq + k))
+                in
+                seq := !seq + size;
+                match items with
+                | [ one ] -> Admission.post t one
+                | many -> Admission.post_batch t many)
+              sizes;
+            Atomic.incr done_count))
+      bursts
+  in
+  let drained = ref [] in
+  let rec consume () =
+    match Admission.take_batch t with
+    | Some b ->
+        drained := List.rev_append b !drained;
+        consume ()
+    | None ->
+        if Atomic.get done_count < n_producers then begin
+          Domain.cpu_relax ();
+          consume ()
+        end
+  in
+  consume ();
+  List.iter Domain.join producers;
+  (* Producers are done: one final take_batch loop plus a tick drains
+     the tail. *)
+  let rec drain_tail () =
+    match Admission.take_batch t with
+    | Some b ->
+        drained := List.rev_append b !drained;
+        drain_tail ()
+    | None -> drained := List.rev_append (Admission.tick t) !drained
+  in
+  drain_tail ();
+  List.rev !drained
+
+let decode = function
+  | Step.Read (p, s) -> (p, s)
+  | _ -> Alcotest.fail "unexpected step shape"
+
+let mpsc_ok ~bursts drained =
+  let decoded = List.map decode drained in
+  let posted p = List.fold_left ( + ) 0 (List.nth bursts p) in
+  let n_producers = List.length bursts in
+  (* multiset equality *)
+  let total = List.fold_left (fun a sizes -> a + List.fold_left ( + ) 0 sizes) 0 bursts in
+  if List.length decoded <> total then Error "lost or duplicated steps"
+  else if
+    (* per-producer order: producer p's elements appear as 0,1,2,... *)
+    not
+      (List.for_all
+         (fun p ->
+           let mine = List.filter (fun (q, _) -> q = p) decoded in
+           List.mapi (fun i _ -> i) mine
+           = List.map snd mine
+           && List.length mine = posted p)
+         (List.init n_producers Fun.id))
+  then Error "a producer's submission order was not preserved"
+  else begin
+    (* burst contiguity: each multi-element burst occupies consecutive
+       positions of the global drain order *)
+    let pos = Hashtbl.create 64 in
+    List.iteri (fun i x -> Hashtbl.replace pos x i) decoded;
+    let contiguous p sizes =
+      let seq = ref 0 in
+      List.for_all
+        (fun size ->
+          let first = !seq in
+          seq := !seq + size;
+          size = 1
+          ||
+          let base = Hashtbl.find pos (p, first) in
+          List.init size (fun k -> Hashtbl.find pos (p, first + k))
+          = List.init size (fun k -> base + k))
+        sizes
+    in
+    if List.for_all2 contiguous (List.init n_producers Fun.id) bursts |> not
+    then Error "a post_batch burst was interleaved"
+    else Ok ()
+  end
+  [@@warning "-32"]
+
+let mpsc_gen =
+  QCheck.make
+    ~print:(fun (batch, bursts) ->
+      Printf.sprintf "batch=%d bursts=%s" batch
+        (String.concat ";"
+           (List.map
+              (fun s -> String.concat "," (List.map string_of_int s))
+              bursts)))
+    QCheck.Gen.(
+      pair (int_range 1 7)
+        (list_size (return 3) (list_size (int_range 1 8) (int_range 1 4))))
+
+let prop_mpsc_linearizable =
+  QCheck.Test.make ~count:30 ~name:"MPSC admission linearizability"
+    mpsc_gen
+    (fun (batch, bursts) ->
+      let drained = run_mpsc ~batch ~bursts in
+      match mpsc_ok ~bursts drained with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%s" e)
+
+(* Single-producer determinism through the MPSC face: post/take_batch
+   round-trips in exact order, and the counters add up. *)
+let test_admission_mpsc_unit () =
+  let t = Admission.create ~batch:3 in
+  Admission.post t (Step.Read (0, 0));
+  check "no batch below B" true (Admission.take_batch t = None);
+  Admission.post_batch t [ Step.Read (0, 1); Step.Read (0, 2); Step.Read (0, 3) ];
+  check_int "posted_batches" 1 (Admission.posted_batches t);
+  (match Admission.take_batch t with
+  | Some [ Step.Read (0, 0); Step.Read (0, 1); Step.Read (0, 2) ] -> ()
+  | _ -> Alcotest.fail "take_batch returned the wrong prefix");
+  check_int "pending after take" 1 (Admission.pending t);
+  check_int "submitted" 4 (Admission.submitted t);
+  check_int "full_batches" 1 (Admission.full_batches t);
+  (match Admission.tick t with
+  | [ Step.Read (0, 3) ] -> ()
+  | _ -> Alcotest.fail "tick did not flush the tail")
+
+(* --- mutation checks: the fault hooks must be detected --- *)
+
+let mutation_workload seed = workload ~txns:120 ~entities:64 ~mpl:8 ~theta:0.8
+    ~shards:4 ~cross:0.4 seed
+
+(* Scan ordinals until one injected fault is caught: some ordinals are
+   genuinely unobservable (a broadcast for transactions the victim
+   shard never hosted; a reordered batch whose commands commute), so
+   the pinned expectation is "a fault of each kind is detected within
+   the first few opportunities", plus proof the hook actually fired. *)
+let scan_fault ~kind ~set_fault =
+  let detections = ref [] in
+  let fired = ref 0 in
+  for n = 0 to 7 do
+    let fault = Par.Fault.create () in
+    set_fault fault n;
+    let d =
+      Par.differential ~mode:(Par.Replay 1) ~fault ~shards:4 ~batch:8
+        ~policy:Policy.Greedy_c1 (mutation_workload 11)
+    in
+    let injected =
+      match kind with
+      | `Drop -> fault.Par.Fault.dropped
+      | `Reorder -> fault.Par.Fault.reordered
+    in
+    fired := !fired + injected;
+    if injected > 0 && not (Par.differential_ok d) then
+      detections := n :: !detections
+  done;
+  (!fired, List.rev !detections)
+
+let test_mutation_drop_broadcast () =
+  let fired, detections =
+    scan_fault ~kind:`Drop ~set_fault:(fun f n ->
+        f.Par.Fault.drop_broadcast <- Some (n, 0))
+  in
+  check ("drop hook fired, count " ^ string_of_int fired) true (fired > 0);
+  check
+    ("dropped broadcast detected at ordinals "
+    ^ String.concat "," (List.map string_of_int detections))
+    true (detections <> [])
+
+let test_mutation_reorder_batch () =
+  let fired, detections =
+    scan_fault ~kind:`Reorder ~set_fault:(fun f n ->
+        f.Par.Fault.reorder_batch <- Some (n, 0))
+  in
+  check ("reorder hook fired, count " ^ string_of_int fired) true (fired > 0);
+  check
+    ("reordered batch detected at ordinals "
+    ^ String.concat "," (List.map string_of_int detections))
+    true (detections <> [])
+
+(* The same hooks must be invisible when disarmed: a Fault.create ()
+   with no mutation set changes nothing. *)
+let test_fault_disarmed () =
+  let fault = Par.Fault.create () in
+  let d =
+    Par.differential ~mode:(Par.Replay 1) ~fault ~shards:4 ~batch:8
+      ~policy:Policy.Greedy_c1 (mutation_workload 11)
+  in
+  check_int "nothing dropped" 0 fault.Par.Fault.dropped;
+  check_int "nothing reordered" 0 fault.Par.Fault.reordered;
+  if not (Par.differential_ok d) then
+    Alcotest.failf "disarmed fault diverged:@\n%a" Par.pp_differential d
+
+(* --- locked sink: no mid-record interleaving under domains --- *)
+
+let test_locked_sink_concurrent () =
+  let buf = Buffer.create 4096 in
+  let sink = Sink.locked (Sink.memory buf) in
+  let n_domains = 4 and per_domain = 200 in
+  let emitters =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Sink.emit sink
+                (Event.Decision
+                   {
+                     index = (d * per_domain) + i;
+                     txn = d;
+                     outcome = "accepted";
+                     reason = "";
+                   })
+            done))
+  in
+  List.iter Domain.join emitters;
+  Sink.flush sink;
+  (* Every line parses (nothing interleaved mid-record) and every event
+     arrived exactly once. *)
+  match Sink.parse_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "interleaved trace: %s" e
+  | Ok events ->
+      check_int "every event intact" (n_domains * per_domain)
+        (List.length events);
+      let seen = Hashtbl.create 1024 in
+      List.iter
+        (function
+          | Event.Decision { index; _ } ->
+              if Hashtbl.mem seen index then
+                Alcotest.failf "event %d duplicated" index;
+              Hashtbl.replace seen index ()
+          | _ -> Alcotest.fail "unexpected event shape")
+        events;
+      check_int "no event lost" (n_domains * per_domain)
+        (Hashtbl.length seen)
+
+let test_locked_sink_idempotent () =
+  check "Null stays Null" true (Sink.locked Sink.null = Sink.null);
+  let buf = Buffer.create 16 in
+  let once = Sink.locked (Sink.memory buf) in
+  (match Sink.locked once with
+  | Sink.Locked { inner = Sink.Memory _; _ } -> ()
+  | _ -> Alcotest.fail "double-locking nested the wrapper")
+
+(* The engine end-to-end version of the same guarantee: a traced
+   Domains run produces a parseable trace byte-identical (modulo
+   timing) to the sequential engine's — already asserted inside every
+   matrix differential via trace_divergence = None; here we pin that a
+   trace actually flowed (non-vacuous check). *)
+let test_traced_domains_run () =
+  let buf = Buffer.create 4096 in
+  let tracer =
+    Dct_telemetry.Tracer.create ~sink:(Sink.locked (Sink.memory buf)) ()
+  in
+  let cfg =
+    Eng.config ~policy:Policy.Greedy_c1 ~tracer ~shards:3 ~batch:8 ()
+  in
+  let steps = workload ~txns:40 ~entities:24 ~shards:3 3 in
+  let r = Par.run ~mode:Par.Domains cfg steps in
+  check "lockstep under tracing" true r.Par.lockstep;
+  match Sink.parse_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "domains trace malformed: %s" e
+  | Ok events ->
+      check "trace non-empty" true (List.length events > 0)
+
+(* --- Metrics.merge arithmetic --- *)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "par.cmds" ~by:10;
+  Metrics.incr b "par.cmds" ~by:32;
+  Metrics.incr b "par.gc_runs";
+  Metrics.gauge a "par.shard.resident" 4;
+  Metrics.gauge a "par.shard.resident" 2;
+  Metrics.gauge b "par.shard.resident" 3;
+  Metrics.observe a "lat" 100.0;
+  Metrics.observe a "lat" 100.0;
+  Metrics.observe b "lat" 1_000_000.0;
+  Metrics.merge ~into:a b;
+  check_int "counters add" 42 (Metrics.counter a "par.cmds");
+  check_int "absent counter copied" 1 (Metrics.counter a "par.gc_runs");
+  check_int "gauge keeps max value" 3 (Metrics.gauge_value a "par.shard.resident");
+  check_int "gauge keeps max hwm" 4 (Metrics.high_water a "par.shard.resident");
+  check_int "histogram counts add" 3 (Metrics.histo_count a "lat");
+  check "histogram mean weighted" true
+    (abs_float (Metrics.histo_mean a "lat" -. ((100.0 +. 100.0 +. 1_000_000.0) /. 3.0))
+     < 1e-6);
+  (* merge is the no-op identity on an empty source *)
+  let before = Metrics.counter a "par.cmds" in
+  Metrics.merge ~into:a (Metrics.create ());
+  check_int "empty merge is identity" before (Metrics.counter a "par.cmds")
+
+(* The worker registries actually flow through the merge: a metrics-on
+   parallel run surfaces the per-domain applier counters. *)
+let test_worker_metrics_merged () =
+  let m = Metrics.create () in
+  let tracer = Dct_telemetry.Tracer.create ~metrics:m () in
+  let cfg =
+    Eng.config ~policy:Policy.Greedy_c1 ~tracer ~shards:2 ~batch:8 ()
+  in
+  let steps = workload ~txns:40 ~entities:24 ~shards:2 9 in
+  let _ = Par.run ~mode:(Par.Replay 3) cfg steps in
+  check "applier command counter merged" true (Metrics.counter m "par.cmds" > 0);
+  check "applier gc counter merged" true (Metrics.counter m "par.gc_runs" > 0)
+
+(* --- mailbox unit: the batch atomicity the protocol rests on --- *)
+
+let test_mailbox_unit () =
+  let mb = Mailbox.create () in
+  Mailbox.push mb 1;
+  Mailbox.push_batch mb [ 2; 3; 4 ];
+  Mailbox.push_batch mb [];
+  check_int "pending" 4 (Mailbox.pending mb);
+  check_int "pushed" 4 (Mailbox.pushed mb);
+  check_int "batches counts non-empty only" 1 (Mailbox.batches mb);
+  check "drain order" true (Mailbox.drain mb = [ 1; 2; 3; 4 ]);
+  check "empty drain" true (Mailbox.drain mb = []);
+  Mailbox.close mb;
+  check "closed" true (Mailbox.is_closed mb);
+  check "drain_wait on closed+empty = shutdown signal" true
+    (Mailbox.drain_wait mb = []);
+  check "push after close raises" true
+    (try
+       Mailbox.push mb 5;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "240-run replay matrix vs single-node + sequential"
+            `Slow test_replay_matrix;
+          Alcotest.test_case "real-domain sanity matrix" `Slow
+            test_domains_sanity;
+          Alcotest.test_case "full real-domain matrix (multi-core only)" `Slow
+            test_domains_matrix;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "replay seed invariance" `Quick
+            test_replay_seed_invariance;
+          Alcotest.test_case "domains run == replay run" `Quick
+            test_domains_match_replay;
+        ] );
+      ( "admission-mpsc",
+        [
+          QCheck_alcotest.to_alcotest prop_mpsc_linearizable;
+          Alcotest.test_case "post/take_batch unit" `Quick
+            test_admission_mpsc_unit;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "dropped GC broadcast detected" `Slow
+            test_mutation_drop_broadcast;
+          Alcotest.test_case "reordered batch detected" `Slow
+            test_mutation_reorder_batch;
+          Alcotest.test_case "disarmed hooks change nothing" `Quick
+            test_fault_disarmed;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "locked sink: no mid-record interleaving" `Quick
+            test_locked_sink_concurrent;
+          Alcotest.test_case "locked sink: idempotent wrap" `Quick
+            test_locked_sink_idempotent;
+          Alcotest.test_case "traced domains run parses" `Quick
+            test_traced_domains_run;
+          Alcotest.test_case "Metrics.merge arithmetic" `Quick
+            test_metrics_merge;
+          Alcotest.test_case "worker registries merged" `Quick
+            test_worker_metrics_merged;
+        ] );
+      ( "mailbox",
+        [ Alcotest.test_case "batch atomicity + shutdown" `Quick test_mailbox_unit ] );
+    ]
