@@ -1,13 +1,13 @@
 # Convenience entry points; everything below is a thin wrapper over dune.
 
-.PHONY: all check build test oracle-test telemetry-test engine-test gc-test parallel-test check-hist trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-engine-par bench-engine-par-smoke bench-policy bench-policy-smoke bench-check bench-check-smoke clean
+.PHONY: all check build test oracle-test telemetry-test engine-test gc-test parallel-test check-hist net-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-engine-par bench-engine-par-smoke bench-policy bench-policy-smoke bench-check bench-check-smoke bench-net bench-net-smoke clean
 
 all: build
 
 # The default gate: full build, full test suite, and the smoke sweeps
 # that double as end-to-end differential checks (oracle backends,
 # sharded engine, parallel engine, deletability index, history checker).
-check: build test bench-smoke bench-engine-smoke parallel-test bench-engine-par-smoke bench-policy-smoke check-hist bench-check-smoke
+check: build test bench-smoke bench-engine-smoke parallel-test bench-engine-par-smoke bench-policy-smoke check-hist bench-check-smoke net-test bench-net-smoke
 
 build:
 	dune build
@@ -51,6 +51,14 @@ parallel-test:
 # corpus/check/ runs) — the tight loop when hacking on lib/check.
 check-hist:
 	dune build @check-hist
+
+# Just the serving-layer suite (wire-protocol round trips and typed
+# rejections in both dialects, the loopback differential against the
+# in-process engines, mid-frame disconnect and shard-failure
+# propagation, workload-mix distribution checks) — the tight loop when
+# hacking on lib/net.
+net-test:
+	dune build @net
 
 # End-to-end trace round trip: simulate with tracing on, summarize the
 # JSONL, re-feed the decisions to the deletion auditor.
@@ -120,6 +128,18 @@ bench-check:
 # checked-mode divergence, or a malformed BENCH_check.json.
 bench-check-smoke:
 	dune exec bench/main.exe -- check-smoke
+
+# The network sweep: workload mix x shards x policy x gc-index served
+# over a loopback socket by the threaded server and driven closed-loop
+# (writes BENCH_net.json with throughput and p50/p90/p99 latency rows
+# for every workload class, pinned-deletability scenario included).
+bench-net:
+	dune exec bench/main.exe -- net
+
+# CI gate: every workload class once with tiny traffic; exits non-zero
+# on a missing class row or a malformed BENCH_net.json.
+bench-net-smoke:
+	dune exec bench/main.exe -- net-smoke
 
 clean:
 	dune clean

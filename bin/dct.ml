@@ -7,7 +7,11 @@
      serve        run a shard-affine workload through the online sharded
                   engine (batched admission, per-shard deletion-policy GC;
                   --differential cross-checks against the single-node
-                  scheduler step by step)
+                  scheduler step by step; --listen serves the engine to
+                  socket clients over the wire protocol instead)
+     client       send wire-protocol requests to a serve --listen server
+     bench-net    drive a YCSB/TPC-C-style mix against an in-process
+                  loopback server; throughput + latency percentiles
      trace        summarize a --trace JSONL file (outcomes, residency,
                   deletion denials, oracle latency; --audit re-feeds the
                   decisions to the trace auditor)
@@ -96,8 +100,8 @@ let schedule_file =
 
 (* --- simulate --- *)
 
-let simulate model policy txns entities mpl skew seed long_readers selfcheck
-    oracle gc_index trace metrics_on json =
+let simulate model policy txns entities mpl skew seed long_readers
+    long_reader_frac burst selfcheck oracle gc_index trace metrics_on json =
   (* "conflict" is the paper's name for the basic-model conflict-graph
      scheduler. *)
   let model = if model = "conflict" then "basic" else model in
@@ -132,6 +136,9 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
       Dct_telemetry.Tracer.create ?metrics:registry ~sink ()
     else Dct_telemetry.Tracer.disabled
   in
+  let burst_on, burst_off =
+    match burst with None -> (0, 0) | Some pair -> pair
+  in
   let profile =
     {
       Gen.default with
@@ -141,6 +148,9 @@ let simulate model policy txns entities mpl skew seed long_readers selfcheck
       skew;
       seed;
       long_readers;
+      long_reader_frac;
+      burst_on;
+      burst_off;
     }
   in
   (* [gs] is the live graph state when the model has one — the hook the
@@ -326,6 +336,26 @@ let simulate_cmd =
   let long_readers =
     Arg.(value & opt int 0 & info [ "long-readers" ] ~doc:"Pinning readers.")
   in
+  let long_reader_frac =
+    Arg.(
+      value & opt float 0.0
+      & info [ "long-reader-frac" ] ~docv:"F"
+          ~doc:
+            "Additional pinning readers as a fraction of --txns (the \
+             adversarial-GC knob: long read-only transactions pin their \
+             tight successors' deletability).")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "burst" ] ~docv:"ON:OFF"
+          ~doc:
+            "Bursty (on/off modulated) arrivals: new transactions start \
+             only during on windows of ON schedule positions separated by \
+             off windows of OFF positions, so concurrency drains between \
+             bursts.")
+  in
   let selfcheck =
     Arg.(
       value & flag
@@ -369,8 +399,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a synthetic workload through a scheduler")
     Term.(
       const simulate $ model $ policy_arg $ txns $ entities $ mpl $ skew $ seed
-      $ long_readers $ selfcheck $ oracle_arg $ gc_index_arg $ trace_arg
-      $ metrics_arg $ json_arg)
+      $ long_readers $ long_reader_frac $ burst $ selfcheck $ oracle_arg
+      $ gc_index_arg $ trace_arg $ metrics_arg $ json_arg)
 
 (* --- serve --- *)
 
@@ -380,8 +410,8 @@ let rec take n = function
   | x :: tl -> x :: take (n - 1) tl
 
 let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
-    cross_shard oracle gc_index domains replay differential trace metrics_on
-    json =
+    cross_shard oracle gc_index domains replay differential listen flush_ms
+    trace metrics_on json =
   let module Eng = Dct_engine.Engine in
   let module Par = Dct_engine.Parallel in
   let partitioner =
@@ -445,11 +475,51 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
         else None
   in
   let par_info = ref None in
+  let serve_socket addr_spec =
+    (* Network mode: clients supply the traffic; the generated schedule
+       and --steps are ignored.  Runs until SIGINT/SIGTERM, then shuts
+       down, finishes the engine and prints the usual report. *)
+    let addr =
+      match Dct_net.Addr.of_string addr_spec with
+      | Ok a -> a
+      | Error e ->
+          Printf.eprintf "dct: serve: --listen: %s\n" e;
+          exit 2
+    in
+    let backend ~on_step =
+      match parallel_mode with
+      | None -> Dct_net.Backend.seq ~on_step cfg
+      | Some mode -> Dct_net.Backend.parallel ~mode ~on_step cfg
+    in
+    let srv = Dct_net.Server.create ~flush_ms ~backend addr in
+    let stop_requested = ref false in
+    let on_signal = Sys.Signal_handle (fun _ -> stop_requested := true) in
+    Sys.set_signal Sys.sigint on_signal;
+    (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
+    let t0 = Unix.gettimeofday () in
+    Dct_net.Server.start srv;
+    Printf.printf
+      "dct: serve: listening on %s (%s backend, %d shard(s), batch %d, \
+       flush %d ms); Ctrl-C to stop\n\
+       %!"
+      (Dct_net.Addr.to_string (Dct_net.Server.addr srv))
+      (Dct_net.Backend.name (Dct_net.Server.backend srv))
+      shards batch flush_ms;
+    while not !stop_requested do
+      Thread.delay 0.1
+    done;
+    Dct_net.Server.stop srv;
+    Printf.printf "dct: serve: %d connection(s) served, %d protocol error(s)\n"
+      (Dct_net.Server.connections srv)
+      (Dct_net.Server.proto_errors srv);
+    Dct_net.Server.finish srv ~wall_seconds:(Unix.gettimeofday () -. t0)
+  in
   let r =
     try
-      match parallel_mode with
-      | None -> Eng.run (Eng.create cfg) schedule
-      | Some mode ->
+      match (listen, parallel_mode) with
+      | Some addr_spec, _ -> serve_socket addr_spec
+      | None, None -> Eng.run (Eng.create cfg) schedule
+      | None, Some mode ->
           let pr = Par.run ~mode cfg schedule in
           par_info := Some pr;
           pr.Par.base
@@ -458,6 +528,8 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
         Printf.eprintf "gc-index DIVERGENCE: %s\n" msg;
         exit 1
     | Par.Shard_failure (shard, msg) ->
+        (* a dead shard applier must never exit 0 — even one that died
+           after the last awaited barrier *)
         Printf.eprintf "dct: serve: shard %d domain failed: %s\n" shard msg;
         exit 1
   in
@@ -588,40 +660,51 @@ let serve shards batch policy partitioner_spec steps txns entities mpl skew seed
       registry
   end;
   if not differential then 0
+  else if listen <> None then begin
+    Printf.eprintf
+      "dct: serve: --differential is ignored with --listen (the served \
+       traffic came from clients, not the generated schedule)\n";
+    0
+  end
   else begin
-    match parallel_mode with
-    | Some mode ->
-        let d =
-          Par.differential ~mode ?oracle ~partitioner ?gc_index ~shards ~batch
-            ~policy schedule
-        in
-        if not json then begin
-          print_newline ();
-          Format.printf "%a@." Par.pp_differential d
-        end;
-        if Par.differential_ok d then 0
-        else begin
-          Printf.eprintf
-            "dct: serve: differential FAILED (parallel engine diverges from \
-             the single-node scheduler or the sequential engine)\n";
-          1
-        end
-    | None ->
-        let d =
-          Eng.differential ?oracle ~partitioner ?gc_index ~shards ~batch
-            ~policy schedule
-        in
-        if not json then begin
-          print_newline ();
-          Format.printf "%a@." Eng.pp_differential d
-        end;
-        if Eng.differential_ok d then 0
-        else begin
-          Printf.eprintf
-            "dct: serve: differential FAILED (engine diverges from the \
-             single-node scheduler)\n";
-          1
-        end
+    try
+      match parallel_mode with
+      | Some mode ->
+          let d =
+            Par.differential ~mode ?oracle ~partitioner ?gc_index ~shards
+              ~batch ~policy schedule
+          in
+          if not json then begin
+            print_newline ();
+            Format.printf "%a@." Par.pp_differential d
+          end;
+          if Par.differential_ok d then 0
+          else begin
+            Printf.eprintf
+              "dct: serve: differential FAILED (parallel engine diverges from \
+               the single-node scheduler or the sequential engine)\n";
+            1
+          end
+      | None ->
+          let d =
+            Eng.differential ?oracle ~partitioner ?gc_index ~shards ~batch
+              ~policy schedule
+          in
+          if not json then begin
+            print_newline ();
+            Format.printf "%a@." Eng.pp_differential d
+          end;
+          if Eng.differential_ok d then 0
+          else begin
+            Printf.eprintf
+              "dct: serve: differential FAILED (engine diverges from the \
+               single-node scheduler)\n";
+            1
+          end
+    with Par.Shard_failure (shard, msg) ->
+      (* the differential's parallel run can lose an applier too *)
+      Printf.eprintf "dct: serve: shard %d domain failed: %s\n" shard msg;
+      1
   end
 
 let serve_cmd =
@@ -710,6 +793,29 @@ let serve_cmd =
              rounds, per-shard state, and telemetry trace vs the \
              sequential engine); exit 1 on any divergence.")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve real traffic instead of the generated workload: accept \
+             concurrent clients on $(docv) (unix:PATH, tcp:HOST:PORT, or \
+             HOST:PORT) speaking the binary or line wire dialect, feed \
+             their steps through the admission queue, and route each \
+             decision back to the issuing client.  Runs until SIGINT, \
+             then prints the usual report.")
+  in
+  let flush_ms_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "flush-ms" ] ~docv:"MS"
+          ~doc:
+            "Group-commit flush interval for --listen: a partial \
+             admission batch waits at most $(docv) ms before being \
+             processed.  0 disables the timer (batches flush only when \
+             full or on control requests).")
+  in
   let trace_arg =
     Arg.(
       value
@@ -740,12 +846,273 @@ let serve_cmd =
        ~doc:
          "Run a workload through the online sharded engine: batched \
           admission, coordinator-exact decisions, per-shard stores and \
-          WALs, deletion-policy GC at both scopes.")
+          WALs, deletion-policy GC at both scopes.  With --listen, serve \
+          the engine to socket clients instead.")
     Term.(
       const serve $ shards $ batch $ policy_arg $ partitioner_arg $ steps
       $ txns $ entities $ mpl $ skew $ seed $ cross_shard $ oracle_arg
-      $ gc_index_arg $ domains_arg $ replay_arg $ differential $ trace_arg
-      $ metrics_arg $ json_arg)
+      $ gc_index_arg $ domains_arg $ replay_arg $ differential $ listen_arg
+      $ flush_ms_arg $ trace_arg $ metrics_arg $ json_arg)
+
+(* --- client --- *)
+
+let client_main connect_spec dialect_line ops =
+  let module Net = Dct_net in
+  let addr =
+    match Net.Addr.of_string connect_spec with
+    | Ok a -> a
+    | Error e ->
+        Printf.eprintf "dct: client: %s\n" e;
+        exit 2
+  in
+  let dialect = if dialect_line then Net.Wire.Line else Net.Wire.Binary in
+  let c = Net.Client.connect ~dialect addr in
+  let rc = ref 0 in
+  (* One request per line, in the line-dialect syntax, whatever dialect
+     the connection speaks; responses print as line-dialect text. *)
+  let run_line line =
+    match Net.Wire.decode_request Net.Wire.Line (line ^ "\n") ~pos:0 with
+    | Error e ->
+        Printf.eprintf "dct: client: %s\n" (Net.Wire.error_to_string e);
+        rc := 2
+    | Ok (req, _) -> (
+        match Net.Client.call c req with
+        | Ok resp -> print_string (Net.Wire.encode_response Net.Wire.Line resp)
+        | Error e ->
+            Printf.eprintf "dct: client: %s\n" (Net.Wire.error_to_string e);
+            rc := 1)
+  in
+  (match ops with
+  | [] -> (
+      (* no request on the command line: read them from stdin *)
+      try
+        while true do
+          let line = String.trim (input_line stdin) in
+          if line <> "" then run_line line
+        done
+      with End_of_file -> ())
+  | words -> run_line (String.concat " " words));
+  Net.Client.close c;
+  !rc
+
+let client_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "connect" ] ~docv:"ADDR"
+          ~doc:"Server address: unix:PATH, tcp:HOST:PORT, or HOST:PORT.")
+  in
+  let dialect_line =
+    Arg.(
+      value & flag
+      & info [ "line" ]
+          ~doc:
+            "Speak the line dialect on the wire instead of the binary one \
+             (the server sniffs either).")
+  in
+  let ops =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "One request, e.g. $(b,begin 7), $(b,read 7 42), \
+             $(b,write 7 1,2), $(b,complete 7), $(b,abort 7), $(b,stats). \
+             Omitted: read one request per line from stdin.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a $(b,dct serve --listen) server and print the \
+          responses")
+    Term.(const client_main $ connect $ dialect_line $ ops)
+
+(* --- bench-net --- *)
+
+let bench_net mix_spec clients txns_per_client keys shards batch policy
+    gc_index domains replay flush_ms dialect_line seed json =
+  let module Eng = Dct_engine.Engine in
+  let module Par = Dct_engine.Parallel in
+  let module Net = Dct_net in
+  let module Mix = Dct_workload.Mix in
+  let module Metrics = Dct_telemetry.Metrics in
+  let mix =
+    match Mix.of_string mix_spec with
+    | Ok m -> m
+    | Error e ->
+        Printf.eprintf "dct: bench-net: %s\n" e;
+        exit 2
+  in
+  let parallel_mode =
+    match replay with
+    | Some interleaving_seed -> Some (Par.Replay interleaving_seed)
+    | None ->
+        if domains > 1 && Par.available_domains () > 1 then Some Par.Domains
+        else begin
+          if domains > 1 then
+            Printf.eprintf
+              "dct: bench-net: single-core host: --domains %d falls back to \
+               the sequential engine\n"
+              domains;
+          None
+        end
+  in
+  let cfg = Eng.config ~policy ?gc_index ~shards ~batch () in
+  let backend ~on_step =
+    match parallel_mode with
+    | None -> Net.Backend.seq ~on_step cfg
+    | Some mode -> Net.Backend.parallel ~mode ~on_step cfg
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dct-bench-%d.sock" (Unix.getpid ()))
+  in
+  let srv = Net.Server.create ~flush_ms ~backend (Net.Addr.Unix_path sock) in
+  Net.Server.start srv;
+  let dialect = if dialect_line then Net.Wire.Line else Net.Wire.Binary in
+  let dcfg =
+    { Net.Driver.clients; txns_per_client; mix; keys; seed; dialect }
+  in
+  let dres = Net.Driver.run dcfg (Net.Server.addr srv) in
+  Net.Server.stop srv;
+  let report =
+    try Net.Server.finish srv ~wall_seconds:dres.Net.Driver.wall_seconds
+    with Par.Shard_failure (shard, msg) ->
+      Printf.eprintf "dct: bench-net: shard %d domain failed: %s\n" shard msg;
+      exit 1
+  in
+  let m = dres.Net.Driver.metrics in
+  let pct name p = Metrics.histo_percentile m ("net.latency." ^ name) p in
+  if json then begin
+    let b = Buffer.create 512 in
+    let first = ref true in
+    let field k v =
+      Buffer.add_string b (if !first then "{" else ",");
+      first := false;
+      Buffer.add_string b (Printf.sprintf "%S:%s" k v)
+    in
+    let str k v = field k (Printf.sprintf "%S" v) in
+    let int_f k v = field k (string_of_int v) in
+    let float_f k v = field k (Printf.sprintf "%.6g" v) in
+    str "mix" (Mix.name mix);
+    str "backend" (Net.Backend.name (Net.Server.backend srv));
+    int_f "shards" shards;
+    int_f "batch" batch;
+    int_f "clients" clients;
+    int_f "txns" dres.Net.Driver.txns;
+    int_f "completed" dres.Net.Driver.completed;
+    int_f "aborted" dres.Net.Driver.aborted;
+    int_f "ops" dres.Net.Driver.ops;
+    float_f "wall_s" dres.Net.Driver.wall_seconds;
+    float_f "throughput_ops_per_s" dres.Net.Driver.throughput;
+    float_f "p50_us" (pct "all" 50. /. 1e3);
+    float_f "p90_us" (pct "all" 90. /. 1e3);
+    float_f "p99_us" (pct "all" 99. /. 1e3);
+    int_f "coordinator_hwm"
+      report.Eng.coordinator.Dct_engine.Coordinator.resident_hwm;
+    int_f "shard_resident_hwm" report.Eng.shard_resident_hwm;
+    Buffer.add_char b '}';
+    print_endline (Buffer.contents b)
+  end
+  else begin
+    Printf.printf "mix: %s — %s\n" (Mix.name mix) (Mix.description mix);
+    Dct_sim.Report.print_table
+      ~headers:[ "metric"; "value" ]
+      [
+        [ "backend"; Net.Backend.name (Net.Server.backend srv) ];
+        [ "clients"; string_of_int clients ];
+        [ "transactions"; string_of_int dres.Net.Driver.txns ];
+        [ "completed"; string_of_int dres.Net.Driver.completed ];
+        [ "aborted"; string_of_int dres.Net.Driver.aborted ];
+        [ "ops"; string_of_int dres.Net.Driver.ops ];
+        [ "throughput (ops/s)";
+          Dct_sim.Report.fmt_float dres.Net.Driver.throughput ];
+        [ "p50 (us)"; Dct_sim.Report.fmt_float (pct "all" 50. /. 1e3) ];
+        [ "p90 (us)"; Dct_sim.Report.fmt_float (pct "all" 90. /. 1e3) ];
+        [ "p99 (us)"; Dct_sim.Report.fmt_float (pct "all" 99. /. 1e3) ];
+        [ "coordinator hwm";
+          string_of_int
+            report.Eng.coordinator.Dct_engine.Coordinator.resident_hwm ];
+        [ "shard resident hwm"; string_of_int report.Eng.shard_resident_hwm ];
+        [ "wall (s)";
+          Dct_sim.Report.fmt_float dres.Net.Driver.wall_seconds ];
+      ]
+  end;
+  0
+
+let bench_net_cmd =
+  let mix =
+    Arg.(
+      value
+      & opt string "ycsb-b"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Workload mix: ycsb-a..ycsb-f, tpcc, long-reader-pin, hot-key, \
+             bursty.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent connections.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "txns" ] ~doc:"Transactions per client.")
+  in
+  let keys =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Loaded keyspace size.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Number of shards.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 16
+      & info [ "b"; "batch" ] ~doc:"Admission batch size (group commit).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"$(docv) > 1 serves from the parallel engine.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Serve from the parallel engine's deterministic interleaving \
+             simulator; overrides --domains.")
+  in
+  let flush_ms_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "flush-ms" ] ~docv:"MS"
+          ~doc:"Group-commit flush interval (0 disables the timer).")
+  in
+  let dialect_line =
+    Arg.(
+      value & flag
+      & info [ "line" ] ~doc:"Drive the line dialect instead of binary.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the report as one machine-parsable JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "bench-net"
+       ~doc:
+         "Drive a workload mix against an in-process loopback server \
+          (Unix socket) and report throughput, latency percentiles and \
+          residency high-water marks")
+    Term.(
+      const bench_net $ mix $ clients $ txns $ keys $ shards $ batch
+      $ policy_arg $ gc_index_arg $ domains_arg $ replay_arg $ flush_ms_arg
+      $ dialect_line $ seed $ json_arg)
 
 (* --- trace --- *)
 
@@ -1561,8 +1928,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "dct" ~version:"1.0.0" ~doc)
     [
-      simulate_cmd; serve_cmd; trace_cmd; lint_cmd; audit_cmd; check_cmd; dot_cmd;
-      experiments_cmd; reduce_cover_cmd; reduce_sat_cmd; demo_cmd;
+      simulate_cmd; serve_cmd; client_cmd; bench_net_cmd; trace_cmd; lint_cmd;
+      audit_cmd; check_cmd; dot_cmd; experiments_cmd; reduce_cover_cmd;
+      reduce_sat_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

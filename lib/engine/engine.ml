@@ -245,6 +245,29 @@ let tick t =
   | [] -> ()
   | batch -> process_batch t batch
 
+let pending t = Admission.pending t.admission
+
+let set_on_step t f = t.on_step <- f
+
+(* A client-initiated abort of a still-active transaction.  The
+   coordinator graph goes through [abort_txn] (the hooked mutation
+   path, so an attached deletability index stays consistent) and every
+   hosting shard undoes its copy — the same teardown as a rejection,
+   minus the rejected step.  Steps of the transaction still sitting in
+   the admission queue will be decided [Ignored] when their batch
+   flushes, exactly as post-rejection steps are. *)
+let abort t txn =
+  let gs = Coordinator.graph_state t.coordinator in
+  if Gs.is_active gs txn then begin
+    Gs.abort_txn gs txn;
+    t.aborted <- t.aborted + 1;
+    Intset.iter (fun s -> Shard.abort t.shards.(s) txn) (hosting_of t txn);
+    Hashtbl.remove t.hosting txn;
+    broadcast_deletions t (Coordinator.collect_garbage t.coordinator);
+    true
+  end
+  else false
+
 type report = {
   name : string;
   shards : int;
@@ -299,21 +322,23 @@ let report (t : t) ~wall_seconds =
     wall_seconds;
   }
 
-let run ?on_step (t : t) steps =
-  t.on_step <- on_step;
-  let t0 = Unix.gettimeofday () in
-  List.iter (submit t) steps;
+(* End of input: flush the pending partial batch, then one last global
+   GC round (broadcast included) and a local round per shard, so the
+   report's residency is the steady state, not a mid-batch snapshot. *)
+let finish (t : t) ~wall_seconds =
   tick t;
-  (* End of input: one last global GC round (broadcast included) and a
-     local round per shard, so the report's residency is the steady
-     state, not a mid-batch snapshot. *)
   broadcast_deletions t (Coordinator.collect_garbage t.coordinator);
   shard_gc t;
-  let wall_seconds = Unix.gettimeofday () -. t0 in
   t.on_step <- None;
   checkpoint t;
   Tracer.flush t.cfg.tracer;
   report t ~wall_seconds
+
+let run ?on_step (t : t) steps =
+  t.on_step <- on_step;
+  let t0 = Unix.gettimeofday () in
+  List.iter (submit t) steps;
+  finish t ~wall_seconds:(Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Differential mode                                                   *)

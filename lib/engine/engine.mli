@@ -71,6 +71,23 @@ val tick : t -> unit
 (** Flush and process the pending partial batch (the group-commit
     timer). *)
 
+val pending : t -> int
+(** Steps sitting in the admission queue, not yet decided. *)
+
+val set_on_step :
+  t -> (int -> Dct_txn.Step.t -> Dct_sched.Scheduler_intf.outcome -> unit) option -> unit
+(** Install (or clear) the per-decision callback outside {!run} — the
+    hook an incremental feeder (the network server) uses to route each
+    outcome back to the submitting client.  Fires with the 1-based
+    global step index immediately after the step is decided. *)
+
+val abort : t -> int -> bool
+(** Client-initiated abort.  [true] if the transaction was active and
+    is now aborted everywhere (coordinator graph and every hosting
+    shard); [false] (a no-op) for unknown, completed, or already
+    aborted transactions.  Queued steps of the transaction are decided
+    [Ignored] when their batch flushes. *)
+
 val steps_processed : t -> int
 
 val shard_count : t -> int
@@ -119,6 +136,12 @@ val run :
     in lock-step from it. *)
 
 val report : t -> wall_seconds:float -> report
+
+val finish : t -> wall_seconds:float -> report
+(** The end-of-input epilogue {!run} performs, exposed for incremental
+    feeders: flush the pending partial batch, run a final global GC
+    round (broadcast included) plus a local round per shard, emit the
+    last checkpoint, flush the tracer, and report. *)
 
 (** {1 Differential mode} *)
 

@@ -32,6 +32,9 @@ type cmd =
   | Delete of { txns : Intset.t }
   | Collect
   | Barrier of { id : int }
+  | Crash  (* test-only: the applier raises on receipt (Fault.crash_cmd) *)
+
+exception Crashed
 
 type ack =
   | Ack of {
@@ -49,18 +52,22 @@ module Fault = struct
   type t = {
     mutable drop_broadcast : (int * int) option;
     mutable reorder_batch : (int * int) option;
+    mutable crash_cmd : (int * int) option;
     mutable broadcasts : int;
     mutable dropped : int;
     mutable reordered : int;
+    mutable crashes : int;
   }
 
   let create () =
     {
       drop_broadcast = None;
       reorder_batch = None;
+      crash_cmd = None;
       broadcasts = 0;
       dropped = 0;
       reordered = 0;
+      crashes = 0;
     }
 end
 
@@ -97,6 +104,7 @@ let apply_cmd st ~emit = function
   | Collect ->
       ignore (Shard.collect_garbage st.sh);
       worker_incr st "par.gc_runs"
+  | Crash -> raise Crashed
   | Barrier { id } ->
       let stats = Shard.stats st.sh in
       (match st.wm with
@@ -177,7 +185,16 @@ let domains_executor ~metrics (worker_shards : Shard.t array) =
   let shutdown () =
     Array.iter Mailbox.close inboxes;
     Array.iter Domain.join domains;
-    Mailbox.close acks
+    (* A domain that died after its last barrier ack emitted a [Failed]
+       nobody awaited; surface it rather than letting the run (and the
+       process) exit cleanly. *)
+    let late = Mailbox.drain acks in
+    Mailbox.close acks;
+    List.iter
+      (function
+        | Failed { shard_id; error } -> raise (Shard_failure (shard_id, error))
+        | Ack _ -> ())
+      late
   in
   (registries, { send = (fun i cmds -> Mailbox.push_batch inboxes.(i) cmds); await; shutdown })
 
@@ -204,7 +221,13 @@ let replay_executor ~seed ~metrics (worker_shards : Shard.t array) =
   let advance i =
     if Queue.is_empty queues.(i) then false
     else begin
-      apply_cmd states.(i) ~emit (Queue.pop queues.(i));
+      (* Mirror the domain executor's containment: an applier exception
+         becomes a [Failed] ack (and the shard stops consuming), so the
+         coordinator sees [Shard_failure] in both modes. *)
+      (try apply_cmd states.(i) ~emit (Queue.pop queues.(i))
+       with exn ->
+         Queue.clear queues.(i);
+         emit (Failed { shard_id = i; error = Printexc.to_string exn }));
       true
     end
   in
@@ -252,8 +275,13 @@ let replay_executor ~seed ~metrics (worker_shards : Shard.t array) =
   in
   let await = make_awaiter ~shards:n ~pump in
   let shutdown () =
-    (* Run every shard dry. *)
-    Array.iteri (fun i _ -> while advance i do () done) queues
+    (* Run every shard dry; surface any failure emitted on the way. *)
+    Array.iteri (fun i _ -> while advance i do () done) queues;
+    Queue.iter
+      (function
+        | Failed { shard_id; error } -> raise (Shard_failure (shard_id, error))
+        | Ack _ -> ())
+      pending_acks
   in
   (registries, { send; await; shutdown })
 
@@ -270,8 +298,16 @@ type report = {
       (* inert after shutdown: safe for post-mortem inspection *)
 }
 
-let run ?(mode = Domains) ?fault ?on_decision ?on_barrier ?on_deletion
-    (cfg : Engine.config) steps =
+type handle = {
+  h_submit : Step.t -> unit;
+  h_tick : unit -> unit;
+  h_abort : int -> bool;
+  h_pending : unit -> int;
+  h_finish : wall_seconds:float -> report;
+}
+
+let create_handle ?(mode = Domains) ?fault ?on_decision ?on_barrier ?on_deletion
+    (cfg : Engine.config) =
   let shards_n = cfg.Engine.shards in
   let tr = cfg.Engine.tracer in
   (* Telemetry forces lock-step barriers: the coordinator waits for the
@@ -371,6 +407,13 @@ let run ?(mode = Domains) ?fault ?on_decision ?on_barrier ?on_deletion
         | Some (f : Fault.t) when f.Fault.reorder_batch = Some (sends.(i), i) ->
             f.Fault.reordered <- f.Fault.reordered + 1;
             List.rev cmds
+        | _ -> cmds
+      in
+      let cmds =
+        match fault with
+        | Some (f : Fault.t) when f.Fault.crash_cmd = Some (sends.(i), i) ->
+            f.Fault.crashes <- f.Fault.crashes + 1;
+            cmds @ [ Crash ]
         | _ -> cmds
       in
       exec.send i (cmds @ [ Barrier { id } ]);
@@ -509,78 +552,120 @@ let run ?(mode = Domains) ?fault ?on_decision ?on_barrier ?on_deletion
     end
     else if id > 1 then handle_acks (id - 1) (exec.await (id - 1))
   in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun s ->
-      match Admission.submit admission s with
-      | None -> ()
-      | Some batch -> process_batch batch)
-    steps;
-  (match Admission.tick admission with [] -> () | batch -> process_batch batch);
-  (* End of input: one last global GC round (broadcast included) and a
-     local round per shard — the same epilogue as the sequential
-     engine's [run]. *)
-  broadcast_deletions (Coordinator.collect_garbage coordinator);
-  for i = 0 to shards_n - 1 do
-    buffer i Collect
-  done;
-  let final_id = flush_buffers () in
-  for id = !reaped + 1 to final_id do
-    handle_acks id (exec.await id)
-  done;
-  exec.shutdown ();
-  (* Fold the per-domain registries into the run's registry — safe now:
-     the domains are joined. *)
-  (match Tracer.metrics tr with
-  | Some into ->
-      Array.iter
-        (function Some m -> Metrics.merge ~into m | None -> ())
-        registries
-  | None -> ());
-  let wall_seconds = Unix.gettimeofday () -. t0 in
-  checkpoint ();
-  Tracer.flush tr;
-  let shard_stats = Array.map Shard.stats worker_shards in
-  let shard_resident_hwm =
-    Array.fold_left
-      (fun acc (s : Shard.stats) -> max acc s.Shard.resident_hwm)
-      0 shard_stats
+  let submit s =
+    match Admission.submit admission s with
+    | None -> ()
+    | Some batch -> process_batch batch
   in
-  let base : Engine.report =
+  let tick () =
+    match Admission.tick admission with
+    | [] -> ()
+    | batch -> process_batch batch
+  in
+  (* Client-initiated abort, mirroring [Engine.abort]: the coordinator
+     graph goes through the hooked [abort_txn] path immediately (so
+     subsequent steps of the transaction decide [Ignored]), and the
+     hosting shards receive buffered [Abort] commands in stream order. *)
+  let abort txn =
+    let gs = Coordinator.graph_state coordinator in
+    if Gs.is_active gs txn then begin
+      Gs.abort_txn gs txn;
+      incr aborted;
+      Intset.iter (fun s -> buffer s (Abort { txn })) (hosting_of txn);
+      Hashtbl.remove hosting txn;
+      broadcast_deletions (Coordinator.collect_garbage coordinator);
+      true
+    end
+    else false
+  in
+  let finish ~wall_seconds =
+    tick ();
+    (* End of input: one last global GC round (broadcast included) and a
+       local round per shard — the same epilogue as the sequential
+       engine's [run]. *)
+    broadcast_deletions (Coordinator.collect_garbage coordinator);
+    for i = 0 to shards_n - 1 do
+      buffer i Collect
+    done;
+    let final_id = flush_buffers () in
+    for id = !reaped + 1 to final_id do
+      handle_acks id (exec.await id)
+    done;
+    exec.shutdown ();
+    (* Fold the per-domain registries into the run's registry — safe now:
+       the domains are joined. *)
+    (match Tracer.metrics tr with
+    | Some into ->
+        Array.iter
+          (function Some m -> Metrics.merge ~into m | None -> ())
+          registries
+    | None -> ());
+    checkpoint ();
+    Tracer.flush tr;
+    let shard_stats = Array.map Shard.stats worker_shards in
+    let shard_resident_hwm =
+      Array.fold_left
+        (fun acc (s : Shard.stats) -> max acc s.Shard.resident_hwm)
+        0 shard_stats
+    in
+    let base : Engine.report =
+      {
+        Engine.name =
+          Printf.sprintf "engine-par/%s/%s/%s/s%d-b%d" (mode_name mode)
+            (Policy.name cfg.Engine.policy)
+            (Partitioner.spec cfg.Engine.partitioner)
+            shards_n cfg.Engine.batch;
+        shards = shards_n;
+        batch = cfg.Engine.batch;
+        steps = !steps_count;
+        accepted = !accepted;
+        rejected = !rejected;
+        ignored = !ignored;
+        committed = !committed;
+        aborted = !aborted;
+        submitted = Admission.submitted admission;
+        full_batches = Admission.full_batches admission;
+        ticks = Admission.ticks admission;
+        coordinator = Coordinator.stats coordinator;
+        shard_stats;
+        shard_resident_hwm;
+        cross_shard_arcs = !cross_shard_arcs;
+        local_arcs = !local_arcs;
+        distributed_txns = !distributed_txns;
+        wall_seconds;
+      }
+    in
     {
-      Engine.name =
-        Printf.sprintf "engine-par/%s/%s/%s/s%d-b%d" (mode_name mode)
-          (Policy.name cfg.Engine.policy)
-          (Partitioner.spec cfg.Engine.partitioner)
-          shards_n cfg.Engine.batch;
-      shards = shards_n;
-      batch = cfg.Engine.batch;
-      steps = !steps_count;
-      accepted = !accepted;
-      rejected = !rejected;
-      ignored = !ignored;
-      committed = !committed;
-      aborted = !aborted;
-      submitted = Admission.submitted admission;
-      full_batches = Admission.full_batches admission;
-      ticks = Admission.ticks admission;
-      coordinator = Coordinator.stats coordinator;
-      shard_stats;
-      shard_resident_hwm;
-      cross_shard_arcs = !cross_shard_arcs;
-      local_arcs = !local_arcs;
-      distributed_txns = !distributed_txns;
-      wall_seconds;
+      base;
+      domains = (match mode with Domains -> shards_n | Replay _ -> 1);
+      mode = mode_name mode;
+      barriers = final_id;
+      lockstep;
+      final_shards = worker_shards;
     }
   in
   {
-    base;
-    domains = (match mode with Domains -> shards_n | Replay _ -> 1);
-    mode = mode_name mode;
-    barriers = final_id;
-    lockstep;
-    final_shards = worker_shards;
+    h_submit = submit;
+    h_tick = tick;
+    h_abort = abort;
+    h_pending = (fun () -> Admission.pending admission);
+    h_finish = finish;
   }
+
+let submit h = h.h_submit
+let tick h = h.h_tick ()
+let abort h = h.h_abort
+let pending h = h.h_pending ()
+let finish h ~wall_seconds = h.h_finish ~wall_seconds
+
+let run ?mode ?fault ?on_decision ?on_barrier ?on_deletion
+    (cfg : Engine.config) steps =
+  let h =
+    create_handle ?mode ?fault ?on_decision ?on_barrier ?on_deletion cfg
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter h.h_submit steps;
+  h.h_finish ~wall_seconds:(Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Differential mode                                                   *)

@@ -65,6 +65,12 @@ type cmd =
   | Delete of { txns : Dct_graph.Intset.t }  (** broadcast GC batch *)
   | Collect  (** run the shard-local deletion policy *)
   | Barrier of { id : int }
+  | Crash
+      (** test-only: the applier raises on receipt; injected by
+          {!Fault.t.crash_cmd} to exercise the {!Shard_failure} path *)
+
+exception Crashed
+(** What a shard applier raises on {!Crash}. *)
 
 type ack =
   | Ack of {
@@ -89,9 +95,15 @@ module Fault : sig
     mutable reorder_batch : (int * int) option;
         (** [(n, shard)]: the [n]-th (0-based) batch flushed to
             [shard] has its commands (not the barrier) reversed *)
+    mutable crash_cmd : (int * int) option;
+        (** [(n, shard)]: the [n]-th (0-based) batch flushed to [shard]
+            carries a trailing {!cmd.Crash}, killing that applier before
+            it can ack the batch's barrier — the run must surface
+            {!Shard_failure}, never exit cleanly *)
     mutable broadcasts : int;  (** broadcast rounds seen *)
     mutable dropped : int;  (** messages actually dropped *)
     mutable reordered : int;  (** batches actually reordered *)
+    mutable crashes : int;  (** crash commands actually injected *)
   }
 
   val create : unit -> t
@@ -106,6 +118,38 @@ type report = {
   final_shards : Shard.t array;
       (** inert after shutdown: safe for post-mortem inspection *)
 }
+
+type handle
+(** An incremental parallel engine: the same protocol as {!run}, but
+    driven step by step by an external feeder (the network server).
+    Create, {!submit} any number of steps (full admission batches flush
+    to the shard appliers as they fill), {!tick} to flush a partial
+    batch, then {!finish} exactly once to run the end-of-input epilogue,
+    join the appliers, and report. *)
+
+val create_handle :
+  ?mode:mode ->
+  ?fault:Fault.t ->
+  ?on_decision:(int -> Dct_txn.Step.t -> Dct_sched.Scheduler_intf.outcome -> unit) ->
+  ?on_barrier:(step:int -> shard:int -> resident:int -> unit) ->
+  ?on_deletion:(int -> Dct_graph.Intset.t -> unit) ->
+  Engine.config ->
+  handle
+
+val submit : handle -> Dct_txn.Step.t -> unit
+val tick : handle -> unit
+
+val abort : handle -> int -> bool
+(** Client-initiated abort, mirroring {!Engine.abort}: immediate on the
+    coordinator graph, buffered [Abort] commands to the hosting shards.
+    [false] (no-op) unless the transaction is currently active. *)
+
+val pending : handle -> int
+
+val finish : handle -> wall_seconds:float -> report
+(** Flush, run the final GC rounds, await every outstanding barrier,
+    join the appliers, and report.  @raise Shard_failure if an applier
+    died — including one that died {e after} its last awaited barrier. *)
 
 val run :
   ?mode:mode ->

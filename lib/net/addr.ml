@@ -1,0 +1,74 @@
+type t = Unix_path of string | Tcp of string * int
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let of_string s =
+  let port_of p =
+    match int_of_string_opt p with
+    | Some v when v >= 0 && v < 65536 -> Ok v
+    | _ -> Error (Printf.sprintf "bad port %S" p)
+  in
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (expected unix:PATH, tcp:HOST:PORT, or HOST:PORT)" s)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error "empty unix socket path"
+          else Ok (Unix_path rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error (Printf.sprintf "bad tcp address %S (expected tcp:HOST:PORT)" s)
+          | Some j ->
+              let host = String.sub rest 0 j in
+              Result.map
+                (fun p -> Tcp ((if host = "" then "127.0.0.1" else host), p))
+                (port_of (String.sub rest (j + 1) (String.length rest - j - 1))))
+      | host -> Result.map (fun p -> Tcp (host, p)) (port_of rest))
+
+let sockaddr = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> failwith (Printf.sprintf "Addr: cannot resolve %S" host))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let domain = function
+  | Unix_path _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+(* Listen and report the address actually bound — with [Tcp (_, 0)]
+   the kernel picks the port, which is what the in-process tests use. *)
+let listen ?(backlog = 64) t =
+  let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+  (match t with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr t);
+  Unix.listen fd backlog;
+  let bound =
+    match (t, Unix.getsockname fd) with
+    | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+    | _ -> t
+  in
+  (fd, bound)
+
+let connect t =
+  let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr t)
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let cleanup = function
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,23 @@
+(** Listen/connect addresses: Unix-domain socket paths and TCP
+    host:port endpoints. *)
+
+type t =
+  | Unix_path of string  (** filesystem path of a Unix-domain socket *)
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+
+val of_string : string -> (t, string) result
+(** Parse ["unix:PATH"], ["tcp:HOST:PORT"], or bare ["HOST:PORT"].
+    An empty tcp host means 127.0.0.1. *)
+
+val to_string : t -> string
+
+val listen : ?backlog:int -> t -> Unix.file_descr * t
+(** Bind + listen; unlinks a stale Unix socket path first.  Returns
+    the listening descriptor and the address actually bound (with
+    [Tcp (_, 0)] the kernel picks the port — the returned address
+    carries it). *)
+
+val connect : t -> Unix.file_descr
+
+val cleanup : t -> unit
+(** Remove a Unix socket path after shutdown (no-op for TCP). *)

@@ -1,0 +1,67 @@
+module Step = Dct_txn.Step
+
+type t = {
+  io : Wire.Io.t;
+  dialect : Wire.dialect;
+  mutable in_flight : int;  (** step requests sent, outcomes not yet read *)
+}
+
+let connect ?(dialect = Wire.Binary) addr =
+  { io = Wire.Io.of_fd (Addr.connect addr); dialect; in_flight = 0 }
+
+let close t = try Unix.close (Wire.Io.fd t.io) with Unix.Unix_error _ -> ()
+let in_flight t = t.in_flight
+
+let is_step = function
+  | Wire.Begin _ | Wire.Read _ | Wire.Write _ | Wire.Complete _ -> true
+  | Wire.Abort _ | Wire.Stats -> false
+
+let send t req =
+  Wire.Io.write t.io (Wire.encode_request t.dialect req);
+  if is_step req then t.in_flight <- t.in_flight + 1
+
+let recv t =
+  let r = Wire.Io.read_response t.io t.dialect in
+  (match r with
+  | Ok (Wire.Outcome _) -> t.in_flight <- t.in_flight - 1
+  | _ -> ());
+  r
+
+let call t req =
+  send t req;
+  recv t
+
+let request_of_step = function
+  | Step.Begin txn -> Wire.Begin txn
+  | Step.Read (txn, e) -> Wire.Read (txn, e)
+  | Step.Write (txn, []) -> Wire.Complete txn
+  | Step.Write (txn, es) -> Wire.Write (txn, es)
+  | (Step.Begin_declared _ | Step.Write_one _ | Step.Finish _) as s ->
+      invalid_arg
+        ("Client.request_of_step: not a basic-model step: " ^ Step.to_string s)
+
+(* Pipelined feeding: keep up to [window] step outcomes outstanding.
+   The window bounds what the server can have queued for us in socket
+   buffers — outcome frames are small, so a modest window can never
+   deadlock a blocked-on-write server against a not-reading client —
+   while still letting the server see full admission batches. *)
+let run_steps ?(window = 64) t steps ~on_outcome =
+  let drain_one () =
+    match recv t with
+    | Ok (Wire.Outcome { step; outcome }) -> on_outcome step outcome
+    | Ok r ->
+        failwith
+          ("Client.run_steps: unexpected response "
+          ^ Wire.(match r with Error_reply m -> "error: " ^ m | _ -> "non-outcome"))
+    | Error e -> failwith ("Client.run_steps: " ^ Wire.error_to_string e)
+  in
+  List.iter
+    (fun s ->
+      send t (request_of_step s);
+      while t.in_flight >= window do
+        drain_one ()
+      done)
+    steps;
+  while t.in_flight > 0 do
+    drain_one ()
+  done

@@ -1,0 +1,39 @@
+(** Blocking client: one connection, either dialect, optional
+    pipelining.
+
+    Response discipline: every step request ([Begin]/[Read]/[Write]/
+    [Complete]) is answered by exactly one [Outcome], in issue order;
+    [Abort]/[Stats] are answered immediately (the server flushes
+    pending outcomes first, so a mixed stream still arrives in issue
+    order).  {!call} is the simple closed-loop form; {!send}/{!recv}
+    expose the pipelined form. *)
+
+type t
+
+val connect : ?dialect:Wire.dialect -> Addr.t -> t
+(** Default dialect: [Binary]. *)
+
+val close : t -> unit
+
+val send : t -> Wire.request -> unit
+val recv : t -> (Wire.response, Wire.error) result
+val call : t -> Wire.request -> (Wire.response, Wire.error) result
+
+val in_flight : t -> int
+(** Step requests sent whose outcomes have not been received yet. *)
+
+val request_of_step : Dct_txn.Step.t -> Wire.request
+(** Basic-model steps only ([Write (t, \[\])] maps to [Complete]).
+    @raise Invalid_argument on multi-write or predeclared steps. *)
+
+val run_steps :
+  ?window:int ->
+  t ->
+  Dct_txn.Step.t list ->
+  on_outcome:(int -> Dct_sched.Scheduler_intf.outcome -> unit) ->
+  unit
+(** Feed a whole schedule through the connection with up to [window]
+    (default 64) outcomes outstanding — enough to fill server-side
+    admission batches, small enough that replies always fit in socket
+    buffers.  [on_outcome] sees every outcome in server decision
+    order.  @raise Failure on any protocol error. *)

@@ -1,0 +1,34 @@
+(** Closed-loop load driver: [clients] concurrent connections, each
+    issuing [txns_per_client] transactions drawn from a {!Dct_workload.Mix}
+    sampler (per-client seed), one op at a time — every op's latency is
+    its full round trip to a decision.
+
+    Per-op latencies land in nanosecond histograms
+    ["net.latency.<begin|read|write|complete>"] (and the combined
+    ["net.latency.all"]), outcomes in counters
+    ["net.outcome.<o>"], merged across clients into one registry
+    ({!Dct_telemetry.Metrics.histo_percentile} gives the p50/p90/p99
+    the bench sweep reports).  The {!Dct_workload.Mix.Bursty} mix
+    sleeps out the off windows of its arrival modulation. *)
+
+type cfg = {
+  clients : int;
+  txns_per_client : int;
+  mix : Dct_workload.Mix.t;
+  keys : int;
+  seed : int;
+  dialect : Wire.dialect;
+}
+
+type result = {
+  txns : int;
+  completed : int;
+  aborted : int;  (** rejected mid-transaction; remaining ops skipped *)
+  ops : int;
+  wall_seconds : float;
+  throughput : float;  (** ops per second *)
+  metrics : Dct_telemetry.Metrics.t;
+}
+
+val run : cfg -> Addr.t -> result
+(** Blocks until every client has finished. *)

@@ -13,10 +13,13 @@ type profile = {
   write_from_reads : float;
   skew : string;
   long_readers : int;
+  long_reader_frac : float;
   long_reader_step : float;
   seed : int;
   shards : int;
   cross_shard : float;
+  burst_on : int;
+  burst_off : int;
 }
 
 let default =
@@ -32,10 +35,13 @@ let default =
     write_from_reads = 0.7;
     skew = "zipf:0.9";
     long_readers = 0;
+    long_reader_frac = 0.0;
     long_reader_step = 0.05;
     seed = 42;
     shards = 1;
     cross_shard = 0.1;
+    burst_on = 0;
+    burst_off = 0;
   }
 
 let pp_profile ppf p =
@@ -45,7 +51,11 @@ let pp_profile ppf p =
     p.n_txns p.n_entities p.mpl p.reads_min p.reads_max p.writes_min
     p.writes_max p.read_only_fraction p.skew p.long_readers p.seed;
   if p.shards > 1 then
-    Format.fprintf ppf " shards=%d cross=%.2f" p.shards p.cross_shard
+    Format.fprintf ppf " shards=%d cross=%.2f" p.shards p.cross_shard;
+  if p.long_reader_frac > 0.0 then
+    Format.fprintf ppf " long_frac=%.3f" p.long_reader_frac;
+  if p.burst_off > 0 then
+    Format.fprintf ppf " burst=%d/%d" p.burst_on p.burst_off
 
 (* A planned transaction: the entities it will read, in order, and the
    entities of its final write set. *)
@@ -108,9 +118,18 @@ let make_plan p dist rng ~home =
 (* The interleaving engine.  [render] turns a plan into that model's step
    list (excluding Begin); long readers read one entity at a time and
    complete only after every regular transaction has. *)
+(* [long_reader_frac] scales with the workload: the effective long-reader
+   population is the fixed [long_readers] plus [frac * n_txns]. *)
+let effective_long_readers p =
+  if p.long_reader_frac < 0.0 || p.long_reader_frac > 1.0 then
+    invalid_arg "Generator: long_reader_frac must be in [0, 1]";
+  p.long_readers + int_of_float (p.long_reader_frac *. float_of_int p.n_txns)
+
 let interleave p ~begin_step ~render ~finish_long =
   if p.shards > 1 && p.shards > p.n_entities then
     invalid_arg "Generator: shards must not exceed n_entities";
+  if p.burst_off > 0 && p.burst_on <= 0 then
+    invalid_arg "Generator: burst_on must be positive when burst_off is";
   let rng = Prng.create ~seed:p.seed in
   let dist = dist_of p in
   let steps = ref [] in
@@ -121,7 +140,7 @@ let interleave p ~begin_step ~render ~finish_long =
     !next_txn
   in
   (* Long readers: begin first, then receive single read steps. *)
-  let long_ids = List.init p.long_readers (fun _ -> fresh_txn ()) in
+  let long_ids = List.init (effective_long_readers p) (fun _ -> fresh_txn ()) in
   List.iter
     (fun t ->
       let plan =
@@ -140,7 +159,7 @@ let interleave p ~begin_step ~render ~finish_long =
   (* Regular slots. *)
   let slots = Queue.create () in
   let started = ref 0 in
-  let activate () =
+  let activate_now () =
     if !started < p.n_txns then begin
       incr started;
       let t = fresh_txn () in
@@ -149,11 +168,41 @@ let interleave p ~begin_step ~render ~finish_long =
       Queue.push (t, ref (render t plan)) slots
     end
   in
+  (* Bursty (on/off modulated) arrivals: a logical clock advances once
+     per loop iteration; activations requested while the clock sits in
+     an off window ([burst_off] positions after every [burst_on]) are
+     deferred until the next on window.  If every live slot drains
+     mid-off-window the clock fast-forwards to the next on edge, so the
+     schedule still contains all [n_txns] transactions.  With
+     [burst_off = 0] (the default) no deferral happens and the PRNG
+     draw sequence is exactly the historical one. *)
+  let clock = ref 0 in
+  let period = p.burst_on + p.burst_off in
+  let off_phase () = p.burst_off > 0 && !clock mod period >= p.burst_on in
+  let deferred = ref 0 in
+  let activate () = if off_phase () then incr deferred else activate_now () in
+  let release_deferred () =
+    while !deferred > 0 && not (off_phase ()) do
+      decr deferred;
+      activate_now ()
+    done
+  in
   for _ = 1 to min p.mpl p.n_txns do
     activate ()
   done;
-  while not (Queue.is_empty slots) do
-    if Array.length long_arr > 0 && Prng.bool rng ~p:p.long_reader_step then
+  while (not (Queue.is_empty slots)) || !deferred > 0 do
+    if p.burst_off > 0 then begin
+      incr clock;
+      if Queue.is_empty slots then
+        (* nothing left running: skip the rest of the off window *)
+        while off_phase () do
+          incr clock
+        done;
+      release_deferred ()
+    end;
+    if Queue.is_empty slots then ()
+    else if Array.length long_arr > 0 && Prng.bool rng ~p:p.long_reader_step
+    then
       long_read (Prng.choose rng long_arr)
     else begin
       (* Rotate a uniformly chosen number of slots to vary interleaving. *)
@@ -205,7 +254,7 @@ let declaration_of plan =
     acc plan.writes
 
 let predeclared p =
-  if p.long_readers > 0 then
+  if effective_long_readers p > 0 then
     invalid_arg "Generator.predeclared: long readers unsupported (open-ended reads)";
   interleave p
     ~finish_long:(fun t -> Step.Finish t)

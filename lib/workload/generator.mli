@@ -22,6 +22,10 @@ type profile = {
   write_from_reads : float;    (** probability a written entity is one that was read *)
   skew : string;               (** distribution spec, see {!Zipf.of_spec} *)
   long_readers : int;          (** extra always-active readers, completing last *)
+  long_reader_frac : float;
+      (** additional long readers as a fraction of [n_txns] (floored),
+          so adversarial-GC profiles scale with workload size; added to
+          [long_readers].  Must be in [0, 1]. *)
   long_reader_step : float;    (** probability a given step goes to a long reader *)
   seed : int;
   shards : int;
@@ -35,12 +39,22 @@ type profile = {
       (** probability a key of a shard-affine transaction is drawn
           unconstrained instead (a distributed transaction's remote
           access); only meaningful with [shards > 1] *)
+  burst_on : int;
+      (** bursty (on/off modulated) arrivals: new transactions may only
+          start during on windows of [burst_on] schedule positions... *)
+  burst_off : int;
+      (** ...separated by off windows of [burst_off] positions during
+          which arrivals are deferred (running transactions still
+          progress, so concurrency drains between bursts).  [0] (the
+          default) disables modulation and leaves the PRNG draw
+          sequence exactly as before.  Requires [burst_on > 0] when
+          set. *)
 }
 
 val default : profile
 (** 200 txns, 64 entities, mpl 8, 2–6 reads, 1–3 writes, 10% read-only,
     zipf:0.9, no long readers, seed 42, shards 1 (affinity off),
-    cross_shard 0.1. *)
+    cross_shard 0.1, no burst modulation. *)
 
 val basic : profile -> Dct_txn.Schedule.t
 val multiwrite : profile -> Dct_txn.Schedule.t

@@ -1,0 +1,261 @@
+module Step = Dct_txn.Step
+
+type kind =
+  | Ycsb_a
+  | Ycsb_b
+  | Ycsb_c
+  | Ycsb_d
+  | Ycsb_e
+  | Ycsb_f
+  | Tpcc
+  | Long_reader_pin
+  | Hot_key
+  | Bursty
+
+type t = kind
+
+let all =
+  [
+    Ycsb_a;
+    Ycsb_b;
+    Ycsb_c;
+    Ycsb_d;
+    Ycsb_e;
+    Ycsb_f;
+    Tpcc;
+    Long_reader_pin;
+    Hot_key;
+    Bursty;
+  ]
+
+let name = function
+  | Ycsb_a -> "ycsb-a"
+  | Ycsb_b -> "ycsb-b"
+  | Ycsb_c -> "ycsb-c"
+  | Ycsb_d -> "ycsb-d"
+  | Ycsb_e -> "ycsb-e"
+  | Ycsb_f -> "ycsb-f"
+  | Tpcc -> "tpcc"
+  | Long_reader_pin -> "long-reader-pin"
+  | Hot_key -> "hot-key"
+  | Bursty -> "bursty"
+
+let description = function
+  | Ycsb_a -> "update heavy: 50% read / 50% update, zipf:0.99"
+  | Ycsb_b -> "read mostly: 95% read / 5% update, zipf:0.99"
+  | Ycsb_c -> "read only: 100% read, zipf:0.99"
+  | Ycsb_d -> "read latest: 95% read (recency-skewed) / 5% insert"
+  | Ycsb_e -> "short ranges: 95% scan (1-16 keys) / 5% insert"
+  | Ycsb_f -> "read-modify-write: 50% read / 50% RMW, zipf:0.99"
+  | Tpcc -> "TPC-C-like: 45% new-order / 43% payment / 12% stock-level"
+  | Long_reader_pin ->
+      "adversarial GC: YCSB-B traffic with periodic 48-read read-only \
+       transactions pinning deletability"
+  | Hot_key -> "adversarial GC: update-heavy hotspot (5% of keys, 90% of ops)"
+  | Bursty -> "adversarial GC: YCSB-A traffic with on/off modulated arrivals"
+
+let of_string s =
+  match List.find_opt (fun m -> name m = s) all with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown mix %S (expected one of: %s)" s
+           (String.concat ", " (List.map name all)))
+
+let names () = List.map name all
+
+(* Drivers modulate arrival on/off phases only for the bursty mix
+   (milliseconds on, milliseconds off); schedule rendering uses the
+   same ratio in step positions. *)
+let burst = function Bursty -> Some (20, 20) | _ -> None
+
+type plan = { reads : int list; writes : int list }
+
+type sampler = {
+  mix : t;
+  keys : int;
+  rng : Prng.t;
+  dist : Zipf.t;
+  mutable fresh : int;  (** keys inserted so far (allocated past [keys]) *)
+  mutable index : int;  (** transactions drawn so far *)
+}
+
+(* TPC-C-like key layout inside [0, keys): the first [meta] keys are
+   warehouse/district/customer rows, the rest are item/stock rows. *)
+let tpcc_meta keys = min 64 (keys / 4)
+
+let sampler mix ~keys ~seed =
+  if keys < 16 then invalid_arg "Mix.sampler: keys must be >= 16";
+  let dist =
+    match mix with
+    | Hot_key -> Zipf.hotspot ~n:keys ~hot_fraction:0.05 ~hot_probability:0.9
+    | Tpcc ->
+        let meta = tpcc_meta keys in
+        Zipf.zipf ~n:(keys - meta) ~theta:0.99
+    | _ -> Zipf.zipf ~n:keys ~theta:0.99
+  in
+  { mix; keys; rng = Prng.create ~seed; dist; fresh = 0; index = 0 }
+
+let sample s = Zipf.sample s.dist s.rng
+
+let insert_key s =
+  let k = s.keys + s.fresh in
+  s.fresh <- s.fresh + 1;
+  k
+
+(* YCSB-D's "latest" distribution: recency-skew over everything written
+   so far — offsets drawn from the zipf, measured back from the newest
+   key (inserted keys first, then the tail of the base keyspace). *)
+let latest_key s =
+  let newest = s.keys + s.fresh - 1 in
+  let k = newest - sample s in
+  if k < 0 then 0 else k
+
+let scan_plan s ~len =
+  let start = sample s in
+  let len = min len (s.keys - start) in
+  { reads = List.init len (fun i -> start + i); writes = [] }
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    l
+
+let read_plan k = { reads = [ k ]; writes = [] }
+let update_plan k = { reads = []; writes = [ k ] }
+let rmw_plan k = { reads = [ k ]; writes = [ k ] }
+
+let tpcc_plan s =
+  let meta = tpcc_meta s.keys in
+  let item () = meta + sample s in
+  let r = Prng.float s.rng in
+  if r < 0.45 then begin
+    (* new-order: read warehouse + district + 5-15 items, write the
+       fresh order row and the items' stock rows *)
+    let district = Prng.int s.rng meta in
+    let n_items = 5 + Prng.int s.rng 11 in
+    let items = dedup (List.init n_items (fun _ -> item ())) in
+    { reads = district :: items; writes = insert_key s :: items }
+  end
+  else if r < 0.88 then begin
+    (* payment: read and write warehouse/district/customer rows *)
+    let rows = dedup [ Prng.int s.rng meta; Prng.int s.rng meta ] in
+    { reads = rows; writes = rows }
+  end
+  else begin
+    (* stock-level: read-only scan over ~20 item rows *)
+    let n = 10 + Prng.int s.rng 11 in
+    { reads = dedup (List.init n (fun _ -> item ())); writes = [] }
+  end
+
+let next_plan s =
+  let idx = s.index in
+  s.index <- idx + 1;
+  match s.mix with
+  | Ycsb_a | Bursty ->
+      let k = sample s in
+      if Prng.bool s.rng ~p:0.5 then read_plan k else update_plan k
+  | Ycsb_b ->
+      let k = sample s in
+      if Prng.bool s.rng ~p:0.95 then read_plan k else update_plan k
+  | Ycsb_c -> read_plan (sample s)
+  | Ycsb_d ->
+      if Prng.bool s.rng ~p:0.95 then read_plan (latest_key s)
+      else update_plan (insert_key s)
+  | Ycsb_e ->
+      if Prng.bool s.rng ~p:0.95 then
+        scan_plan s ~len:(1 + Prng.int s.rng 16)
+      else update_plan (insert_key s)
+  | Ycsb_f ->
+      let k = sample s in
+      if Prng.bool s.rng ~p:0.5 then read_plan k else rmw_plan k
+  | Tpcc -> tpcc_plan s
+  | Hot_key ->
+      let k = sample s in
+      if Prng.bool s.rng ~p:0.25 then read_plan k else rmw_plan k
+  | Long_reader_pin ->
+      if idx mod 8 = 0 then
+        (* a long-running read-only transaction: 48 single-key reads
+           issued one at a time keep it active across dozens of other
+           transactions' completions, pinning their deletability *)
+        { reads = dedup (List.init 48 (fun _ -> sample s)); writes = [] }
+      else begin
+        let k = sample s in
+        if Prng.bool s.rng ~p:0.95 then read_plan k else update_plan k
+      end
+
+let render_plan id plan =
+  List.map (fun k -> Step.Read (id, k)) plan.reads
+  @ [ Step.Write (id, plan.writes) ]
+
+(* Deterministic interleaved rendering: [mpl] concurrent slots, each
+   running one plan's steps; a PRNG-rotated queue varies the
+   interleaving exactly like {!Generator.interleave}.  The bursty mix
+   defers slot refills during off windows of the position clock. *)
+let schedule mix ~n_txns ~keys ~mpl ~seed =
+  if n_txns <= 0 then invalid_arg "Mix.schedule: n_txns must be positive";
+  if mpl <= 0 then invalid_arg "Mix.schedule: mpl must be positive";
+  let s = sampler mix ~keys ~seed in
+  let steps = ref [] in
+  let emit x = steps := x :: !steps in
+  let slots = Queue.create () in
+  let started = ref 0 in
+  let next_id = ref 0 in
+  let activate_now () =
+    if !started < n_txns then begin
+      incr started;
+      incr next_id;
+      let id = !next_id in
+      let plan = next_plan s in
+      emit (Step.Begin id);
+      Queue.push (ref (render_plan id plan)) slots
+    end
+  in
+  let burst_on, burst_off =
+    match burst mix with Some (on, off) -> (on, off) | None -> (0, 0)
+  in
+  let clock = ref 0 in
+  let off_phase () =
+    burst_off > 0 && !clock mod (burst_on + burst_off) >= burst_on
+  in
+  let deferred = ref 0 in
+  let activate () = if off_phase () then incr deferred else activate_now () in
+  let release_deferred () =
+    while !deferred > 0 && not (off_phase ()) do
+      decr deferred;
+      activate_now ()
+    done
+  in
+  for _ = 1 to min mpl n_txns do
+    activate ()
+  done;
+  while (not (Queue.is_empty slots)) || !deferred > 0 do
+    if burst_off > 0 then begin
+      incr clock;
+      if Queue.is_empty slots then
+        while off_phase () do
+          incr clock
+        done;
+      release_deferred ()
+    end;
+    if Queue.is_empty slots then ()
+    else begin
+      let n = Queue.length slots in
+      for _ = 1 to Prng.int s.rng n do
+        Queue.push (Queue.pop slots) slots
+      done;
+      let remaining = Queue.pop slots in
+      match !remaining with
+      | [] -> assert false
+      | step :: rest ->
+          emit step;
+          remaining := rest;
+          if rest = [] then activate () else Queue.push remaining slots
+    end
+  done;
+  List.rev !steps

@@ -1,0 +1,76 @@
+(** The load-driver workload catalog: YCSB-style core mixes A–F, a
+    TPC-C-like transactional mix, and three adversarial-GC scenarios
+    aimed at the paper's deletion machinery (long read-only
+    transactions pinning deletability, Zipfian hot-key contention,
+    bursty on/off arrivals).
+
+    Every mix is consumed two ways, from the same deterministic
+    sampler:
+
+    - {!next_plan} feeds one load-driver client (each call is one
+      transaction's access plan; the client begins it, issues the
+      reads one at a time, then the final atomic write);
+    - {!schedule} renders a self-contained interleaved basic-model
+      step list — what [dct bench-net]'s in-process baselines and the
+      loopback differential feed to both sides.
+
+    Keys are plain entities: the first [keys] ids are the loaded
+    keyspace, inserts allocate fresh ids past it. *)
+
+type kind =
+  | Ycsb_a  (** 50% read / 50% update, zipf:0.99 *)
+  | Ycsb_b  (** 95% read / 5% update, zipf:0.99 *)
+  | Ycsb_c  (** 100% read, zipf:0.99 *)
+  | Ycsb_d  (** 95% read (latest distribution) / 5% insert *)
+  | Ycsb_e  (** 95% short scans (1–16 keys) / 5% insert *)
+  | Ycsb_f  (** 50% read / 50% read-modify-write, zipf:0.99 *)
+  | Tpcc
+      (** 45% new-order (read district + 5–15 items, write order row +
+          stock rows), 43% payment (read+write 1–2 meta rows), 12%
+          stock-level (read-only scan) *)
+  | Long_reader_pin
+      (** YCSB-B traffic, but every 8th transaction is a 48-read
+          read-only transaction — active across dozens of completions,
+          pinning their deletability (the paper's adversarial regime) *)
+  | Hot_key
+      (** 75% read-modify-write on a hotspot (5% of keys get 90% of
+          ops): maximal conflict-arc density *)
+  | Bursty
+      (** YCSB-A traffic with on/off modulated arrivals: concurrency
+          drains between bursts, so deletability arrives in waves *)
+
+type t = kind
+
+val all : t list
+val name : t -> string
+val description : t -> string
+val of_string : string -> (t, string) result
+val names : unit -> string list
+
+val burst : t -> (int * int) option
+(** [(on, off)] arrival modulation — milliseconds for drivers, schedule
+    positions for {!schedule}.  [None] for every mix but {!Bursty}. *)
+
+type plan = { reads : int list; writes : int list }
+(** One transaction: entities read in order, then the final atomic
+    write set ([writes = \[\]] is a read-only completion). *)
+
+type sampler
+(** Deterministic plan source: PRNG, request distribution, and the
+    fresh-key/transaction counters.  One per driver client (with a
+    per-client seed), or one per rendered schedule. *)
+
+val sampler : t -> keys:int -> seed:int -> sampler
+(** @raise Invalid_argument if [keys < 16]. *)
+
+val next_plan : sampler -> plan
+
+val render_plan : int -> plan -> Dct_txn.Step.t list
+(** The plan's basic-model steps for transaction [id], excluding
+    [Begin]: the reads in order, then the final [Write]. *)
+
+val schedule : t -> n_txns:int -> keys:int -> mpl:int -> seed:int -> Dct_txn.Step.t list
+(** Deterministic interleaved rendering of [n_txns] transactions at
+    multiprogramming level [mpl], same slot-rotation discipline as
+    {!Generator.interleave}.  The {!Bursty} mix defers transaction
+    starts during off windows. *)

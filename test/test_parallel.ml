@@ -409,6 +409,40 @@ let test_mutation_reorder_batch () =
     ^ String.concat "," (List.map string_of_int detections))
     true (detections <> [])
 
+(* A crashed shard applier must surface as [Shard_failure], never as a
+   clean exit — the bug class where `dct serve` reported success over a
+   dead shard.  Both the batch driver and the incremental handle (the
+   network server's path) are covered; the handle variant exercises the
+   shutdown drain that catches appliers dying after their last awaited
+   barrier. *)
+let test_crash_surfaces_shard_failure () =
+  let steps = mutation_workload 11 in
+  let expect_failure what f =
+    match f () with
+    | exception Par.Shard_failure (shard, msg) ->
+        check (what ^ " names a shard") true (shard >= 0 && shard < 4);
+        check (what ^ " carries a description") true (msg <> "")
+    | _ -> Alcotest.failf "%s: crash injected but the run exited cleanly" what
+  in
+  let fault = Par.Fault.create () in
+  fault.Par.Fault.crash_cmd <- Some (0, 1);
+  let cfg () = Eng.config ~policy:Policy.Greedy_c1 ~shards:4 ~batch:8 () in
+  expect_failure "run" (fun () ->
+      ignore (Par.run ~mode:(Par.Replay 1) ~fault (cfg ()) steps));
+  check "run crash injected" true (fault.Par.Fault.crashes > 0);
+  let fault = Par.Fault.create () in
+  fault.Par.Fault.crash_cmd <- Some (0, 1);
+  expect_failure "handle" (fun () ->
+      let h = Par.create_handle ~mode:(Par.Replay 1) ~fault (cfg ()) in
+      List.iter (Par.submit h) steps;
+      ignore (Par.finish h ~wall_seconds:0.0));
+  check "handle crash injected" true (fault.Par.Fault.crashes > 0);
+  (* and under real domains, where the applier dies on its own thread *)
+  let fault = Par.Fault.create () in
+  fault.Par.Fault.crash_cmd <- Some (0, 1);
+  expect_failure "domains" (fun () ->
+      ignore (Par.run ~mode:Par.Domains ~fault (cfg ()) steps))
+
 (* The same hooks must be invisible when disarmed: a Fault.create ()
    with no mutation set changes nothing. *)
 let test_fault_disarmed () =
@@ -585,6 +619,8 @@ let () =
             test_mutation_drop_broadcast;
           Alcotest.test_case "reordered batch detected" `Slow
             test_mutation_reorder_batch;
+          Alcotest.test_case "crashed applier raises Shard_failure" `Quick
+            test_crash_surfaces_shard_failure;
           Alcotest.test_case "disarmed hooks change nothing" `Quick
             test_fault_disarmed;
         ] );

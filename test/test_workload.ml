@@ -261,6 +261,90 @@ let test_shard_affinity_entity_range () =
     (Gen.basic p);
   check "aligned keys stay in [0, n_entities)" true !ok
 
+(* --- arrival shaping: long_reader_frac and burst modulation --- *)
+
+let test_long_reader_frac_population () =
+  let p =
+    {
+      Gen.default with
+      Gen.n_txns = 40;
+      long_readers = 1;
+      long_reader_frac = 0.1;
+      long_reader_step = 0.1;
+    }
+  in
+  (* 1 fixed + floor(0.1 * 40) scaled = 5 long readers: they begin
+     first and complete last *)
+  let s = Gen.basic p in
+  Alcotest.(check int) "population scales with n_txns" 45
+    (Intset.cardinal (S.txns s));
+  let expected_ids = [ 1; 2; 3; 4; 5 ] in
+  let first5 = List.filteri (fun i _ -> i < 5) s in
+  check "long readers begin first" true
+    (List.map
+       (function Step.Begin t -> t | _ -> -1)
+       first5
+    = expected_ids);
+  let last5 = List.filteri (fun i _ -> i >= List.length s - 5) s in
+  check "long readers complete last, read-only" true
+    (List.for_all
+       (function Step.Write (t, []) -> List.mem t expected_ids | _ -> false)
+       last5);
+  check "frac out of range rejected" true
+    (try
+       ignore (Gen.basic { p with Gen.long_reader_frac = 1.5 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_burst_validation () =
+  let p = { Gen.default with Gen.n_txns = 20 } in
+  check "off window without on window rejected" true
+    (try
+       ignore (Gen.basic { p with Gen.burst_off = 10 });
+       false
+     with Invalid_argument _ -> true);
+  (* burst_off = 0 disables modulation entirely: same PRNG draws, same
+     schedule as the unmodulated profile *)
+  check "burst_on alone is inert" true
+    (List.for_all2 Step.equal (Gen.basic p)
+       (Gen.basic { p with Gen.burst_on = 5 }))
+
+(* The adversarial point of bursty arrivals: concurrency drains to zero
+   between bursts (deletability arrives in waves), which never happens
+   mid-run in an unmodulated schedule at the same mpl. *)
+let active_trace steps =
+  let active = Hashtbl.create 16 in
+  let begun = ref 0 in
+  List.map
+    (fun step ->
+      (match step with
+      | Step.Begin t ->
+          incr begun;
+          Hashtbl.replace active t ()
+      | Step.Write (t, _) -> Hashtbl.remove active t
+      | _ -> ());
+      (!begun, Hashtbl.length active))
+    steps
+
+let drains_mid_run ~n_txns steps =
+  List.exists
+    (fun (begun, active) -> active = 0 && begun < n_txns)
+    (active_trace steps)
+
+let test_burst_drains_concurrency () =
+  let n_txns = 60 in
+  let base = { Gen.default with Gen.n_txns; mpl = 8 } in
+  let bursty = { base with Gen.burst_on = 1; burst_off = 100 } in
+  let steps = Gen.basic bursty in
+  check "bursty schedule drains mid-run" true (drains_mid_run ~n_txns steps);
+  check "steady schedule never drains mid-run" true
+    (not (drains_mid_run ~n_txns (Gen.basic base)));
+  (* deferral postpones arrivals, it never loses them *)
+  Alcotest.(check int) "every transaction still runs" n_txns
+    (Intset.cardinal (S.txns steps));
+  check "bursty schedule well-formed" true
+    (S.well_formed_basic steps = Ok ())
+
 let () =
   Alcotest.run "workload"
     [
@@ -299,5 +383,14 @@ let () =
             test_shard_affinity_preserves_legacy_stream;
           Alcotest.test_case "entity range with clamping" `Quick
             test_shard_affinity_entity_range;
+        ] );
+      ( "arrival-shaping",
+        [
+          Alcotest.test_case "long_reader_frac scales the population" `Quick
+            test_long_reader_frac_population;
+          Alcotest.test_case "burst knob validation" `Quick
+            test_burst_validation;
+          Alcotest.test_case "bursts drain concurrency mid-run" `Quick
+            test_burst_drains_concurrency;
         ] );
     ]
