@@ -1,13 +1,13 @@
 # Convenience entry points; everything below is a thin wrapper over dune.
 
-.PHONY: all check build test oracle-test telemetry-test engine-test gc-test parallel-test check-hist net-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-engine-par bench-engine-par-smoke bench-policy bench-policy-smoke bench-check bench-check-smoke bench-net bench-net-smoke clean
+.PHONY: all check build test oracle-test telemetry-test engine-test gc-test parallel-test check-hist net-test graph-test trace-smoke bench bench-smoke bench-latency bench-engine bench-engine-smoke bench-engine-par bench-engine-par-smoke bench-policy bench-policy-smoke bench-check bench-check-smoke bench-net bench-net-smoke bench-graph bench-graph-smoke clean
 
 all: build
 
 # The default gate: full build, full test suite, and the smoke sweeps
 # that double as end-to-end differential checks (oracle backends,
 # sharded engine, parallel engine, deletability index, history checker).
-check: build test bench-smoke bench-engine-smoke parallel-test bench-engine-par-smoke bench-policy-smoke check-hist bench-check-smoke net-test bench-net-smoke
+check: build test bench-smoke bench-engine-smoke parallel-test bench-engine-par-smoke bench-policy-smoke check-hist bench-check-smoke net-test bench-net-smoke graph-test bench-graph-smoke
 
 build:
 	dune build
@@ -59,6 +59,12 @@ check-hist:
 # hacking on lib/net.
 net-test:
 	dune build @net
+
+# Just the compact-substrate suite (bitset/row-vs-model differential,
+# arena aliasing and copy properties, slot-space structure units) —
+# the tight loop when hacking on lib/graph's storage layer.
+graph-test:
+	dune build @graph
 
 # End-to-end trace round trip: simulate with tracing on, summarize the
 # JSONL, re-feed the decisions to the deletion auditor.
@@ -140,6 +146,18 @@ bench-net:
 # on a missing class row or a malformed BENCH_net.json.
 bench-net-smoke:
 	dune exec bench/main.exe -- net-smoke
+
+# The graph-substrate churn sweep: resident windows up to 10^6 nodes
+# under an id stream cycling far past them (writes BENCH_graph.json
+# with ops/s, bytes/resident-node and per-op latency histograms;
+# enforces that the byte gauge stays flat while ids churn).
+bench-graph:
+	dune exec bench/main.exe -- graph
+
+# CI gate: small windows, same shape, single-core-sized; exits
+# non-zero on a residency leak or a malformed BENCH_graph.json.
+bench-graph-smoke:
+	dune exec bench/main.exe -- graph-smoke
 
 clean:
 	dune clean

@@ -291,7 +291,7 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|engine-par|engine-par-smoke|policy|policy-smoke|check|check-smoke|net|net-smoke|all]"
+     [ex1..ex15|bechamel|oracle|oracle-smoke|oracle-latency|engine|engine-smoke|engine-par|engine-par-smoke|policy|policy-smoke|check|check-smoke|net|net-smoke|graph|graph-smoke|all]"
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -325,6 +325,8 @@ let () =
   | "check-smoke" -> Check_sweep.run ~smoke:true ()
   | "net" -> Net_sweep.run ~smoke:false ()
   | "net-smoke" -> Net_sweep.run ~smoke:true ()
+  | "graph" -> Graph_sweep.run ~smoke:false ()
+  | "graph-smoke" -> Graph_sweep.run ~smoke:true ()
   | "all" ->
       E.run_all ();
       run_bechamel ()

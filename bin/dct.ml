@@ -1252,9 +1252,15 @@ let trace_report path audit_on safety_depth strict =
           let hwm =
             List.fold_left (fun m c -> max m c.E.resident_txns) 0 cps
           in
+          let bytes_hwm =
+            List.fold_left (fun m c -> max m c.E.resident_bytes) 0 cps
+          in
           Printf.printf
             "residency: %d checkpoints, high-water mark %d resident txns\n" n
             hwm;
+          if bytes_hwm > 0 then
+            Printf.printf "graph substrate high-water mark: %d bytes\n"
+              bytes_hwm;
           (* Cap the timeline at ~20 evenly spaced rows, always keeping
              the last checkpoint (the post-drain state). *)
           let stride = (n + 19) / 20 in
@@ -1268,7 +1274,7 @@ let trace_report path audit_on safety_depth strict =
           Dct_sim.Report.print_table
             ~headers:
               [ "step"; "resident"; "arcs"; "active"; "committed"; "aborted";
-                "deleted" ]
+                "deleted"; "bytes" ]
             (List.map
                (fun c ->
                  [
@@ -1279,6 +1285,7 @@ let trace_report path audit_on safety_depth strict =
                    string_of_int c.E.committed;
                    string_of_int c.E.aborted;
                    string_of_int c.E.deleted;
+                   string_of_int c.E.resident_bytes;
                  ])
                rows));
       let pct p xs = Dct_sim.Metrics.percentile p xs in

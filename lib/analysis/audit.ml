@@ -131,7 +131,7 @@ let sequential_c1_order gs set =
     Intset.is_empty set
     || (not (Hashtbl.mem failed (Intset.elements set)))
        &&
-       let memo = Hashtbl.create 8 in
+       let memo = C1.hashtbl_memo () in
        let candidates = Intset.filter (C1.holds_fast ~memo gs) set in
        let ok =
          Intset.exists
@@ -149,9 +149,13 @@ let sequential_c1_order gs set =
 let csr_via_closure schedule =
   let g = Schedule.conflict_graph schedule in
   let c = Closure.create () in
-  Intset.iter (Closure.add_node c) (Digraph.nodes g);
+  Digraph.iter_nodes (Closure.add_node c) g;
   Digraph.iter_arcs (fun ~src ~dst -> Closure.add_arc c ~src ~dst) g;
-  Intset.filter (fun n -> Closure.reaches c ~src:n ~dst:n) (Digraph.nodes g)
+  let cycle = ref Intset.empty in
+  Digraph.iter_nodes
+    (fun n -> if Closure.reaches c ~src:n ~dst:n then cycle := Intset.add n !cycle)
+    g;
+  !cycle
 
 let audit ?safety_depth trace =
   let gs = Gs.create () in

@@ -57,26 +57,31 @@ let check gs =
           (v "arc-endpoint-dead"
              "arc T%d -> T%d: destination is not a live transaction" src dst))
     g;
+  (* Mirror check in slot space: allocation-free row probes instead of
+     materialising one succ and one pred Intset per node. *)
   Intset.iter
     (fun n ->
-      Intset.iter
-        (fun s ->
-          if not (Intset.mem n (Digraph.preds g s)) then
-            add
-              (v "adjacency-mirror"
-                 "arc T%d -> T%d is in the successor index but not the \
-                  predecessor index"
-                 n s))
-        (Digraph.succs g n);
-      Intset.iter
-        (fun p ->
-          if not (Intset.mem n (Digraph.succs g p)) then
-            add
-              (v "adjacency-mirror"
-                 "arc T%d -> T%d is in the predecessor index but not the \
-                  successor index"
-                 p n))
-        (Digraph.preds g n))
+      match Digraph.slot_of g n with
+      | None -> ()
+      | Some ns ->
+          Digraph.iter_succ_slots
+            (fun ss ->
+              if not (Digraph.mem_pred_slot g ~dst:ss ~src:ns) then
+                add
+                  (v "adjacency-mirror"
+                     "arc T%d -> T%d is in the successor index but not the \
+                      predecessor index"
+                     n (Digraph.id_of_slot g ss)))
+            g ns;
+          Digraph.iter_pred_slots
+            (fun ps ->
+              if not (Digraph.mem_arc_slots g ~src:ps ~dst:ns) then
+                add
+                  (v "adjacency-mirror"
+                     "arc T%d -> T%d is in the predecessor index but not the \
+                      successor index"
+                     (Digraph.id_of_slot g ps) n))
+            g ns)
     nodes;
   if not (Traversal.is_acyclic g) then
     add
@@ -111,12 +116,13 @@ let check gs =
       (* Violation names keep their historical "closure-" spelling: the
          oracle is the generalisation of the maintained closure, and the
          auditor's consumers key on these names. *)
-      if not (Intset.equal (Cycle_oracle.nodes o) nodes) then
+      let onodes = Cycle_oracle.nodes o in
+      if not (Intset.equal onodes nodes) then
         add
           (v "closure-nodes"
              "%s oracle nodes %s disagree with graph nodes %s"
              (Cycle_oracle.name o)
-             (Format.asprintf "%a" Intset.pp (Cycle_oracle.nodes o))
+             (Format.asprintf "%a" Intset.pp onodes)
              (Format.asprintf "%a" Intset.pp nodes))
       else if not (Cycle_oracle.check_against o g) then
         add

@@ -72,6 +72,17 @@ let counts_cover (counts : counts) ~entity ~mode =
 
 exception Uncovered
 
+(* A pluggable tally cache: the ad-hoc sweeps use a hashtable, the
+   incremental deletability index plugs its slot-indexed store in. *)
+type memo = {
+  find : int -> counts option;
+  store : int -> counts -> unit;
+}
+
+let hashtbl_memo () =
+  let tbl : (int, counts) Hashtbl.t = Hashtbl.create 16 in
+  { find = Hashtbl.find_opt tbl; store = Hashtbl.replace tbl }
+
 let holds_fast ?memo gs ti =
   Graph_state.mem_txn gs ti
   && Graph_state.is_completed gs ti
@@ -84,12 +95,12 @@ let holds_fast ?memo gs ti =
     in
     match memo with
     | None -> build ()
-    | Some tbl -> (
-        match Hashtbl.find_opt tbl tj with
+    | Some m -> (
+        match m.find tj with
         | Some c -> c
         | None ->
             let c = build () in
-            Hashtbl.replace tbl tj c;
+            m.store tj c;
             c)
   in
   try
@@ -108,7 +119,7 @@ let eligible gs =
   (* Candidates sharing an active tight predecessor share its tally set:
      one memo per call keeps the naive path at one coverage build per
      predecessor instead of one per (candidate, predecessor) pair. *)
-  let memo = Hashtbl.create 16 in
+  let memo = hashtbl_memo () in
   Intset.filter (fun ti -> holds_fast ~memo gs ti) (Graph_state.completed_txns gs)
 
 let noncurrent gs ti =

@@ -39,13 +39,24 @@ val counts_cover : counts -> entity:int -> mode:Dct_txn.Access.mode -> bool
     candidate contributes exactly one tally at exactly the obligation's
     strength, so cover-by-someone-else is a count [>= 2]. *)
 
-val holds_fast :
-  ?memo:(int, counts) Hashtbl.t -> Graph_state.t -> int -> bool
+type memo = {
+  find : int -> counts option;
+  store : int -> counts -> unit;
+}
+(** A pluggable predecessor-tally cache for {!holds_fast}: [find] is
+    consulted before building a predecessor's tallies, [store] records a
+    freshly built one.  {!hashtbl_memo} is the ad-hoc sweep flavour; the
+    incremental {!Deletability_index} plugs in its slot-indexed store. *)
+
+val hashtbl_memo : unit -> memo
+(** A fresh hashtable-backed {!memo}. *)
+
+val holds_fast : ?memo:memo -> Graph_state.t -> int -> bool
 (** Decision-identical to {!holds} but short-circuits on the first
     uncovered obligation and tests coverage by counting rather than by
     building per-(candidate, predecessor) access-set unions.  [memo]
     shares predecessor tallies across calls {e against the same
-    unmodified state} — pass one table per {!eligible}-style sweep,
+    unmodified state} — pass one memo per {!eligible}-style sweep,
     never across mutations.  Use {!holds}/{!witnesses} when the actual
     violating pairs matter (audit, adversarial construction). *)
 

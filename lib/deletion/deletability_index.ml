@@ -1,4 +1,5 @@
 module Intset = Dct_graph.Intset
+module Arena = Dct_graph.Arena
 module Traversal = Dct_graph.Traversal
 
 exception Divergence of string
@@ -31,19 +32,25 @@ type stats = {
   mutable region_nodes : int;
 }
 
+(* Per-transaction cached state lives in slot-indexed stores behind a
+   private {!Arena}: a slot is allocated the first time the index caches
+   anything for a live transaction and recycled on [Txn_removed], so the
+   stores are bounded by the high-water resident population — the
+   verdict/tally caches of long-dead transactions cost nothing. *)
 type t = {
   gs : Graph_state.t;
   mode : mode;
   cond : cond;
-  verdicts : (int, bool) Hashtbl.t; (* completed txn -> cached verdict *)
-  mutable eligible_set : Intset.t; (* { ti | verdicts(ti) } *)
-  covs : (int, Condition_c1.counts) Hashtbl.t;
-      (* predecessor -> coverage tallies of its completed tight
+  mutable arena : Arena.t; (* live txns with cached state -> slots *)
+  mutable verdicts : Bytes.t; (* slot -> 0 unknown | 1 false | 2 true *)
+  mutable covs : Condition_c1.counts option array;
+      (* slot of predecessor -> coverage tallies of its completed tight
          successors; doubles as the {!Condition_c1.holds_fast} memo *)
-  cts_cache : (int, Intset.t) Hashtbl.t;
-      (* predecessor -> completed tight successors, for C2 [prepare] *)
+  mutable cts_cache : Intset.t option array;
+      (* slot of predecessor -> completed tight successors, for C2 *)
+  mutable refcount : int array; (* slot -> #entities it is current on *)
+  mutable eligible_set : Intset.t; (* { ti | verdict(ti) = true } *)
   current_of : (int, Intset.t) Hashtbl.t; (* entity -> current accessors *)
-  refcount : (int, int) Hashtbl.t; (* txn -> #entities it is current on *)
   mutable dirty : Intset.t; (* seed txns whose neighbourhood changed *)
   mutable dirty_entities : Intset.t; (* entities with stale accessor sets *)
   mutable all_dirty : bool; (* full rebuild pending (initial state) *)
@@ -52,6 +59,78 @@ type t = {
 
 let mode t = t.mode
 let cond t = t.cond
+
+(* ------------------------------------------------------------------ *)
+(* Slot stores *)
+
+let grow_stores t n =
+  let cur = Array.length t.covs in
+  if n > cur then begin
+    let n' = max n (max 16 (2 * cur)) in
+    let verdicts = Bytes.make n' '\000' in
+    Bytes.blit t.verdicts 0 verdicts 0 (Bytes.length t.verdicts);
+    let covs = Array.make n' None in
+    let cts = Array.make n' None in
+    let refcount = Array.make n' 0 in
+    Array.blit t.covs 0 covs 0 cur;
+    Array.blit t.cts_cache 0 cts 0 cur;
+    Array.blit t.refcount 0 refcount 0 cur;
+    t.verdicts <- verdicts;
+    t.covs <- covs;
+    t.cts_cache <- cts;
+    t.refcount <- refcount
+  end
+
+(* Slot of [id], allocating one iff [id] is a live transaction.  Stores
+   targeting departed ids are dropped on the floor — their state is
+   gone, and allocating for them would leak a slot with no [Txn_removed]
+   left to free it. *)
+let slot_for t id =
+  match Arena.find t.arena id with
+  | Some s -> Some s
+  | None ->
+      if Graph_state.mem_txn t.gs id then begin
+        let s = Arena.alloc t.arena id in
+        grow_stores t (s + 1);
+        Some s
+      end
+      else None
+
+let forget t id =
+  match Arena.find t.arena id with
+  | None -> ()
+  | Some s ->
+      Bytes.set t.verdicts s '\000';
+      t.covs.(s) <- None;
+      t.cts_cache.(s) <- None;
+      t.refcount.(s) <- 0;
+      ignore (Arena.release t.arena id)
+
+let set_verdict t ti v =
+  match slot_for t ti with
+  | None -> ()
+  | Some s -> Bytes.set t.verdicts s (if v then '\002' else '\001')
+
+let covs_memo t =
+  {
+    Condition_c1.find =
+      (fun tj ->
+        match Arena.find t.arena tj with
+        | Some s -> t.covs.(s)
+        | None -> None);
+    store =
+      (fun tj c ->
+        match slot_for t tj with
+        | Some s -> t.covs.(s) <- Some c
+        | None -> ());
+  }
+
+let invalidate_tallies t v =
+  match Arena.find t.arena v with
+  | None -> ()
+  | Some s ->
+      t.covs.(s) <- None;
+      t.cts_cache.(s) <- None
 
 (* ------------------------------------------------------------------ *)
 (* Invalidation: translate graph mutations into dirty seeds.
@@ -96,10 +175,7 @@ let on_mutation t (m : Graph_state.mutation) =
       | C4 -> t.dirty <- Intset.add txn t.dirty)
   | Graph_state.State_changed id -> t.dirty <- Intset.add id t.dirty
   | Graph_state.Txn_removed { txn; preds; succs; entities; _ } ->
-      Hashtbl.remove t.verdicts txn;
-      Hashtbl.remove t.covs txn;
-      Hashtbl.remove t.cts_cache txn;
-      Hashtbl.remove t.refcount txn;
+      forget t txn;
       t.eligible_set <- Intset.remove txn t.eligible_set;
       (* The node is gone; seed its surviving neighbours instead.  A
          neighbour removed before the next refresh re-seeds its own
@@ -120,51 +196,58 @@ let through t =
   | C4 -> fun _ -> true
 
 let cts_of t tj =
-  match Hashtbl.find_opt t.cts_cache tj with
+  let cached =
+    match Arena.find t.arena tj with Some s -> t.cts_cache.(s) | None -> None
+  in
+  match cached with
   | Some s -> s
-  | None ->
+  | None -> (
       let s = Tightness.completed_tight_successors t.gs tj in
-      Hashtbl.replace t.cts_cache tj s;
-      s
+      match slot_for t tj with
+      | Some sl ->
+          t.cts_cache.(sl) <- Some s;
+          s
+      | None -> s)
 
-let bump t tbl ti by =
-  ignore t;
-  let n = Option.value ~default:0 (Hashtbl.find_opt tbl ti) in
-  Hashtbl.replace tbl ti (n + by)
+(* Current-accessor refcount bumps.  A negative bump for a transaction
+   the arena no longer tracks is the echo of its own removal (the stale
+   [current_of] entry still mentions it) — dropped, so dead ids never
+   re-enter the stores. *)
+let bump t ti by =
+  match slot_for t ti with
+  | Some s -> t.refcount.(s) <- t.refcount.(s) + by
+  | None -> ()
 
 let refresh_entity t e =
   let cur = Graph_state.current_accessors t.gs ~entity:e in
   let old =
     Option.value ~default:Intset.empty (Hashtbl.find_opt t.current_of e)
   in
-  Intset.iter
-    (fun ti -> if not (Intset.mem ti cur) then bump t t.refcount ti (-1))
-    old;
-  Intset.iter
-    (fun ti -> if not (Intset.mem ti old) then bump t t.refcount ti 1)
-    cur;
+  Intset.iter (fun ti -> if not (Intset.mem ti cur) then bump t ti (-1)) old;
+  Intset.iter (fun ti -> if not (Intset.mem ti old) then bump t ti 1) cur;
   Hashtbl.replace t.current_of e cur
 
 let check t ti =
   t.stats.rechecks <- t.stats.rechecks + 1;
   match t.cond with
-  | C1 -> Condition_c1.holds_fast ~memo:t.covs t.gs ti
+  | C1 -> Condition_c1.holds_fast ~memo:(covs_memo t) t.gs ti
   | C4 -> Condition_c4.holds t.gs ti
 
 let recheck t ti =
   let v = check t ti in
-  Hashtbl.replace t.verdicts ti v;
+  set_verdict t ti v;
   t.eligible_set <-
     (if v then Intset.add ti t.eligible_set
      else Intset.remove ti t.eligible_set)
 
 let rebuild t =
   t.stats.full_rebuilds <- t.stats.full_rebuilds + 1;
-  Hashtbl.reset t.verdicts;
-  Hashtbl.reset t.covs;
-  Hashtbl.reset t.cts_cache;
+  t.arena <- Arena.create ();
+  t.verdicts <- Bytes.create 0;
+  t.covs <- [||];
+  t.cts_cache <- [||];
+  t.refcount <- [||];
   Hashtbl.reset t.current_of;
-  Hashtbl.reset t.refcount;
   t.eligible_set <- Intset.empty;
   Intset.iter (fun ti -> recheck t ti) (Graph_state.completed_txns t.gs);
   Intset.iter (fun e -> refresh_entity t e) (Graph_state.entities t.gs);
@@ -203,11 +286,7 @@ let refresh t =
           seeds Intset.empty
       in
       t.stats.region_nodes <- t.stats.region_nodes + Intset.cardinal region;
-      Intset.iter
-        (fun v ->
-          Hashtbl.remove t.covs v;
-          Hashtbl.remove t.cts_cache v)
-        region;
+      Intset.iter (invalidate_tallies t) region;
       (* Stage 2: candidates to re-check — completed members of the
          region, plus the completed forward cone of every {e active}
          member: those actives are the predecessors whose discharger
@@ -259,7 +338,9 @@ let eligible t =
       t.eligible_set
 
 let refcount_noncurrent t ti =
-  match Hashtbl.find_opt t.refcount ti with None -> true | Some n -> n = 0
+  match Arena.find t.arena ti with
+  | None -> true
+  | Some s -> t.refcount.(s) = 0
 
 let noncurrent t ti =
   match t.mode with
@@ -309,12 +390,13 @@ let attach ?(cond = C1) mode gs =
       gs;
       mode;
       cond;
-      verdicts = Hashtbl.create 64;
+      arena = Arena.create ();
+      verdicts = Bytes.create 0;
+      covs = [||];
+      cts_cache = [||];
+      refcount = [||];
       eligible_set = Intset.empty;
-      covs = Hashtbl.create 64;
-      cts_cache = Hashtbl.create 64;
       current_of = Hashtbl.create 64;
-      refcount = Hashtbl.create 64;
       dirty = Intset.empty;
       dirty_entities = Intset.empty;
       all_dirty = true;

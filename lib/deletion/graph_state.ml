@@ -1,5 +1,6 @@
 module Intset = Dct_graph.Intset
 module Digraph = Dct_graph.Digraph
+module Arena = Dct_graph.Arena
 module Traversal = Dct_graph.Traversal
 module Access = Dct_txn.Access
 module Transaction = Dct_txn.Transaction
@@ -46,10 +47,14 @@ type t = {
          (the §3 remark), Pearce-Kelly topological order, or both in
          lock-step — cycle checks become oracle probes, arc inserts and
          deletions keep it in sync with [g] *)
-  txns : (int, Transaction.t) Hashtbl.t;
+  arena : Arena.t;
+      (* live transaction ids -> dense slots; the record and dependency
+         stores below are slot-indexed, so their footprint is bounded by
+         the high-water resident population, not the ids ever issued *)
+  mutable recs : Transaction.t option array; (* slot -> record *)
+  mutable deps : Intset.t array; (* slot -> providers it read from (ids) *)
+  mutable rev_deps : Intset.t array; (* slot -> dependents (ids) *)
   einfos : (int, einfo) Hashtbl.t;
-  deps : (int, Intset.t) Hashtbl.t; (* dependent -> providers it read from *)
-  rev_deps : (int, Intset.t) Hashtbl.t; (* provider -> dependents *)
   aborted : (int, unit) Hashtbl.t;
   deleted : (int, unit) Hashtbl.t;
       (* ids forgotten by the reduction D(G,T) — kept so auditors can
@@ -75,10 +80,11 @@ let create ?(with_closure = false) ?oracle ?(tracer = Tracer.disabled) () =
   {
     g = Digraph.create ();
     oracle;
-    txns = Hashtbl.create 64;
+    arena = Arena.create ();
+    recs = [||];
+    deps = [||];
+    rev_deps = [||];
     einfos = Hashtbl.create 64;
-    deps = Hashtbl.create 16;
-    rev_deps = Hashtbl.create 16;
     aborted = Hashtbl.create 16;
     deleted = Hashtbl.create 16;
     seq = 0;
@@ -100,17 +106,6 @@ let set_tracer t tracer =
     t.oracle
 
 let copy t =
-  let txns = Hashtbl.create (Hashtbl.length t.txns) in
-  Hashtbl.iter
-    (fun id (txn : Transaction.t) ->
-      Hashtbl.replace txns id
-        {
-          Transaction.id = txn.Transaction.id;
-          state = txn.Transaction.state;
-          accesses = txn.Transaction.accesses;
-          declared = txn.Transaction.declared;
-        })
-    t.txns;
   let einfos = Hashtbl.create (Hashtbl.length t.einfos) in
   Hashtbl.iter
     (fun e info ->
@@ -127,10 +122,20 @@ let copy t =
        tracer keeps speculative replays (safety searches, audits,
        exact-max enumeration) out of the live trace. *)
     oracle = Option.map Dct_graph.Cycle_oracle.copy t.oracle;
-    txns;
+    arena = Arena.copy t.arena;
+    recs =
+      Array.map
+        (Option.map (fun (txn : Transaction.t) ->
+             {
+               Transaction.id = txn.Transaction.id;
+               state = txn.Transaction.state;
+               accesses = txn.Transaction.accesses;
+               declared = txn.Transaction.declared;
+             }))
+        t.recs;
+    deps = Array.copy t.deps;
+    rev_deps = Array.copy t.rev_deps;
     einfos;
-    deps = Hashtbl.copy t.deps;
-    rev_deps = Hashtbl.copy t.rev_deps;
     aborted = Hashtbl.copy t.aborted;
     deleted = Hashtbl.copy t.deleted;
     seq = t.seq;
@@ -143,17 +148,37 @@ let copy t =
 
 (* Transactions *)
 
-let mem_txn t id = Hashtbl.mem t.txns id
+let mem_txn t id = Arena.mem t.arena id
+
+let grow_stores t n =
+  let cur = Array.length t.recs in
+  if n > cur then begin
+    let n' = max n (max 16 (2 * cur)) in
+    let recs = Array.make n' None in
+    let deps = Array.make n' Intset.empty in
+    let rev_deps = Array.make n' Intset.empty in
+    Array.blit t.recs 0 recs 0 cur;
+    Array.blit t.deps 0 deps 0 cur;
+    Array.blit t.rev_deps 0 rev_deps 0 cur;
+    t.recs <- recs;
+    t.deps <- deps;
+    t.rev_deps <- rev_deps
+  end
 
 let begin_txn ?declared t id =
   if mem_txn t id then
     invalid_arg (Printf.sprintf "Graph_state.begin_txn: T%d already present" id);
-  Hashtbl.replace t.txns id (Transaction.create ?declared id);
+  let s = Arena.alloc t.arena id in
+  grow_stores t (s + 1);
+  t.recs.(s) <- Some (Transaction.create ?declared id);
   Digraph.add_node t.g id;
   Option.iter (fun o -> Dct_graph.Cycle_oracle.add_node o id) t.oracle;
   notify t (Txn_began id)
 
-let txn t id = Hashtbl.find t.txns id
+let txn t id =
+  match Arena.find t.arena id with
+  | Some s -> ( match t.recs.(s) with Some r -> r | None -> raise Not_found)
+  | None -> raise Not_found
 
 let state t id = (txn t id).Transaction.state
 
@@ -163,26 +188,31 @@ let set_state t id s =
 
 let accesses t id = (txn t id).Transaction.accesses
 
+let find_rec t id =
+  match Arena.find t.arena id with Some s -> t.recs.(s) | None -> None
+
 let is_active t id =
-  match Hashtbl.find_opt t.txns id with
+  match find_rec t id with
   | Some txn -> Transaction.is_active txn.Transaction.state
   | None -> false
 
 let is_completed t id =
-  match Hashtbl.find_opt t.txns id with
+  match find_rec t id with
   | Some txn -> Transaction.is_completed txn.Transaction.state
   | None -> false
 
 let filter_txns t p =
-  Hashtbl.fold
-    (fun id (txn : Transaction.t) acc ->
-      if p txn.Transaction.state then Intset.add id acc else acc)
-    t.txns Intset.empty
+  Arena.fold
+    (fun ~id ~slot acc ->
+      match t.recs.(slot) with
+      | Some txn when p txn.Transaction.state -> Intset.add id acc
+      | _ -> acc)
+    t.arena Intset.empty
 
 let active_txns t = filter_txns t Transaction.is_active
 let completed_txns t = filter_txns t Transaction.is_completed
 let all_txns t = filter_txns t (fun _ -> true)
-let txn_count t = Hashtbl.length t.txns
+let txn_count t = Arena.live t.arena
 
 (* Entity index *)
 
@@ -233,19 +263,30 @@ let access_history t ~entity =
 
 (* Dependencies *)
 
-let add_to_set tbl key v =
-  let s = Option.value ~default:Intset.empty (Hashtbl.find_opt tbl key) in
-  Hashtbl.replace tbl key (Intset.add v s)
-
 let add_dependency t ~dependent ~on_ =
   if dependent <> on_ then begin
-    add_to_set t.deps dependent on_;
-    add_to_set t.rev_deps on_ dependent;
+    (match (Arena.find t.arena dependent, Arena.find t.arena on_) with
+    | Some ds, Some ps ->
+        t.deps.(ds) <- Intset.add on_ t.deps.(ds);
+        t.rev_deps.(ps) <- Intset.add dependent t.rev_deps.(ps)
+    | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Graph_state.add_dependency: T%d -> T%d involves an absent \
+              transaction"
+             dependent on_));
     notify t (Dependency_added { dependent; on_ })
   end
 
 let direct_deps t id =
-  Option.value ~default:Intset.empty (Hashtbl.find_opt t.deps id)
+  match Arena.find t.arena id with
+  | Some s -> t.deps.(s)
+  | None -> Intset.empty
+
+let rev_deps_of t id =
+  match Arena.find t.arena id with
+  | Some s -> t.rev_deps.(s)
+  | None -> Intset.empty
 
 let dependents_closure t seed =
   let rec go frontier acc =
@@ -253,11 +294,7 @@ let dependents_closure t seed =
     else
       let next =
         Intset.fold
-          (fun id acc' ->
-            let deps =
-              Option.value ~default:Intset.empty (Hashtbl.find_opt t.rev_deps id)
-            in
-            Intset.union acc' (Intset.diff deps acc))
+          (fun id acc' -> Intset.union acc' (Intset.diff (rev_deps_of t id) acc))
           frontier Intset.empty
       in
       go next (Intset.union acc next)
@@ -327,24 +364,31 @@ let drop_entity_entries t id ~tombstone =
       end)
     t.einfos
 
-let drop_deps t id =
+let drop_deps t s ~id =
   Intset.iter
     (fun p ->
-      match Hashtbl.find_opt t.rev_deps p with
-      | Some s -> Hashtbl.replace t.rev_deps p (Intset.remove id s)
+      match Arena.find t.arena p with
+      | Some ps -> t.rev_deps.(ps) <- Intset.remove id t.rev_deps.(ps)
       | None -> ())
-    (direct_deps t id);
-  Hashtbl.remove t.deps id;
-  (match Hashtbl.find_opt t.rev_deps id with
-  | Some dependents ->
-      Intset.iter
-        (fun d ->
-          match Hashtbl.find_opt t.deps d with
-          | Some s -> Hashtbl.replace t.deps d (Intset.remove id s)
-          | None -> ())
-        dependents
-  | None -> ());
-  Hashtbl.remove t.rev_deps id
+    t.deps.(s);
+  Intset.iter
+    (fun d ->
+      match Arena.find t.arena d with
+      | Some ds -> t.deps.(ds) <- Intset.remove id t.deps.(ds)
+      | None -> ())
+    t.rev_deps.(s);
+  t.deps.(s) <- Intset.empty;
+  t.rev_deps.(s) <- Intset.empty
+
+(* Release a transaction's slot: the record and both dependency cells
+   must be blank before the slot can be recycled by the next begin. *)
+let release_txn t id =
+  match Arena.find t.arena id with
+  | None -> ()
+  | Some s ->
+      t.recs.(s) <- None;
+      drop_deps t s ~id;
+      ignore (Arena.release t.arena id)
 
 (* Neighbourhood snapshot for Txn_removed, taken while the node is still
    in the graph; [None] when nobody is listening. *)
@@ -352,10 +396,7 @@ let removal_payload t id ~reduction =
   match t.hooks with
   | [] -> None
   | _ ->
-      let deps =
-        Intset.union (direct_deps t id)
-          (Option.value ~default:Intset.empty (Hashtbl.find_opt t.rev_deps id))
-      in
+      let deps = Intset.union (direct_deps t id) (rev_deps_of t id) in
       Some
         (Txn_removed
            {
@@ -372,9 +413,8 @@ let abort_txn t id =
     let payload = removal_payload t id ~reduction:false in
     Digraph.remove_node t.g id;
     Option.iter (fun o -> Dct_graph.Cycle_oracle.remove_node o `Exact id) t.oracle;
-    Hashtbl.remove t.txns id;
     drop_entity_entries t id ~tombstone:false;
-    drop_deps t id;
+    release_txn t id;
     Hashtbl.replace t.aborted id ();
     Option.iter (notify t) payload
   end
@@ -395,9 +435,8 @@ let closure t = Option.bind t.oracle Dct_graph.Cycle_oracle.closure
 
 let forget_txn_record t id =
   if mem_txn t id then begin
-    Hashtbl.remove t.txns id;
     drop_entity_entries t id ~tombstone:true;
-    drop_deps t id
+    release_txn t id
   end
 
 (* The reduction D(G, T): remove the node while preserving every path
@@ -417,6 +456,31 @@ let delete_with_bypass t ti =
   forget_txn_record t ti;
   Hashtbl.replace t.deleted ti ();
   Option.iter (notify t) payload
+
+(* Deterministic resident-size estimate of the graph substrate: the
+   conflict graph (arena + rows), the oracle's structures, the
+   slot-indexed record/dependency stores and the entity index.  The
+   audit tombstone sets ([aborted]/[deleted]) are deliberately excluded:
+   they are a historical record for auditors, not resident graph state.
+   Everything here is derived from capacities and live counts, so
+   replicas driven by identical operation sequences report identical
+   values. *)
+let resident_bytes t =
+  let oracle_bytes =
+    match t.oracle with Some o -> Dct_graph.Cycle_oracle.bytes o | None -> 0
+  in
+  let store_bytes =
+    8
+    * (Array.length t.recs + Array.length t.deps + Array.length t.rev_deps
+     + (16 * Arena.live t.arena))
+  in
+  let entity_bytes =
+    Hashtbl.fold
+      (fun _ info acc -> acc + 8 * (6 + (4 * List.length info.history)))
+      t.einfos 0
+  in
+  Digraph.bytes t.g + oracle_bytes + Arena.bytes t.arena + store_bytes
+  + entity_bytes
 
 let check_invariants t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -440,21 +504,15 @@ let check_invariants t =
     | Some (e, id) -> err "entity %d history mentions absent T%d" e id
     | None -> (
         let bad_dep = ref None in
-        Hashtbl.iter
-          (fun d providers ->
+        Arena.iter
+          (fun ~id:d ~slot ->
             Intset.iter
               (fun p ->
-                if not (mem_txn t d) then bad_dep := Some (d, p, "dependent")
-                else if not (mem_txn t p) then bad_dep := Some (d, p, "provider")
-                else
-                  let back =
-                    Option.value ~default:Intset.empty
-                      (Hashtbl.find_opt t.rev_deps p)
-                  in
-                  if not (Intset.mem d back) then
-                    bad_dep := Some (d, p, "missing reverse edge"))
-              providers)
-          t.deps;
+                if not (mem_txn t p) then bad_dep := Some (d, p, "provider")
+                else if not (Intset.mem d (rev_deps_of t p)) then
+                  bad_dep := Some (d, p, "missing reverse edge"))
+              t.deps.(slot))
+          t.arena;
         match !bad_dep with
         | Some (d, p, what) -> err "dependency T%d -> T%d: %s" d p what
         | None -> Ok ())

@@ -191,6 +191,17 @@ val closure : t -> Dct_graph.Closure.t option
 
 val is_acyclic : t -> bool
 
+val resident_bytes : t -> int
+(** Deterministic estimate, in bytes, of the resident graph substrate:
+    conflict graph, maintained oracle, slot-indexed transaction and
+    dependency stores, and the entity index.  The audit tombstone sets
+    ({!aborted_txns}/{!deleted_txns}) are excluded — they record
+    history, not resident state.  Derived from capacities and live
+    counts only, so two replicas driven by identical operation
+    sequences report identical values (the parallel engine's shard
+    replicas and the socket server depend on this for byte-identical
+    traces). *)
+
 (** {1 Internal — used by {!Reduced_graph}} *)
 
 val forget_txn_record : t -> int -> unit

@@ -40,6 +40,7 @@ type stats = {
   active_txns : int;
   resident_hwm : int;
   deleted_total : int;
+  resident_bytes : int;
 }
 
 let stats t =
@@ -50,4 +51,5 @@ let stats t =
     active_txns = Intset.cardinal (Gs.active_txns t.gs);
     resident_hwm = t.resident_hwm;
     deleted_total = t.deleted_total;
+    resident_bytes = Gs.resident_bytes t.gs;
   }

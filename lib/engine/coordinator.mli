@@ -55,6 +55,8 @@ type stats = {
   active_txns : int;
   resident_hwm : int;
   deleted_total : int;
+  resident_bytes : int;
+      (** deterministic byte estimate of the coordinator graph substrate *)
 }
 
 val stats : t -> stats

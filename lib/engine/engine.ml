@@ -216,9 +216,11 @@ let checkpoint t =
             aborted = t.aborted;
             deleted = c.deleted_total;
             delayed = 0;
+            resident_bytes = c.resident_bytes;
           });
     Tracer.gauge tr "resident_txns" c.resident_txns;
     Tracer.gauge tr "resident_arcs" c.resident_arcs;
+    Tracer.gauge tr "graph.resident_bytes" c.resident_bytes;
     Array.iteri
       (fun i sh ->
         let s : Shard.stats = Shard.stats sh in

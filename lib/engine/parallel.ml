@@ -526,9 +526,11 @@ let create_handle ?(mode = Domains) ?fault ?on_decision ?on_barrier ?on_deletion
               aborted = !aborted;
               deleted = c.deleted_total;
               delayed = 0;
+              resident_bytes = c.resident_bytes;
             });
       Tracer.gauge tr "resident_txns" c.resident_txns;
       Tracer.gauge tr "resident_arcs" c.resident_arcs;
+      Tracer.gauge tr "graph.resident_bytes" c.resident_bytes;
       Array.iteri
         (fun i stats ->
           match stats with

@@ -161,6 +161,7 @@ type stats = {
   store_versions : int;
   wal_retained : int;
   wal_truncated : int;
+  resident_bytes : int;
 }
 
 let stats t =
@@ -178,4 +179,5 @@ let stats t =
     store_versions = Store.total_versions t.store;
     wal_retained = Wal.length t.wal;
     wal_truncated = Wal.truncated t.wal;
+    resident_bytes = Gs.resident_bytes t.gs;
   }

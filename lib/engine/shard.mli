@@ -98,6 +98,8 @@ type stats = {
   store_versions : int;
   wal_retained : int;
   wal_truncated : int;
+  resident_bytes : int;
+      (** deterministic byte estimate of this shard's graph substrate *)
 }
 
 val stats : t -> stats

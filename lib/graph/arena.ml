@@ -1,0 +1,116 @@
+(* Dense-slot arena over caller-chosen integer ids.
+
+   Transaction ids grow monotonically for the life of a server, but the
+   *resident* population is bounded by the deletion policy.  Keying rows
+   by raw ids makes every slot-indexed structure grow with history; the
+   arena maps each live id to a small dense slot and recycles slots
+   through a LIFO free list the moment the id is released, so slot
+   capacity tracks the high-water mark of simultaneous residents — not
+   the total ids ever issued. *)
+
+type t = {
+  slots : (int, int) Hashtbl.t; (* id -> slot, live ids only *)
+  mutable ids : int array; (* slot -> id; -1 = free *)
+  mutable free : int array; (* LIFO stack of recycled slots *)
+  mutable free_len : int;
+  mutable next : int; (* first never-used slot *)
+}
+
+let create ?(capacity = 16) () =
+  {
+    slots = Hashtbl.create (max 16 capacity);
+    ids = Array.make (max 1 capacity) (-1);
+    free = Array.make 16 0;
+    free_len = 0;
+    next = 0;
+  }
+
+let copy t =
+  {
+    slots = Hashtbl.copy t.slots;
+    ids = Array.copy t.ids;
+    free = Array.copy t.free;
+    free_len = t.free_len;
+    next = t.next;
+  }
+
+let live t = Hashtbl.length t.slots
+
+let capacity t = t.next
+(* High-water slot count: every slot in [0, next) has been used at least
+   once; slot-indexed side tables need exactly this many cells. *)
+
+let find t id = Hashtbl.find_opt t.slots id
+
+let mem t id = Hashtbl.mem t.slots id
+
+let slot t id =
+  match Hashtbl.find_opt t.slots id with
+  | Some s -> s
+  | None -> raise Not_found
+
+let id_of t s = if s >= 0 && s < Array.length t.ids then t.ids.(s) else -1
+
+let grow_ids t want =
+  let n = Array.length t.ids in
+  if want >= n then begin
+    let ids = Array.make (max (want + 1) (2 * n)) (-1) in
+    Array.blit t.ids 0 ids 0 n;
+    t.ids <- ids
+  end
+
+let push_free t s =
+  let n = Array.length t.free in
+  if t.free_len >= n then begin
+    let free = Array.make (2 * n) 0 in
+    Array.blit t.free 0 free 0 n;
+    t.free <- free
+  end;
+  t.free.(t.free_len) <- s;
+  t.free_len <- t.free_len + 1
+
+let alloc t id =
+  if Hashtbl.mem t.slots id then
+    invalid_arg (Printf.sprintf "Arena.alloc: id %d already live" id);
+  let s =
+    if t.free_len > 0 then begin
+      t.free_len <- t.free_len - 1;
+      t.free.(t.free_len)
+    end
+    else begin
+      let s = t.next in
+      t.next <- t.next + 1;
+      grow_ids t s;
+      s
+    end
+  in
+  t.ids.(s) <- id;
+  Hashtbl.replace t.slots id s;
+  s
+
+let release t id =
+  match Hashtbl.find_opt t.slots id with
+  | None -> None
+  | Some s ->
+      Hashtbl.remove t.slots id;
+      t.ids.(s) <- -1;
+      push_free t s;
+      Some s
+
+let iter f t = Hashtbl.iter (fun id s -> f ~id ~slot:s) t.slots
+
+let iter_slots f t =
+  for s = 0 to t.next - 1 do
+    let id = t.ids.(s) in
+    if id >= 0 then f ~slot:s ~id
+  done
+
+let fold f t init =
+  Hashtbl.fold (fun id s acc -> f ~id ~slot:s acc) t.slots init
+
+let bytes t =
+  (* Deterministic resident estimate in bytes (word = 8): the two slot
+     arrays plus ~4 words per live hashtable binding.  Derived from
+     capacities and live counts only, so replicas driven by the same
+     operation sequence report identical values. *)
+  8 * (Array.length t.ids + Array.length t.free + (4 * live t) + 8)

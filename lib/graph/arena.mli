@@ -1,0 +1,59 @@
+(** Dense-slot arena: caller-chosen ids → recycled dense slots.
+
+    Transaction ids grow monotonically forever; the resident population
+    does not.  The arena maps each {e live} id to a dense slot in
+    [0, capacity) and recycles slots through a LIFO free list when ids
+    are released, so every slot-indexed side table (closure rows,
+    topological ranks, verdict caches) is bounded by the high-water
+    resident count instead of the historical id space.
+
+    Slots are recycled aggressively: after [release t id], the freed
+    slot may be handed to the very next [alloc].  Consumers must purge
+    a slot's row/column state before the release completes — the
+    property test in [test/test_graph_substrate.ml] pins that two live
+    ids never share a slot. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is a slot-count hint. *)
+
+val copy : t -> t
+(** Independent deep copy; slot assignments are preserved exactly. *)
+
+val alloc : t -> int -> int
+(** [alloc t id] binds [id] to a dense slot (recycled if available) and
+    returns it.  @raise Invalid_argument if [id] is already live. *)
+
+val release : t -> int -> int option
+(** [release t id] frees [id]'s slot onto the free list and returns it;
+    [None] when [id] is not live. *)
+
+val find : t -> int -> int option
+(** Live slot of [id], if any. *)
+
+val slot : t -> int -> int
+(** @raise Not_found when [id] is not live. *)
+
+val id_of : t -> int -> int
+(** Id occupying a slot; [-1] when the slot is free or out of range. *)
+
+val mem : t -> int -> bool
+val live : t -> int
+
+val capacity : t -> int
+(** High-water slot count: every slot-indexed side table needs exactly
+    this many cells.  Never decreases; bounded by the peak resident
+    population, not by the ids ever issued. *)
+
+val iter : (id:int -> slot:int -> unit) -> t -> unit
+(** Live bindings, unspecified order (hashtable order). *)
+
+val iter_slots : (slot:int -> id:int -> unit) -> t -> unit
+(** Live bindings in increasing slot order. *)
+
+val fold : (id:int -> slot:int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val bytes : t -> int
+(** Deterministic resident-size estimate in bytes (capacity-derived, so
+    replicas built by identical operation sequences agree). *)

@@ -1,88 +1,177 @@
-type t = { mutable words : int array }
+(* Bigarray-backed bitsets.
 
-let bits_per_word = Sys.int_size
+   Words are flat [int64]s in a C-layout Bigarray, so a row costs
+   exactly [8 * words] bytes off the OCaml heap regardless of how many
+   boxed values the minor heap churns through — the representation the
+   million-resident-node closure rows need.  Popcount is SWAR (no
+   dependency on a [popcnt] intrinsic); iteration peels set bits with
+   the [w land -w] trick so cost tracks the cardinality, not the
+   capacity. *)
+
+type words = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable words : words }
+
+let bits_per_word = 64
+
+(* log2 of [bits_per_word]: index decomposition is a shift and a mask,
+   not a division. *)
+let word_shift = 6
+let bit_mask = bits_per_word - 1
 
 let words_for bits = (bits + bits_per_word - 1) / bits_per_word
 
-let create ?(capacity = 64) () = { words = Array.make (max 1 (words_for capacity)) 0 }
+let alloc n : words =
+  let w = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+  Bigarray.Array1.fill w 0L;
+  w
 
-let copy t = { words = Array.copy t.words }
+let create ?(capacity = 64) () = { words = alloc (max 1 (words_for capacity)) }
+
+let word_capacity t = Bigarray.Array1.dim t.words
+
+let bytes t = 8 * word_capacity t
+
+let copy t =
+  let n = word_capacity t in
+  let words = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+  Bigarray.Array1.blit t.words words;
+  { words }
 
 let ensure t word_index =
-  let n = Array.length t.words in
+  let n = word_capacity t in
   if word_index >= n then begin
     let n' = max (word_index + 1) (2 * n) in
-    let words = Array.make n' 0 in
-    Array.blit t.words 0 words 0 n;
+    let words = alloc n' in
+    Bigarray.Array1.blit t.words (Bigarray.Array1.sub words 0 n);
     t.words <- words
   end
 
+(* The unified negative-index contract: mutations ([add]/[remove]) on a
+   negative index are programming errors and raise; the membership query
+   is total ([mem t i = false] for i < 0).  The seed implementation
+   raised from [add] but silently ignored negative [remove] — the
+   asymmetry this replaces. *)
+let neg op i =
+  invalid_arg (Printf.sprintf "Bitset.%s: negative index %d" op i)
+
 let add t i =
-  if i < 0 then invalid_arg "Bitset.add: negative index";
-  let w = i / bits_per_word and b = i mod bits_per_word in
+  if i < 0 then neg "add" i;
+  let w = i lsr word_shift and b = i land bit_mask in
   ensure t w;
-  t.words.(w) <- t.words.(w) lor (1 lsl b)
+  Bigarray.Array1.unsafe_set t.words w
+    (Int64.logor (Bigarray.Array1.unsafe_get t.words w) (Int64.shift_left 1L b))
 
 let remove t i =
-  if i >= 0 then begin
-    let w = i / bits_per_word and b = i mod bits_per_word in
-    if w < Array.length t.words then
-      t.words.(w) <- t.words.(w) land lnot (1 lsl b)
-  end
+  if i < 0 then neg "remove" i;
+  let w = i lsr word_shift and b = i land bit_mask in
+  if w < word_capacity t then
+    Bigarray.Array1.unsafe_set t.words w
+      (Int64.logand
+         (Bigarray.Array1.unsafe_get t.words w)
+         (Int64.lognot (Int64.shift_left 1L b)))
 
 let mem t i =
-  if i < 0 then false
-  else
-    let w = i / bits_per_word and b = i mod bits_per_word in
-    w < Array.length t.words && t.words.(w) land (1 lsl b) <> 0
+  i >= 0
+  &&
+  let w = i lsr word_shift and b = i land bit_mask in
+  w < word_capacity t
+  && Int64.logand (Bigarray.Array1.unsafe_get t.words w) (Int64.shift_left 1L b)
+     <> 0L
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let is_empty t =
+  let n = word_capacity t in
+  let rec go i = i >= n || (Bigarray.Array1.unsafe_get t.words i = 0L && go (i + 1)) in
+  go 0
 
-let popcount =
-  (* Kernighan's loop; words are sparse in our workloads. *)
-  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
-  fun w -> go 0 w
+(* SWAR popcount over a 64-bit word: O(1), branch-free. *)
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
-let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let cardinal t =
+  let n = word_capacity t in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + popcount64 (Bigarray.Array1.unsafe_get t.words i)
+  done;
+  !acc
 
 let union_into ~into src =
   let changed = ref false in
-  let n = Array.length src.words in
+  let n = word_capacity src in
   if n > 0 then ensure into (n - 1);
   for i = 0 to n - 1 do
-    let w = into.words.(i) lor src.words.(i) in
-    if w <> into.words.(i) then begin
-      into.words.(i) <- w;
-      changed := true
+    let s = Bigarray.Array1.unsafe_get src.words i in
+    if s <> 0L then begin
+      let d = Bigarray.Array1.unsafe_get into.words i in
+      let w = Int64.logor d s in
+      if w <> d then begin
+        Bigarray.Array1.unsafe_set into.words i w;
+        changed := true
+      end
     end
   done;
   !changed
 
 let inter_card a b =
-  let n = min (Array.length a.words) (Array.length b.words) in
+  let n = min (word_capacity a) (word_capacity b) in
   let acc = ref 0 in
   for i = 0 to n - 1 do
-    acc := !acc + popcount (a.words.(i) land b.words.(i))
+    acc :=
+      !acc
+      + popcount64
+          (Int64.logand
+             (Bigarray.Array1.unsafe_get a.words i)
+             (Bigarray.Array1.unsafe_get b.words i))
   done;
   !acc
 
+(* Count trailing zeros of a non-zero word: isolate the lowest set bit,
+   popcount everything below it. *)
+let ctz64 w = popcount64 (Int64.sub (Int64.logand w (Int64.neg w)) 1L)
+
 let iter f t =
-  Array.iteri
-    (fun wi w ->
-      if w <> 0 then
-        for b = 0 to bits_per_word - 1 do
-          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
-        done)
-    t.words
+  let n = word_capacity t in
+  for wi = 0 to n - 1 do
+    let w = ref (Bigarray.Array1.unsafe_get t.words wi) in
+    let base = wi * bits_per_word in
+    while !w <> 0L do
+      f (base + ctz64 !w);
+      w := Int64.logand !w (Int64.sub !w 1L)
+    done
+  done
 
 let fold f t init =
   let acc = ref init in
   iter (fun i -> acc := f i !acc) t;
   !acc
 
+let exists p t =
+  let n = word_capacity t in
+  let rec go wi =
+    if wi >= n then false
+    else
+      let w = ref (Bigarray.Array1.unsafe_get t.words wi) in
+      let base = wi * bits_per_word in
+      let hit = ref false in
+      while (not !hit) && !w <> 0L do
+        if p (base + ctz64 !w) then hit := true
+        else w := Int64.logand !w (Int64.sub !w 1L)
+      done;
+      !hit || go (wi + 1)
+  in
+  go 0
+
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let clear t = Bigarray.Array1.fill t.words 0L
 
 let pp ppf t =
   Format.fprintf ppf "{%s}"

@@ -1,8 +1,19 @@
-(** Growable bitsets over non-negative integers.
+(** Growable bitsets over non-negative integers, Bigarray-backed.
 
     Used as dense rows of the dynamic transitive closure
-    ({!Dct_graph.Closure}).  All operations grow the underlying array on
-    demand; membership queries outside the allocated range are [false]. *)
+    ({!Dct_graph.Closure}) and as the dense leg of the hybrid row
+    representation ({!Dct_graph.Row}).  Words are flat [int64]s in a
+    C-layout Bigarray (8 bytes per 64 bits, off the boxed heap);
+    popcount is SWAR and iteration peels set bits, so query cost tracks
+    cardinality.  All operations grow the underlying storage on demand;
+    membership queries outside the allocated range are [false].
+
+    Negative-index contract (uniform across the module): {!mem} is a
+    total query — [mem t i] is [false] for [i < 0] — while the
+    mutations {!add} and {!remove} treat a negative index as a
+    programming error and raise [Invalid_argument].  (The previous
+    implementation raised from [add] but silently ignored negative
+    [remove]; the asymmetry is gone.) *)
 
 type t
 
@@ -15,9 +26,11 @@ val add : t -> int -> unit
 (** [add t i] sets bit [i].  @raise Invalid_argument if [i < 0]. *)
 
 val remove : t -> int -> unit
-(** [remove t i] clears bit [i] (a no-op when out of range). *)
+(** [remove t i] clears bit [i] (a no-op when beyond the allocated
+    range).  @raise Invalid_argument if [i < 0]. *)
 
 val mem : t -> int -> bool
+(** Total: [false] for negative or out-of-range indices. *)
 
 val is_empty : t -> bool
 
@@ -35,10 +48,20 @@ val iter : (int -> unit) -> t -> unit
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
+val exists : (int -> bool) -> t -> bool
+(** Short-circuiting: stops at the first set bit satisfying the
+    predicate. *)
+
 val elements : t -> int list
 (** Set bits in increasing order. *)
 
 val clear : t -> unit
-(** Remove every element. *)
+(** Remove every element (capacity is retained). *)
+
+val word_capacity : t -> int
+(** Allocated 64-bit words. *)
+
+val bytes : t -> int
+(** Resident payload bytes: [8 * word_capacity]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -44,12 +44,26 @@ val would_cycle : t -> src:int -> dst:int -> bool
 (** [true] iff inserting [src -> dst] would close a cycle
     ([src = dst] or [dst ⇝ src]). *)
 
+val iter_descendants : (int -> unit) -> t -> int -> unit
+(** [iter_descendants f t v] applies [f] to every descendant of [v]
+    without materialising a set — the audit/invariant hot path.  Order
+    is increasing slot order (an implementation detail; callers must not
+    rely on it).  No-op when [v] is absent. *)
+
+val iter_ancestors : (int -> unit) -> t -> int -> unit
+
 val descendants : t -> int -> Intset.t
+(** Thin wrapper over {!iter_descendants} for callers that want a set. *)
+
 val ancestors : t -> int -> Intset.t
 
 val nodes : t -> Intset.t
 
 val mem_node : t -> int -> bool
+
+val bytes : t -> int
+(** Deterministic resident-size estimate in bytes (graph + both row
+    matrices). *)
 
 val check_against : t -> Digraph.t -> bool
 (** For tests: the closure agrees with reachability recomputed from

@@ -15,6 +15,9 @@ module type S = sig
   val reaches_any : t -> src:int -> dsts:Intset.t -> bool
   val would_cycle : t -> src:int -> dst:int -> bool
   val cycle_witness : t -> src:int -> dst:int -> int list option
+  val iter_descendants : (int -> unit) -> t -> int -> unit
+  val iter_ancestors : (int -> unit) -> t -> int -> unit
+  val bytes : t -> int
   val check_against : t -> Digraph.t -> bool
 end
 
@@ -276,6 +279,50 @@ let cycle_witness t ~src ~dst =
             dst
             (if wc = None then "safe" else "cycle")
             (if wo = None then "safe" else "cycle"))
+
+(* The allocation-free cone iterators.  Under [Checked] the two cones
+   are collected and compared before being replayed to [f] — the checked
+   oracle is a harness, so the extra sets are the price of the
+   cross-check, exactly as for [nodes]. *)
+let collect iter x v =
+  let acc = ref Intset.empty in
+  iter (fun w -> acc := Intset.add w !acc) x v;
+  !acc
+
+let iter_descendants f t v =
+  match t.imp with
+  | Closure_i c -> Closure_backend.iter_descendants f c v
+  | Topo_i o -> Topo_backend.iter_descendants f o v
+  | Checked_i (c, o) ->
+      let dc = collect Closure_backend.iter_descendants c v in
+      let dt = collect Topo_backend.iter_descendants o v in
+      if not (Intset.equal dc dt) then
+        disagree "iter_descendants %d: closure has %s, topo has %s" v
+          (Format.asprintf "%a" Intset.pp dc)
+          (Format.asprintf "%a" Intset.pp dt);
+      Intset.iter f dc
+
+let iter_ancestors f t v =
+  match t.imp with
+  | Closure_i c -> Closure_backend.iter_ancestors f c v
+  | Topo_i o -> Topo_backend.iter_ancestors f o v
+  | Checked_i (c, o) ->
+      let ac = collect Closure_backend.iter_ancestors c v in
+      let at = collect Topo_backend.iter_ancestors o v in
+      if not (Intset.equal ac at) then
+        disagree "iter_ancestors %d: closure has %s, topo has %s" v
+          (Format.asprintf "%a" Intset.pp ac)
+          (Format.asprintf "%a" Intset.pp at);
+      Intset.iter f ac
+
+let descendants t v = collect iter_descendants t v
+let ancestors t v = collect iter_ancestors t v
+
+let bytes t =
+  match t.imp with
+  | Closure_i c -> Closure_backend.bytes c
+  | Topo_i o -> Topo_backend.bytes o
+  | Checked_i (c, o) -> Closure_backend.bytes c + Topo_backend.bytes o
 
 let check_against t g =
   match t.imp with

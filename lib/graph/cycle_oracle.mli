@@ -53,6 +53,16 @@ module type S = sig
       [src = dst]) proving the refused arc would close a cycle; [None]
       iff inserting [src -> dst] is safe. *)
 
+  val iter_descendants : (int -> unit) -> t -> int -> unit
+  (** Apply [f] to every node reachable from [v] by a non-empty path,
+      without materialising a set.  Visit order is unspecified and may
+      differ between backends; callers must fold order-insensitively. *)
+
+  val iter_ancestors : (int -> unit) -> t -> int -> unit
+
+  val bytes : t -> int
+  (** Deterministic resident-size estimate of the whole structure. *)
+
   val check_against : t -> Digraph.t -> bool
   (** Structure agrees with ground-truth reachability on [g]. *)
 end
@@ -121,6 +131,24 @@ val cycle_witness : t -> src:int -> dst:int -> int list option
 (** See {!S.cycle_witness}.  A [Checked] oracle additionally validates
     each backend's witness against its own arc set and that the two
     agree on existence. *)
+
+val iter_descendants : (int -> unit) -> t -> int -> unit
+(** Allocation-free cone iteration (the audit/invariant hot path).  A
+    [Checked] oracle collects both backends' cones, raises
+    {!Disagreement} if they differ, and replays the closure's. *)
+
+val iter_ancestors : (int -> unit) -> t -> int -> unit
+
+val descendants : t -> int -> Intset.t
+(** Thin {!Intset} wrappers over the iterators, for callers that want a
+    set value. *)
+
+val ancestors : t -> int -> Intset.t
+
+val bytes : t -> int
+(** Deterministic resident-size estimate in bytes of the backing
+    structures ([Checked] sums both).  Capacity-derived: replicas built
+    by identical operation sequences report identical values. *)
 
 val check_against : t -> Digraph.t -> bool
 

@@ -1,0 +1,174 @@
+(* Hybrid set rows: small sorted array → dense bitset.
+
+   Closure rows are overwhelmingly tiny (a transaction's tight
+   neighbourhood) with a heavy tail of large cones.  A dense bitset per
+   row charges every row for the whole slot space; a sorted int array
+   is compact and cache-friendly until it isn't.  The hybrid keeps each
+   row as a sorted array up to [small_max] elements and upgrades to a
+   {!Bitset} the first time it grows past that — the shared-structure
+   set idiom (many near-identical small sets, few big ones) from the
+   DAWG-style related work, specialised to mutable rows.
+
+   A row never downgrades: once a cone has been large the transaction
+   is about to be deleted anyway, and downgrade churn would dominate. *)
+
+type rep =
+  | Small of { mutable elems : int array; mutable len : int } (* sorted, unique *)
+  | Dense of Bitset.t
+
+type t = { mutable rep : rep }
+
+let small_max = 48
+
+let create () = { rep = Small { elems = [||]; len = 0 } }
+
+let copy t =
+  match t.rep with
+  | Small { elems; len } -> { rep = Small { elems = Array.copy elems; len } }
+  | Dense b -> { rep = Dense (Bitset.copy b) }
+
+(* Binary search for [x] in the first [len] cells: [Ok index] when
+   present, [Error insertion_point] when not. *)
+let search elems len x =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if elems.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  if !lo < len && elems.(!lo) = x then Ok !lo else Error !lo
+
+let neg op i = invalid_arg (Printf.sprintf "Row.%s: negative index %d" op i)
+
+let upgrade t =
+  match t.rep with
+  | Dense _ -> ()
+  | Small { elems; len } ->
+      let b = Bitset.create ~capacity:(2 * small_max * 64 / 64) () in
+      for i = 0 to len - 1 do
+        Bitset.add b elems.(i)
+      done;
+      t.rep <- Dense b
+
+let add t x =
+  if x < 0 then neg "add" x;
+  match t.rep with
+  | Dense b -> Bitset.add b x
+  | Small s -> (
+      match search s.elems s.len x with
+      | Ok _ -> ()
+      | Error at ->
+          if s.len >= small_max then begin
+            upgrade t;
+            match t.rep with
+            | Dense b -> Bitset.add b x
+            | Small _ -> assert false
+          end
+          else begin
+            let cap = Array.length s.elems in
+            if s.len >= cap then begin
+              let elems = Array.make (max 4 (2 * cap)) 0 in
+              Array.blit s.elems 0 elems 0 s.len;
+              s.elems <- elems
+            end;
+            Array.blit s.elems at s.elems (at + 1) (s.len - at);
+            s.elems.(at) <- x;
+            s.len <- s.len + 1
+          end)
+
+let remove t x =
+  if x < 0 then neg "remove" x;
+  match t.rep with
+  | Dense b -> Bitset.remove b x
+  | Small s -> (
+      match search s.elems s.len x with
+      | Error _ -> ()
+      | Ok at ->
+          Array.blit s.elems (at + 1) s.elems at (s.len - at - 1);
+          s.len <- s.len - 1)
+
+let mem t x =
+  x >= 0
+  &&
+  match t.rep with
+  | Dense b -> Bitset.mem b x
+  | Small s -> ( match search s.elems s.len x with Ok _ -> true | Error _ -> false)
+
+let cardinal t =
+  match t.rep with Small s -> s.len | Dense b -> Bitset.cardinal b
+
+let is_empty t =
+  match t.rep with Small s -> s.len = 0 | Dense b -> Bitset.is_empty b
+
+let iter f t =
+  match t.rep with
+  | Small s ->
+      for i = 0 to s.len - 1 do
+        f s.elems.(i)
+      done
+  | Dense b -> Bitset.iter f b
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let exists p t =
+  match t.rep with
+  | Small s ->
+      let rec go i = i < s.len && (p s.elems.(i) || go (i + 1)) in
+      go 0
+  | Dense b -> Bitset.exists p b
+
+let elements t = List.rev (fold (fun x acc -> x :: acc) t [])
+
+let clear t = t.rep <- Small { elems = [||]; len = 0 }
+
+let union_into ~into src =
+  match (into.rep, src.rep) with
+  | Dense di, Dense ds -> Bitset.union_into ~into:di ds
+  | _, _ ->
+      (* Mixed or small/small: element-at-a-time insertion through [add]
+         (which upgrades [into] when it outgrows the small regime).  If
+         the source is already dense, the destination will be too within
+         [small_max] insertions — upgrade it up front. *)
+      (match src.rep with Dense _ -> upgrade into | Small _ -> ());
+      let changed = ref false in
+      iter
+        (fun x ->
+          if not (mem into x) then begin
+            add into x;
+            changed := true
+          end)
+        src;
+      !changed
+
+let inter_card a b =
+  match (a.rep, b.rep) with
+  | Dense da, Dense db -> Bitset.inter_card da db
+  | Small sa, Small sb ->
+      (* Two-pointer walk over the sorted prefixes. *)
+      let i = ref 0 and j = ref 0 and acc = ref 0 in
+      while !i < sa.len && !j < sb.len do
+        let x = sa.elems.(!i) and y = sb.elems.(!j) in
+        if x = y then begin incr acc; incr i; incr j end
+        else if x < y then incr i
+        else incr j
+      done;
+      !acc
+  | Small s, Dense d | Dense d, Small s ->
+      let acc = ref 0 in
+      for i = 0 to s.len - 1 do
+        if Bitset.mem d s.elems.(i) then incr acc
+      done;
+      !acc
+
+let is_dense t = match t.rep with Dense _ -> true | Small _ -> false
+
+let bytes t =
+  match t.rep with
+  | Small s -> 8 * (Array.length s.elems + 4)
+  | Dense b -> Bitset.bytes b + 24
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))

@@ -1,0 +1,50 @@
+(** Hybrid closure rows: small sorted array → dense bitset.
+
+    Most closure rows stay tiny; a few grow into large reachability
+    cones.  A row starts as a sorted [int array] and upgrades to a
+    {!Dct_graph.Bitset} the first time it exceeds the small-regime
+    threshold; it never downgrades.  The negative-index contract
+    mirrors {!Dct_graph.Bitset}: {!mem} is total ([false] for [i < 0]),
+    {!add} and {!remove} raise [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> int -> unit
+(** @raise Invalid_argument if the index is negative. *)
+
+val remove : t -> int -> unit
+(** @raise Invalid_argument if the index is negative. *)
+
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Increasing order in both representations. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+
+val union_into : into:t -> t -> bool
+(** [true] iff [into] changed; upgrades [into] to the dense
+    representation when the union leaves the small regime. *)
+
+val inter_card : t -> t -> int
+
+val elements : t -> int list
+val clear : t -> unit
+
+val is_dense : t -> bool
+(** Exposed for the differential tests and the bench's occupancy
+    report. *)
+
+val small_max : int
+(** Elements a row holds before upgrading to the dense leg. *)
+
+val bytes : t -> int
+(** Deterministic resident-size estimate in bytes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -69,9 +69,22 @@ val cycle_witness : t -> src:int -> dst:int -> int list option
     [src -> dst] would close the cycle.  [None] when the insertion is
     safe. *)
 
+val iter_descendants : (int -> unit) -> t -> int -> unit
+(** [iter_descendants f t v] applies [f] to every node reachable from
+    [v] by a non-empty path, via a DFS that marks visited slots with a
+    generation stamp — no per-query set is materialised.  No-op when [v]
+    is absent.  Unlike {!reaches}, the search is not rank-clipped: it
+    must enumerate the full cone. *)
+
+val iter_ancestors : (int -> unit) -> t -> int -> unit
+
 val rank : t -> int -> int
 (** Current position of a node in the maintained order.
     @raise Not_found if the node is absent. *)
+
+val bytes : t -> int
+(** Deterministic resident-size estimate in bytes (graph + rank and
+    visit-mark tables). *)
 
 val check_invariant : t -> bool
 (** For tests: every arc [u -> v] satisfies [rank u < rank v] and every

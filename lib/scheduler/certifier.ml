@@ -135,6 +135,7 @@ let stats t =
     aborted_total = t.aborted;
     deleted_total = t.deleted;
     delayed_now = 0;
+    resident_bytes = Gs.resident_bytes t.gs;
   }
 
 let handle ?oracle ?tracer ?gc_index () =

@@ -111,6 +111,7 @@ let stats t =
     aborted_total = t.aborted;
     deleted_total = t.deleted;
     delayed_now = 0;
+    resident_bytes = Gs.resident_bytes t.gs;
   }
 
 let collect_garbage t =

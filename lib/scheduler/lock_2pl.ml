@@ -222,6 +222,7 @@ let stats t =
     aborted_total = t.aborts;
     deleted_total = t.committed; (* every commit closes the transaction *)
     delayed_now = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0;
+    resident_bytes = 0;
   }
 
 let handle () =

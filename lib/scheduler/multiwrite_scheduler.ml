@@ -213,6 +213,7 @@ let stats t =
     aborted_total = t.aborted;
     deleted_total = t.deleted;
     delayed_now = 0;
+    resident_bytes = Gs.resident_bytes t.gs;
   }
 
 let handle_of t =

@@ -86,6 +86,7 @@ let stats t =
     aborted_total = t.aborts;
     deleted_total = t.reclaimed;
     delayed_now = 0;
+    resident_bytes = 0;
   }
 
 let handle ?vacuum () =

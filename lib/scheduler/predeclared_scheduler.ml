@@ -238,6 +238,7 @@ let stats t =
     aborted_total = 0;
     deleted_total = t.deleted;
     delayed_now = pending t;
+    resident_bytes = Gs.resident_bytes t.gs;
   }
 
 let handle_of t =

@@ -28,6 +28,10 @@ type stats = {
   aborted_total : int;
   deleted_total : int;  (** transactions forgotten by the deletion policy *)
   delayed_now : int;    (** steps currently waiting (blocking schedulers) *)
+  resident_bytes : int;
+      (** deterministic byte estimate of the resident graph substrate
+          ({!Dct_deletion.Graph_state.resident_bytes}); [0] for
+          schedulers that keep no conflict graph *)
 }
 
 let zero_stats =
@@ -39,6 +43,7 @@ let zero_stats =
     aborted_total = 0;
     deleted_total = 0;
     delayed_now = 0;
+    resident_bytes = 0;
   }
 
 (** First-class scheduler handle, used by the simulation driver so that

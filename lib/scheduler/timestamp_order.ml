@@ -85,6 +85,7 @@ let stats t =
     aborted_total = t.aborts;
     deleted_total = t.committed;
     delayed_now = 0;
+    resident_bytes = 0;
   }
 
 let handle () =

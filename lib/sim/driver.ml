@@ -34,13 +34,15 @@ let snapshot_of at_step (st : Si.stats) =
     aborted = st.Si.aborted_total;
     deleted = st.Si.deleted_total;
     delayed = st.Si.delayed_now;
+    resident_bytes = st.Si.resident_bytes;
   }
 
 let checkpoint tracer at_step st =
   Tracer.event tracer (fun () ->
       Dct_telemetry.Event.Checkpoint_stats (snapshot_of at_step st));
   Tracer.gauge tracer "resident_txns" st.Si.resident_txns;
-  Tracer.gauge tracer "resident_arcs" st.Si.resident_arcs
+  Tracer.gauge tracer "resident_arcs" st.Si.resident_arcs;
+  Tracer.gauge tracer "graph.resident_bytes" st.Si.resident_bytes
 
 let run ?(sample_every = 16) ?observe ?(tracer = Tracer.disabled)
     (handle : Si.handle) schedule =

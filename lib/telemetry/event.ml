@@ -9,6 +9,7 @@ type stats_snapshot = {
   aborted : int;
   deleted : int;
   delayed : int;
+  resident_bytes : int;
 }
 
 type t =
@@ -76,9 +77,9 @@ let to_json = function
         attempt
   | Checkpoint_stats s ->
       Printf.sprintf
-        "{\"ev\":\"checkpoint\",\"i\":%d,\"resident_txns\":%d,\"resident_arcs\":%d,\"active_txns\":%d,\"committed\":%d,\"aborted\":%d,\"deleted\":%d,\"delayed\":%d}"
+        "{\"ev\":\"checkpoint\",\"i\":%d,\"resident_txns\":%d,\"resident_arcs\":%d,\"active_txns\":%d,\"committed\":%d,\"aborted\":%d,\"deleted\":%d,\"delayed\":%d,\"resident_bytes\":%d}"
         s.at_step s.resident_txns s.resident_arcs s.active_txns s.committed
-        s.aborted s.deleted s.delayed
+        s.aborted s.deleted s.delayed s.resident_bytes
 
 (* --- decoding ----------------------------------------------------- *)
 
@@ -216,6 +217,12 @@ let geti fields key =
   | Some _ -> raise (Bad (Printf.sprintf "field %S is not an integer" key))
   | None -> raise (Bad (Printf.sprintf "missing field %S" key))
 
+let geti_default d fields key =
+  match List.assoc_opt key fields with
+  | Some (Fint i) -> i
+  | Some _ -> raise (Bad (Printf.sprintf "field %S is not an integer" key))
+  | None -> d
+
 let getf fields key =
   match List.assoc_opt key fields with
   | Some (Ffloat f) -> f
@@ -294,6 +301,9 @@ let of_json line =
             aborted = geti fields "aborted";
             deleted = geti fields "deleted";
             delayed = geti fields "delayed";
+            (* absent in pre-gauge traces: decode as 0 so the pinned
+               corpus keeps parsing *)
+            resident_bytes = geti_default 0 fields "resident_bytes";
           }
     | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
   with

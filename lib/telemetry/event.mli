@@ -26,6 +26,9 @@ type stats_snapshot = {
   aborted : int;
   deleted : int;
   delayed : int;
+  resident_bytes : int;
+      (** resident graph-substrate bytes at the checkpoint; [0] when the
+          producer predates the gauge (tolerated on decode) *)
 }
 
 type t =

@@ -52,10 +52,18 @@ let test_clear () =
   B.clear a;
   check "cleared" true (B.is_empty a)
 
-let test_negative_add () =
+(* The unified negative-index contract: both mutations raise, the
+   membership query stays total.  The seed raised from [add] only and
+   silently ignored negative [remove]; this pins the symmetry. *)
+let test_negative_contract () =
   let a = B.create () in
-  Alcotest.check_raises "negative add" (Invalid_argument "Bitset.add: negative index")
-    (fun () -> B.add a (-1))
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Bitset.add: negative index -1") (fun () -> B.add a (-1));
+  Alcotest.check_raises "negative remove"
+    (Invalid_argument "Bitset.remove: negative index -7") (fun () ->
+      B.remove a (-7));
+  check "mem total on negatives" false (B.mem a (-1));
+  check "untouched by failed mutations" true (B.is_empty a)
 
 let test_fold () =
   let a = B.create () in
@@ -73,7 +81,8 @@ let () =
           Alcotest.test_case "inter_card" `Quick test_inter_card;
           Alcotest.test_case "copy independence" `Quick test_copy_independent;
           Alcotest.test_case "clear" `Quick test_clear;
-          Alcotest.test_case "negative index rejected" `Quick test_negative_add;
+          Alcotest.test_case "negative index rejected" `Quick
+            test_negative_contract;
           Alcotest.test_case "fold" `Quick test_fold;
         ] );
     ]

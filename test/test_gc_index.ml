@@ -56,7 +56,7 @@ let holds_fast_is_holds =
   Q.Test.make ~name:"holds_fast = holds (pointwise)" ~count:150 seed_arb
     (fun seed ->
       let gs = state_of_seed seed in
-      let memo = Hashtbl.create 8 in
+      let memo = C1.hashtbl_memo () in
       Intset.for_all
         (fun ti ->
           C1.holds gs ti = C1.holds_fast gs ti

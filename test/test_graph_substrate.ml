@@ -1,0 +1,258 @@
+(* Differential pinning of the compact graph substrate.
+
+   The Bigarray {!Bitset} and the hybrid small-array/bitset {!Row}
+   replaced a plain [int array] set representation; these properties
+   pin both against a reference model (OCaml's [Set.Make (Int)]) over
+   random operation programs — add/remove/mem/cardinal/iter order/
+   union_into (including the [changed] flag)/inter_card — so any
+   representation bug (word boundaries, the small→dense upgrade, SWAR
+   popcount) shows up as a model divergence, not as a scheduler
+   heisenbug three layers up.
+
+   The arena properties pin the recycling contract the whole slot-space
+   rebase rests on: two live ids never alias one slot, slot capacity is
+   bounded by the high-water live count (never the id space), and
+   [copy] yields a truly independent replica. *)
+
+module Q = QCheck
+module B = Dct_graph.Bitset
+module Row = Dct_graph.Row
+module Arena = Dct_graph.Arena
+module Iset = Set.Make (Int)
+
+let check = Alcotest.(check bool)
+
+(* Element programs: indices span several words and cross the row
+   upgrade threshold, removals included. *)
+let prog_gen =
+  Q.Gen.(
+    list_size (0 -- 160)
+      (pair bool (frequency [ (4, 0 -- 300); (1, 0 -- 40) ])))
+
+let prog_arb =
+  Q.make
+    ~print:
+      (Q.Print.list (fun (add, i) ->
+           Printf.sprintf "%s %d" (if add then "add" else "del") i))
+    prog_gen
+
+let build_all prog =
+  let b = B.create () and r = Row.create () in
+  let m = ref Iset.empty in
+  List.iter
+    (fun (add, i) ->
+      if add then begin
+        B.add b i;
+        Row.add r i;
+        m := Iset.add i !m
+      end
+      else begin
+        B.remove b i;
+        Row.remove r i;
+        m := Iset.remove i !m
+      end)
+    prog;
+  (b, r, !m)
+
+let agrees (b, r, m) =
+  let want = Iset.elements m in
+  B.elements b = want && Row.elements r = want
+  && B.cardinal b = Iset.cardinal m
+  && Row.cardinal r = Iset.cardinal m
+  && B.is_empty b = Iset.is_empty m
+  && Row.is_empty r = Iset.is_empty m
+
+let bitset_row_match_model =
+  Q.Test.make ~name:"bitset & row = model (add/remove/elements/cardinal)"
+    ~count:300 prog_arb (fun prog -> agrees (build_all prog))
+
+let mem_matches_model =
+  Q.Test.make ~name:"mem total and pointwise = model" ~count:200 prog_arb
+    (fun prog ->
+      let b, r, m = build_all prog in
+      List.for_all
+        (fun i -> B.mem b i = Iset.mem i m && Row.mem r i = Iset.mem i m)
+        (List.init 301 Fun.id)
+      && (not (B.mem b (-3)))
+      && not (Row.mem r (-3)))
+
+let iter_increasing =
+  Q.Test.make ~name:"iter visits in increasing order" ~count:200 prog_arb
+    (fun prog ->
+      let b, r, _ = build_all prog in
+      let incr_of iter =
+        let prev = ref (-1) and ok = ref true in
+        iter (fun i ->
+            if i <= !prev then ok := false;
+            prev := i);
+        !ok
+      in
+      incr_of (fun f -> B.iter f b) && incr_of (fun f -> Row.iter f r))
+
+let union_into_matches_model =
+  Q.Test.make ~name:"union_into = model union, changed flag exact" ~count:300
+    (Q.pair prog_arb prog_arb) (fun (pa, pb) ->
+      let ba, ra, ma = build_all pa in
+      let bb, rb, mb = build_all pb in
+      let want = Iset.elements (Iset.union ma mb) in
+      let want_changed = not (Iset.subset mb ma) in
+      let b_changed = B.union_into ~into:ba bb in
+      let r_changed = Row.union_into ~into:ra rb in
+      B.elements ba = want && Row.elements ra = want
+      && b_changed = want_changed
+      && r_changed = want_changed
+      (* sources must be untouched *)
+      && B.elements bb = Iset.elements mb
+      && Row.elements rb = Iset.elements mb)
+
+let inter_card_matches_model =
+  Q.Test.make ~name:"inter_card = model intersection cardinal" ~count:300
+    (Q.pair prog_arb prog_arb) (fun (pa, pb) ->
+      let ba, ra, ma = build_all pa in
+      let bb, rb, mb = build_all pb in
+      let want = Iset.cardinal (Iset.inter ma mb) in
+      B.inter_card ba bb = want && Row.inter_card ra rb = want)
+
+let copy_independent =
+  Q.Test.make ~name:"copy is independent in both representations" ~count:200
+    prog_arb (fun prog ->
+      let b, r, m = build_all prog in
+      let b' = B.copy b and r' = Row.copy r in
+      B.add b' 1234;
+      Row.add r' 1234;
+      B.elements b = Iset.elements m
+      && Row.elements r = Iset.elements m
+      && B.mem b' 1234 && Row.mem r' 1234)
+
+let row_upgrade () =
+  let r = Row.create () in
+  for i = 0 to Row.small_max do
+    Row.add r (2 * i)
+  done;
+  check "upgraded past small_max" true (Row.is_dense r);
+  Alcotest.(check (list int))
+    "upgrade preserved elements"
+    (List.init (Row.small_max + 1) (fun i -> 2 * i))
+    (Row.elements r);
+  let small = Row.create () in
+  Row.add small 5;
+  check "small stays small" false (Row.is_dense small)
+
+let negative_contract () =
+  let r = Row.create () in
+  Alcotest.check_raises "Row.add negative"
+    (Invalid_argument "Row.add: negative index -2") (fun () -> Row.add r (-2));
+  Alcotest.check_raises "Row.remove negative"
+    (Invalid_argument "Row.remove: negative index -9") (fun () ->
+      Row.remove r (-9));
+  check "row untouched" true (Row.is_empty r)
+
+(* --- arena ------------------------------------------------------- *)
+
+type arena_op = Alloc of int | Release of int
+
+let arena_prog_arb =
+  Q.make
+    ~print:
+      (Q.Print.list (function
+        | Alloc i -> Printf.sprintf "alloc %d" i
+        | Release i -> Printf.sprintf "release %d" i))
+    Q.Gen.(
+      list_size (0 -- 200)
+        (map2
+           (fun alloc i -> if alloc then Alloc i else Release i)
+           bool (0 -- 60)))
+
+(* Replay a program, skipping invalid allocs (already-live ids), with a
+   model map id -> slot.  The invariants checked after every step are
+   exactly the aliasing contract of the .mli. *)
+let no_aliasing_prop ops =
+  let a = Arena.create () in
+  let model = Hashtbl.create 16 in
+  let hwm = ref 0 in
+  let ok = ref true in
+  let assert_ c = if not c then ok := false in
+  List.iter
+    (fun op ->
+      (match op with
+      | Alloc id ->
+          if Hashtbl.mem model id then
+            (* must refuse a double alloc *)
+            assert_
+              (match Arena.alloc a id with
+              | exception Invalid_argument _ -> true
+              | _ -> false)
+          else begin
+            let s = Arena.alloc a id in
+            (* the slot must not belong to any other live id *)
+            Hashtbl.iter (fun _ s' -> assert_ (s <> s')) model;
+            Hashtbl.replace model id s
+          end
+      | Release id -> (
+          match Arena.release a id with
+          | Some s ->
+              assert_ (Hashtbl.find_opt model id = Some s);
+              Hashtbl.remove model id
+          | None -> assert_ (not (Hashtbl.mem model id))));
+      hwm := max !hwm (Hashtbl.length model);
+      assert_ (Arena.live a = Hashtbl.length model);
+      (* capacity tracks the high-water live population, not the id
+         space — the whole point of the arena *)
+      assert_ (Arena.capacity a <= !hwm);
+      Hashtbl.iter
+        (fun id s ->
+          assert_ (Arena.find a id = Some s);
+          assert_ (Arena.id_of a s = id))
+        model)
+    ops;
+  !ok
+
+let arena_no_aliasing =
+  Q.Test.make ~name:"arena: recycling never aliases two live ids" ~count:300
+    arena_prog_arb no_aliasing_prop
+
+let arena_copy_independent =
+  Q.Test.make ~name:"arena: copy survives mutation of the original"
+    ~count:200 (Q.pair arena_prog_arb arena_prog_arb) (fun (pa, pb) ->
+      let a = Arena.create () in
+      let apply a = function
+        | Alloc id -> (
+            match Arena.alloc a id with
+            | (_ : int) -> ()
+            | exception Invalid_argument _ -> ())
+        | Release id -> ignore (Arena.release a id)
+      in
+      List.iter (apply a) pa;
+      let snapshot =
+        Arena.fold (fun ~id ~slot acc -> (id, slot) :: acc) a []
+        |> List.sort compare
+      in
+      let c = Arena.copy a in
+      List.iter (apply a) pb (* keep mutating the original *);
+      let copied =
+        Arena.fold (fun ~id ~slot acc -> (id, slot) :: acc) c []
+        |> List.sort compare
+      in
+      copied = snapshot)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graph_substrate"
+    [
+      ( "differential",
+        q
+          [
+            bitset_row_match_model;
+            mem_matches_model;
+            iter_increasing;
+            union_into_matches_model;
+            inter_card_matches_model;
+            copy_independent;
+          ] );
+      ( "row",
+        [
+          Alcotest.test_case "small -> dense upgrade" `Quick row_upgrade;
+          Alcotest.test_case "negative index contract" `Quick negative_contract;
+        ] );
+      ("arena", q [ arena_no_aliasing; arena_copy_independent ]);
+    ]

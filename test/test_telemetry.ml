@@ -60,6 +60,7 @@ let sample_events =
         aborted = 2;
         deleted = 6;
         delayed = 1;
+        resident_bytes = 18432;
       };
   ]
 
